@@ -1,0 +1,101 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -exp all                 # every experiment, CI scale
+//	experiments -exp fig5a,fig5b -paper  # paper-scale scalability runs
+//	experiments -exp fig2 -support 1000 -ssb-sf 0.01
+//
+// Each experiment prints the rows/series the corresponding paper artifact
+// reports; EXPERIMENTS.md records the expected shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"qirana/internal/harness"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "comma-separated experiment ids (see -list) or 'all'")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		paper   = flag.Bool("paper", false, "use the paper's scales (slow: SF 1, |S|=100000)")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		support = flag.Int("support", 0, "override world support set size")
+		big     = flag.Int("big-support", 0, "override SSB/TPC-H support set size")
+		ssbSF   = flag.Float64("ssb-sf", 0, "override SSB scale factor")
+		tpchSF  = flag.Float64("tpch-sf", 0, "override TPC-H scale factor")
+		dblpSF  = flag.Float64("dblp-sf", 0, "override DBLP scale")
+		crashN  = flag.Int("crash-rows", 0, "override car crash row count")
+		uniform = flag.Int("uniform-support", 0, "override uniform support set size")
+		csvDir  = flag.String("csv", "", "also write each report's tables/series as CSV into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+
+	cfg := harness.DefaultConfig()
+	if *paper {
+		cfg = harness.PaperConfig()
+	}
+	cfg.Seed = *seed
+	if *support > 0 {
+		cfg.WorldSupport = *support
+	}
+	if *big > 0 {
+		cfg.BigSupport = *big
+	}
+	if *ssbSF > 0 {
+		cfg.SSBScale = *ssbSF
+	}
+	if *tpchSF > 0 {
+		cfg.TPCHScale = *tpchSF
+	}
+	if *dblpSF > 0 {
+		cfg.DBLPScale = *dblpSF
+	}
+	if *crashN > 0 {
+		cfg.CrashRows = *crashN
+	}
+	if *uniform > 0 {
+		cfg.UniformSupport = *uniform
+	}
+
+	var ids []string
+	if *exp == "all" {
+		for _, e := range harness.All() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*exp, ",")
+	}
+
+	for _, id := range ids {
+		e, ok := harness.Lookup(strings.TrimSpace(id))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		rep, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		rep.Render(os.Stdout)
+		if *csvDir != "" {
+			if err := rep.WriteCSV(*csvDir); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: write csv: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+		}
+	}
+}

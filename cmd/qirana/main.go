@@ -1,0 +1,223 @@
+// Command qirana is an interactive query-pricing broker shell: it loads
+// one of the benchmark datasets, assigns it a total price, and answers
+// buyer queries with history-aware charges — the end-to-end flow of the
+// paper's Figure 3.
+//
+// Usage:
+//
+//	qirana -dataset world -price 100
+//	qirana -dataset world -load support.json   # reuse a saved support set
+//
+// Shell commands:
+//
+//	quote <sql>           price a query (up-front, history-oblivious)
+//	ask <sql>             buy a query: print answer and incremental charge
+//	buyer <name>          switch buyer account (default "buyer1")
+//	func <name>           switch pricing function (coverage, shannon, qentropy, gain)
+//	point <price> <sql>   add a seller price point and refit weights
+//	refund <sql>          buy under the refund settlement model
+//	save <path>           persist the support set (prices survive restarts)
+//	paid                  show the current buyer's total payments
+//	stats                 show how the last price was computed
+//	schema                list relations and attributes
+//	help / quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"qirana"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "world", "dataset: world, carcrash, dblp, tpch, ssb")
+		price   = flag.Float64("price", 100, "price of the full dataset")
+		size    = flag.Int("support", 1000, "support set size")
+		scale   = flag.Float64("scale", 0, "dataset scale (0 = small default)")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		script  = flag.String("e", "", "run semicolon-separated shell commands non-interactively and exit")
+		load    = flag.String("load", "", "load a support set saved with the 'save' command instead of sampling")
+	)
+	flag.Parse()
+
+	db, err := qirana.LoadDataset(*dataset, *seed, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Printf("loaded %s: %d tuples across %d relations\n", *dataset, db.TotalRows(), len(db.Schema.Relations))
+	var broker *qirana.Broker
+	if *load != "" {
+		f, ferr := os.Open(*load)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, ferr)
+			os.Exit(2)
+		}
+		broker, err = qirana.NewBrokerFromSupport(db, *price, f, qirana.Options{})
+		f.Close()
+	} else {
+		broker, err = qirana.NewBroker(db, *price, qirana.Options{SupportSetSize: *size, Seed: *seed})
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Printf("broker ready: dataset price $%.2f, |S| = %d\n", *price, broker.SupportSetSize())
+	fmt.Println(`type "help" for commands`)
+
+	buyer := "buyer1"
+	fn := qirana.WeightedCoverage
+	var points []qirana.PricePoint
+
+	var scripted []string
+	if *script != "" {
+		scripted = strings.Split(*script, ";;")
+	}
+	scriptIdx := 0
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		var line string
+		if scripted != nil {
+			if scriptIdx >= len(scripted) {
+				return
+			}
+			line = strings.TrimSpace(scripted[scriptIdx])
+			scriptIdx++
+			fmt.Printf("%s> %s\n", buyer, line)
+		} else {
+			fmt.Printf("%s> ", buyer)
+			if !sc.Scan() {
+				return
+			}
+			line = strings.TrimSpace(sc.Text())
+		}
+		if line == "" {
+			continue
+		}
+		cmd, rest, _ := strings.Cut(line, " ")
+		rest = strings.TrimSpace(rest)
+		switch strings.ToLower(cmd) {
+		case "quit", "exit":
+			return
+		case "help":
+			fmt.Println("quote <sql> | ask <sql> | buyer <name> | func <name> | point <price> <sql> | paid | stats | schema | quit")
+		case "buyer":
+			if rest == "" {
+				fmt.Println("usage: buyer <name>")
+				continue
+			}
+			buyer = rest
+		case "func":
+			switch strings.ToLower(rest) {
+			case "coverage":
+				fn = qirana.WeightedCoverage
+			case "shannon":
+				fn = qirana.ShannonEntropy
+			case "qentropy":
+				fn = qirana.QEntropy
+			case "gain":
+				fn = qirana.UniformEntropyGain
+			default:
+				fmt.Println("functions: coverage, shannon, qentropy, gain")
+				continue
+			}
+			fmt.Println("pricing function:", fn)
+		case "quote":
+			p, err := broker.QuoteWith(fn, rest)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("price: $%.2f\n", p)
+		case "ask":
+			res, charge, err := broker.Ask(buyer, rest)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Print(res.String())
+			fmt.Printf("(%d rows) charged $%.2f, total paid $%.2f\n", res.Len(), charge, broker.TotalPaid(buyer))
+		case "point":
+			parts := strings.SplitN(rest, " ", 2)
+			if len(parts) != 2 {
+				fmt.Println("usage: point <price> <sql>")
+				continue
+			}
+			p, err := strconv.ParseFloat(parts[0], 64)
+			if err != nil {
+				fmt.Println("bad price:", err)
+				continue
+			}
+			points = append(points, qirana.PricePoint{SQL: parts[1], Price: p})
+			if err := broker.SetPricePoints(points); err != nil {
+				fmt.Println("error:", err)
+				points = points[:len(points)-1]
+				continue
+			}
+			fmt.Printf("fitted %d price point(s)\n", len(points))
+		case "refund":
+			res, gross, refund, err := broker.AskWithRefund(buyer, rest)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Print(res.String())
+			fmt.Printf("(%d rows) charged $%.2f, refunded $%.2f, net $%.2f\n",
+				res.Len(), gross, refund, gross-refund)
+		case "save":
+			if rest == "" {
+				fmt.Println("usage: save <path>")
+				continue
+			}
+			f, err := os.Create(rest)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			if err := broker.SaveSupportSet(f); err != nil {
+				fmt.Println("error:", err)
+				f.Close()
+				continue
+			}
+			if err := f.Close(); err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Println("support set saved to", rest)
+		case "paid":
+			fmt.Printf("%s has paid $%.2f of $%.2f\n", buyer, broker.TotalPaid(buyer), broker.TotalPrice())
+		case "stats":
+			s := broker.LastStats()
+			fmt.Printf("last pricing: %d static, %d batched, %d full runs, %d naive executions\n",
+				s.Static, s.Batched, s.FullRuns, s.Naive)
+		case "schema":
+			for _, rel := range db.Schema.Relations {
+				cols := make([]string, len(rel.Attributes))
+				for i, a := range rel.Attributes {
+					cols[i] = a.Name
+				}
+				fmt.Printf("%s(%s)\n", rel.Name, strings.Join(cols, ", "))
+			}
+		default:
+			// Bare SQL is treated as "ask".
+			if strings.HasPrefix(strings.ToUpper(cmd), "SELECT") {
+				res, charge, err := broker.Ask(buyer, line)
+				if err != nil {
+					fmt.Println("error:", err)
+					continue
+				}
+				fmt.Print(res.String())
+				fmt.Printf("(%d rows) charged $%.2f\n", res.Len(), charge)
+				continue
+			}
+			fmt.Printf("unknown command %q (try help)\n", cmd)
+		}
+	}
+}

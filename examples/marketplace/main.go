@@ -1,0 +1,96 @@
+// Marketplace: a small simulated data market over TPC-H, end to end.
+//
+// The seller lists the dataset at $1,000, pins the price of the lineitem
+// fact table at $600 (it carries most of the value), and serves three
+// buyers with different appetites:
+//
+//   - a dashboard vendor repeatedly asking aggregate reports,
+//   - an auditor drilling into late shipments,
+//   - a data hoarder who eventually buys everything, column by column.
+//
+// The run prints each buyer's bill and the seller's revenue, illustrating
+// the market-level consequences of the pricing guarantees: nobody's bill
+// exceeds the dataset price, overlapping purchases are free, and the
+// hoarder ends up paying exactly the list price no matter how the
+// purchases were sliced.
+//
+//	go run ./examples/marketplace
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qirana"
+)
+
+func main() {
+	db, err := qirana.LoadDataset("tpch", 3, 0.002)
+	if err != nil {
+		log.Fatal(err)
+	}
+	broker, err := qirana.NewBroker(db, 1000, qirana.Options{SupportSetSize: 1500, Seed: 12})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("marketplace open: TPC-H (%d tuples) listed at $%.0f\n",
+		db.TotalRows(), broker.TotalPrice())
+
+	// Seller-side tuning: the fact table carries 60% of the list price.
+	err = broker.SetPricePoints([]qirana.PricePoint{
+		{SQL: "SELECT * FROM lineitem", Price: 600},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, _ := broker.Quote("SELECT * FROM lineitem")
+	fmt.Printf("price point fitted: lineitem alone quotes at $%.2f\n\n", p)
+
+	serve := func(buyer string, queries []string) {
+		for _, sql := range queries {
+			res, charge, err := broker.Ask(buyer, sql)
+			if err != nil {
+				log.Fatalf("%s: %v", buyer, err)
+			}
+			fmt.Printf("  %-9s $%8.2f  (%4d rows)  %.60s...\n", buyer, charge, res.Len(), sql)
+		}
+	}
+
+	fmt.Println("-- dashboard vendor: weekly aggregate reports --")
+	serve("dash", []string{
+		`select l_returnflag, l_linestatus, sum(l_quantity), count(*) from lineitem
+		 where l_shipdate <= date '1998-12-01' - interval '90' day
+		 group by l_returnflag, l_linestatus`,
+		`select l_shipmode, count(*) from lineitem group by l_shipmode`,
+		// The same report next week costs nothing new.
+		`select l_shipmode, count(*) from lineitem group by l_shipmode`,
+	})
+
+	fmt.Println("-- auditor: late-shipment drill-down --")
+	serve("audit", []string{
+		`select count(*) from lineitem where l_receiptdate > l_commitdate`,
+		`select l_orderkey, l_linenumber from lineitem
+		 where l_receiptdate > l_commitdate and l_shipmode = 'MAIL'`,
+	})
+
+	fmt.Println("-- hoarder: buys the whole catalog, one relation at a time --")
+	serve("hoard", []string{
+		"select * from region", "select * from nation", "select * from supplier",
+		"select * from customer", "select * from part", "select * from partsupp",
+		"select * from orders", "select * from lineitem",
+	})
+
+	fmt.Println("\n-- settlement --")
+	revenue := 0.0
+	for _, buyer := range []string{"dash", "audit", "hoard"} {
+		paid := broker.TotalPaid(buyer)
+		revenue += paid
+		fmt.Printf("  %-9s paid $%8.2f\n", buyer, paid)
+	}
+	fmt.Printf("  seller revenue: $%.2f\n", revenue)
+	fmt.Printf("  the hoarder owns the dataset: paid $%.2f of the $%.0f list price\n",
+		broker.TotalPaid("hoard"), broker.TotalPrice())
+	// Everything is free for the hoarder now.
+	_, extra, _ := broker.Ask("hoard", "select l_comment from lineitem where l_orderkey = 1")
+	fmt.Printf("  post-ownership query charge: $%.2f\n", extra)
+}

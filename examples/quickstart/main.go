@@ -1,0 +1,56 @@
+// Quickstart: load a dataset, open a broker, quote and buy queries.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qirana"
+)
+
+func main() {
+	// The seller offers the `world` dataset for $100.
+	db, err := qirana.LoadDataset("world", 1, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	broker, err := qirana.NewBroker(db, 100, qirana.Options{
+		SupportSetSize: 1000, // finer prices cost more pricing time (Fig. 4d)
+		Seed:           42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Up-front quotes: prices can be disclosed before buying.
+	for _, sql := range []string{
+		"SELECT Name FROM Country WHERE Continent = 'Asia'",
+		"SELECT Continent, count(*) FROM Country GROUP BY Continent",
+		"SELECT * FROM Country",
+		"SELECT count(*) FROM Country", // cardinality is public: free
+	} {
+		p, err := broker.Quote(sql)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("$%6.2f  %s\n", p, sql)
+	}
+
+	// A purchase returns the answer and charges the buyer's account,
+	// history-aware: repeated information is never paid for twice.
+	res, charge, err := broker.Ask("alice", "SELECT Name, Population FROM Country WHERE Continent = 'Asia'")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nalice bought %d rows for $%.2f\n", res.Len(), charge)
+
+	_, charge2, err := broker.Ask("alice", "SELECT Name FROM Country WHERE Continent = 'Asia'")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("the projection of what she already owns costs $%.2f\n", charge2)
+	fmt.Printf("alice has paid $%.2f of the $%.2f dataset price\n",
+		broker.TotalPaid("alice"), broker.TotalPrice())
+}

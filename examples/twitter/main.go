@@ -1,0 +1,148 @@
+// Twitter: the paper's running example (Figure 1 / Example 1.1).
+//
+// Builds the 4-user, 4-tweet database through the public schema API and
+// walks Alice's analyst session, showing the arbitrage orderings the
+// broker guarantees:
+//
+//   - the gender histogram Q2 determines the female count Q1, so
+//     p(Q1) ≤ p(Q2) — no information arbitrage;
+//
+//   - AVG(age) is determined by (COUNT, SUM(age)), so
+//     p(Q3) ≤ p(Q2) + p(Q4) — no bundle arbitrage;
+//
+//   - after buying Q2, the male count Q5 is free — history-aware pricing.
+//
+//     go run ./examples/twitter
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qirana"
+)
+
+func buildDB() (*qirana.Database, error) {
+	user, err := qirana.NewRelation("User", []qirana.Attribute{
+		{Name: "uid", Type: qirana.KindInt},
+		{Name: "name", Type: qirana.KindString},
+		{Name: "gender", Type: qirana.KindString},
+		{Name: "age", Type: qirana.KindInt},
+	}, []int{0})
+	if err != nil {
+		return nil, err
+	}
+	tweet, err := qirana.NewRelation("Tweet", []qirana.Attribute{
+		{Name: "tid", Type: qirana.KindInt},
+		{Name: "uid", Type: qirana.KindInt},
+		{Name: "time", Type: qirana.KindString},
+		{Name: "location", Type: qirana.KindString},
+	}, []int{0})
+	if err != nil {
+		return nil, err
+	}
+	sch, err := qirana.NewSchema(user, tweet)
+	if err != nil {
+		return nil, err
+	}
+	db := qirana.NewDatabase(sch)
+	users := []struct {
+		uid     int64
+		name, g string
+		age     int64
+	}{
+		{1, "John", "m", 25}, {2, "Alice", "f", 13}, {3, "Bob", "m", 45}, {4, "Anna", "f", 19},
+	}
+	for _, u := range users {
+		if err := db.Table("User").Append([]qirana.Value{
+			qirana.NewInt(u.uid), qirana.NewString(u.name), qirana.NewString(u.g), qirana.NewInt(u.age),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	tweets := []struct {
+		tid, uid  int64
+		time, loc string
+	}{
+		{1, 3, "23:29", "CA"}, {2, 3, "23:29", "WA"}, {3, 1, "23:30", "OR"}, {4, 2, "23:31", "CA"},
+	}
+	for _, t := range tweets {
+		if err := db.Table("Tweet").Append([]qirana.Value{
+			qirana.NewInt(t.tid), qirana.NewInt(t.uid), qirana.NewString(t.time), qirana.NewString(t.loc),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+func main() {
+	db, err := buildDB()
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Bob the seller prices the whole dataset at $100.
+	broker, err := qirana.NewBroker(db, 100, qirana.Options{SupportSetSize: 150, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	quote := func(label, sql string) float64 {
+		p, err := broker.Quote(sql)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-3s $%6.2f  %s\n", label, p, sql)
+		return p
+	}
+
+	q1 := "SELECT count(*) FROM User WHERE gender = 'f'"
+	q2 := "SELECT gender, count(*) FROM User GROUP BY gender"
+	q3 := "SELECT AVG(age) FROM User"
+	q4 := "SELECT SUM(age) FROM User"
+	q5 := "SELECT count(*) FROM User WHERE gender = 'm'"
+
+	fmt.Println("-- up-front quotes --")
+	p1 := quote("Q1", q1)
+	p2 := quote("Q2", q2)
+	p3 := quote("Q3", q3)
+	p4 := quote("Q4", q4)
+	fmt.Printf("\nno information arbitrage: p(Q1)=%.2f <= p(Q2)=%.2f: %v\n", p1, p2, p1 <= p2+1e-9)
+	fmt.Printf("no bundle arbitrage:      p(Q3)=%.2f <= p(Q2)+p(Q4)=%.2f: %v\n", p3, p2+p4, p3 <= p2+p4+1e-9)
+
+	fmt.Println("\n-- Alice's session (history-aware) --")
+	for _, sql := range []string{q2, q3, q5} {
+		res, charge, err := broker.Ask("alice", sql)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("charged $%5.2f for %s\n%s", charge, sql, indent(res.String()))
+	}
+	fmt.Printf("Alice has paid $%.2f in total; Q5 was free because Q2 already disclosed it.\n",
+		broker.TotalPaid("alice"))
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		if line != "" {
+			out += "    " + line + "\n"
+		}
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

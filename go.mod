@@ -1,0 +1,3 @@
+module qirana
+
+go 1.22

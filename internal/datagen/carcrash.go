@@ -1,0 +1,106 @@
+package datagen
+
+import (
+	"qirana/internal/schema"
+	"qirana/internal/storage"
+	"qirana/internal/value"
+)
+
+// CarCrash builds the US Car Crash 2011 dataset (originally sold on the
+// Microsoft Azure DataMarket): a single relation of people involved in
+// fatal accidents. 71,115 rows × 14 attributes at scale 1, matching
+// Table 2. rows <= 0 selects the paper's cardinality.
+func CarCrash(seed int64, rows int) *storage.Database {
+	if rows <= 0 {
+		rows = 71115
+	}
+	r := newRNG(seed)
+	crash := schema.MustRelation("crash", []schema.Attribute{
+		{Name: "ID", Type: value.KindInt},
+		{Name: "State", Type: value.KindString},
+		{Name: "Gender", Type: value.KindString},
+		{Name: "Age", Type: value.KindInt},
+		{Name: "Person_Type", Type: value.KindString},
+		{Name: "Injury_Severity", Type: value.KindString},
+		{Name: "Seating_Position", Type: value.KindString},
+		{Name: "Safety_Equipment", Type: value.KindString},
+		{Name: "Alcohol_Results", Type: value.KindFloat},
+		{Name: "Drug_Involvement", Type: value.KindString},
+		{Name: "Crash_Date", Type: value.KindDate},
+		{Name: "Fatalities_in_crash", Type: value.KindInt},
+		{Name: "Atmospheric_Condition", Type: value.KindString},
+		{Name: "Roadway", Type: value.KindString},
+	}, []int{0})
+	db := storage.NewDatabase(schema.MustSchema(crash))
+
+	states := []string{
+		"Alabama", "Alaska", "Arizona", "Arkansas", "California", "Colorado",
+		"Connecticut", "Delaware", "Florida", "Georgia", "Hawaii", "Idaho",
+		"Illinois", "Indiana", "Iowa", "Kansas", "Kentucky", "Louisiana",
+		"Maine", "Maryland", "Massachusetts", "Michigan", "Minnesota",
+		"Mississippi", "Missouri", "Montana", "Nebraska", "Nevada",
+		"New Hampshire", "New Jersey", "New Mexico", "New York",
+		"North Carolina", "North Dakota", "Ohio", "Oklahoma", "Oregon",
+		"Pennsylvania", "Rhode Island", "South Carolina", "South Dakota",
+		"Tennessee", "Texas", "Utah", "Vermont", "Virginia", "Washington",
+		"West Virginia", "Wisconsin", "Wyoming", "District of Columbia",
+	}
+	// Rough population-proportional crash weights with the big states first.
+	weights := make([]float64, len(states))
+	for i := range weights {
+		weights[i] = 1
+	}
+	for i, s := range states {
+		switch s {
+		case "California", "Texas", "Florida":
+			weights[i] = 8
+		case "New York", "Pennsylvania", "Ohio", "Georgia", "North Carolina", "Illinois", "Michigan":
+			weights[i] = 4
+		}
+	}
+	severities := []string{
+		"Fatal Injury (K)", "Suspected Serious Injury (A)",
+		"Suspected Minor Injury (B)", "Possible Injury (C)", "No Apparent Injury (O)",
+	}
+	sevWeights := []float64{40, 15, 15, 12, 18}
+	atmospheres := []string{"Clear", "Cloudy", "Rain", "Snow", "Fog", "Severe Crosswinds"}
+	atmWeights := []float64{68, 15, 10, 4, 2, 1}
+	personTypes := []string{"Driver", "Passenger", "Pedestrian", "Bicyclist"}
+	ptWeights := []float64{62, 25, 10, 3}
+	seats := []string{"Front Seat - Left Side", "Front Seat - Right Side",
+		"Second Seat - Left Side", "Second Seat - Right Side", "Not a Motor Vehicle Occupant"}
+	equipment := []string{"Shoulder and Lap Belt Used", "None Used", "Helmet Used", "Child Restraint", "Unknown"}
+	roadways := []string{"Urban Interstate", "Rural Interstate", "Urban Arterial",
+		"Rural Arterial", "Local Road", "Collector"}
+
+	t := db.Table("crash")
+	for i := 0; i < rows; i++ {
+		gender := "Male"
+		if r.Float64() < 0.34 {
+			gender = "Female"
+		}
+		alcohol := 0.0
+		if r.Float64() < 0.27 { // positive BAC cases
+			alcohol = float64(r.between(1, 35)) / 100
+		}
+		month := r.between(1, 12)
+		day := r.between(1, 28)
+		t.MustAppend([]value.Value{
+			value.NewInt(int64(i + 1)),
+			value.NewString(states[r.weighted(weights)]),
+			value.NewString(gender),
+			value.NewInt(int64(r.between(1, 95))),
+			value.NewString(personTypes[r.weighted(ptWeights)]),
+			value.NewString(severities[r.weighted(sevWeights)]),
+			value.NewString(pick(r, seats)),
+			value.NewString(pick(r, equipment)),
+			value.NewFloat(alcohol),
+			value.NewString(pick(r, []string{"No", "No", "No", "Yes", "Unknown"})),
+			value.NewDateDays(daysOf(2011, month, day)),
+			value.NewInt(int64(r.zipfish(2.5, 6))),
+			value.NewString(atmospheres[r.weighted(atmWeights)]),
+			value.NewString(pick(r, roadways)),
+		})
+	}
+	return db
+}

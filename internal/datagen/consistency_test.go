@@ -1,0 +1,108 @@
+package datagen
+
+import (
+	"testing"
+	"time"
+
+	"qirana/internal/value"
+)
+
+// TestDaysOfMatchesValuePackage: the generator's day-number arithmetic and
+// the value package's date representation must agree, or date predicates
+// in the workloads would silently shift.
+func TestDaysOfMatchesValuePackage(t *testing.T) {
+	cases := []struct{ y, m, d int }{
+		{1970, 1, 1}, {1992, 1, 1}, {1992, 2, 29}, {1992, 3, 1},
+		{1995, 6, 17}, {1998, 12, 31}, {2000, 2, 29}, {2011, 7, 4},
+	}
+	for _, c := range cases {
+		want := value.NewDate(c.y, time.Month(c.m), c.d)
+		if got := daysOf(c.y, c.m, c.d); got != want.I {
+			t.Errorf("daysOf(%d-%02d-%02d) = %d, value pkg says %d", c.y, c.m, c.d, got, want.I)
+		}
+	}
+}
+
+func TestLeap(t *testing.T) {
+	for y, want := range map[int]bool{1992: true, 1900: false, 2000: true, 1998: false, 1996: true} {
+		if leap(y) != want {
+			t.Errorf("leap(%d) != %v", y, want)
+		}
+	}
+}
+
+func TestRNGHelpers(t *testing.T) {
+	r := newRNG(5)
+	for i := 0; i < 200; i++ {
+		if v := r.between(3, 7); v < 3 || v > 7 {
+			t.Fatalf("between: %d", v)
+		}
+		if v := r.zipfish(1.5, 10); v < 1 || v > 10 {
+			t.Fatalf("zipfish: %d", v)
+		}
+	}
+	if r.between(9, 2) != 9 {
+		t.Fatal("degenerate range")
+	}
+	// Zipf should be heavily skewed to 1.
+	ones := 0
+	for i := 0; i < 1000; i++ {
+		if r.zipfish(2.0, 50) == 1 {
+			ones++
+		}
+	}
+	if ones < 400 {
+		t.Errorf("zipf(2.0) mass at 1: %d/1000", ones)
+	}
+	// Weighted sampling respects weights.
+	zero := 0
+	for i := 0; i < 1000; i++ {
+		if r.weighted([]float64{9, 1}) == 0 {
+			zero++
+		}
+	}
+	if zero < 800 || zero > 980 {
+		t.Errorf("weighted: %d/1000 on the 90%% arm", zero)
+	}
+	w := r.word(6)
+	if len(w) != 6 {
+		t.Fatalf("word: %q", w)
+	}
+	n := r.name(5)
+	if n[0] < 'A' || n[0] > 'Z' {
+		t.Fatalf("name not capitalized: %q", n)
+	}
+	if p := r.phone(3); len(p) != 15 {
+		t.Fatalf("phone: %q", p)
+	}
+}
+
+func TestTPCHDeterministic(t *testing.T) {
+	a := TPCH(9, 0.001)
+	b := TPCH(9, 0.001)
+	for _, rel := range a.Schema.Names() {
+		ta, tb := a.Table(rel), b.Table(rel)
+		if ta.Len() != tb.Len() {
+			t.Fatalf("%s: sizes differ", rel)
+		}
+		for i := 0; i < ta.Len(); i += 7 { // sample rows
+			if value.Key(ta.Rows[i]) != value.Key(tb.Rows[i]) {
+				t.Fatalf("%s row %d differs", rel, i)
+			}
+		}
+	}
+}
+
+func TestSSBDeterministic(t *testing.T) {
+	a := SSB(9, 0.001)
+	b := SSB(9, 0.001)
+	ta, tb := a.Table("lineorder"), b.Table("lineorder")
+	if ta.Len() != tb.Len() {
+		t.Fatal("sizes differ")
+	}
+	for i := 0; i < ta.Len(); i += 11 {
+		if value.Key(ta.Rows[i]) != value.Key(tb.Rows[i]) {
+			t.Fatalf("lineorder row %d differs", i)
+		}
+	}
+}

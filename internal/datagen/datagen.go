@@ -1,0 +1,148 @@
+// Package datagen builds the five benchmark databases of the paper's
+// evaluation (Table 2) as deterministic synthetic equivalents:
+//
+//	world      — 3 relations, 5,302 tuples (Country/City/CountryLanguage)
+//	carcrash   — 1 relation, 71,115 tuples, 14 attributes
+//	dblp       — co-authorship edge list (1,049,866 edges at scale 1)
+//	tpch       — the 8 TPC-H relations, scale-factor parametrized
+//	ssb        — the Star Schema Benchmark, scale-factor parametrized
+//
+// The real datasets are not redistributable (Azure DataMarket is gone, the
+// SNAP dump and dbgen outputs are external artifacts), so each generator
+// reproduces the schema, key structure, cardinality profile and the value
+// distributions the benchmark queries are sensitive to, from a fixed seed.
+// Query prices depend only on those properties, not on the literal tuples.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// rng wraps math/rand with the small distribution helpers the generators
+// share.
+type rng struct{ *rand.Rand }
+
+func newRNG(seed int64) rng { return rng{rand.New(rand.NewSource(seed))} }
+
+// between returns a uniform integer in [lo, hi].
+func (r rng) between(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// pick returns a uniform element of xs.
+func pick[T any](r rng, xs []T) T { return xs[r.Intn(len(xs))] }
+
+// weighted returns an index drawn with the given weights.
+func (r rng) weighted(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// zipfish returns a heavy-tailed integer in [1, max] with P(k) ∝ 1/k^s.
+func (r rng) zipfish(s float64, max int) int {
+	// Inverse-transform on the truncated harmonic mass; max is small
+	// enough everywhere this is used that a linear scan is fine.
+	total := 0.0
+	for k := 1; k <= max; k++ {
+		total += 1 / pow(float64(k), s)
+	}
+	x := r.Float64() * total
+	for k := 1; k <= max; k++ {
+		x -= 1 / pow(float64(k), s)
+		if x < 0 {
+			return k
+		}
+	}
+	return max
+}
+
+func pow(b, e float64) float64 {
+	// math.Pow via exp/log is fine, but keep it simple and exact for the
+	// common s values by multiplication when e is integral.
+	if e == 1 {
+		return b
+	}
+	if e == 2 {
+		return b * b
+	}
+	res := 1.0
+	x := b
+	n := int(e)
+	frac := e - float64(n)
+	for n > 0 {
+		if n&1 == 1 {
+			res *= x
+		}
+		x *= x
+		n >>= 1
+	}
+	if frac != 0 {
+		// Cheap fractional correction: linear interpolation between n and
+		// n+1 powers is adequate for shaping synthetic distributions.
+		res *= 1 + frac*(b-1)
+	}
+	return res
+}
+
+// word builds a deterministic pseudo-word of the given length.
+func (r rng) word(length int) string {
+	const consonants = "bcdfghjklmnprstvz"
+	const vowels = "aeiou"
+	b := make([]byte, 0, length)
+	for i := 0; i < length; i++ {
+		if i%2 == 0 {
+			b = append(b, consonants[r.Intn(len(consonants))])
+		} else {
+			b = append(b, vowels[r.Intn(len(vowels))])
+		}
+	}
+	return string(b)
+}
+
+// name builds a capitalized pseudo-name.
+func (r rng) name(length int) string {
+	w := r.word(length)
+	return string(w[0]-'a'+'A') + w[1:]
+}
+
+// phone builds a TPC-H style phone number for a nation index.
+func (r rng) phone(nation int) string {
+	return fmt.Sprintf("%02d-%03d-%03d-%04d", 10+nation, r.between(100, 999), r.between(100, 999), r.between(1000, 9999))
+}
+
+// dateYMD returns the day number (days since epoch) of a calendar date via
+// the value package's convention; generators store dates as day numbers.
+func daysOf(year, month, day int) int64 {
+	// Zeller-free: count days since 1970-01-01.
+	ydays := 0
+	for y := 1970; y < year; y++ {
+		ydays += 365
+		if leap(y) {
+			ydays++
+		}
+	}
+	mdays := [...]int{31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31}
+	for m := 1; m < month; m++ {
+		ydays += mdays[m-1]
+		if m == 2 && leap(year) {
+			ydays++
+		}
+	}
+	return int64(ydays + day - 1)
+}
+
+func leap(y int) bool { return y%4 == 0 && (y%100 != 0 || y%400 == 0) }

@@ -1,0 +1,196 @@
+package datagen
+
+import (
+	"testing"
+
+	"qirana/internal/sqlengine/exec"
+	"qirana/internal/storage"
+	"qirana/internal/value"
+)
+
+func count(t *testing.T, db *storage.Database, sql string) int64 {
+	t.Helper()
+	q, err := exec.Compile(sql, db.Schema)
+	if err != nil {
+		t.Fatalf("compile %q: %v", sql, err)
+	}
+	res, err := q.Run(db)
+	if err != nil {
+		t.Fatalf("run %q: %v", sql, err)
+	}
+	return res.Rows[0][0].AsInt()
+}
+
+func TestWorldCardinalities(t *testing.T) {
+	db := World(1)
+	if n := db.Table("Country").Len(); n != 239 {
+		t.Errorf("Country: %d rows, want 239", n)
+	}
+	if n := db.Table("City").Len(); n != 4079 {
+		t.Errorf("City: %d rows, want 4079", n)
+	}
+	if n := db.Table("CountryLanguage").Len(); n != 984 {
+		t.Errorf("CountryLanguage: %d rows, want 984", n)
+	}
+	if n := db.TotalRows(); n != 5302 {
+		t.Errorf("total %d rows, want 5302 (Table 2)", n)
+	}
+}
+
+func TestWorldIntegrity(t *testing.T) {
+	db := World(1)
+	// Every city's CountryCode joins a country.
+	orphans := count(t, db,
+		"SELECT count(*) FROM City WHERE CountryCode NOT IN (SELECT Code FROM Country)")
+	if orphans != 0 {
+		t.Errorf("%d orphan cities", orphans)
+	}
+	// IDs are the paper's 1..239 candidate key.
+	if n := count(t, db, "SELECT count(DISTINCT ID) FROM Country"); n != 239 {
+		t.Errorf("ID not a candidate key: %d distinct", n)
+	}
+	if n := count(t, db, "SELECT count(*) FROM Country WHERE ID < 1 OR ID > 239"); n != 0 {
+		t.Errorf("%d IDs out of range", n)
+	}
+	// Benchmark query shape: the Qσ_u sweep must be monotone in u.
+	c120 := count(t, db, "SELECT count(*) FROM Country WHERE ID < 120")
+	if c120 != 119 {
+		t.Errorf("ID < 120 selects %d rows, want 119", c120)
+	}
+	// Every country has a capital city.
+	if n := count(t, db, "SELECT count(*) FROM Country C WHERE NOT EXISTS (SELECT 1 FROM City T WHERE T.ID = C.Capital)"); n != 0 {
+		t.Errorf("%d capitals missing", n)
+	}
+}
+
+func TestWorldDeterministic(t *testing.T) {
+	a, b := World(7), World(7)
+	for _, rel := range a.Schema.Names() {
+		ta, tb := a.Table(rel), b.Table(rel)
+		if ta.Len() != tb.Len() {
+			t.Fatalf("%s: nondeterministic size", rel)
+		}
+		for i := range ta.Rows {
+			if value.Key(ta.Rows[i]) != value.Key(tb.Rows[i]) {
+				t.Fatalf("%s row %d differs across same-seed runs", rel, i)
+			}
+		}
+	}
+	c := World(8)
+	if value.Key(a.Table("Country").Rows[0]) == value.Key(c.Table("Country").Rows[0]) {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestCarCrash(t *testing.T) {
+	db := CarCrash(1, 5000)
+	if db.Table("crash").Len() != 5000 {
+		t.Fatalf("rows: %d", db.Table("crash").Len())
+	}
+	if got := db.Table("crash").Rel.Arity(); got != 14 {
+		t.Errorf("attributes: %d, want 14 (Table 2)", got)
+	}
+	// All crashes are in 2011 (the Qc3 date-window query relies on it).
+	n := count(t, db,
+		"SELECT count(*) FROM crash WHERE Crash_Date < date '2011-01-01' OR Crash_Date > date '2011-12-31'")
+	if n != 0 {
+		t.Errorf("%d crashes outside 2011", n)
+	}
+	// Qc2's predicate must be non-trivially selective.
+	tex := count(t, db, "SELECT count(*) FROM crash WHERE State = 'Texas' AND Gender = 'Male' AND Alcohol_Results > 0.0")
+	if tex <= 0 || tex >= 2000 {
+		t.Errorf("Texas drunk-male count %d looks wrong", tex)
+	}
+	if def := CarCrash(1, 0); def.Table("crash").Len() != 71115 {
+		t.Errorf("default cardinality: %d, want 71115", def.Table("crash").Len())
+	}
+}
+
+func TestDBLPShape(t *testing.T) {
+	db := DBLP(3, 0.005)
+	edges := db.Table("dblp").Len()
+	nodes := DBLPNodeCount(db)
+	if edges < 4000 || edges > 6500 {
+		t.Fatalf("edges: %d at scale 0.005 (want ≈5249)", edges)
+	}
+	// Edge/node ratio near the real 3.31.
+	ratio := float64(edges) / float64(nodes)
+	if ratio < 2.2 || ratio > 4.5 {
+		t.Errorf("edge/node ratio %.2f, want ≈3.3", ratio)
+	}
+	// The paper's Qd6 discussion: the majority of nodes have one adjacent
+	// edge.
+	deg := map[int64]int{}
+	for _, row := range db.Table("dblp").Rows {
+		deg[row[1].I]++
+		deg[row[2].I]++
+	}
+	ones := 0
+	for _, d := range deg {
+		if d == 1 {
+			ones++
+		}
+	}
+	if frac := float64(ones) / float64(len(deg)); frac < 0.4 {
+		t.Errorf("degree-1 fraction %.2f, want a majority-ish share", frac)
+	}
+	// No self loops, canonical orientation.
+	if n := count(t, db, "SELECT count(*) FROM dblp WHERE FromNodeId >= ToNodeId"); n != 0 {
+		t.Errorf("%d non-canonical edges", n)
+	}
+}
+
+func TestTPCHShape(t *testing.T) {
+	db := TPCH(5, 0.002)
+	if db.Table("region").Len() != 5 || db.Table("nation").Len() != 25 {
+		t.Fatal("region/nation cardinalities wrong")
+	}
+	li := db.Table("lineitem").Len()
+	ord := db.Table("orders").Len()
+	if ord != 3000 {
+		t.Errorf("orders: %d, want 3000 at SF 0.002", ord)
+	}
+	if ratio := float64(li) / float64(ord); ratio < 3 || ratio > 5 {
+		t.Errorf("lineitems per order: %.2f, want ≈4", ratio)
+	}
+	if n := db.Table("partsupp").Len(); n != 4*db.Table("part").Len() {
+		t.Errorf("partsupp: %d, want 4 per part", n)
+	}
+	// Foreign keys hold.
+	if n := count(t, db, "SELECT count(*) FROM lineitem WHERE l_orderkey NOT IN (SELECT o_orderkey FROM orders)"); n != 0 {
+		t.Errorf("%d dangling lineitems", n)
+	}
+	if n := count(t, db, "SELECT count(*) FROM supplier WHERE s_nationkey NOT IN (SELECT n_nationkey FROM nation)"); n != 0 {
+		t.Errorf("%d dangling suppliers", n)
+	}
+	// Spec invariants the queries rely on.
+	if n := count(t, db, "SELECT count(*) FROM lineitem WHERE l_discount < 0 OR l_discount > 0.1"); n != 0 {
+		t.Errorf("%d discounts out of range", n)
+	}
+	if n := count(t, db, "SELECT count(*) FROM lineitem WHERE l_receiptdate <= date '1995-06-17' AND l_linestatus <> 'F'"); n != 0 {
+		t.Errorf("%d linestatus violations", n)
+	}
+}
+
+func TestSSBShape(t *testing.T) {
+	db := SSB(5, 0.002)
+	if n := db.Table("date").Len(); n != 2557 { // 7 years incl. leap days
+		t.Errorf("date dimension: %d rows", n)
+	}
+	if n := db.Table("customer").Len(); n != 60 {
+		t.Errorf("customer: %d", n)
+	}
+	// Revenue identity: lo_revenue = lo_extendedprice*(100-lo_discount)/100.
+	if n := count(t, db,
+		"SELECT count(*) FROM lineorder WHERE lo_revenue <> lo_extendedprice * (100 - lo_discount) / 100"); n != 0 {
+		t.Errorf("%d revenue identity violations", n)
+	}
+	// Every lineorder date joins the dimension.
+	if n := count(t, db, "SELECT count(*) FROM lineorder WHERE lo_orderdate NOT IN (SELECT d_datekey FROM date)"); n != 0 {
+		t.Errorf("%d dangling order dates", n)
+	}
+	// d_yearmonth matches the paper's 'Dec1997' format.
+	if n := count(t, db, "SELECT count(*) FROM date WHERE d_yearmonth = 'Dec1997'"); n != 31 {
+		t.Errorf("Dec1997 has %d days", n)
+	}
+}

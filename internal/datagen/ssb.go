@@ -1,0 +1,280 @@
+package datagen
+
+import (
+	"fmt"
+
+	"qirana/internal/schema"
+	"qirana/internal/storage"
+	"qirana/internal/value"
+)
+
+// SSB builds the Star Schema Benchmark database at the given scale factor:
+// the lineorder fact table plus the date, customer, supplier and part
+// dimensions. All measures are integers (as in the SSB specification), so
+// the engine's aggregation is exact. The 13 standard flights Q1.1–Q4.3 are
+// in the workload package.
+func SSB(seed int64, sf float64) *storage.Database {
+	if sf <= 0 {
+		sf = 0.01
+	}
+	r := newRNG(seed)
+	sch := schema.MustSchema(
+		schema.MustRelation("date", []schema.Attribute{
+			{Name: "d_datekey", Type: value.KindInt},
+			{Name: "d_date", Type: value.KindString},
+			{Name: "d_dayofweek", Type: value.KindString},
+			{Name: "d_month", Type: value.KindString},
+			{Name: "d_year", Type: value.KindInt},
+			{Name: "d_yearmonthnum", Type: value.KindInt},
+			{Name: "d_yearmonth", Type: value.KindString},
+			{Name: "d_daynuminweek", Type: value.KindInt},
+			{Name: "d_daynuminmonth", Type: value.KindInt},
+			{Name: "d_daynuminyear", Type: value.KindInt},
+			{Name: "d_monthnuminyear", Type: value.KindInt},
+			{Name: "d_weeknuminyear", Type: value.KindInt},
+			{Name: "d_sellingseason", Type: value.KindString},
+			{Name: "d_lastdayinweekfl", Type: value.KindInt},
+			{Name: "d_lastdayinmonthfl", Type: value.KindInt},
+			{Name: "d_holidayfl", Type: value.KindInt},
+			{Name: "d_weekdayfl", Type: value.KindInt},
+		}, []int{0}),
+		schema.MustRelation("customer", []schema.Attribute{
+			{Name: "c_custkey", Type: value.KindInt},
+			{Name: "c_name", Type: value.KindString},
+			{Name: "c_address", Type: value.KindString},
+			{Name: "c_city", Type: value.KindString},
+			{Name: "c_nation", Type: value.KindString},
+			{Name: "c_region", Type: value.KindString},
+			{Name: "c_phone", Type: value.KindString},
+			{Name: "c_mktsegment", Type: value.KindString},
+		}, []int{0}),
+		schema.MustRelation("supplier", []schema.Attribute{
+			{Name: "s_suppkey", Type: value.KindInt},
+			{Name: "s_name", Type: value.KindString},
+			{Name: "s_address", Type: value.KindString},
+			{Name: "s_city", Type: value.KindString},
+			{Name: "s_nation", Type: value.KindString},
+			{Name: "s_region", Type: value.KindString},
+			{Name: "s_phone", Type: value.KindString},
+		}, []int{0}),
+		schema.MustRelation("part", []schema.Attribute{
+			{Name: "p_partkey", Type: value.KindInt},
+			{Name: "p_name", Type: value.KindString},
+			{Name: "p_mfgr", Type: value.KindString},
+			{Name: "p_category", Type: value.KindString},
+			{Name: "p_brand1", Type: value.KindString},
+			{Name: "p_color", Type: value.KindString},
+			{Name: "p_type", Type: value.KindString},
+			{Name: "p_size", Type: value.KindInt},
+			{Name: "p_container", Type: value.KindString},
+		}, []int{0}),
+		schema.MustRelation("lineorder", []schema.Attribute{
+			{Name: "lo_orderkey", Type: value.KindInt},
+			{Name: "lo_linenumber", Type: value.KindInt},
+			{Name: "lo_custkey", Type: value.KindInt},
+			{Name: "lo_partkey", Type: value.KindInt},
+			{Name: "lo_suppkey", Type: value.KindInt},
+			{Name: "lo_orderdate", Type: value.KindInt},
+			{Name: "lo_orderpriority", Type: value.KindString},
+			{Name: "lo_shippriority", Type: value.KindInt},
+			{Name: "lo_quantity", Type: value.KindInt},
+			{Name: "lo_extendedprice", Type: value.KindInt},
+			{Name: "lo_ordtotalprice", Type: value.KindInt},
+			{Name: "lo_discount", Type: value.KindInt},
+			{Name: "lo_revenue", Type: value.KindInt},
+			{Name: "lo_supplycost", Type: value.KindInt},
+			{Name: "lo_tax", Type: value.KindInt},
+			{Name: "lo_commitdate", Type: value.KindInt},
+			{Name: "lo_shipmode", Type: value.KindString},
+		}, []int{0, 1}),
+	)
+	db := storage.NewDatabase(sch)
+
+	// Date dimension: the 7 years 1992-1998.
+	months := []string{"January", "February", "March", "April", "May", "June",
+		"July", "August", "September", "October", "November", "December"}
+	weekdays := []string{"Sunday", "Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday"}
+	seasons := []string{"Winter", "Spring", "Summer", "Fall", "Christmas"}
+	mdays := [...]int{31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31}
+	var dateKeys []int64
+	dow := 3 // 1992-01-01 was a Wednesday
+	for year := 1992; year <= 1998; year++ {
+		dayOfYear := 0
+		for m := 1; m <= 12; m++ {
+			dm := mdays[m-1]
+			if m == 2 && leap(year) {
+				dm = 29
+			}
+			for d := 1; d <= dm; d++ {
+				dayOfYear++
+				key := int64(year*10000 + m*100 + d)
+				dateKeys = append(dateKeys, key)
+				db.Table("date").MustAppend([]value.Value{
+					value.NewInt(key),
+					value.NewString(fmt.Sprintf("%s %d, %d", months[m-1], d, year)),
+					value.NewString(weekdays[dow]),
+					value.NewString(months[m-1]),
+					value.NewInt(int64(year)),
+					value.NewInt(int64(year*100 + m)),
+					value.NewString(months[m-1][:3] + fmt.Sprint(year)),
+					value.NewInt(int64(dow + 1)),
+					value.NewInt(int64(d)),
+					value.NewInt(int64(dayOfYear)),
+					value.NewInt(int64(m)),
+					value.NewInt(int64((dayOfYear-1)/7 + 1)),
+					value.NewString(seasons[(m-1)/3]),
+					boolInt(dow == 6),
+					boolInt(d == dm),
+					boolInt(d == 25 && m == 12 || d == 4 && m == 7 || d == 1 && m == 1),
+					boolInt(dow >= 1 && dow <= 5),
+				})
+				dow = (dow + 1) % 7
+			}
+		}
+	}
+
+	nations := make([]string, 0, len(tpchNations))
+	regionOf := map[string]string{}
+	for _, n := range tpchNations {
+		nations = append(nations, n.name)
+		regionOf[n.name] = tpchRegions[n.region]
+	}
+	cityOf := func(nation string, i int) string {
+		// SSB cities: first 9 chars of the nation padded, plus a digit.
+		s := nation
+		if len(s) > 9 {
+			s = s[:9]
+		}
+		for len(s) < 9 {
+			s += " "
+		}
+		return s + fmt.Sprint(i)
+	}
+
+	nCust := max(1, int(30000*sf))
+	custT := db.Table("customer")
+	for i := 1; i <= nCust; i++ {
+		nation := pick(r, nations)
+		custT.MustAppend([]value.Value{
+			value.NewInt(int64(i)),
+			value.NewString(fmt.Sprintf("Customer#%09d", i)),
+			value.NewString(r.word(10)),
+			value.NewString(cityOf(nation, r.Intn(10))),
+			value.NewString(nation),
+			value.NewString(regionOf[nation]),
+			value.NewString(r.phone(r.Intn(25))),
+			value.NewString(pick(r, tpchSegments)),
+		})
+	}
+
+	nSupp := max(1, int(2000*sf))
+	suppT := db.Table("supplier")
+	for i := 1; i <= nSupp; i++ {
+		nation := pick(r, nations)
+		suppT.MustAppend([]value.Value{
+			value.NewInt(int64(i)),
+			value.NewString(fmt.Sprintf("Supplier#%09d", i)),
+			value.NewString(r.word(10)),
+			value.NewString(cityOf(nation, r.Intn(10))),
+			value.NewString(nation),
+			value.NewString(regionOf[nation]),
+			value.NewString(r.phone(r.Intn(25))),
+		})
+	}
+
+	colors := []string{"red", "green", "blue", "ivory", "peach", "olive", "orange",
+		"linen", "sienna", "salmon", "plum", "snow", "tan"}
+	nPart := max(1, int(200000*sf))
+	partT := db.Table("part")
+	for i := 1; i <= nPart; i++ {
+		mfgr := r.between(1, 5)
+		cat := mfgr*10 + r.between(1, 5)
+		brand := cat*100 + r.between(1, 40)
+		partT.MustAppend([]value.Value{
+			value.NewInt(int64(i)),
+			value.NewString(pick(r, colors) + " " + r.word(6)),
+			value.NewString(fmt.Sprintf("MFGR#%d", mfgr)),
+			value.NewString(fmt.Sprintf("MFGR#%d", cat)),
+			value.NewString(fmt.Sprintf("MFGR#%d", brand)),
+			value.NewString(pick(r, colors)),
+			value.NewString(pick(r, tpchTypeSyllable1) + " " + pick(r, tpchTypeSyllable3)),
+			value.NewInt(int64(r.between(1, 50))),
+			value.NewString(pick(r, tpchContainers)),
+		})
+	}
+
+	nOrders := max(1, int(1500000*sf))
+	loT := db.Table("lineorder")
+	for o := 1; o <= nOrders; o++ {
+		nLines := r.between(1, 7)
+		ordTotal := 0
+		type ll struct {
+			part, supp, qty, price, disc, tax int
+		}
+		lines := make([]ll, nLines)
+		for i := range lines {
+			p := r.between(1, nPart)
+			qty := r.between(1, 50)
+			// Prices are multiples of 100 so the dbgen revenue identity
+			// lo_revenue = lo_extendedprice*(100-lo_discount)/100 is exact.
+			price := qty * (900 + p%200) * 100
+			lines[i] = ll{p, r.between(1, nSupp), qty, price, r.between(0, 10), r.between(0, 8)}
+			ordTotal += price
+		}
+		cust := r.between(1, nCust)
+		odate := dateKeys[r.Intn(len(dateKeys)-60)]
+		prio := pick(r, tpchPriorities)
+		for i, l := range lines {
+			revenue := l.price * (100 - l.disc) / 100
+			commit := dateKeys[minInt(len(dateKeys)-1, indexOfDate(dateKeys, odate)+r.between(30, 60))]
+			loT.MustAppend([]value.Value{
+				value.NewInt(int64(o)),
+				value.NewInt(int64(i + 1)),
+				value.NewInt(int64(cust)),
+				value.NewInt(int64(l.part)),
+				value.NewInt(int64(l.supp)),
+				value.NewInt(odate),
+				value.NewString(prio),
+				value.NewInt(0),
+				value.NewInt(int64(l.qty)),
+				value.NewInt(int64(l.price)),
+				value.NewInt(int64(ordTotal)),
+				value.NewInt(int64(l.disc)),
+				value.NewInt(int64(revenue)),
+				value.NewInt(int64(l.price * 6 / 10)),
+				value.NewInt(int64(l.tax)),
+				value.NewInt(commit),
+				value.NewString(pick(r, tpchShipModes)),
+			})
+		}
+	}
+	return db
+}
+
+func boolInt(b bool) value.Value {
+	if b {
+		return value.NewInt(1)
+	}
+	return value.NewInt(0)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// indexOfDate finds the position of a datekey in the ordered key list.
+func indexOfDate(keys []int64, key int64) int {
+	lo, hi := 0, len(keys)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

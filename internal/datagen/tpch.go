@@ -1,0 +1,292 @@
+package datagen
+
+import (
+	"fmt"
+
+	"qirana/internal/schema"
+	"qirana/internal/storage"
+	"qirana/internal/value"
+)
+
+// TPC-H base cardinalities at scale factor 1 (the paper's setting).
+const (
+	tpchSupplierBase = 10000
+	tpchCustomerBase = 150000
+	tpchPartBase     = 200000
+	tpchOrdersBase   = 1500000
+)
+
+// Nations and regions of the TPC-H specification.
+var tpchRegions = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+
+var tpchNations = []struct {
+	name   string
+	region int
+}{
+	{"ALGERIA", 0}, {"ARGENTINA", 1}, {"BRAZIL", 1}, {"CANADA", 1}, {"EGYPT", 4},
+	{"ETHIOPIA", 0}, {"FRANCE", 3}, {"GERMANY", 3}, {"INDIA", 2}, {"INDONESIA", 2},
+	{"IRAN", 4}, {"IRAQ", 4}, {"JAPAN", 2}, {"JORDAN", 4}, {"KENYA", 0},
+	{"MOROCCO", 0}, {"MOZAMBIQUE", 0}, {"PERU", 1}, {"CHINA", 2}, {"ROMANIA", 3},
+	{"SAUDI ARABIA", 4}, {"VIETNAM", 2}, {"RUSSIA", 3}, {"UNITED KINGDOM", 3},
+	{"UNITED STATES", 1},
+}
+
+var tpchPriorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+var tpchShipModes = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+var tpchContainers = []string{"SM CASE", "SM BOX", "MED BOX", "MED BAG", "LG CASE", "LG BOX", "JUMBO PACK", "WRAP JAR"}
+var tpchTypeSyllable1 = []string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
+var tpchTypeSyllable2 = []string{"ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"}
+var tpchTypeSyllable3 = []string{"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"}
+var tpchSegments = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+
+// TPCH builds the 8-relation TPC-H database at the given scale factor.
+// Monetary values are represented in cents where exactness matters for the
+// engine's integer aggregation; decimal rates (discount, tax) follow the
+// spec's value sets.
+func TPCH(seed int64, sf float64) *storage.Database {
+	if sf <= 0 {
+		sf = 0.01
+	}
+	r := newRNG(seed)
+	sch := schema.MustSchema(
+		schema.MustRelation("region", []schema.Attribute{
+			{Name: "r_regionkey", Type: value.KindInt},
+			{Name: "r_name", Type: value.KindString},
+			{Name: "r_comment", Type: value.KindString},
+		}, []int{0}),
+		schema.MustRelation("nation", []schema.Attribute{
+			{Name: "n_nationkey", Type: value.KindInt},
+			{Name: "n_name", Type: value.KindString},
+			{Name: "n_regionkey", Type: value.KindInt},
+			{Name: "n_comment", Type: value.KindString},
+		}, []int{0}),
+		schema.MustRelation("supplier", []schema.Attribute{
+			{Name: "s_suppkey", Type: value.KindInt},
+			{Name: "s_name", Type: value.KindString},
+			{Name: "s_address", Type: value.KindString},
+			{Name: "s_nationkey", Type: value.KindInt},
+			{Name: "s_phone", Type: value.KindString},
+			{Name: "s_acctbal", Type: value.KindFloat},
+			{Name: "s_comment", Type: value.KindString},
+		}, []int{0}),
+		schema.MustRelation("customer", []schema.Attribute{
+			{Name: "c_custkey", Type: value.KindInt},
+			{Name: "c_name", Type: value.KindString},
+			{Name: "c_address", Type: value.KindString},
+			{Name: "c_nationkey", Type: value.KindInt},
+			{Name: "c_phone", Type: value.KindString},
+			{Name: "c_acctbal", Type: value.KindFloat},
+			{Name: "c_mktsegment", Type: value.KindString},
+			{Name: "c_comment", Type: value.KindString},
+		}, []int{0}),
+		schema.MustRelation("part", []schema.Attribute{
+			{Name: "p_partkey", Type: value.KindInt},
+			{Name: "p_name", Type: value.KindString},
+			{Name: "p_mfgr", Type: value.KindString},
+			{Name: "p_brand", Type: value.KindString},
+			{Name: "p_type", Type: value.KindString},
+			{Name: "p_size", Type: value.KindInt},
+			{Name: "p_container", Type: value.KindString},
+			{Name: "p_retailprice", Type: value.KindFloat},
+			{Name: "p_comment", Type: value.KindString},
+		}, []int{0}),
+		schema.MustRelation("partsupp", []schema.Attribute{
+			{Name: "ps_partkey", Type: value.KindInt},
+			{Name: "ps_suppkey", Type: value.KindInt},
+			{Name: "ps_availqty", Type: value.KindInt},
+			{Name: "ps_supplycost", Type: value.KindFloat},
+			{Name: "ps_comment", Type: value.KindString},
+		}, []int{0, 1}),
+		schema.MustRelation("orders", []schema.Attribute{
+			{Name: "o_orderkey", Type: value.KindInt},
+			{Name: "o_custkey", Type: value.KindInt},
+			{Name: "o_orderstatus", Type: value.KindString},
+			{Name: "o_totalprice", Type: value.KindFloat},
+			{Name: "o_orderdate", Type: value.KindDate},
+			{Name: "o_orderpriority", Type: value.KindString},
+			{Name: "o_clerk", Type: value.KindString},
+			{Name: "o_shippriority", Type: value.KindInt},
+			{Name: "o_comment", Type: value.KindString},
+		}, []int{0}),
+		schema.MustRelation("lineitem", []schema.Attribute{
+			{Name: "l_orderkey", Type: value.KindInt},
+			{Name: "l_partkey", Type: value.KindInt},
+			{Name: "l_suppkey", Type: value.KindInt},
+			{Name: "l_linenumber", Type: value.KindInt},
+			{Name: "l_quantity", Type: value.KindInt},
+			{Name: "l_extendedprice", Type: value.KindFloat},
+			{Name: "l_discount", Type: value.KindFloat},
+			{Name: "l_tax", Type: value.KindFloat},
+			{Name: "l_returnflag", Type: value.KindString},
+			{Name: "l_linestatus", Type: value.KindString},
+			{Name: "l_shipdate", Type: value.KindDate},
+			{Name: "l_commitdate", Type: value.KindDate},
+			{Name: "l_receiptdate", Type: value.KindDate},
+			{Name: "l_shipinstruct", Type: value.KindString},
+			{Name: "l_shipmode", Type: value.KindString},
+			{Name: "l_comment", Type: value.KindString},
+		}, []int{0, 3}),
+	)
+	db := storage.NewDatabase(sch)
+
+	for i, name := range tpchRegions {
+		db.Table("region").MustAppend([]value.Value{
+			value.NewInt(int64(i)), value.NewString(name), value.NewString(r.word(12)),
+		})
+	}
+	for i, n := range tpchNations {
+		db.Table("nation").MustAppend([]value.Value{
+			value.NewInt(int64(i)), value.NewString(n.name),
+			value.NewInt(int64(n.region)), value.NewString(r.word(12)),
+		})
+	}
+
+	nSupp := max(1, int(float64(tpchSupplierBase)*sf))
+	for i := 1; i <= nSupp; i++ {
+		nk := r.Intn(len(tpchNations))
+		db.Table("supplier").MustAppend([]value.Value{
+			value.NewInt(int64(i)),
+			value.NewString(fmt.Sprintf("Supplier#%09d", i)),
+			value.NewString(r.word(10)),
+			value.NewInt(int64(nk)),
+			value.NewString(r.phone(nk)),
+			value.NewFloat(float64(r.between(-99999, 999999)) / 100),
+			value.NewString(r.word(20)),
+		})
+	}
+
+	nCust := max(1, int(float64(tpchCustomerBase)*sf))
+	for i := 1; i <= nCust; i++ {
+		nk := r.Intn(len(tpchNations))
+		db.Table("customer").MustAppend([]value.Value{
+			value.NewInt(int64(i)),
+			value.NewString(fmt.Sprintf("Customer#%09d", i)),
+			value.NewString(r.word(10)),
+			value.NewInt(int64(nk)),
+			value.NewString(r.phone(nk)),
+			value.NewFloat(float64(r.between(-99999, 999999)) / 100),
+			value.NewString(pick(r, tpchSegments)),
+			value.NewString(r.word(24)),
+		})
+	}
+
+	nPart := max(1, int(float64(tpchPartBase)*sf))
+	for i := 1; i <= nPart; i++ {
+		mfgr := r.between(1, 5)
+		brand := mfgr*10 + r.between(1, 5)
+		db.Table("part").MustAppend([]value.Value{
+			value.NewInt(int64(i)),
+			value.NewString(r.word(6) + " " + r.word(7)),
+			value.NewString(fmt.Sprintf("Manufacturer#%d", mfgr)),
+			value.NewString(fmt.Sprintf("Brand#%d", brand)),
+			value.NewString(pick(r, tpchTypeSyllable1) + " " + pick(r, tpchTypeSyllable2) + " " + pick(r, tpchTypeSyllable3)),
+			value.NewInt(int64(r.between(1, 50))),
+			value.NewString(pick(r, tpchContainers)),
+			value.NewFloat(float64(90000+i%20000+100*(i%1000)) / 100),
+			value.NewString(r.word(14)),
+		})
+	}
+
+	// 4 suppliers per part, as in dbgen.
+	for p := 1; p <= nPart; p++ {
+		for s := 0; s < 4; s++ {
+			supp := 1 + (p+s*(nSupp/4+1))%nSupp
+			db.Table("partsupp").MustAppend([]value.Value{
+				value.NewInt(int64(p)),
+				value.NewInt(int64(supp)),
+				value.NewInt(int64(r.between(1, 9999))),
+				value.NewFloat(float64(r.between(100, 100000)) / 100),
+				value.NewString(r.word(18)),
+			})
+		}
+	}
+
+	nOrd := max(1, int(float64(tpchOrdersBase)*sf))
+	startDate := daysOf(1992, 1, 1)
+	endDate := daysOf(1998, 8, 2)
+	lineNo := 0
+	_ = lineNo
+	for o := 1; o <= nOrd; o++ {
+		odate := startDate + int64(r.Intn(int(endDate-startDate-121)))
+		nLines := r.between(1, 7)
+		total := 0.0
+		status := "O"
+		finished := 0
+		type line struct {
+			part, supp, qty   int
+			price             float64
+			disc, tax         float64
+			ship, commit, rcv int64
+			rf, ls            string
+		}
+		lines := make([]line, nLines)
+		for li := range lines {
+			p := r.between(1, nPart)
+			s := 1 + (p+r.Intn(4)*(nSupp/4+1))%nSupp
+			qty := r.between(1, 50)
+			price := float64(qty) * float64(90000+p%20000) / 100
+			ship := odate + int64(r.between(1, 121))
+			commit := odate + int64(r.between(30, 90))
+			rcv := ship + int64(r.between(1, 30))
+			rf := "N"
+			ls := "O"
+			if rcv <= daysOf(1995, 6, 17) {
+				ls = "F"
+				finished++
+				if r.Intn(2) == 0 {
+					rf = "R"
+				} else {
+					rf = "A"
+				}
+			}
+			lines[li] = line{p, s, qty, price,
+				float64(r.between(0, 10)) / 100, float64(r.between(0, 8)) / 100,
+				ship, commit, rcv, rf, ls}
+			total += price
+		}
+		if finished == nLines {
+			status = "F"
+		} else if finished > 0 {
+			status = "P"
+		}
+		db.Table("orders").MustAppend([]value.Value{
+			value.NewInt(int64(o)),
+			value.NewInt(int64(r.between(1, nCust))),
+			value.NewString(status),
+			value.NewFloat(total),
+			value.NewDateDays(odate),
+			value.NewString(pick(r, tpchPriorities)),
+			value.NewString(fmt.Sprintf("Clerk#%09d", r.between(1, 1000))),
+			value.NewInt(0),
+			value.NewString(r.word(19)),
+		})
+		for li, l := range lines {
+			db.Table("lineitem").MustAppend([]value.Value{
+				value.NewInt(int64(o)),
+				value.NewInt(int64(l.part)),
+				value.NewInt(int64(l.supp)),
+				value.NewInt(int64(li + 1)),
+				value.NewInt(int64(l.qty)),
+				value.NewFloat(l.price),
+				value.NewFloat(l.disc),
+				value.NewFloat(l.tax),
+				value.NewString(l.rf),
+				value.NewString(l.ls),
+				value.NewDateDays(l.ship),
+				value.NewDateDays(l.commit),
+				value.NewDateDays(l.rcv),
+				value.NewString(pick(r, []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"})),
+				value.NewString(pick(r, tpchShipModes)),
+				value.NewString(r.word(17)),
+			})
+		}
+	}
+	return db
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,121 @@
+package disagree
+
+import (
+	"qirana/internal/support"
+	"qirana/internal/value"
+)
+
+// CheckBatch decides all updates, batching the database checks per
+// relation (paper §4.2): for every relation at most one tagged query
+// answers the NeedPlus checks and two tagged queries answer the
+// NeedCompare checks, independent of how many updates are in the batch.
+// The live mask (nil = all live) lets history-aware pricing skip elements
+// that already contributed to the price.
+func (c *Checker) CheckBatch(us []*support.Update, live []bool) ([]bool, error) {
+	res := make([]bool, len(us))
+	plusPending := make(map[string][]int)
+	comparePending := make(map[string][]int)
+	var fullPending []int
+
+	for i, u := range us {
+		if live != nil && !live[i] {
+			continue
+		}
+		switch c.Classify(u) {
+		case Agree:
+			c.Stats.Static++
+		case Disagree:
+			c.Stats.Static++
+			res[i] = true
+		case NeedPlus:
+			plusPending[lower(u.Rel)] = append(plusPending[lower(u.Rel)], i)
+		case NeedCompare:
+			comparePending[lower(u.Rel)] = append(comparePending[lower(u.Rel)], i)
+		case NeedFull:
+			fullPending = append(fullPending, i)
+		}
+	}
+
+	// Batch 1 per relation: Q((D \ R) ∪ {u⁺}) emptiness checks.
+	for rel, idxs := range plusPending {
+		tagged := c.tagRows(us, idxs, true)
+		q := c.Q
+		if c.SPJ.IsAgg {
+			q = c.unrolledQ
+		}
+		out, err := q.RunTagged(c.db, rel, tagged)
+		if err != nil {
+			return nil, err
+		}
+		for _, i := range idxs {
+			c.Stats.Batched++
+			if c.SPJ.IsAgg {
+				switch c.aggDelta(nil, out[int64(i)]) {
+				case Disagree:
+					res[i] = true
+				case NeedFull:
+					fullPending = append(fullPending, i)
+				}
+			} else {
+				res[i] = len(out[int64(i)]) > 0
+			}
+		}
+	}
+
+	// Batches 2+3 per relation: compare the {u⁻} and {u⁺} runs.
+	for rel, idxs := range comparePending {
+		q := c.Q
+		if c.SPJ.IsAgg {
+			q = c.unrolledQ
+		}
+		outMinus, err := q.RunTagged(c.db, rel, c.tagRows(us, idxs, false))
+		if err != nil {
+			return nil, err
+		}
+		outPlus, err := q.RunTagged(c.db, rel, c.tagRows(us, idxs, true))
+		if err != nil {
+			return nil, err
+		}
+		for _, i := range idxs {
+			c.Stats.Batched++
+			if c.SPJ.IsAgg {
+				switch c.aggDelta(outMinus[int64(i)], outPlus[int64(i)]) {
+				case Disagree:
+					res[i] = true
+				case NeedFull:
+					fullPending = append(fullPending, i)
+				}
+			} else {
+				res[i] = !equalMultiset(outMinus[int64(i)], outPlus[int64(i)])
+			}
+		}
+	}
+
+	// Residual full runs (rare: MIN/MAX removals and float borderlines).
+	for _, i := range fullPending {
+		d, err := c.fullRun(us[i])
+		if err != nil {
+			return nil, err
+		}
+		res[i] = d
+	}
+	return res, nil
+}
+
+// tagRows builds the tagged replacement relation R⁺ (or R⁻) of §4.2: each
+// affected tuple of update i extended with the trailing upid column i.
+func (c *Checker) tagRows(us []*support.Update, idxs []int, plus bool) [][]value.Value {
+	var out [][]value.Value
+	for _, i := range idxs {
+		var rows [][]value.Value
+		if plus {
+			rows = us[i].PlusRows(c.db)
+		} else {
+			rows = us[i].MinusRows(c.db)
+		}
+		for _, r := range rows {
+			out = append(out, append(r, value.NewInt(int64(i))))
+		}
+	}
+	return out
+}

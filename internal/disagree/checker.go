@@ -1,0 +1,552 @@
+// Package disagree implements the optimized disagreement checking of
+// paper §4: given a query Q over database D and a row/swap update up↑,
+// decide whether Q(D) ≠ Q(up↑(D)) without re-running Q on the full
+// database.
+//
+// The checker covers SPJ queries without self-joins under bag semantics
+// (Algorithm 4 for row updates, Algorithm 6 for swap updates) and their
+// aggregation extensions γ_{G, COUNT/SUM/AVG/MIN/MAX} (Algorithm 5, §4.3),
+// including the batching optimization of §4.2 that answers the residual
+// database checks for a whole batch of updates with a constant number of
+// tagged queries per relation.
+//
+// Two of the paper's static shortcuts (line 8/10 "B ∩ A ≠ ∅ ⇒ changed")
+// are not exact in corner cases — a swap of two projected values can leave
+// the output multiset unchanged, and a value change buried in a computed
+// expression can be absorbed — so this implementation applies them only
+// where they are provably exact (row updates on bare projected columns)
+// and otherwise falls through to the compare check, keeping the fast path
+// equivalent to brute-force re-execution (differentially tested).
+package disagree
+
+import (
+	"fmt"
+	"math"
+
+	"qirana/internal/result"
+	"qirana/internal/sqlengine/exec"
+	"qirana/internal/sqlengine/plan"
+	"qirana/internal/storage"
+	"qirana/internal/support"
+	"qirana/internal/value"
+)
+
+// Outcome of a static classification.
+type Outcome int
+
+// Classification results: a definite answer, or a required database check.
+const (
+	Agree Outcome = iota
+	Disagree
+	// NeedPlus requires the check Q((D \ R) ∪ {u⁺}) ≟ ∅ (Algorithm 4,
+	// line 14 / Algorithm 5, line 16). Batchable.
+	NeedPlus
+	// NeedCompare requires comparing the runs over {u⁻} and {u⁺}
+	// (Algorithm 4, line 11), or the aggregate group-delta analysis for
+	// aggregation queries. Batchable.
+	NeedCompare
+	// NeedFull requires re-running the full query on the updated database
+	// (MIN/MAX removals and floating-point borderline cases).
+	NeedFull
+)
+
+// groupState is the per-group bookkeeping for aggregation queries: the
+// contributing row count and, per aggregate, the non-null input count,
+// input sum and current extremum (paper §4.3's "aggregate values of each
+// group in the output").
+type groupState struct {
+	rowCount int64
+	n        []int64
+	sum      []float64
+	min, max []value.Value
+}
+
+// Checker decides disagreements for one query over one database. It is
+// built once per priced query: construction runs the contribution query
+// (and, for aggregates, the unrolled query) a single time.
+type Checker struct {
+	Q   *exec.Query
+	SPJ *plan.SPJ
+	db  *storage.Database
+
+	contribQ  *exec.Query
+	unrolledQ *exec.Query
+
+	contrib []map[string]bool // per source: contributing PK set
+	srcOf   map[string]int    // lower(rel) -> source index
+
+	groups map[string]*groupState
+
+	baseHash    uint64
+	baseHashSet bool
+
+	// Stats counts how each update was decided (reported by experiments).
+	Stats struct {
+		Static, Batched, FullRuns int
+	}
+}
+
+// New builds a checker, or returns an error when the query is outside the
+// fast path (the caller then prices naively, as the paper's system does).
+func New(q *exec.Query, db *storage.Database) (*Checker, error) {
+	s, err := plan.Extract(q.A)
+	if err != nil {
+		return nil, err
+	}
+	c := &Checker{Q: q, SPJ: s, db: db, srcOf: make(map[string]int)}
+	for i, rel := range s.RelOfSource {
+		c.srcOf[lower(rel)] = i
+	}
+	c.contribQ, err = exec.CompileStmt(s.ContribStmt, db.Schema)
+	if err != nil {
+		return nil, fmt.Errorf("compile contribution query: %w", err)
+	}
+	res, err := c.contribQ.Run(db)
+	if err != nil {
+		return nil, fmt.Errorf("run contribution query: %w", err)
+	}
+	c.contrib = make([]map[string]bool, len(s.RelOfSource))
+	for i := range c.contrib {
+		c.contrib[i] = make(map[string]bool)
+	}
+	for _, row := range res.Rows {
+		for i := range c.contrib {
+			off, w := s.ContribOff[i], s.ContribPKW[i]
+			c.contrib[i][value.Key(row[off:off+w])] = true
+		}
+	}
+	if s.IsAgg {
+		c.unrolledQ, err = exec.CompileStmt(s.UnrolledStmt, db.Schema)
+		if err != nil {
+			return nil, fmt.Errorf("compile unrolled query: %w", err)
+		}
+		ur, err := c.unrolledQ.Run(db)
+		if err != nil {
+			return nil, fmt.Errorf("run unrolled query: %w", err)
+		}
+		c.groups = make(map[string]*groupState)
+		for _, row := range ur.Rows {
+			c.addToGroup(row)
+		}
+	}
+	return c, nil
+}
+
+func lower(x string) string {
+	b := []byte(x)
+	for i, ch := range b {
+		if 'A' <= ch && ch <= 'Z' {
+			b[i] = ch + 'a' - 'A'
+		}
+	}
+	return string(b)
+}
+
+func (c *Checker) addToGroup(row []value.Value) {
+	s := c.SPJ
+	k := value.Key(row[:s.NumGroups])
+	st := c.groups[k]
+	if st == nil {
+		na := len(s.Aggs)
+		st = &groupState{n: make([]int64, na), sum: make([]float64, na),
+			min: make([]value.Value, na), max: make([]value.Value, na)}
+		for j := range st.min {
+			st.min[j], st.max[j] = value.Null, value.Null
+		}
+		c.groups[k] = st
+	}
+	st.rowCount++
+	for j, ag := range s.Aggs {
+		v := row[ag.ArgCol]
+		if v.IsNull() {
+			continue
+		}
+		st.n[j]++
+		switch ag.Fn.Name {
+		case "SUM", "AVG":
+			st.sum[j] += v.AsFloat()
+		case "MIN":
+			if st.min[j].IsNull() {
+				st.min[j] = v
+			} else if cmp, ok := value.Compare(v, st.min[j]); ok && cmp < 0 {
+				st.min[j] = v
+			}
+		case "MAX":
+			if st.max[j].IsNull() {
+				st.max[j] = v
+			} else if cmp, ok := value.Compare(v, st.max[j]); ok && cmp > 0 {
+				st.max[j] = v
+			}
+		}
+	}
+}
+
+// Classify makes the static decision of Algorithms 4/5/6 for one update,
+// without touching the database.
+func (c *Checker) Classify(u *support.Update) Outcome {
+	src, ok := c.srcOf[lower(u.Rel)]
+	if !ok {
+		return Agree // the update does not modify any relation of Q
+	}
+	contributing := c.contrib[src][c.db.Table(u.Rel).KeyOfRow(u.Row1)]
+	if u.Swap && !contributing {
+		contributing = c.contrib[src][c.db.Table(u.Rel).KeyOfRow(u.Row2)]
+	}
+
+	if !contributing {
+		// u⁻ contributed nothing; the output changes iff u⁺ contributes.
+		// If every new tuple already fails a single-relation conjunct, it
+		// cannot contribute: agree without a database check.
+		if c.allPlusUnsat(u, src) {
+			return Agree
+		}
+		return NeedPlus
+	}
+
+	if !c.SPJ.IsAgg {
+		if !u.Swap {
+			// Row update, contributing. Exact shortcuts of Algorithm 4:
+			// a changed attribute that is itself an output column forces a
+			// multiset change; an unsatisfiable C[u⁺] removes output rows.
+			for _, a := range u.Attrs {
+				if c.SPJ.BareProj[src][a] {
+					return Disagree
+				}
+			}
+			if c.plusRowUnsat(u, src, 0) {
+				return Disagree
+			}
+		} else {
+			// Swap update, contributing (Algorithm 6): if both new tuples
+			// fail C, all contributed rows vanish.
+			if c.plusRowUnsat(u, src, 0) && c.plusRowUnsat(u, src, 1) {
+				return Disagree
+			}
+		}
+		return NeedCompare
+	}
+
+	// Aggregation. Exact shortcut: a contributing row update that changes
+	// a bare grouping column moves its contributions to different groups;
+	// if COUNT(*) is displayed, the old groups' counts provably drop.
+	if !u.Swap && c.SPJ.HasCountStar {
+		for _, a := range u.Attrs {
+			if c.SPJ.BareGroup[src][a] {
+				return Disagree
+			}
+		}
+	}
+	return NeedCompare
+}
+
+// allPlusUnsat reports whether every u⁺ tuple fails some single-relation
+// conjunct (the conservative C[u⁺] satisfiability check of §4.1).
+func (c *Checker) allPlusUnsat(u *support.Update, src int) bool {
+	if !c.plusRowUnsat(u, src, 0) {
+		return false
+	}
+	if u.Swap && !c.plusRowUnsat(u, src, 1) {
+		return false
+	}
+	return true
+}
+
+// plusRowUnsat evaluates the single-relation conjuncts on the idx-th new
+// tuple; any non-true conjunct proves the tuple cannot contribute.
+func (c *Checker) plusRowUnsat(u *support.Update, src int, idx int) bool {
+	conjs := c.SPJ.SingleRel[src]
+	if len(conjs) == 0 {
+		return false
+	}
+	rows := u.PlusRows(c.db)
+	if idx >= len(rows) {
+		return false
+	}
+	for _, cj := range conjs {
+		v, err := c.Q.EvalSingleSource(c.db, src, rows[idx], cj)
+		if err != nil {
+			return false // be conservative
+		}
+		if value.TristateOf(v) != value.True {
+			return true
+		}
+	}
+	return false
+}
+
+// Check fully decides one update, resolving any needed database checks
+// individually (the "no batching" mode of Figure 5).
+func (c *Checker) Check(u *support.Update) (bool, error) {
+	switch c.Classify(u) {
+	case Agree:
+		c.Stats.Static++
+		return false, nil
+	case Disagree:
+		c.Stats.Static++
+		return true, nil
+	case NeedPlus:
+		return c.checkPlus(u)
+	case NeedCompare:
+		return c.checkCompare(u)
+	}
+	return c.fullRun(u)
+}
+
+func (c *Checker) checkPlus(u *support.Update) (bool, error) {
+	ov := exec.Overrides{lower(u.Rel): u.PlusRows(c.db)}
+	if !c.SPJ.IsAgg {
+		res, err := c.Q.RunOverride(c.db, ov)
+		if err != nil {
+			return false, err
+		}
+		return !res.IsEmpty(), nil
+	}
+	res, err := c.unrolledQ.RunOverride(c.db, ov)
+	if err != nil {
+		return false, err
+	}
+	return c.resolveDelta(u, nil, res.Rows)
+}
+
+func (c *Checker) checkCompare(u *support.Update) (bool, error) {
+	name := lower(u.Rel)
+	if !c.SPJ.IsAgg {
+		minus, err := c.Q.RunOverride(c.db, exec.Overrides{name: u.MinusRows(c.db)})
+		if err != nil {
+			return false, err
+		}
+		plus, err := c.Q.RunOverride(c.db, exec.Overrides{name: u.PlusRows(c.db)})
+		if err != nil {
+			return false, err
+		}
+		return !minus.Equal(plus), nil
+	}
+	minus, err := c.unrolledQ.RunOverride(c.db, exec.Overrides{name: u.MinusRows(c.db)})
+	if err != nil {
+		return false, err
+	}
+	plus, err := c.unrolledQ.RunOverride(c.db, exec.Overrides{name: u.PlusRows(c.db)})
+	if err != nil {
+		return false, err
+	}
+	return c.resolveDelta(u, minus.Rows, plus.Rows)
+}
+
+// resolveDelta applies the group-delta analysis and falls back to a full
+// run when the outcome is uncertain.
+func (c *Checker) resolveDelta(u *support.Update, minus, plus [][]value.Value) (bool, error) {
+	switch c.aggDelta(minus, plus) {
+	case Agree:
+		return false, nil
+	case Disagree:
+		return true, nil
+	}
+	return c.fullRun(u)
+}
+
+// fullRun applies the update, re-executes Q, and compares output hashes
+// (Algorithm 1's inner loop for a single element).
+func (c *Checker) fullRun(u *support.Update) (bool, error) {
+	if !c.baseHashSet {
+		res, err := c.Q.Run(c.db)
+		if err != nil {
+			return false, err
+		}
+		c.baseHash = res.Hash()
+		c.baseHashSet = true
+	}
+	c.Stats.FullRuns++
+	u.Apply(c.db)
+	res, err := c.Q.Run(c.db)
+	u.Undo(c.db)
+	if err != nil {
+		return false, err
+	}
+	return res.Hash() != c.baseHash, nil
+}
+
+// equalMultiset compares two row bags exactly.
+func equalMultiset(a, b [][]value.Value) bool {
+	ra := result.Result{Rows: a}
+	rb := result.Result{Rows: b}
+	return ra.Equal(&rb)
+}
+
+const floatEps = 1e-9
+
+// deltaAcc accumulates the per-group contribution deltas of one update.
+type deltaAcc struct {
+	addRows, remRows int64
+	addN, remN       []int64
+	addSum, remSum   []float64
+	addVals          [][]value.Value // per agg, added values (MIN/MAX)
+	remVals          [][]value.Value
+}
+
+// aggDelta decides whether applying an update whose removed contributions
+// are minus and added contributions are plus (rows of the unrolled query)
+// changes the aggregation output. It is exact except for floating-point
+// borderline cases and MIN/MAX removals of the current extremum, which
+// return NeedFull.
+func (c *Checker) aggDelta(minus, plus [][]value.Value) Outcome {
+	s := c.SPJ
+	na := len(s.Aggs)
+	deltas := make(map[string]*deltaAcc)
+	order := make([]string, 0, 4)
+	get := func(k string) *deltaAcc {
+		d := deltas[k]
+		if d == nil {
+			d = &deltaAcc{addN: make([]int64, na), remN: make([]int64, na),
+				addSum: make([]float64, na), remSum: make([]float64, na),
+				addVals: make([][]value.Value, na), remVals: make([][]value.Value, na)}
+			deltas[k] = d
+			order = append(order, k)
+		}
+		return d
+	}
+	for _, row := range minus {
+		d := get(value.Key(row[:s.NumGroups]))
+		d.remRows++
+		for j, ag := range s.Aggs {
+			v := row[ag.ArgCol]
+			if v.IsNull() {
+				continue
+			}
+			d.remN[j]++
+			switch ag.Fn.Name {
+			case "SUM", "AVG":
+				d.remSum[j] += v.AsFloat()
+			case "MIN", "MAX":
+				d.remVals[j] = append(d.remVals[j], v)
+			}
+		}
+	}
+	for _, row := range plus {
+		d := get(value.Key(row[:s.NumGroups]))
+		d.addRows++
+		for j, ag := range s.Aggs {
+			v := row[ag.ArgCol]
+			if v.IsNull() {
+				continue
+			}
+			d.addN[j]++
+			switch ag.Fn.Name {
+			case "SUM", "AVG":
+				d.addSum[j] += v.AsFloat()
+			case "MIN", "MAX":
+				d.addVals[j] = append(d.addVals[j], v)
+			}
+		}
+	}
+
+	uncertain := false
+	for _, k := range order {
+		d := deltas[k]
+		st := c.groups[k]
+		if st == nil {
+			// Group absent from the current bookkeeping. Removals cannot
+			// occur here (removed rows come from existing groups).
+			if d.addRows == 0 {
+				continue
+			}
+			if s.NumGroups > 0 {
+				return Disagree // a brand-new output row appears
+			}
+			// Global group over empty input: the output row already exists
+			// as (COUNT 0, SUM NULL, …). It only changes if some aggregate
+			// gains a non-NULL input (COUNT(*)'s input is the constant 1,
+			// so any contributing row counts there).
+			for j := range s.Aggs {
+				if d.addN[j] > 0 {
+					return Disagree
+				}
+			}
+			continue
+		}
+		if s.NumGroups > 0 && st.rowCount-d.remRows+d.addRows == 0 {
+			return Disagree // the group's output row disappears
+		}
+		for j, ag := range s.Aggs {
+			dn := d.addN[j] - d.remN[j]
+			nNew := st.n[j] + dn
+			switch ag.Fn.Name {
+			case "COUNT":
+				if dn != 0 {
+					return Disagree
+				}
+			case "SUM":
+				if (st.n[j] == 0) != (nNew == 0) {
+					return Disagree // SUM flips between NULL and a value
+				}
+				ds := d.addSum[j] - d.remSum[j]
+				if ds == 0 {
+					continue
+				}
+				scale := math.Abs(st.sum[j]) + math.Abs(d.addSum[j]) + math.Abs(d.remSum[j]) + 1
+				if math.Abs(ds) > floatEps*scale {
+					return Disagree
+				}
+				uncertain = true
+			case "AVG":
+				if (st.n[j] == 0) != (nNew == 0) {
+					return Disagree
+				}
+				if nNew == 0 {
+					continue // NULL stays NULL
+				}
+				oldAvg := st.sum[j] / float64(st.n[j])
+				newAvg := (st.sum[j] + d.addSum[j] - d.remSum[j]) / float64(nNew)
+				if math.Abs(newAvg-oldAvg) > floatEps*(1+math.Abs(oldAvg)) {
+					return Disagree
+				}
+				if dn != 0 || d.addSum[j]-d.remSum[j] != 0 {
+					uncertain = true // count/sum moved but mean may be equal
+				}
+			case "MIN":
+				out := extremumDelta(st.min[j], d.addVals[j], d.remVals[j], -1)
+				if out == Disagree {
+					return Disagree
+				}
+				if out == NeedFull {
+					uncertain = true
+				}
+			case "MAX":
+				out := extremumDelta(st.max[j], d.addVals[j], d.remVals[j], +1)
+				if out == Disagree {
+					return Disagree
+				}
+				if out == NeedFull {
+					uncertain = true
+				}
+			}
+		}
+	}
+	if uncertain {
+		return NeedFull
+	}
+	return Agree
+}
+
+// extremumDelta decides a MIN (dir=-1) or MAX (dir=+1) change given the
+// current extremum and the added/removed input values of the group.
+func extremumDelta(cur value.Value, added, removed []value.Value, dir int) Outcome {
+	if cur.IsNull() {
+		if len(added) > 0 {
+			return Disagree // NULL -> some value
+		}
+		return Agree
+	}
+	for _, v := range added {
+		if cmp, ok := value.Compare(v, cur); ok && cmp*dir > 0 {
+			return Disagree // a new value beats the extremum
+		}
+	}
+	for _, v := range removed {
+		if cmp, ok := value.Compare(v, cur); ok && cmp == 0 {
+			// Removing (an occurrence of) the extremum: the new extremum
+			// depends on the remaining multiset.
+			return NeedFull
+		}
+	}
+	return Agree
+}

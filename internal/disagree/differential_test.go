@@ -1,0 +1,232 @@
+package disagree
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"qirana/internal/schema"
+	"qirana/internal/sqlengine/exec"
+	"qirana/internal/storage"
+	"qirana/internal/support"
+	"qirana/internal/value"
+)
+
+// testDB builds a small random two-relation database (orders referencing
+// customers) for differential testing.
+func testDB(seed int64, nCust, nOrd int) *storage.Database {
+	rng := rand.New(rand.NewSource(seed))
+	cust := schema.MustRelation("Cust", []schema.Attribute{
+		{Name: "cid", Type: value.KindInt},
+		{Name: "city", Type: value.KindString},
+		{Name: "tier", Type: value.KindInt},
+		{Name: "score", Type: value.KindInt},
+	}, []int{0})
+	ord := schema.MustRelation("Ord", []schema.Attribute{
+		{Name: "oid", Type: value.KindInt},
+		{Name: "cid", Type: value.KindInt},
+		{Name: "amount", Type: value.KindInt},
+		{Name: "status", Type: value.KindString},
+	}, []int{0})
+	db := storage.NewDatabase(schema.MustSchema(cust, ord))
+	cities := []string{"ny", "sf", "la", "chi"}
+	statuses := []string{"open", "shipped", "lost"}
+	for i := 0; i < nCust; i++ {
+		db.Table("Cust").MustAppend([]value.Value{
+			value.NewInt(int64(i)),
+			value.NewString(cities[rng.Intn(len(cities))]),
+			value.NewInt(int64(rng.Intn(3))),
+			value.NewInt(int64(rng.Intn(50))),
+		})
+	}
+	for i := 0; i < nOrd; i++ {
+		db.Table("Ord").MustAppend([]value.Value{
+			value.NewInt(int64(i)),
+			value.NewInt(int64(rng.Intn(nCust))),
+			value.NewInt(int64(rng.Intn(100))),
+			value.NewString(statuses[rng.Intn(len(statuses))]),
+		})
+	}
+	return db
+}
+
+// fastPathQueries is a catalog spanning the checker's cases: plain SPJ,
+// joins, selective filters, projections, and every aggregate kind with and
+// without grouping.
+var fastPathQueries = []string{
+	"SELECT * FROM Cust",
+	"SELECT city FROM Cust",
+	"SELECT city, tier FROM Cust WHERE score > 25",
+	"SELECT * FROM Cust WHERE city = 'ny' AND tier = 1",
+	"SELECT score FROM Cust WHERE tier = 2",
+	"SELECT C.city, O.amount FROM Cust C, Ord O WHERE C.cid = O.cid",
+	"SELECT O.status FROM Cust C, Ord O WHERE C.cid = O.cid AND C.city = 'sf'",
+	"SELECT C.cid FROM Cust C, Ord O WHERE C.cid = O.cid AND O.amount > 80",
+	"SELECT count(*) FROM Cust",
+	"SELECT count(*) FROM Cust WHERE city = 'la'",
+	"SELECT sum(score) FROM Cust",
+	"SELECT avg(score) FROM Cust WHERE tier = 0",
+	"SELECT min(score), max(score) FROM Cust",
+	"SELECT city, count(*) FROM Cust GROUP BY city",
+	"SELECT city, sum(score) FROM Cust GROUP BY city",
+	"SELECT city, avg(score) FROM Cust GROUP BY city",
+	"SELECT city, min(score) FROM Cust GROUP BY city",
+	"SELECT city, max(score), count(*) FROM Cust GROUP BY city",
+	"SELECT tier, count(*) FROM Cust WHERE score > 10 GROUP BY tier",
+	"SELECT C.city, sum(O.amount) FROM Cust C, Ord O WHERE C.cid = O.cid GROUP BY C.city",
+	"SELECT C.city, count(*) FROM Cust C, Ord O WHERE C.cid = O.cid AND O.status = 'open' GROUP BY C.city",
+	"SELECT status, avg(amount), min(amount) FROM Ord GROUP BY status",
+	"SELECT sum(amount + tier) FROM Cust C, Ord O WHERE C.cid = O.cid",
+}
+
+// naiveDisagree is the ground truth: apply the update, re-run, compare.
+func naiveDisagree(t *testing.T, q *exec.Query, db *storage.Database, u *support.Update) bool {
+	t.Helper()
+	base, err := q.Run(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u.Apply(db)
+	res, err := q.Run(db)
+	u.Undo(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return !base.Equal(res)
+}
+
+func TestDifferentialFastPath(t *testing.T) {
+	db := testDB(7, 40, 120)
+	set, err := support.GenerateNeighborhood(db, support.DefaultConfig(400, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sql := range fastPathQueries {
+		sql := sql
+		t.Run(sql, func(t *testing.T) {
+			q := exec.MustCompile(sql, db.Schema)
+			c, err := New(q, db)
+			if err != nil {
+				t.Fatalf("checker ineligible: %v", err)
+			}
+			for _, u := range set.Updates {
+				want := naiveDisagree(t, q, db, u)
+				got, err := c.Check(u)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("update %d (%+v): fast path says %v, naive says %v", u.ID, u, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestDifferentialBatch(t *testing.T) {
+	db := testDB(23, 35, 100)
+	set, err := support.GenerateNeighborhood(db, support.DefaultConfig(300, 29))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sql := range fastPathQueries {
+		sql := sql
+		t.Run(sql, func(t *testing.T) {
+			q := exec.MustCompile(sql, db.Schema)
+			c, err := New(q, db)
+			if err != nil {
+				t.Fatalf("checker ineligible: %v", err)
+			}
+			got, err := c.CheckBatch(set.Updates, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, u := range set.Updates {
+				want := naiveDisagree(t, q, db, u)
+				if got[i] != want {
+					t.Fatalf("update %d (%+v): batch says %v, naive says %v", u.ID, u, got[i], want)
+				}
+			}
+		})
+	}
+}
+
+func TestBatchRespectsLiveMask(t *testing.T) {
+	db := testDB(5, 20, 50)
+	set, err := support.GenerateNeighborhood(db, support.DefaultConfig(100, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := exec.MustCompile("SELECT city, count(*) FROM Cust GROUP BY city", db.Schema)
+	c, err := New(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := make([]bool, len(set.Updates))
+	for i := range live {
+		live[i] = i%2 == 0
+	}
+	got, err := c.CheckBatch(set.Updates, live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if !live[i] && got[i] {
+			t.Fatalf("dead element %d was checked", i)
+		}
+	}
+}
+
+func TestIneligibleQueries(t *testing.T) {
+	db := testDB(1, 10, 20)
+	for _, sql := range []string{
+		"SELECT DISTINCT city FROM Cust",
+		"SELECT city FROM Cust ORDER BY city",
+		"SELECT city FROM Cust LIMIT 3",
+		"SELECT city, count(*) FROM Cust GROUP BY city HAVING count(*) > 2",
+		"SELECT count(DISTINCT city) FROM Cust",
+		"SELECT a.cid FROM Cust a, Cust b WHERE a.score = b.score",
+		"SELECT cid FROM Cust WHERE score > (SELECT avg(score) FROM Cust)",
+		"SELECT avg(x) FROM (SELECT score AS x FROM Cust) AS t",
+	} {
+		q := exec.MustCompile(sql, db.Schema)
+		if _, err := New(q, db); err == nil {
+			t.Errorf("query %q should be outside the fast path", sql)
+		}
+	}
+}
+
+func TestCheckerStats(t *testing.T) {
+	db := testDB(9, 30, 90)
+	set, err := support.GenerateNeighborhood(db, support.DefaultConfig(200, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := exec.MustCompile("SELECT * FROM Cust WHERE city = 'ny'", db.Schema)
+	c, err := New(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CheckBatch(set.Updates, nil); err != nil {
+		t.Fatal(err)
+	}
+	// A selective single-table query should resolve many updates statically
+	// (Ord updates are irrelevant; non-contributing unsatisfiable ones too).
+	if c.Stats.Static == 0 {
+		t.Error("expected some statically decided updates")
+	}
+	total := c.Stats.Static + c.Stats.Batched + c.Stats.FullRuns
+	if total < len(set.Updates)/2 {
+		t.Errorf("stats account for %d of %d updates", total, len(set.Updates))
+	}
+}
+
+func ExampleChecker() {
+	db := testDB(2, 10, 20)
+	q := exec.MustCompile("SELECT city, count(*) FROM Cust GROUP BY city", db.Schema)
+	c, _ := New(q, db)
+	set, _ := support.GenerateNeighborhood(db, support.DefaultConfig(4, 1))
+	res, _ := c.CheckBatch(set.Updates, nil)
+	fmt.Println(len(res) == 4)
+	// Output: true
+}

@@ -1,0 +1,84 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV dumps the report's tables and series as CSV files under dir,
+// one file per artifact, for plotting the figures with external tools.
+// File names are <id>_<slug>.csv.
+func (r *Report) WriteCSV(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, t := range r.Tables {
+		name := filepath.Join(dir, fmt.Sprintf("%s_table%d_%s.csv", r.ID, i+1, slug(t.Title)))
+		if err := writeCSVFile(name, t.Header, t.Rows); err != nil {
+			return err
+		}
+	}
+	if len(r.Series) > 0 {
+		// All series of one report share an x-grid per series; emit long form.
+		name := filepath.Join(dir, r.ID+"_series.csv")
+		rows := make([][]string, 0, 64)
+		for _, s := range r.Series {
+			for j := range s.X {
+				rows = append(rows, []string{s.Name,
+					strconv.FormatFloat(s.X[j], 'g', -1, 64),
+					strconv.FormatFloat(s.Y[j], 'g', -1, 64)})
+			}
+		}
+		if err := writeCSVFile(name, []string{"series", "x", "y"}, rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeCSVFile(path string, header []string, rows [][]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		f.Close()
+		return err
+	}
+	for _, row := range rows {
+		if err := w.Write(row); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func slug(s string) string {
+	var sb strings.Builder
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			sb.WriteRune(r)
+		case r == ' ' || r == '-' || r == '_':
+			sb.WriteByte('_')
+		}
+		if sb.Len() >= 40 {
+			break
+		}
+	}
+	if sb.Len() == 0 {
+		return "t"
+	}
+	return sb.String()
+}

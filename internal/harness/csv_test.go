@@ -1,0 +1,64 @@
+package harness
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	rep := &Report{
+		ID: "demo",
+		Tables: []Table{{
+			Title:  "Some Table!",
+			Header: []string{"a", "b"},
+			Rows:   [][]string{{"1", "x"}, {"2", "y"}},
+		}},
+		Series: []Series{
+			{Name: "s1", X: []float64{1, 2}, Y: []float64{10, 20}},
+			{Name: "s2", X: []float64{1}, Y: []float64{5.5}},
+		},
+	}
+	dir := t.TempDir()
+	if err := rep.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	tablePath := filepath.Join(dir, "demo_table1_some_table.csv")
+	f, err := os.Open(tablePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(f).ReadAll()
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || rows[0][0] != "a" || rows[2][1] != "y" {
+		t.Fatalf("table csv: %v", rows)
+	}
+	sf, err := os.Open(filepath.Join(dir, "demo_series.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srows, err := csv.NewReader(sf).ReadAll()
+	sf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srows) != 4 { // header + 3 points
+		t.Fatalf("series csv: %v", srows)
+	}
+	if srows[3][0] != "s2" || srows[3][2] != "5.5" {
+		t.Fatalf("series content: %v", srows[3])
+	}
+}
+
+func TestSlug(t *testing.T) {
+	if slug("Hello, World! 42") != "hello_world_42" {
+		t.Fatalf("slug: %q", slug("Hello, World! 42"))
+	}
+	if slug("!!!") != "t" {
+		t.Fatal("empty slug fallback")
+	}
+}

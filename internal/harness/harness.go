@@ -1,0 +1,245 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation (§2.4 and §5). Each experiment returns a Report whose tables
+// and series mirror the rows/series the paper plots; cmd/experiments
+// renders them as text and EXPERIMENTS.md records paper-vs-measured.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"qirana/internal/pricing"
+	"qirana/internal/sqlengine/exec"
+	"qirana/internal/storage"
+	"qirana/internal/support"
+	"qirana/internal/workload"
+)
+
+// Config scales the experiments. The defaults run the full suite in CI
+// time; the paper-scale values are noted per field.
+type Config struct {
+	Seed int64
+	// WorldSupport is |S| for the world experiments (paper: 1000).
+	WorldSupport int
+	// UniformSupport is |S| for the memory-hungry uniform support sets
+	// (the paper also uses 1000; each element materializes the database).
+	UniformSupport int
+	// BigSupport is |S| for the SSB/TPC-H experiments (paper: 100000).
+	BigSupport int
+	// SSBScale / TPCHScale / DBLPScale are the dataset scale factors
+	// (paper: SF 1 for SSB and TPC-H, full SNAP graph for DBLP).
+	SSBScale, TPCHScale, DBLPScale float64
+	// CrashRows is the car-crash cardinality (paper: 71115).
+	CrashRows int
+}
+
+// DefaultConfig returns CI-friendly scales.
+func DefaultConfig() Config {
+	return Config{
+		Seed:           1,
+		WorldSupport:   1000,
+		UniformSupport: 100,
+		BigSupport:     2000,
+		SSBScale:       0.005,
+		TPCHScale:      0.005,
+		DBLPScale:      0.005,
+		CrashRows:      8000,
+	}
+}
+
+// PaperConfig returns the paper's scales (minutes-to-hours of runtime).
+func PaperConfig() Config {
+	return Config{
+		Seed:           1,
+		WorldSupport:   1000,
+		UniformSupport: 1000,
+		BigSupport:     100000,
+		SSBScale:       1,
+		TPCHScale:      1,
+		DBLPScale:      1,
+		CrashRows:      71115,
+	}
+}
+
+// Series is one plotted line: Y values over X.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Table is one result table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Report is the output of one experiment.
+type Report struct {
+	ID     string // e.g. "fig2", "table3"
+	Title  string
+	Notes  []string
+	Tables []Table
+	Series []Series
+}
+
+// Render writes the report as readable text.
+func (r *Report) Render(w io.Writer) {
+	fmt.Fprintf(w, "==== %s: %s ====\n", r.ID, r.Title)
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	for _, t := range r.Tables {
+		fmt.Fprintf(w, "\n-- %s --\n", t.Title)
+		widths := make([]int, len(t.Header))
+		for i, h := range t.Header {
+			widths[i] = len(h)
+		}
+		for _, row := range t.Rows {
+			for i, c := range row {
+				if i < len(widths) && len(c) > widths[i] {
+					widths[i] = len(c)
+				}
+			}
+		}
+		line := func(cells []string) {
+			parts := make([]string, len(cells))
+			for i, c := range cells {
+				parts[i] = pad(c, widths[i])
+			}
+			fmt.Fprintln(w, "  "+strings.Join(parts, " | "))
+		}
+		line(t.Header)
+		sep := make([]string, len(t.Header))
+		for i := range sep {
+			sep[i] = strings.Repeat("-", widths[i])
+		}
+		line(sep)
+		for _, row := range t.Rows {
+			line(row)
+		}
+	}
+	for _, s := range r.Series {
+		fmt.Fprintf(w, "\n-- series %s --\n  x: %s\n  y: %s\n", s.Name, floats(s.X), floats(s.Y))
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	for len(s) < w {
+		s += " "
+	}
+	return s
+}
+
+func floats(xs []float64) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = trimFloat(x)
+	}
+	return strings.Join(parts, " ")
+}
+
+func trimFloat(x float64) string {
+	s := fmt.Sprintf("%.3f", x)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+// Experiment is a named runnable experiment.
+type Experiment struct {
+	ID   string
+	Desc string
+	Run  func(Config) (*Report, error)
+}
+
+// All lists every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "arbitrage properties of the pricing functions", Table1},
+		{"fig2", "price behavior of 8 function × support combinations (world)", Fig2},
+		{"table2", "dataset characteristics", Table2},
+		{"fig4a", "selection price vs selectivity across support sizes", Fig4a},
+		{"fig4b", "projection price vs attribute count across support sizes", Fig4b},
+		{"fig4c", "Qr1/Qr2 price vs fraction of swap updates", Fig4c},
+		{"fig4d", "pricing time vs support set size", Fig4d},
+		{"fig4e", "history-aware vs oblivious prices (SSB)", Fig4e},
+		{"fig4f", "history-aware vs oblivious runtime (SSB)", Fig4f},
+		{"fig4g", "history-aware pricing over 25 Q1.1 variants", Fig4g},
+		{"fig5a", "SSB pricing scalability (batching)", Fig5a},
+		{"fig5b", "TPC-H pricing scalability (batching)", Fig5b},
+		{"table3", "prices for the DBLP and US car crash workloads", Table3},
+		{"fig6", "additional benchmarking on the world workload", Fig6},
+		{"baseline", "qirana vs output-size/provenance baselines (extension)", Baseline},
+	}
+}
+
+// Lookup finds an experiment by id.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// ---- shared helpers ----
+
+// compileAll compiles a workload against a schema.
+func compileAll(db *storage.Database, qs []workload.Query) ([]*exec.Query, error) {
+	out := make([]*exec.Query, len(qs))
+	for i, wq := range qs {
+		q, err := exec.Compile(wq.SQL, db.Schema)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", wq.Name, err)
+		}
+		out[i] = q
+	}
+	return out, nil
+}
+
+// timeIt measures the wall time of f.
+func timeIt(f func() error) (time.Duration, error) {
+	start := time.Now()
+	err := f()
+	return time.Since(start), nil2(err)
+}
+
+func nil2(err error) error { return err }
+
+// nbrsEngine builds a neighborhood-support engine with total price 100.
+func nbrsEngine(db *storage.Database, size int, seed int64) (*pricing.Engine, error) {
+	set, err := support.GenerateNeighborhood(db, support.DefaultConfig(size, seed))
+	if err != nil {
+		return nil, err
+	}
+	return pricing.NewEngine(db, set, 100), nil
+}
+
+// uniformEngine builds a uniform-support engine with total price 100.
+func uniformEngine(db *storage.Database, size int, seed int64) (*pricing.Engine, error) {
+	set, err := support.GenerateUniform(db, support.DefaultConfig(size, seed))
+	if err != nil {
+		return nil, err
+	}
+	return pricing.NewEngine(db, set, 100), nil
+}
+
+// summarize computes min/median/max of a price list.
+func summarize(xs []float64) (lo, med, hi float64) {
+	if len(xs) == 0 {
+		return
+	}
+	s := append([]float64{}, xs...)
+	sort.Float64s(s)
+	return s[0], s[len(s)/2], s[len(s)-1]
+}
+
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.1f", float64(d.Microseconds())/1000.0)
+}

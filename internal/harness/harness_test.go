@@ -1,0 +1,154 @@
+package harness
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps the full experiment suite runnable in test time.
+func tinyConfig() Config {
+	return Config{
+		Seed:           1,
+		WorldSupport:   200,
+		UniformSupport: 30,
+		BigSupport:     300,
+		SSBScale:       0.001,
+		TPCHScale:      0.001,
+		DBLPScale:      0.001,
+		CrashRows:      2000,
+	}
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	cfg := tinyConfig()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			rep, err := e.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if rep.ID != e.ID {
+				t.Errorf("report id %q for experiment %q", rep.ID, e.ID)
+			}
+			if len(rep.Tables) == 0 && len(rep.Series) == 0 {
+				t.Errorf("%s produced no output", e.ID)
+			}
+			var buf bytes.Buffer
+			rep.Render(&buf)
+			if buf.Len() == 0 {
+				t.Errorf("%s rendered empty", e.ID)
+			}
+		})
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("fig5a"); !ok {
+		t.Fatal("fig5a missing")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("bogus id found")
+	}
+}
+
+// TestFig4aShape checks the paper's qualitative claim: the |S|=1000 curve
+// is monotone and ends near the Country relation's share of the price.
+func TestFig4aShape(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.WorldSupport = 600
+	rep, err := Fig4a(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var big, ideal *Series
+	for i := range rep.Series {
+		switch rep.Series[i].Name {
+		case "|S|=1000":
+			big = &rep.Series[i]
+		case "ideal price":
+			ideal = &rep.Series[i]
+		}
+	}
+	if big == nil || ideal == nil {
+		t.Fatal("missing series")
+	}
+	for i := 1; i < len(big.Y); i++ {
+		if big.Y[i] < big.Y[i-1]-1e-9 {
+			t.Errorf("σ sweep not monotone at u=%g: %g after %g", big.X[i], big.Y[i], big.Y[i-1])
+		}
+	}
+	// The u=239 point prices essentially all of Country: close to the
+	// ideal endpoint (a third of the dataset price).
+	last := big.Y[len(big.Y)-1]
+	if last < ideal.Y[len(ideal.Y)-1]*0.5 || last > 100 {
+		t.Errorf("endpoint %g far from ideal %g", last, ideal.Y[len(ideal.Y)-1])
+	}
+}
+
+// TestFig4cShape: both queries price 0 when every update is a swap, and
+// Qr1 exceeds Qr2 at fraction 0 (the paper's Figure 4c ordering).
+func TestFig4cShape(t *testing.T) {
+	cfg := tinyConfig()
+	rep, err := Fig4c(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range rep.Series {
+		if s.X[len(s.X)-1] != 1.0 {
+			t.Fatal("last point should be swap fraction 1")
+		}
+		if s.Y[len(s.Y)-1] != 0 {
+			t.Errorf("%s: all-swap support must price 0, got %g", s.Name, s.Y[len(s.Y)-1])
+		}
+		if s.Y[0] <= 0 {
+			t.Errorf("%s: all-row support must price > 0, got %g", s.Name, s.Y[0])
+		}
+	}
+}
+
+// TestFig4eShape: history-aware totals never exceed oblivious totals.
+func TestFig4eShape(t *testing.T) {
+	rep, err := Fig4e(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := rep.Tables[0].Rows
+	total := rows[len(rows)-1]
+	obl, err1 := strconv.ParseFloat(total[1], 64)
+	hist, err2 := strconv.ParseFloat(total[2], 64)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("bad totals row %v", total)
+	}
+	if hist > obl+1e-6 {
+		t.Errorf("history-aware total %g exceeds oblivious %g", hist, obl)
+	}
+	if obl <= 0 {
+		t.Error("oblivious total should be positive")
+	}
+}
+
+// TestTable1Claims: the coverage function must show zero violations and
+// the report must carry rows for all 8 combinations.
+func TestTable1Claims(t *testing.T) {
+	rep, err := Table1(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := rep.Tables[0]
+	if len(tbl.Rows) != 8 {
+		t.Fatalf("want 8 rows, got %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[0] == "coverage" && (row[2] != "0" || row[3] != "0") {
+			t.Errorf("coverage shows arbitrage violations: %v", row)
+		}
+		if strings.Contains(row[0], "shannon") && row[2] != "0" {
+			// Shannon is weakly arbitrage-free; refinement ordering still
+			// holds on the restricted determinacy pairs we test.
+			t.Errorf("shannon info-arb violations: %v", row)
+		}
+	}
+}

@@ -1,0 +1,246 @@
+// Package maxent solves the entropy-maximization program of paper §3.3,
+// which fits support-set weights to seller-specified price points:
+//
+//	maximize   -Σ w_i log w_i
+//	subject to Σ_{i} w_i = P
+//	           Σ_{i : Q_j(D_i) ≠ Q_j(D)} w_i = p_j   (j = 1..k)
+//	           w_i ≥ 0
+//
+// The paper delegates this to CVXPY/SCS; here it is solved directly via
+// the smooth dual. By Lagrangian stationarity the solution has the
+// exponential-family form w_i = exp(-1 - Σ_j λ_j A_ji), so minimizing the
+// convex dual g(λ) = Σ_i exp(-1 - (Aᵀλ)_i) + bᵀλ with a damped Newton
+// method recovers the unique max-entropy weights. Non-convergence (the
+// analogue of SCS's infeasibility certificate) is reported as
+// ErrInfeasible, upon which the caller resamples or grows the support set
+// as §3.3 prescribes.
+package maxent
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrInfeasible reports that no nonnegative weight vector satisfies the
+// constraints (or the solver could not reach the required accuracy).
+var ErrInfeasible = errors.New("maxent: constraints are infeasible for this support set")
+
+// Constraint requires the weights at Members (0/1 membership) to sum to
+// Target.
+type Constraint struct {
+	Members []int
+	Target  float64
+}
+
+// Options tunes the solver.
+type Options struct {
+	MaxIter int
+	Tol     float64 // relative tolerance on constraint residuals
+}
+
+// DefaultOptions matches the "modest objective accuracy" the paper quotes
+// for SCS.
+func DefaultOptions() Options { return Options{MaxIter: 200, Tol: 1e-7} }
+
+// Solve returns the max-entropy weights w ∈ R^n satisfying the
+// constraints.
+func Solve(n int, cons []Constraint, opts Options) ([]float64, error) {
+	if opts.MaxIter == 0 {
+		opts = DefaultOptions()
+	}
+	k := len(cons)
+	if k == 0 {
+		return nil, fmt.Errorf("maxent: no constraints")
+	}
+	for j, c := range cons {
+		if c.Target < 0 {
+			return nil, fmt.Errorf("maxent: constraint %d has negative target %g", j, c.Target)
+		}
+		for _, i := range c.Members {
+			if i < 0 || i >= n {
+				return nil, fmt.Errorf("maxent: constraint %d references element %d outside [0,%d)", j, i, n)
+			}
+		}
+	}
+	// memb[i] lists the constraints containing element i.
+	memb := make([][]int32, n)
+	for j, c := range cons {
+		for _, i := range c.Members {
+			memb[i] = append(memb[i], int32(j))
+		}
+	}
+	// Quick structural infeasibility: an element in no constraint gets
+	// weight e^{-1}, which is fine; but a constraint with no members and a
+	// positive target can never be met.
+	for j, c := range cons {
+		if len(c.Members) == 0 && c.Target > 0 {
+			return nil, fmt.Errorf("constraint %d: empty support, positive target %g: %w", j, c.Target, ErrInfeasible)
+		}
+	}
+
+	lambda := make([]float64, k)
+	w := make([]float64, n)
+	grad := make([]float64, k)
+	hess := make([]float64, k*k)
+	bscale := 1.0
+	for _, c := range cons {
+		if math.Abs(c.Target) > bscale {
+			bscale = math.Abs(c.Target)
+		}
+	}
+
+	computeW := func(l []float64) {
+		for i := 0; i < n; i++ {
+			s := -1.0
+			for _, j := range memb[i] {
+				s -= l[j]
+			}
+			w[i] = math.Exp(s)
+		}
+	}
+	dual := func(l []float64) float64 {
+		g := 0.0
+		for i := 0; i < n; i++ {
+			s := -1.0
+			for _, j := range memb[i] {
+				s -= l[j]
+			}
+			g += math.Exp(s)
+		}
+		for j, c := range cons {
+			g += l[j] * c.Target
+		}
+		return g
+	}
+
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		computeW(lambda)
+		// Gradient b - A w and Hessian A diag(w) Aᵀ.
+		for j, c := range cons {
+			grad[j] = c.Target
+		}
+		for i := range hess {
+			hess[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			for _, j := range memb[i] {
+				grad[j] -= w[i]
+				for _, j2 := range memb[i] {
+					hess[int(j)*k+int(j2)] += w[i]
+				}
+			}
+		}
+		// Convergence on residuals.
+		maxRes := 0.0
+		for j := range grad {
+			if r := math.Abs(grad[j]); r > maxRes {
+				maxRes = r
+			}
+		}
+		if maxRes <= opts.Tol*bscale {
+			out := make([]float64, n)
+			copy(out, w)
+			return out, nil
+		}
+		// Ridge-regularized Newton step: solve H d = grad.
+		ridge := 1e-12 * (1 + trace(hess, k))
+		for j := 0; j < k; j++ {
+			hess[j*k+j] += ridge
+		}
+		d, ok := solveLinear(hess, grad, k)
+		if !ok {
+			return nil, fmt.Errorf("singular Hessian: %w", ErrInfeasible)
+		}
+		// Backtracking line search on the dual objective. The Newton
+		// direction for minimization is -H⁻¹∇g, i.e. λ ← λ - t·d with
+		// d = H⁻¹∇g... note ∇g = b - Aw = grad, so step is λ ← λ - t·d.
+		g0 := dual(lambda)
+		t := 1.0
+		improved := false
+		trial := make([]float64, k)
+		for ls := 0; ls < 60; ls++ {
+			for j := 0; j < k; j++ {
+				trial[j] = lambda[j] - t*d[j]
+			}
+			if g := dual(trial); g < g0 {
+				copy(lambda, trial)
+				improved = true
+				break
+			}
+			t /= 2
+		}
+		if !improved {
+			break
+		}
+	}
+	// Final residual check.
+	computeW(lambda)
+	for j, c := range cons {
+		s := 0.0
+		for _, i := range c.Members {
+			s += w[i]
+		}
+		if math.Abs(s-c.Target) > 1e-5*bscale {
+			return nil, fmt.Errorf("residual %g on constraint %d: %w", s-c.Target, j, ErrInfeasible)
+		}
+	}
+	out := make([]float64, n)
+	copy(out, w)
+	return out, nil
+}
+
+func trace(h []float64, k int) float64 {
+	t := 0.0
+	for j := 0; j < k; j++ {
+		t += h[j*k+j]
+	}
+	return t
+}
+
+// solveLinear solves the k×k system M x = b by Gaussian elimination with
+// partial pivoting. M and b are not preserved.
+func solveLinear(m, b []float64, k int) ([]float64, bool) {
+	// Work on copies to keep the caller's buffers intact for reuse.
+	a := make([]float64, k*k)
+	copy(a, m)
+	x := make([]float64, k)
+	copy(x, b)
+	for col := 0; col < k; col++ {
+		// Pivot.
+		p := col
+		for r := col + 1; r < k; r++ {
+			if math.Abs(a[r*k+col]) > math.Abs(a[p*k+col]) {
+				p = r
+			}
+		}
+		if math.Abs(a[p*k+col]) < 1e-300 {
+			return nil, false
+		}
+		if p != col {
+			for c := 0; c < k; c++ {
+				a[p*k+c], a[col*k+c] = a[col*k+c], a[p*k+c]
+			}
+			x[p], x[col] = x[col], x[p]
+		}
+		inv := 1 / a[col*k+col]
+		for r := col + 1; r < k; r++ {
+			f := a[r*k+col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < k; c++ {
+				a[r*k+c] -= f * a[col*k+c]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	for col := k - 1; col >= 0; col-- {
+		s := x[col]
+		for c := col + 1; c < k; c++ {
+			s -= a[col*k+c] * x[c]
+		}
+		x[col] = s / a[col*k+col]
+	}
+	return x, true
+}

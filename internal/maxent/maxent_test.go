@@ -1,0 +1,220 @@
+package maxent
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func sumAt(w []float64, idx []int) float64 {
+	s := 0.0
+	for _, i := range idx {
+		s += w[i]
+	}
+	return s
+}
+
+func seq(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestTotalOnly(t *testing.T) {
+	w, err := Solve(10, []Constraint{{Members: seq(10), Target: 100}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range w {
+		if math.Abs(x-10) > 1e-5 {
+			t.Fatalf("want uniform 10, got %v", w)
+		}
+	}
+}
+
+func TestPricePoint(t *testing.T) {
+	// Total 100 over 10 elements; elements 0..3 must sum to 70.
+	cons := []Constraint{
+		{Members: seq(10), Target: 100},
+		{Members: []int{0, 1, 2, 3}, Target: 70},
+	}
+	w, err := Solve(10, cons, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sumAt(w, seq(10))-100) > 1e-4 {
+		t.Fatalf("total: %v", sumAt(w, seq(10)))
+	}
+	if math.Abs(sumAt(w, []int{0, 1, 2, 3})-70) > 1e-4 {
+		t.Fatalf("price point: %v", sumAt(w, []int{0, 1, 2, 3}))
+	}
+	// Max entropy: inside each membership class weights are equal.
+	if math.Abs(w[0]-w[3]) > 1e-6 || math.Abs(w[5]-w[9]) > 1e-6 {
+		t.Fatalf("not class-uniform: %v", w)
+	}
+	if w[0] <= w[5] {
+		t.Fatalf("expensive class should weigh more: %v", w)
+	}
+}
+
+func TestOverlappingPoints(t *testing.T) {
+	cons := []Constraint{
+		{Members: seq(20), Target: 100},
+		{Members: seq(12), Target: 80},
+		{Members: []int{8, 9, 10, 11, 12, 13}, Target: 40},
+	}
+	w, err := Solve(20, cons, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, c := range cons {
+		if got := sumAt(w, c.Members); math.Abs(got-c.Target) > 1e-4 {
+			t.Fatalf("constraint %d: got %g want %g", j, got, c.Target)
+		}
+	}
+}
+
+func TestInfeasiblePricePointAboveTotal(t *testing.T) {
+	cons := []Constraint{
+		{Members: seq(10), Target: 100},
+		{Members: []int{0, 1}, Target: 150},
+	}
+	if _, err := Solve(10, cons, Options{}); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("want ErrInfeasible, got %v", err)
+	}
+}
+
+func TestInfeasibleEmptySupport(t *testing.T) {
+	cons := []Constraint{
+		{Members: seq(5), Target: 10},
+		{Members: nil, Target: 3},
+	}
+	if _, err := Solve(5, cons, Options{}); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("want ErrInfeasible, got %v", err)
+	}
+}
+
+func TestContradictoryConstraints(t *testing.T) {
+	cons := []Constraint{
+		{Members: seq(6), Target: 60},
+		{Members: []int{0, 1, 2}, Target: 10},
+		{Members: []int{0, 1, 2}, Target: 50},
+	}
+	if _, err := Solve(6, cons, Options{}); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("want ErrInfeasible, got %v", err)
+	}
+}
+
+// Property: for random feasible instances built by planting a known
+// nonnegative solution, the solver satisfies every constraint.
+func TestQuickFeasibleSatisfied(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(60)
+		// Plant weights.
+		planted := make([]float64, n)
+		for i := range planted {
+			planted[i] = rng.Float64() + 0.05
+		}
+		cons := []Constraint{{Members: seq(n), Target: sumAll(planted)}}
+		for j := 0; j < 1+rng.Intn(4); j++ {
+			var m []int
+			for i := 0; i < n; i++ {
+				if rng.Intn(2) == 0 {
+					m = append(m, i)
+				}
+			}
+			if len(m) == 0 {
+				continue
+			}
+			cons = append(cons, Constraint{Members: m, Target: sumAt(planted, m)})
+		}
+		w, err := Solve(n, cons, Options{})
+		if err != nil {
+			return false
+		}
+		for _, c := range cons {
+			if math.Abs(sumAt(w, c.Members)-c.Target) > 1e-4*(1+c.Target) {
+				return false
+			}
+		}
+		for _, x := range w {
+			if x < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the solution maximizes entropy among simple perturbations that
+// preserve the constraints (transfer mass between two elements with
+// identical membership signatures keeps feasibility; entropy must not
+// increase).
+func TestQuickMaxEntropyLocalOptimality(t *testing.T) {
+	cons := []Constraint{
+		{Members: seq(12), Target: 60},
+		{Members: seq(6), Target: 40},
+	}
+	w, err := Solve(12, cons, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := entropy(w)
+	f := func(aRaw, bRaw uint8, deltaRaw uint8) bool {
+		// Both inside the same class (0..5 or 6..11).
+		a, b := int(aRaw)%6, int(bRaw)%6
+		if int(deltaRaw)%2 == 0 {
+			a, b = a+6, b+6
+		}
+		if a == b {
+			return true
+		}
+		delta := (float64(deltaRaw)/255 - 0.5) * w[b]
+		if w[a]+delta <= 0 || w[b]-delta <= 0 {
+			return true
+		}
+		mod := append([]float64{}, w...)
+		mod[a] += delta
+		mod[b] -= delta
+		return entropy(mod) <= base+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sumAll(w []float64) float64 { return sumAt(w, seq(len(w))) }
+
+func entropy(w []float64) float64 {
+	h := 0.0
+	for _, x := range w {
+		if x > 0 {
+			h -= x * math.Log(x)
+		}
+	}
+	return h
+}
+
+func TestSolveLinear(t *testing.T) {
+	m := []float64{2, 1, 1, 3}
+	b := []float64{5, 10}
+	x, ok := solveLinear(m, b, 2)
+	if !ok {
+		t.Fatal("singular")
+	}
+	// 2x + y = 5; x + 3y = 10 -> x = 1, y = 3.
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Fatalf("got %v", x)
+	}
+	if _, ok := solveLinear([]float64{1, 2, 2, 4}, []float64{1, 2}, 2); ok {
+		t.Fatal("singular system should fail")
+	}
+}

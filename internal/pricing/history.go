@@ -1,0 +1,105 @@
+package pricing
+
+import (
+	"fmt"
+
+	"qirana/internal/sqlengine/exec"
+)
+
+// History is the per-buyer bookkeeping of history-aware pricing
+// (Algorithm 3): a bitmap over the support set recording which elements
+// already contributed to the buyer's cumulative payment. Once element D_i
+// has disagreed with D on some purchased query, the buyer has paid w_i and
+// never pays for D_i again; when every element is charged the buyer owns
+// the dataset and all further queries are free.
+type History struct {
+	Charged []bool
+	Paid    float64
+	Queries []string
+}
+
+// NewHistory starts an empty purchase history for a support set of the
+// given size.
+func NewHistory(size int) *History {
+	return &History{Charged: make([]bool, size)}
+}
+
+// Remaining returns the number of not-yet-charged support elements.
+func (h *History) Remaining() int {
+	n := 0
+	for _, c := range h.Charged {
+		if !c {
+			n++
+		}
+	}
+	return n
+}
+
+// PriceWithRefund implements the alternative history mechanism the paper
+// attributes to Upadhyaya et al. (§2.2): each query is charged its full
+// history-oblivious price up front and the overlap with past purchases is
+// returned as a refund. The net payment is provably identical to
+// Algorithm 3's bookkeeping (both equal the bundle price of the history);
+// the two mechanisms differ only in cash flow, which markets with
+// delayed settlement care about. Returns (gross charge, refund).
+func (e *Engine) PriceWithRefund(h *History, qs ...*exec.Query) (gross, refund float64, err error) {
+	if len(h.Charged) != e.Set.Size() {
+		return 0, 0, fmt.Errorf("history size %d does not match support set size %d", len(h.Charged), e.Set.Size())
+	}
+	dis, err := e.Disagreements(qs, nil) // full, history-oblivious
+	if err != nil {
+		return 0, 0, err
+	}
+	for i, d := range dis {
+		if !d {
+			continue
+		}
+		gross += e.Weights[i]
+		if h.Charged[i] {
+			refund += e.Weights[i] // already owned: reimburse
+		} else {
+			h.Charged[i] = true
+		}
+	}
+	h.Paid += gross - refund
+	for _, q := range qs {
+		h.Queries = append(h.Queries, q.SQL)
+	}
+	return gross, refund, nil
+}
+
+// PriceHistoryAware charges the buyer for the new information in the
+// bundle given their history, under weighted coverage (the paper presents
+// history-awareness for p_wc; the same bookkeeping applies to any
+// coverage-style function). It returns the incremental charge and updates
+// the history.
+func (e *Engine) PriceHistoryAware(h *History, qs ...*exec.Query) (float64, error) {
+	if len(h.Charged) != e.Set.Size() {
+		return 0, fmt.Errorf("history size %d does not match support set size %d", len(h.Charged), e.Set.Size())
+	}
+	live := make([]bool, len(h.Charged))
+	any := false
+	for i, c := range h.Charged {
+		live[i] = !c
+		any = any || live[i]
+	}
+	if !any {
+		return 0, nil // the full dataset has been paid for
+	}
+	dis, err := e.Disagreements(qs, live)
+	if err != nil {
+		return 0, err
+	}
+	charge := 0.0
+	for i, d := range dis {
+		if d && live[i] {
+			charge += e.Weights[i]
+			h.Charged[i] = true
+		}
+	}
+	h.Paid += charge
+	for _, q := range qs {
+		h.Queries = append(h.Queries, q.SQL)
+	}
+	return charge, nil
+}

@@ -1,0 +1,62 @@
+package pricing
+
+import (
+	"math"
+	"testing"
+
+	"qirana/internal/sqlengine/exec"
+)
+
+// TestRefundEquivalence: the refund mechanism and the Algorithm 3 bitmap
+// produce identical cumulative payments for identical query sequences.
+func TestRefundEquivalence(t *testing.T) {
+	db := benchDB(21, 120)
+	e := newEngine(t, db, 250, 100)
+	queries := []string{
+		"SELECT a FROM R WHERE id < 60",
+		"SELECT a, b FROM R WHERE id < 90",
+		"SELECT c, count(*) FROM R GROUP BY c",
+		"SELECT a FROM R WHERE id < 60", // repeat: full refund
+		"SELECT * FROM R",
+	}
+	hBitmap := NewHistory(e.Set.Size())
+	hRefund := NewHistory(e.Set.Size())
+	for _, sql := range queries {
+		q := exec.MustCompile(sql, db.Schema)
+		c, err := e.PriceHistoryAware(hBitmap, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gross, refund, err := e.PriceWithRefund(hRefund, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs((gross-refund)-c) > 1e-9 {
+			t.Fatalf("%q: net refund payment %g != bitmap charge %g", sql, gross-refund, c)
+		}
+		if refund < -1e-12 || gross < refund-1e-9 {
+			t.Fatalf("%q: nonsensical refund %g of gross %g", sql, refund, gross)
+		}
+	}
+	if math.Abs(hBitmap.Paid-hRefund.Paid) > 1e-9 {
+		t.Fatalf("cumulative payments diverge: %g vs %g", hBitmap.Paid, hRefund.Paid)
+	}
+	// The repeat purchase must have been fully refunded.
+	q := exec.MustCompile(queries[0], db.Schema)
+	gross, refund, err := e.PriceWithRefund(hRefund, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gross-refund) > 1e-12 {
+		t.Fatalf("owned query not fully refunded: gross %g refund %g", gross, refund)
+	}
+}
+
+func TestRefundSizeMismatch(t *testing.T) {
+	db := benchDB(3, 50)
+	e := newEngine(t, db, 80, 100)
+	h := NewHistory(7)
+	if _, _, err := e.PriceWithRefund(h, exec.MustCompile("SELECT a FROM R", db.Schema)); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}

@@ -1,0 +1,82 @@
+package pricing
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"qirana/internal/storage"
+)
+
+// Parallel naive evaluation (engineering extension, not in the paper):
+// Algorithm 1's loop is embarrassingly parallel across support elements —
+// each element is an independent apply → run → undo — but the elements
+// mutate the database in place, so workers operate on private clones.
+// Cloning costs memory proportional to the database; it amortizes when
+// |S| is large relative to the clone cost, which is exactly the regime
+// where the naive path hurts (entropy pricing functions and
+// out-of-fast-path queries).
+
+// parallelWorkers resolves the configured worker count.
+func (e *Engine) parallelWorkers() int {
+	w := e.Opts.Workers
+	if w <= 1 {
+		return 1
+	}
+	if max := runtime.GOMAXPROCS(0); w > max {
+		w = max
+	}
+	return w
+}
+
+// parallelApply runs fn(workerDB, elementIndex) for every live element
+// across worker clones. fn must leave the clone as it found it (the usual
+// apply/undo discipline).
+func (e *Engine) parallelApply(mask []bool, fn func(db *storage.Database, i int) error) error {
+	workers := e.parallelWorkers()
+	var live []int
+	for i := range e.Set.Elements {
+		if mask == nil || mask[i] {
+			live = append(live, i)
+		}
+	}
+	if len(live) == 0 {
+		return nil
+	}
+	if workers > len(live) {
+		workers = len(live)
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	chunk := (len(live) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(live) {
+			hi = len(live)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(part []int, clone *storage.Database) {
+			defer wg.Done()
+			for _, i := range part {
+				if err := fn(clone, i); err != nil {
+					select {
+					case errCh <- err:
+					default:
+					}
+					return
+				}
+			}
+		}(live[lo:hi], e.DB.Clone())
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return fmt.Errorf("parallel pricing: %w", err)
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,548 @@
+// Package pricing implements QIRANA's pricing framework (paper §2, §3):
+// the four arbitrage-aware pricing functions over a support set of
+// possible databases, query bundles, history-aware pricing, and the
+// orchestration of the §4 disagreement fast path.
+//
+// Prices are computed from how the support set S reacts to the query
+// output: an element D_i ∈ S is in the conflict set of Q when
+// Q(D_i) ≠ Q(D). The weighted coverage and uniform entropy gain functions
+// need only this disagreement bit (and can therefore use the optimized
+// checker); the Shannon and Tsallis entropy functions need the full
+// partition of S by output and always execute the query per element.
+package pricing
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"qirana/internal/disagree"
+	"qirana/internal/result"
+	"qirana/internal/sqlengine/exec"
+	"qirana/internal/sqlengine/plan"
+	"qirana/internal/storage"
+	"qirana/internal/support"
+	"qirana/internal/value"
+)
+
+// Func selects a pricing function (paper §2.3, Table 1).
+type Func int
+
+// The four pricing functions of the paper.
+const (
+	// WeightedCoverage is p_wc (eq. 1): the weighted sum of disagreeing
+	// support elements. Strongly information-arbitrage-free and bundle
+	// arbitrage-free; the recommended default.
+	WeightedCoverage Func = iota
+	// UniformEntropyGain is p_ueg (eq. 2): log |C_Q(E) ∩ S| / log |S|.
+	// Strongly information-arbitrage-free but exhibits bundle arbitrage.
+	UniformEntropyGain
+	// ShannonEntropy is p_H (eq. 3): the entropy of the partition of S
+	// induced by the query output. Weakly arbitrage-free, bundle-free.
+	ShannonEntropy
+	// QEntropy is p_T (eq. 4): the Tsallis entropy (q = 2) of the same
+	// partition. Weakly arbitrage-free, bundle-free.
+	QEntropy
+)
+
+// String names the pricing function as in the paper's figures.
+func (f Func) String() string {
+	switch f {
+	case WeightedCoverage:
+		return "coverage"
+	case UniformEntropyGain:
+		return "uniform info gain"
+	case ShannonEntropy:
+		return "shannon entropy"
+	case QEntropy:
+		return "q-entropy"
+	}
+	return fmt.Sprintf("Func(%d)", int(f))
+}
+
+// AllFuncs lists the pricing functions in paper order.
+var AllFuncs = []Func{WeightedCoverage, QEntropy, ShannonEntropy, UniformEntropyGain}
+
+// Options tunes how the engine evaluates disagreements.
+type Options struct {
+	// FastPath enables the §4 disagreement checker for eligible queries
+	// priced with coverage-style functions.
+	FastPath bool
+	// Batching enables the §4.2 batched database checks (requires FastPath).
+	Batching bool
+	// InstanceReduction enables the Appendix A instance-reduction
+	// optimization on the naive path for eligible SPJ queries.
+	InstanceReduction bool
+	// Workers > 1 parallelizes the naive path (per-element re-execution)
+	// across that many goroutines, each on a private database clone. An
+	// engineering extension beyond the paper; the fast path is already
+	// dominated by a handful of batched queries and stays serial.
+	Workers int
+}
+
+// DefaultOptions enables every optimization.
+func DefaultOptions() Options {
+	return Options{FastPath: true, Batching: true, InstanceReduction: true}
+}
+
+// Stats reports how the last pricing call decided each (element, query)
+// pair; experiments use it to show the effect of each optimization.
+type Stats struct {
+	Static   int // decided without any database access
+	Batched  int // decided by a batched tagged query
+	FullRuns int // decided by full query re-execution in the fast path
+	Naive    int // decided by the naive per-element re-execution
+}
+
+// Engine prices query bundles over one database and support set.
+type Engine struct {
+	DB      *storage.Database
+	Set     *support.Set
+	Total   float64
+	Weights []float64
+	Opts    Options
+
+	checkers    map[*exec.Query]*disagree.Checker
+	uncheckable map[*exec.Query]bool
+	LastStats   Stats
+}
+
+// NewEngine builds an engine with uniform weights w_i = Total/|S| (the
+// default of §3.3 when the seller provides only the full-database price).
+func NewEngine(db *storage.Database, set *support.Set, total float64) *Engine {
+	e := &Engine{DB: db, Set: set, Total: total, Opts: DefaultOptions(),
+		checkers:    make(map[*exec.Query]*disagree.Checker),
+		uncheckable: make(map[*exec.Query]bool)}
+	e.Weights = make([]float64, set.Size())
+	for i := range e.Weights {
+		e.Weights[i] = total / float64(set.Size())
+	}
+	return e
+}
+
+// SetWeights installs seller-customized weights (from the maxent module);
+// they must sum to the total price.
+func (e *Engine) SetWeights(w []float64) error {
+	if len(w) != e.Set.Size() {
+		return fmt.Errorf("got %d weights for support set of size %d", len(w), e.Set.Size())
+	}
+	sum := 0.0
+	for _, x := range w {
+		if x < 0 {
+			return fmt.Errorf("negative weight %g", x)
+		}
+		sum += x
+	}
+	if math.Abs(sum-e.Total) > 1e-6*(1+e.Total) {
+		return fmt.Errorf("weights sum to %g, want total price %g", sum, e.Total)
+	}
+	e.Weights = w
+	return nil
+}
+
+// checker returns (and caches) the disagreement checker for q, or nil when
+// q is outside the fast path.
+func (e *Engine) checker(q *exec.Query) *disagree.Checker {
+	if !e.Opts.FastPath || e.Set.Updates == nil {
+		return nil
+	}
+	if e.uncheckable[q] {
+		return nil
+	}
+	if c, ok := e.checkers[q]; ok {
+		return c
+	}
+	c, err := disagree.New(q, e.DB)
+	if err != nil {
+		e.uncheckable[q] = true
+		return nil
+	}
+	e.checkers[q] = c
+	return c
+}
+
+// InvalidateCache drops cached per-query state; call after mutating the
+// underlying database outside the pricing engine.
+func (e *Engine) InvalidateCache() {
+	e.checkers = make(map[*exec.Query]*disagree.Checker)
+	e.uncheckable = make(map[*exec.Query]bool)
+}
+
+// Disagreements computes, for each live support element, whether it
+// disagrees with D on the bundle (i.e. some query of the bundle tells the
+// two databases apart). Elements with live[i]=false are skipped (history-
+// aware pricing); live may be nil.
+func (e *Engine) Disagreements(qs []*exec.Query, live []bool) ([]bool, error) {
+	e.LastStats = Stats{}
+	out := make([]bool, e.Set.Size())
+	for _, q := range qs {
+		mask := make([]bool, e.Set.Size())
+		any := false
+		for i := range mask {
+			mask[i] = (live == nil || live[i]) && !out[i]
+			any = any || mask[i]
+		}
+		if !any {
+			break
+		}
+		if c := e.checker(q); c != nil {
+			if err := e.fastDisagree(c, mask, out); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := e.naiveDisagree(q, mask, out); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (e *Engine) fastDisagree(c *disagree.Checker, mask, out []bool) error {
+	c.Stats.Static, c.Stats.Batched, c.Stats.FullRuns = 0, 0, 0
+	if e.Opts.Batching {
+		res, err := c.CheckBatch(e.Set.Updates, mask)
+		if err != nil {
+			return err
+		}
+		for i, d := range res {
+			if d {
+				out[i] = true
+			}
+		}
+	} else {
+		for i, u := range e.Set.Updates {
+			if !mask[i] {
+				continue
+			}
+			d, err := c.Check(u)
+			if err != nil {
+				return err
+			}
+			if d {
+				out[i] = true
+			}
+		}
+	}
+	e.LastStats.Static += c.Stats.Static
+	e.LastStats.Batched += c.Stats.Batched
+	e.LastStats.FullRuns += c.Stats.FullRuns
+	return nil
+}
+
+// naiveDisagree is Algorithm 1's loop: run Q on every (live) neighboring
+// instance and compare output hashes, with the Appendix A instance
+// reduction when eligible and enabled.
+func (e *Engine) naiveDisagree(q *exec.Query, mask, out []bool) error {
+	if e.Opts.InstanceReduction && e.Set.Updates != nil {
+		if ok, err := e.reducedDisagree(q, mask, out); ok {
+			return err
+		}
+	}
+	base, err := q.Run(e.DB)
+	if err != nil {
+		return err
+	}
+	bh := base.Hash()
+	if e.parallelWorkers() > 1 {
+		n := 0
+		err := e.parallelApply(mask, func(db *storage.Database, i int) error {
+			el := e.Set.Elements[i]
+			el.Apply(db)
+			res, err := q.Run(db)
+			el.Undo(db)
+			if err != nil {
+				return err
+			}
+			if res.Hash() != bh {
+				out[i] = true // distinct index per element: no contention
+			}
+			return nil
+		})
+		for i := range mask {
+			if mask[i] {
+				n++
+			}
+		}
+		e.LastStats.Naive += n
+		return err
+	}
+	for i, el := range e.Set.Elements {
+		if !mask[i] {
+			continue
+		}
+		el.Apply(e.DB)
+		res, err := q.Run(e.DB)
+		el.Undo(e.DB)
+		if err != nil {
+			return err
+		}
+		e.LastStats.Naive++
+		if res.Hash() != bh {
+			out[i] = true
+		}
+	}
+	return nil
+}
+
+// reducedDisagree implements the instance-reduction optimization of
+// Appendix A (Lemma A.3): for SPJ queries, an update on relation R changes
+// Q(D) iff it changes Q(D with R reduced to the rows the support set
+// touches). It returns ok=false when the query is ineligible.
+func (e *Engine) reducedDisagree(q *exec.Query, mask, out []bool) (bool, error) {
+	s, err := plan.Extract(q.A)
+	if err != nil || s.IsAgg {
+		return false, nil
+	}
+	inQuery := make(map[string]bool)
+	for _, rel := range s.RelOfSource {
+		inQuery[lowerName(rel)] = true
+	}
+	// Collect the touched row set per relation.
+	touched := make(map[string]map[int]bool)
+	for i, u := range e.Set.Updates {
+		if !mask[i] {
+			continue
+		}
+		rel := lowerName(u.Rel)
+		if !inQuery[rel] {
+			continue
+		}
+		m := touched[rel]
+		if m == nil {
+			m = make(map[int]bool)
+			touched[rel] = m
+		}
+		m[u.Row1] = true
+		if u.Swap {
+			m[u.Row2] = true
+		}
+	}
+	baselines := make(map[string]uint64)
+	reduced := make(map[string][][]value.Value)
+	for rel, rows := range touched {
+		t := e.DB.Table(rel)
+		r0 := make([][]value.Value, 0, len(rows))
+		for ri := range t.Rows { // deterministic order
+			if rows[ri] {
+				r0 = append(r0, t.Rows[ri])
+			}
+		}
+		reduced[rel] = r0
+		res, err := q.RunOverride(e.DB, exec.Overrides{rel: r0})
+		if err != nil {
+			return true, err
+		}
+		baselines[rel] = res.Hash()
+	}
+	for i, u := range e.Set.Updates {
+		if !mask[i] {
+			continue
+		}
+		rel := lowerName(u.Rel)
+		if !inQuery[rel] {
+			continue // cannot disagree
+		}
+		u.Apply(e.DB)
+		res, err := q.RunOverride(e.DB, exec.Overrides{rel: reduced[rel]})
+		u.Undo(e.DB)
+		if err != nil {
+			return true, err
+		}
+		e.LastStats.Naive++
+		if res.Hash() != baselines[rel] {
+			out[i] = true
+		}
+	}
+	return true, nil
+}
+
+func lowerName(x string) string {
+	b := []byte(x)
+	for i, c := range b {
+		if 'A' <= c && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}
+
+// OutputHashes runs the bundle on D and every support element, returning
+// the combined output hash per element plus the hash for D itself. The
+// entropy pricing functions partition S by these hashes.
+func (e *Engine) OutputHashes(qs []*exec.Query) (elems []uint64, base uint64, err error) {
+	baseHashes := make([]uint64, len(qs))
+	for j, q := range qs {
+		var res *result.Result
+		res, err = q.Run(e.DB)
+		if err != nil {
+			return nil, 0, err
+		}
+		baseHashes[j] = res.Hash()
+	}
+	base = combine(baseHashes)
+	elems = make([]uint64, e.Set.Size())
+	if e.parallelWorkers() > 1 {
+		err = e.parallelApply(nil, func(db *storage.Database, i int) error {
+			el := e.Set.Elements[i]
+			el.Apply(db)
+			defer el.Undo(db)
+			hs := make([]uint64, len(qs))
+			for j, q := range qs {
+				res, rerr := q.Run(db)
+				if rerr != nil {
+					return rerr
+				}
+				hs[j] = res.Hash()
+			}
+			elems[i] = combine(hs)
+			return nil
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		e.LastStats.Naive += e.Set.Size() * len(qs)
+		return elems, base, nil
+	}
+	hs := make([]uint64, len(qs))
+	for i, el := range e.Set.Elements {
+		el.Apply(e.DB)
+		for j, q := range qs {
+			var res *result.Result
+			res, err = q.Run(e.DB)
+			if err != nil {
+				el.Undo(e.DB)
+				return nil, 0, err
+			}
+			hs[j] = res.Hash()
+		}
+		el.Undo(e.DB)
+		elems[i] = combine(hs)
+		e.LastStats.Naive += len(qs)
+	}
+	return elems, base, nil
+}
+
+func combine(hs []uint64) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, x := range hs {
+		for i := 0; i < 8; i++ {
+			b[i] = byte(x >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}
+
+// Price computes the bundle price under the chosen pricing function,
+// scaled so that the bundle retrieving the full database costs Total.
+func (e *Engine) Price(fn Func, qs ...*exec.Query) (float64, error) {
+	if len(qs) == 0 {
+		return 0, fmt.Errorf("empty query bundle")
+	}
+	switch fn {
+	case WeightedCoverage, UniformEntropyGain:
+		dis, err := e.Disagreements(qs, nil)
+		if err != nil {
+			return 0, err
+		}
+		if fn == WeightedCoverage {
+			p := 0.0
+			for i, d := range dis {
+				if d {
+					p += e.Weights[i]
+				}
+			}
+			return p, nil
+		}
+		d := 0
+		for _, x := range dis {
+			if x {
+				d++
+			}
+		}
+		return e.scaleUEG(d), nil
+
+	case ShannonEntropy, QEntropy:
+		hashes, _, err := e.OutputHashes(qs)
+		if err != nil {
+			return 0, err
+		}
+		return e.entropyPrice(fn, hashes), nil
+	}
+	return 0, fmt.Errorf("unknown pricing function %v", fn)
+}
+
+// PricesFromHashes derives all four pricing functions from one pass of
+// per-element output hashes (as returned by OutputHashes). The benchmark
+// harness uses it to sweep the 8 function × support combinations of
+// Figures 2 and 6 without re-running the bundle per function.
+func (e *Engine) PricesFromHashes(hashes []uint64, base uint64) map[Func]float64 {
+	out := make(map[Func]float64, 4)
+	cov, d := 0.0, 0
+	for i, h := range hashes {
+		if h != base {
+			cov += e.Weights[i]
+			d++
+		}
+	}
+	out[WeightedCoverage] = cov
+	out[UniformEntropyGain] = e.scaleUEG(d)
+	out[ShannonEntropy] = e.entropyPrice(ShannonEntropy, hashes)
+	out[QEntropy] = e.entropyPrice(QEntropy, hashes)
+	return out
+}
+
+func (e *Engine) scaleUEG(d int) float64 {
+	s := e.Set.Size()
+	if d == 0 || s <= 1 {
+		return 0
+	}
+	return e.Total * math.Log(float64(d)) / math.Log(float64(s))
+}
+
+// entropyPrice computes p_H or p_T over the partition of S induced by the
+// output hashes, normalized so that the all-singletons partition (achieved
+// by Q_all) prices at Total.
+func (e *Engine) entropyPrice(fn Func, hashes []uint64) float64 {
+	blocks := make(map[uint64]float64)
+	for i, h := range hashes {
+		blocks[h] += e.Weights[i] / e.Total
+	}
+	var v, vmax float64
+	switch fn {
+	case ShannonEntropy:
+		for _, w := range blocks {
+			if w > 0 {
+				v -= w * math.Log(w)
+			}
+		}
+		for i := range hashes {
+			w := e.Weights[i] / e.Total
+			if w > 0 {
+				vmax -= w * math.Log(w)
+			}
+		}
+	case QEntropy:
+		for _, w := range blocks {
+			v += w * (1 - w)
+		}
+		for i := range hashes {
+			w := e.Weights[i] / e.Total
+			vmax += w * (1 - w)
+		}
+	}
+	if vmax <= 0 {
+		return 0
+	}
+	p := e.Total * v / vmax
+	// Clamp float noise: a single-block partition is exactly free.
+	if p < 1e-9*e.Total {
+		return 0
+	}
+	if p > e.Total {
+		return e.Total
+	}
+	return p
+}

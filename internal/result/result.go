@@ -1,0 +1,126 @@
+// Package result holds query results and implements the output-comparison
+// primitives the pricing framework is built on: order-insensitive multiset
+// hashing (the h(Q(D)) of Algorithms 1-3) and exact multiset equality (used
+// by the disagreement checkers of §4, where correctness matters more than
+// speed because the compared sets are small).
+package result
+
+import (
+	"hash/fnv"
+	"strings"
+
+	"qirana/internal/value"
+)
+
+// Result is a materialized query output.
+type Result struct {
+	Cols []string
+	Rows [][]value.Value
+	// Ordered marks results whose row order is semantically meaningful
+	// (ORDER BY and/or LIMIT present); their hash and equality are
+	// sequence-sensitive.
+	Ordered bool
+}
+
+// Len returns the number of rows.
+func (r *Result) Len() int { return len(r.Rows) }
+
+// IsEmpty reports whether the result has no rows.
+func (r *Result) IsEmpty() bool { return len(r.Rows) == 0 }
+
+// Hash returns a 64-bit fingerprint of the result. For unordered results
+// the hash is invariant under row permutation: per-row hashes are combined
+// with two independent commutative mixes (sum and sum-of-squares-rotated)
+// plus the cardinality, which makes accidental collisions of distinct
+// multisets vanishingly unlikely.
+func (r *Result) Hash() uint64 {
+	if r.Ordered {
+		h := fnv.New64a()
+		for _, row := range r.Rows {
+			var b [8]byte
+			putU64(b[:], value.HashRow(row))
+			h.Write(b[:])
+		}
+		return h.Sum64()
+	}
+	var sum, mix uint64
+	for _, row := range r.Rows {
+		// FNV row hashes of rows that differ only in a trailing counter
+		// differ near-linearly, which makes a plain additive combine
+		// collide (e.g. two group counts shifting by ±1). A murmur-style
+		// finalizer destroys that structure before the commutative mix.
+		rh := fmix64(value.HashRow(row))
+		sum += rh
+		mix += fmix64(rh ^ 0x9E3779B97F4A7C15)
+	}
+	h := fnv.New64a()
+	var b [24]byte
+	putU64(b[0:], uint64(len(r.Rows)))
+	putU64(b[8:], sum)
+	putU64(b[16:], mix)
+	h.Write(b[:])
+	return h.Sum64()
+}
+
+// fmix64 is the MurmurHash3 64-bit finalizer: a bijective avalanche mix.
+func fmix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+func putU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+// Equal reports exact multiset (or sequence, when ordered) equality of two
+// results. Column headers are ignored: the pricing framework compares the
+// same query's output across neighboring instances.
+func (r *Result) Equal(o *Result) bool {
+	if len(r.Rows) != len(o.Rows) {
+		return false
+	}
+	if r.Ordered || o.Ordered {
+		for i := range r.Rows {
+			if value.Key(r.Rows[i]) != value.Key(o.Rows[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	counts := make(map[string]int, len(r.Rows))
+	for _, row := range r.Rows {
+		counts[value.Key(row)]++
+	}
+	for _, row := range o.Rows {
+		k := value.Key(row)
+		c := counts[k]
+		if c == 0 {
+			return false
+		}
+		counts[k] = c - 1
+	}
+	return true
+}
+
+// String renders the result as a small text table (for the CLI and
+// examples).
+func (r *Result) String() string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(r.Cols, " | "))
+	sb.WriteString("\n")
+	for _, row := range r.Rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = v.String()
+		}
+		sb.WriteString(strings.Join(parts, " | "))
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,136 @@
+package result
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"qirana/internal/value"
+)
+
+func rows(vals ...[]int64) [][]value.Value {
+	out := make([][]value.Value, len(vals))
+	for i, r := range vals {
+		row := make([]value.Value, len(r))
+		for j, v := range r {
+			row[j] = value.NewInt(v)
+		}
+		out[i] = row
+	}
+	return out
+}
+
+func TestHashPermutationInvariance(t *testing.T) {
+	a := &Result{Rows: rows([]int64{1, 2}, []int64{3, 4}, []int64{5, 6})}
+	b := &Result{Rows: rows([]int64{5, 6}, []int64{1, 2}, []int64{3, 4})}
+	if a.Hash() != b.Hash() {
+		t.Fatal("unordered hash must be permutation-invariant")
+	}
+	if !a.Equal(b) {
+		t.Fatal("permuted multisets are equal")
+	}
+}
+
+func TestOrderedHashIsSequenceSensitive(t *testing.T) {
+	a := &Result{Rows: rows([]int64{1}, []int64{2}), Ordered: true}
+	b := &Result{Rows: rows([]int64{2}, []int64{1}), Ordered: true}
+	if a.Hash() == b.Hash() {
+		t.Fatal("ordered hash must distinguish sequences")
+	}
+	if a.Equal(b) {
+		t.Fatal("ordered results with different sequences are unequal")
+	}
+}
+
+func TestMultisetMultiplicity(t *testing.T) {
+	a := &Result{Rows: rows([]int64{1}, []int64{1}, []int64{2})}
+	b := &Result{Rows: rows([]int64{1}, []int64{2}, []int64{2})}
+	if a.Equal(b) {
+		t.Fatal("bag multiplicities differ")
+	}
+	if a.Hash() == b.Hash() {
+		t.Fatal("hash should separate different multiplicities")
+	}
+}
+
+// TestCounterShiftCollision regression-tests the structured collision that
+// motivated the murmur finalizer: shifting one unit of count between two
+// group rows must change the hash.
+func TestCounterShiftCollision(t *testing.T) {
+	for g1 := int64(0); g1 < 30; g1++ {
+		for g2 := g1 + 1; g2 < 30; g2++ {
+			a := &Result{Rows: rows([]int64{g1, 11}, []int64{g2, 8})}
+			b := &Result{Rows: rows([]int64{g1, 10}, []int64{g2, 9})}
+			if a.Hash() == b.Hash() {
+				t.Fatalf("count-shift collision at groups %d/%d", g1, g2)
+			}
+		}
+	}
+}
+
+// Property: Equal implies equal hash; sampled unequal multisets hash apart.
+func TestQuickHashConsistentWithEqual(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		var base [][]value.Value
+		for i := 0; i < n; i++ {
+			base = append(base, []value.Value{value.NewInt(int64(rng.Intn(5))), value.NewInt(int64(rng.Intn(5)))})
+		}
+		a := &Result{Rows: base}
+		// Shuffled copy: equal.
+		perm := rng.Perm(n)
+		shuffled := make([][]value.Value, n)
+		for i, p := range perm {
+			shuffled[i] = base[p]
+		}
+		b := &Result{Rows: shuffled}
+		if !a.Equal(b) || a.Hash() != b.Hash() {
+			return false
+		}
+		// Mutated copy: unequal (value 9 never appears in base).
+		mut := make([][]value.Value, n)
+		copy(mut, base)
+		mut[rng.Intn(n)] = []value.Value{value.NewInt(9), value.NewInt(9)}
+		c := &Result{Rows: mut}
+		return !a.Equal(c) && a.Hash() != c.Hash()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyAndLen(t *testing.T) {
+	r := &Result{Cols: []string{"a"}}
+	if !r.IsEmpty() || r.Len() != 0 {
+		t.Fatal("empty")
+	}
+	r.Rows = rows([]int64{1})
+	if r.IsEmpty() || r.Len() != 1 {
+		t.Fatal("non-empty")
+	}
+	// Distinct empty results of different queries hash equal: both reveal
+	// "no rows".
+	a := &Result{Cols: []string{"x"}}
+	b := &Result{Cols: []string{"y", "z"}}
+	if a.Hash() != b.Hash() {
+		t.Fatal("empty hashes should agree (headers are not content)")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	r := &Result{Cols: []string{"a", "b"}, Rows: rows([]int64{1, 2})}
+	s := r.String()
+	if !strings.Contains(s, "a | b") || !strings.Contains(s, "1 | 2") {
+		t.Fatalf("render: %q", s)
+	}
+}
+
+func TestEqualDifferentLengths(t *testing.T) {
+	a := &Result{Rows: rows([]int64{1})}
+	b := &Result{Rows: rows([]int64{1}, []int64{1})}
+	if a.Equal(b) || b.Equal(a) {
+		t.Fatal("length mismatch")
+	}
+}

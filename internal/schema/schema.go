@@ -1,0 +1,150 @@
+// Package schema describes the relational schemas qirana prices over:
+// relations with typed attributes, composite primary keys, optional
+// per-attribute value domains and foreign keys. The schema (together with
+// domains and cardinalities) defines the set I of possible database
+// instances in the pricing framework (paper §2.1, §3.1).
+package schema
+
+import (
+	"fmt"
+	"strings"
+
+	"qirana/internal/value"
+)
+
+// Attribute is a single typed column of a relation. If Domain is non-empty
+// it lists the values the buyer considers possible for the column; when it
+// is empty the active domain of the column in the instance for sale is used
+// (paper §3.1).
+type Attribute struct {
+	Name   string
+	Type   value.Kind
+	Domain []value.Value
+}
+
+// ForeignKey records that the key attributes (by index) of this relation
+// reference the primary key of another relation. Foreign keys are part of
+// the buyer's common knowledge about I.
+type ForeignKey struct {
+	Attrs    []int
+	RefTable string
+	RefAttrs []int
+}
+
+// Relation is a named relation schema.
+type Relation struct {
+	Name        string
+	Attributes  []Attribute
+	Key         []int // indexes of the primary-key attributes
+	ForeignKeys []ForeignKey
+
+	lowerName string
+	attrIdx   map[string]int
+}
+
+// NewRelation builds a relation schema and validates the key indexes.
+func NewRelation(name string, attrs []Attribute, key []int) (*Relation, error) {
+	r := &Relation{Name: name, Attributes: attrs, Key: key}
+	r.lowerName = strings.ToLower(name)
+	r.attrIdx = make(map[string]int, len(attrs))
+	for i, a := range attrs {
+		ln := strings.ToLower(a.Name)
+		if _, dup := r.attrIdx[ln]; dup {
+			return nil, fmt.Errorf("relation %s: duplicate attribute %s", name, a.Name)
+		}
+		r.attrIdx[ln] = i
+	}
+	for _, k := range key {
+		if k < 0 || k >= len(attrs) {
+			return nil, fmt.Errorf("relation %s: key index %d out of range", name, k)
+		}
+	}
+	return r, nil
+}
+
+// MustRelation is NewRelation that panics on error; used for the built-in
+// benchmark schemas which are statically correct.
+func MustRelation(name string, attrs []Attribute, key []int) *Relation {
+	r, err := NewRelation(name, attrs, key)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// AttrIndex returns the index of the named attribute (case-insensitive),
+// or -1 if the relation has no such attribute.
+func (r *Relation) AttrIndex(name string) int {
+	if i, ok := r.attrIdx[strings.ToLower(name)]; ok {
+		return i
+	}
+	return -1
+}
+
+// IsKeyAttr reports whether attribute index i belongs to the primary key.
+func (r *Relation) IsKeyAttr(i int) bool {
+	for _, k := range r.Key {
+		if k == i {
+			return true
+		}
+	}
+	return false
+}
+
+// NonKeyAttrs returns the indexes of all non-primary-key attributes. These
+// are the attributes the support-set generator may perturb (paper §3.2).
+func (r *Relation) NonKeyAttrs() []int {
+	out := make([]int, 0, len(r.Attributes))
+	for i := range r.Attributes {
+		if !r.IsKeyAttr(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Arity returns the number of attributes.
+func (r *Relation) Arity() int { return len(r.Attributes) }
+
+// Schema is a set of relations forming a database schema.
+type Schema struct {
+	Relations []*Relation
+	byName    map[string]*Relation
+}
+
+// NewSchema builds a schema from relations, rejecting duplicate names.
+func NewSchema(rels ...*Relation) (*Schema, error) {
+	s := &Schema{byName: make(map[string]*Relation, len(rels))}
+	for _, r := range rels {
+		ln := strings.ToLower(r.Name)
+		if _, dup := s.byName[ln]; dup {
+			return nil, fmt.Errorf("duplicate relation %s", r.Name)
+		}
+		s.byName[ln] = r
+		s.Relations = append(s.Relations, r)
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error.
+func MustSchema(rels ...*Relation) *Schema {
+	s, err := NewSchema(rels...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Relation looks a relation up by name (case-insensitive), nil if absent.
+func (s *Schema) Relation(name string) *Relation {
+	return s.byName[strings.ToLower(name)]
+}
+
+// Names returns the relation names in declaration order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.Relations))
+	for i, r := range s.Relations {
+		out[i] = r.Name
+	}
+	return out
+}

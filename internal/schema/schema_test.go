@@ -1,0 +1,92 @@
+package schema
+
+import (
+	"testing"
+
+	"qirana/internal/value"
+)
+
+func attrs() []Attribute {
+	return []Attribute{
+		{Name: "id", Type: value.KindInt},
+		{Name: "Name", Type: value.KindString},
+		{Name: "age", Type: value.KindInt},
+	}
+}
+
+func TestNewRelation(t *testing.T) {
+	r, err := NewRelation("person", attrs(), []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AttrIndex("NAME") != 1 || r.AttrIndex("name") != 1 {
+		t.Fatal("case-insensitive attr lookup")
+	}
+	if r.AttrIndex("missing") != -1 {
+		t.Fatal("phantom attribute")
+	}
+	if !r.IsKeyAttr(0) || r.IsKeyAttr(1) {
+		t.Fatal("key classification")
+	}
+	nk := r.NonKeyAttrs()
+	if len(nk) != 2 || nk[0] != 1 || nk[1] != 2 {
+		t.Fatalf("non-key attrs: %v", nk)
+	}
+	if r.Arity() != 3 {
+		t.Fatal("arity")
+	}
+}
+
+func TestRelationErrors(t *testing.T) {
+	dup := append(attrs(), Attribute{Name: "ID", Type: value.KindInt})
+	if _, err := NewRelation("r", dup, []int{0}); err == nil {
+		t.Fatal("duplicate attribute (case-insensitive) accepted")
+	}
+	if _, err := NewRelation("r", attrs(), []int{9}); err == nil {
+		t.Fatal("out-of-range key accepted")
+	}
+}
+
+func TestCompositeKey(t *testing.T) {
+	r := MustRelation("edge", []Attribute{
+		{Name: "src", Type: value.KindInt},
+		{Name: "dst", Type: value.KindInt},
+		{Name: "w", Type: value.KindFloat},
+	}, []int{0, 1})
+	if !r.IsKeyAttr(0) || !r.IsKeyAttr(1) || r.IsKeyAttr(2) {
+		t.Fatal("composite key")
+	}
+	if got := r.NonKeyAttrs(); len(got) != 1 || got[0] != 2 {
+		t.Fatal("non-key of composite")
+	}
+}
+
+func TestSchema(t *testing.T) {
+	a := MustRelation("A", attrs(), []int{0})
+	b := MustRelation("B", attrs(), []int{0})
+	s, err := NewSchema(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Relation("a") != a || s.Relation("B") != b {
+		t.Fatal("lookup")
+	}
+	if s.Relation("c") != nil {
+		t.Fatal("phantom relation")
+	}
+	if got := s.Names(); len(got) != 2 || got[0] != "A" {
+		t.Fatalf("names: %v", got)
+	}
+	if _, err := NewSchema(a, MustRelation("a", attrs(), []int{0})); err == nil {
+		t.Fatal("duplicate relation name accepted")
+	}
+}
+
+func TestMustPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustRelation should panic on bad input")
+		}
+	}()
+	MustRelation("bad", attrs(), []int{42})
+}

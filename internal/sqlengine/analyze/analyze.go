@@ -1,0 +1,314 @@
+// Package analyze performs semantic analysis of parsed queries against a
+// schema: name resolution (with outer scopes for correlated subqueries),
+// star expansion, aggregate detection and SELECT-alias resolution in
+// HAVING/ORDER BY (MySQL-style, which the paper's workloads rely on).
+//
+// Analysis never mutates the AST, so one parsed query can be analyzed
+// against many databases; all annotations live in side tables keyed by
+// node pointer.
+package analyze
+
+import (
+	"fmt"
+	"strings"
+
+	"qirana/internal/schema"
+	"qirana/internal/sqlengine/ast"
+)
+
+// ColBind locates the storage of a resolved column reference: Level scopes
+// up (0 = the query's own FROM), source index Table within that scope, and
+// column index Col within that source's row.
+type ColBind struct {
+	Level int
+	Table int
+	Col   int
+}
+
+// Source is one analyzed FROM item.
+type Source struct {
+	Ref  ast.TableRef
+	Rel  *schema.Relation // non-nil for base tables
+	Sub  *Analyzed        // non-nil for derived tables
+	Cols []string         // exposed column names, lower-cased
+}
+
+// OutCol is one expanded output column of the query.
+type OutCol struct {
+	Name string
+	Expr ast.Expr
+}
+
+// Analyzed is the result of analyzing one SELECT (sub)statement.
+type Analyzed struct {
+	Stmt    *ast.SelectStmt
+	Sources []*Source
+	// Binds resolves every column reference in this statement's own
+	// clauses (not inside nested subqueries, which carry their own maps).
+	Binds map[*ast.ColumnRef]ColBind
+	// AliasRefs maps HAVING/ORDER BY column refs that actually name a
+	// SELECT alias to the select-item index they refer to.
+	AliasRefs map[*ast.ColumnRef]int
+	// Subs holds the analysis of every nested subquery (expression
+	// subqueries; derived tables are in Sources[i].Sub).
+	Subs map[*ast.SelectStmt]*Analyzed
+	// OutCols are the output columns with stars expanded.
+	OutCols []OutCol
+	// ItemOutIdx maps each select-item index to its OutCols index
+	// (-1 for star items, which expand to several columns).
+	ItemOutIdx []int
+	// Aggs lists the aggregate calls appearing in SELECT/HAVING/ORDER BY.
+	Aggs []*ast.FuncCall
+	// IsAgg reports whether the query aggregates (GROUP BY or aggregates).
+	IsAgg bool
+	// Correlated reports whether this statement references an outer scope.
+	Correlated bool
+	// CorrelatedCols lists the outer-scope bindings used (for memoization).
+	CorrelatedCols []ColBind
+}
+
+type scope struct {
+	sources []*Source
+	owner   *Analyzed
+}
+
+// Analyze resolves a query against a schema.
+func Analyze(stmt *ast.SelectStmt, sch *schema.Schema) (*Analyzed, error) {
+	return analyze(stmt, sch, nil)
+}
+
+func analyze(stmt *ast.SelectStmt, sch *schema.Schema, outer []*scope) (*Analyzed, error) {
+	a := &Analyzed{
+		Stmt:      stmt,
+		Binds:     make(map[*ast.ColumnRef]ColBind),
+		AliasRefs: make(map[*ast.ColumnRef]int),
+		Subs:      make(map[*ast.SelectStmt]*Analyzed),
+	}
+	// Resolve FROM items.
+	seen := make(map[string]bool)
+	for _, ref := range stmt.From {
+		src := &Source{Ref: ref}
+		if ref.Sub != nil {
+			sub, err := analyze(ref.Sub, sch, outer)
+			if err != nil {
+				return nil, err
+			}
+			src.Sub = sub
+			for _, oc := range sub.OutCols {
+				src.Cols = append(src.Cols, strings.ToLower(oc.Name))
+			}
+		} else {
+			rel := sch.Relation(ref.Name)
+			if rel == nil {
+				return nil, fmt.Errorf("unknown relation %q", ref.Name)
+			}
+			src.Rel = rel
+			for _, at := range rel.Attributes {
+				src.Cols = append(src.Cols, strings.ToLower(at.Name))
+			}
+		}
+		en := strings.ToLower(src.Ref.EffectiveName())
+		if seen[en] {
+			return nil, fmt.Errorf("duplicate table name/alias %q in FROM", en)
+		}
+		seen[en] = true
+		a.Sources = append(a.Sources, src)
+	}
+	self := &scope{sources: a.Sources, owner: a}
+	scopes := append([]*scope{self}, outer...)
+
+	// Expand the select list.
+	for _, it := range stmt.Items {
+		if it.Star {
+			a.ItemOutIdx = append(a.ItemOutIdx, -1)
+			if err := a.expandStar(it); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		a.ItemOutIdx = append(a.ItemOutIdx, len(a.OutCols))
+		if err := a.resolveExpr(it.Expr, scopes, sch, false); err != nil {
+			return nil, err
+		}
+		name := it.Alias
+		if name == "" {
+			if cr, ok := it.Expr.(*ast.ColumnRef); ok {
+				name = cr.Name
+			} else {
+				name = it.Expr.String()
+			}
+		}
+		a.OutCols = append(a.OutCols, OutCol{Name: name, Expr: it.Expr})
+	}
+
+	// WHERE (aggregates not allowed there; we don't enforce — workloads
+	// never do it — but we do resolve names).
+	if stmt.Where != nil {
+		if err := a.resolveExpr(stmt.Where, scopes, sch, false); err != nil {
+			return nil, err
+		}
+	}
+	for _, g := range stmt.GroupBy {
+		if err := a.resolveExpr(g, scopes, sch, false); err != nil {
+			return nil, err
+		}
+	}
+	if stmt.Having != nil {
+		if err := a.resolveExpr(stmt.Having, scopes, sch, true); err != nil {
+			return nil, err
+		}
+	}
+	for _, o := range stmt.OrderBy {
+		if err := a.resolveExpr(o.Expr, scopes, sch, true); err != nil {
+			return nil, err
+		}
+	}
+
+	// Collect aggregates from SELECT list, HAVING and ORDER BY.
+	collect := func(e ast.Expr) {
+		ast.Walk(e, func(x ast.Expr) {
+			if f, ok := x.(*ast.FuncCall); ok && f.IsAggregate() {
+				a.Aggs = append(a.Aggs, f)
+			}
+		})
+	}
+	for _, oc := range a.OutCols {
+		collect(oc.Expr)
+	}
+	collect(stmt.Having)
+	for _, o := range stmt.OrderBy {
+		collect(o.Expr)
+	}
+	a.IsAgg = len(stmt.GroupBy) > 0 || len(a.Aggs) > 0
+	return a, nil
+}
+
+func (a *Analyzed) expandStar(it ast.SelectItem) error {
+	matched := false
+	for ti, src := range a.Sources {
+		if it.StarTable != "" && !strings.EqualFold(it.StarTable, src.Ref.EffectiveName()) {
+			continue
+		}
+		matched = true
+		for ci, cn := range src.Cols {
+			ref := &ast.ColumnRef{Table: src.Ref.EffectiveName(), Name: cn}
+			a.Binds[ref] = ColBind{Level: 0, Table: ti, Col: ci}
+			a.OutCols = append(a.OutCols, OutCol{Name: cn, Expr: ref})
+		}
+	}
+	if !matched {
+		return fmt.Errorf("star qualifier %q matches no FROM table", it.StarTable)
+	}
+	return nil
+}
+
+// resolveExpr resolves all column references in e. When aliasOK is set,
+// unqualified names may also resolve to SELECT aliases (HAVING/ORDER BY).
+func (a *Analyzed) resolveExpr(e ast.Expr, scopes []*scope, sch *schema.Schema, aliasOK bool) error {
+	var firstErr error
+	ast.Walk(e, func(x ast.Expr) {
+		if firstErr != nil {
+			return
+		}
+		switch n := x.(type) {
+		case *ast.ColumnRef:
+			if err := a.resolveRef(n, scopes, aliasOK); err != nil {
+				firstErr = err
+			}
+		case *ast.SubqueryExpr:
+			if err := a.analyzeSub(n.Sub, scopes, sch); err != nil {
+				firstErr = err
+			}
+		case *ast.ExistsExpr:
+			if err := a.analyzeSub(n.Sub, scopes, sch); err != nil {
+				firstErr = err
+			}
+		case *ast.InExpr:
+			if n.Sub != nil {
+				if err := a.analyzeSub(n.Sub, scopes, sch); err != nil {
+					firstErr = err
+				}
+			}
+		}
+	})
+	return firstErr
+}
+
+func (a *Analyzed) analyzeSub(sub *ast.SelectStmt, scopes []*scope, sch *schema.Schema) error {
+	sa, err := analyze(sub, sch, scopes)
+	if err != nil {
+		return err
+	}
+	a.Subs[sub] = sa
+	// A subquery binding at level L (relative to itself) references this
+	// statement's scope chain at level L-1. Only bindings that reach past
+	// this statement (L >= 2) make this statement correlated as well.
+	for _, cb := range sa.CorrelatedCols {
+		if cb.Level >= 2 {
+			a.Correlated = true
+			a.CorrelatedCols = append(a.CorrelatedCols, ColBind{Level: cb.Level - 1, Table: cb.Table, Col: cb.Col})
+		}
+	}
+	return nil
+}
+
+func (a *Analyzed) resolveRef(ref *ast.ColumnRef, scopes []*scope, aliasOK bool) error {
+	for lvl, sc := range scopes {
+		ti, ci, n := lookup(sc.sources, ref)
+		if n > 1 {
+			return fmt.Errorf("ambiguous column reference %q", ref.String())
+		}
+		if n == 1 {
+			a.Binds[ref] = ColBind{Level: lvl, Table: ti, Col: ci}
+			if lvl > 0 {
+				a.Correlated = true
+				a.CorrelatedCols = append(a.CorrelatedCols, ColBind{Level: lvl, Table: ti, Col: ci})
+			}
+			return nil
+		}
+	}
+	if aliasOK && ref.Table == "" {
+		for i, it := range a.Stmt.Items {
+			if it.Alias != "" && strings.EqualFold(it.Alias, ref.Name) {
+				a.AliasRefs[ref] = i
+				return nil
+			}
+		}
+	}
+	// Unqualified names may also match SELECT aliases in GROUP BY under
+	// MySQL; we only extend that to HAVING/ORDER BY which the workloads use.
+	return fmt.Errorf("unknown column %q", ref.String())
+}
+
+func lookup(sources []*Source, ref *ast.ColumnRef) (ti, ci, n int) {
+	ti, ci = -1, -1
+	for si, src := range sources {
+		if ref.Table != "" && !strings.EqualFold(ref.Table, src.Ref.EffectiveName()) {
+			continue
+		}
+		for cj, cn := range src.Cols {
+			if strings.EqualFold(cn, ref.Name) {
+				n++
+				if n == 1 {
+					ti, ci = si, cj
+				}
+				break // a column name appears at most once per source
+			}
+		}
+		if ref.Table != "" {
+			break // qualified: only the named source counts
+		}
+	}
+	return ti, ci, n
+}
+
+// SourceIndex returns the index of the FROM source bound to the given base
+// relation name, or -1. Used by the SPJ extractor.
+func (a *Analyzed) SourceIndex(rel string) int {
+	for i, s := range a.Sources {
+		if s.Rel != nil && strings.EqualFold(s.Rel.Name, rel) {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,188 @@
+package analyze
+
+import (
+	"strings"
+	"testing"
+
+	"qirana/internal/schema"
+	"qirana/internal/sqlengine/ast"
+	"qirana/internal/sqlengine/parser"
+	"qirana/internal/value"
+)
+
+func testSchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	return schema.MustSchema(
+		schema.MustRelation("emp", []schema.Attribute{
+			{Name: "id", Type: value.KindInt},
+			{Name: "name", Type: value.KindString},
+			{Name: "dept", Type: value.KindInt},
+			{Name: "salary", Type: value.KindInt},
+		}, []int{0}),
+		schema.MustRelation("dept", []schema.Attribute{
+			{Name: "id", Type: value.KindInt},
+			{Name: "dname", Type: value.KindString},
+		}, []int{0}),
+	)
+}
+
+func analyzeSQL(t *testing.T, sql string) (*Analyzed, error) {
+	t.Helper()
+	stmt, err := parser.Parse(sql)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Analyze(stmt, testSchema(t))
+}
+
+func mustAnalyze(t *testing.T, sql string) *Analyzed {
+	t.Helper()
+	a, err := analyzeSQL(t, sql)
+	if err != nil {
+		t.Fatalf("analyze %q: %v", sql, err)
+	}
+	return a
+}
+
+func TestResolution(t *testing.T) {
+	a := mustAnalyze(t, "SELECT name, salary FROM emp WHERE dept = 1")
+	if len(a.OutCols) != 2 || a.OutCols[0].Name != "name" {
+		t.Fatalf("out cols: %+v", a.OutCols)
+	}
+	for _, cb := range a.Binds {
+		if cb.Level != 0 || cb.Table != 0 {
+			t.Fatalf("bad bind %+v", cb)
+		}
+	}
+}
+
+func TestStarExpansion(t *testing.T) {
+	a := mustAnalyze(t, "SELECT * FROM emp, dept")
+	if len(a.OutCols) != 6 {
+		t.Fatalf("star expanded to %d cols", len(a.OutCols))
+	}
+	a = mustAnalyze(t, "SELECT d.* FROM emp e, dept d")
+	if len(a.OutCols) != 2 || a.OutCols[1].Name != "dname" {
+		t.Fatalf("qualified star: %+v", a.OutCols)
+	}
+	if a.ItemOutIdx[0] != -1 {
+		t.Fatal("star items map to -1")
+	}
+}
+
+func TestAmbiguityAndErrors(t *testing.T) {
+	cases := map[string]string{
+		"SELECT id FROM emp, dept":             "ambiguous",
+		"SELECT nope FROM emp":                 "unknown column",
+		"SELECT * FROM nothere":                "unknown relation",
+		"SELECT * FROM emp, emp":               "duplicate table",
+		"SELECT e.* FROM emp f":                "matches no FROM table",
+		"SELECT name FROM emp WHERE ghost = 1": "unknown column",
+	}
+	for sql, frag := range cases {
+		_, err := analyzeSQL(t, sql)
+		if err == nil || !strings.Contains(err.Error(), frag) {
+			t.Errorf("%q: got %v, want error containing %q", sql, err, frag)
+		}
+	}
+}
+
+func TestQualifiedDisambiguation(t *testing.T) {
+	a := mustAnalyze(t, "SELECT e.id, d.id FROM emp e, dept d WHERE e.dept = d.id")
+	if a.OutCols[0].Name != "id" || a.OutCols[1].Name != "id" {
+		t.Fatal("names")
+	}
+	var tables []int
+	for _, oc := range a.OutCols {
+		cr := oc.Expr.(*ast.ColumnRef)
+		tables = append(tables, a.Binds[cr].Table)
+	}
+	if tables[0] == tables[1] {
+		t.Fatal("qualified refs must bind to distinct sources")
+	}
+}
+
+func TestAggregateDetection(t *testing.T) {
+	a := mustAnalyze(t, "SELECT dept, count(*), avg(salary) FROM emp GROUP BY dept")
+	if !a.IsAgg || len(a.Aggs) != 2 {
+		t.Fatalf("agg detection: %v %d", a.IsAgg, len(a.Aggs))
+	}
+	a = mustAnalyze(t, "SELECT max(salary) FROM emp")
+	if !a.IsAgg {
+		t.Fatal("global aggregate")
+	}
+	a = mustAnalyze(t, "SELECT salary FROM emp")
+	if a.IsAgg {
+		t.Fatal("plain query flagged as aggregate")
+	}
+}
+
+func TestHavingAlias(t *testing.T) {
+	a := mustAnalyze(t, "SELECT dept, count(*) AS c FROM emp GROUP BY dept HAVING c > 2")
+	found := false
+	for ref, idx := range a.AliasRefs {
+		if strings.EqualFold(ref.Name, "c") && idx == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("HAVING alias not resolved")
+	}
+	// Aliases that shadow nothing and match no column are errors.
+	if _, err := analyzeSQL(t, "SELECT dept FROM emp GROUP BY dept HAVING zzz > 2"); err == nil {
+		t.Fatal("unknown HAVING name accepted")
+	}
+}
+
+func TestCorrelatedSubquery(t *testing.T) {
+	a := mustAnalyze(t,
+		"SELECT name FROM emp e WHERE salary > (SELECT avg(salary) FROM emp WHERE dept = e.dept)")
+	if a.Correlated {
+		t.Fatal("outer query itself is not correlated")
+	}
+	if len(a.Subs) != 1 {
+		t.Fatal("subquery not analyzed")
+	}
+	for _, sa := range a.Subs {
+		if !sa.Correlated || len(sa.CorrelatedCols) != 1 {
+			t.Fatalf("subquery correlation: %+v", sa.CorrelatedCols)
+		}
+		if sa.CorrelatedCols[0].Level != 1 {
+			t.Fatalf("level: %d", sa.CorrelatedCols[0].Level)
+		}
+	}
+}
+
+func TestDoublyNestedCorrelation(t *testing.T) {
+	// The innermost query references the outermost table: level 2 from the
+	// inner scope, making the middle query correlated at level 1.
+	a := mustAnalyze(t, `SELECT name FROM emp e WHERE EXISTS (
+		SELECT 1 FROM dept d WHERE EXISTS (
+			SELECT 1 FROM emp WHERE dept = d.id AND salary > e.salary))`)
+	if len(a.Subs) != 1 {
+		t.Fatal("middle subquery missing")
+	}
+	for _, mid := range a.Subs {
+		if !mid.Correlated {
+			t.Fatal("middle query must be correlated (it wraps a reference to e)")
+		}
+	}
+}
+
+func TestDerivedTableColumns(t *testing.T) {
+	a := mustAnalyze(t,
+		"SELECT avg(c) FROM (SELECT dept, count(*) AS c FROM emp GROUP BY dept) AS g")
+	if a.Sources[0].Sub == nil {
+		t.Fatal("derived source")
+	}
+	if len(a.Sources[0].Cols) != 2 || a.Sources[0].Cols[1] != "c" {
+		t.Fatalf("derived cols: %v", a.Sources[0].Cols)
+	}
+}
+
+func TestSourceIndex(t *testing.T) {
+	a := mustAnalyze(t, "SELECT e.name FROM emp e, dept d")
+	if a.SourceIndex("emp") != 0 || a.SourceIndex("DEPT") != 1 || a.SourceIndex("zzz") != -1 {
+		t.Fatal("SourceIndex")
+	}
+}

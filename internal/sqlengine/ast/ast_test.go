@@ -1,0 +1,148 @@
+package ast
+
+import (
+	"testing"
+
+	"qirana/internal/value"
+)
+
+func col(n string) *ColumnRef  { return &ColumnRef{Name: n} }
+func lit(i int64) *Literal     { return &Literal{Val: value.NewInt(i)} }
+func eq(l, r Expr) *BinaryExpr { return &BinaryExpr{Op: OpEq, L: l, R: r} }
+
+func TestSplitConjunctsAndConjoin(t *testing.T) {
+	a, b, c := eq(col("a"), lit(1)), eq(col("b"), lit(2)), eq(col("c"), lit(3))
+	e := &BinaryExpr{Op: OpAnd, L: &BinaryExpr{Op: OpAnd, L: a, R: b}, R: c}
+	parts := SplitConjuncts(e)
+	if len(parts) != 3 {
+		t.Fatalf("conjuncts: %d", len(parts))
+	}
+	back := Conjoin(parts)
+	if back.String() != e.String() {
+		t.Fatalf("conjoin mismatch: %s vs %s", back, e)
+	}
+	if SplitConjuncts(nil) != nil {
+		t.Fatal("nil input")
+	}
+	if Conjoin(nil) != nil {
+		t.Fatal("empty conjoin")
+	}
+	// OR does not split.
+	or := &BinaryExpr{Op: OpOr, L: a, R: b}
+	if len(SplitConjuncts(or)) != 1 {
+		t.Fatal("OR must not split")
+	}
+}
+
+func TestWalkVisitsEverything(t *testing.T) {
+	e := &BetweenExpr{
+		X:  &BinaryExpr{Op: OpAdd, L: col("a"), R: lit(1)},
+		Lo: &UnaryExpr{Op: "-", X: lit(5)},
+		Hi: &FuncCall{Name: "MAX", Args: []Expr{col("b")}},
+	}
+	var cols, lits int
+	Walk(e, func(x Expr) {
+		switch x.(type) {
+		case *ColumnRef:
+			cols++
+		case *Literal:
+			lits++
+		}
+	})
+	if cols != 2 || lits != 2 {
+		t.Fatalf("walk: %d cols %d lits", cols, lits)
+	}
+}
+
+func TestWalkDoesNotEnterSubqueries(t *testing.T) {
+	sub := &SelectStmt{Items: []SelectItem{{Expr: col("inner")}}, Limit: -1}
+	e := &BinaryExpr{Op: OpGt, L: col("outer"), R: &SubqueryExpr{Sub: sub}}
+	var names []string
+	Walk(e, func(x Expr) {
+		if c, ok := x.(*ColumnRef); ok {
+			names = append(names, c.Name)
+		}
+	})
+	if len(names) != 1 || names[0] != "outer" {
+		t.Fatalf("walk crossed into subquery: %v", names)
+	}
+	if len(Subqueries(e)) != 1 {
+		t.Fatal("Subqueries should find the nested statement")
+	}
+}
+
+func TestHasAggregate(t *testing.T) {
+	if HasAggregate(col("a")) {
+		t.Fatal("bare column")
+	}
+	sum := &FuncCall{Name: "SUM", Args: []Expr{col("a")}}
+	if !HasAggregate(&BinaryExpr{Op: OpDiv, L: sum, R: lit(7)}) {
+		t.Fatal("nested aggregate missed")
+	}
+	if (&FuncCall{Name: "YEAR", Args: []Expr{col("d")}}).IsAggregate() {
+		t.Fatal("YEAR is scalar")
+	}
+}
+
+func TestCaseAndInRendering(t *testing.T) {
+	cs := &CaseExpr{
+		Whens: []WhenClause{{Cond: eq(col("a"), lit(1)), Result: lit(10)}},
+		Else:  lit(0),
+	}
+	if cs.String() != "CASE WHEN (a = 1) THEN 10 ELSE 0 END" {
+		t.Fatalf("case: %s", cs)
+	}
+	in := &InExpr{X: col("a"), List: []Expr{lit(1), lit(2)}, Not: true}
+	if in.String() != "(a NOT IN (1, 2))" {
+		t.Fatalf("in: %s", in)
+	}
+	iv := &Interval{N: 6, Unit: "MONTH"}
+	if iv.String() != "interval '6' month" {
+		t.Fatalf("interval: %s", iv)
+	}
+}
+
+func TestTableRefNaming(t *testing.T) {
+	r := TableRef{Name: "orders", Alias: "o"}
+	if r.EffectiveName() != "o" || r.String() != "orders o" {
+		t.Fatalf("%s / %s", r.EffectiveName(), r.String())
+	}
+	bare := TableRef{Name: "orders"}
+	if bare.EffectiveName() != "orders" || bare.String() != "orders" {
+		t.Fatal("bare ref")
+	}
+	sub := TableRef{Sub: &SelectStmt{Items: []SelectItem{{Star: true}}, Limit: -1}, Alias: "d"}
+	if sub.String() != "(SELECT *) AS d" {
+		t.Fatalf("derived: %s", sub.String())
+	}
+}
+
+func TestStatementRendering(t *testing.T) {
+	s := &SelectStmt{
+		Distinct: true,
+		Items:    []SelectItem{{Expr: col("a")}, {Expr: col("b"), Alias: "bee"}},
+		From:     []TableRef{{Name: "t"}},
+		Where:    eq(col("a"), lit(1)),
+		GroupBy:  []Expr{col("a")},
+		Having:   eq(col("b"), lit(2)),
+		OrderBy:  []OrderItem{{Expr: col("a"), Desc: true}},
+		Limit:    5,
+		Offset:   2,
+	}
+	want := "SELECT DISTINCT a, b AS bee FROM t WHERE (a = 1) GROUP BY a HAVING (b = 2) ORDER BY a DESC LIMIT 5 OFFSET 2"
+	if s.String() != want {
+		t.Fatalf("render:\n%s\n%s", s.String(), want)
+	}
+}
+
+func TestOperatorClassification(t *testing.T) {
+	if !OpEq.IsComparison() || !OpGe.IsComparison() {
+		t.Fatal("comparisons")
+	}
+	if OpAdd.IsComparison() || OpAnd.IsComparison() {
+		t.Fatal("non-comparisons")
+	}
+	if OpMul.String() != "*" || OpNeq.String() != "<>" {
+		t.Fatal("spelling")
+	}
+}

@@ -1,0 +1,181 @@
+package exec
+
+import (
+	"fmt"
+
+	"qirana/internal/sqlengine/analyze"
+	"qirana/internal/sqlengine/ast"
+	"qirana/internal/value"
+)
+
+// group is one finished aggregation group: a representative tuple (for
+// evaluating grouping and MySQL-permissive non-grouped expressions) and
+// the computed aggregate values.
+type group struct {
+	rep  [][]value.Value
+	aggs map[*ast.FuncCall]value.Value
+}
+
+// aggAcc accumulates one aggregate call within one group.
+type aggAcc struct {
+	fn       *ast.FuncCall
+	n        int64
+	sumI     int64
+	sumF     float64
+	isFloat  bool
+	min, max value.Value
+	distinct map[string]bool
+}
+
+func newAcc(fn *ast.FuncCall) *aggAcc {
+	a := &aggAcc{fn: fn, min: value.Null, max: value.Null}
+	if fn.Distinct {
+		a.distinct = make(map[string]bool)
+	}
+	return a
+}
+
+func (a *aggAcc) addStar() { a.n++ }
+
+func (a *aggAcc) add(vals []value.Value) {
+	for _, v := range vals {
+		if v.IsNull() {
+			return // SQL aggregates ignore NULL inputs
+		}
+	}
+	if a.distinct != nil {
+		k := value.Key(vals)
+		if a.distinct[k] {
+			return
+		}
+		a.distinct[k] = true
+	}
+	a.n++
+	v := vals[0]
+	switch a.fn.Name {
+	case "SUM", "AVG":
+		if v.K == value.KindFloat {
+			a.isFloat = true
+			a.sumF += v.F
+		} else {
+			a.sumI += v.AsInt()
+		}
+	case "MIN":
+		if a.min.IsNull() {
+			a.min = v
+		} else if c, ok := value.Compare(v, a.min); ok && c < 0 {
+			a.min = v
+		}
+	case "MAX":
+		if a.max.IsNull() {
+			a.max = v
+		} else if c, ok := value.Compare(v, a.max); ok && c > 0 {
+			a.max = v
+		}
+	}
+}
+
+func (a *aggAcc) final() value.Value {
+	switch a.fn.Name {
+	case "COUNT":
+		return value.NewInt(a.n)
+	case "SUM":
+		if a.n == 0 {
+			return value.Null
+		}
+		if a.isFloat {
+			return value.NewFloat(a.sumF + float64(a.sumI))
+		}
+		return value.NewInt(a.sumI)
+	case "AVG":
+		if a.n == 0 {
+			return value.Null
+		}
+		return value.NewFloat((a.sumF + float64(a.sumI)) / float64(a.n))
+	case "MIN":
+		return a.min
+	case "MAX":
+		return a.max
+	}
+	return value.Null
+}
+
+type groupAcc struct {
+	rep  [][]value.Value
+	accs []*aggAcc
+}
+
+// groupPhase partitions the joined tuples into groups and computes the
+// aggregate values. A query with aggregates but no GROUP BY forms a single
+// global group, which exists even over empty input (SQL semantics).
+func (r *runner) groupPhase(a *analyze.Analyzed, tuples [][][]value.Value, outer *env) ([]*group, error) {
+	accsByKey := make(map[string]*groupAcc)
+	var order []string
+	e := &env{a: a, outer: outer}
+
+	global := len(a.Stmt.GroupBy) == 0
+	if global {
+		ga := &groupAcc{rep: make([][]value.Value, len(a.Sources))}
+		for _, f := range a.Aggs {
+			ga.accs = append(ga.accs, newAcc(f))
+		}
+		accsByKey[""] = ga
+		order = append(order, "")
+	}
+
+	keyBuf := make([]value.Value, len(a.Stmt.GroupBy))
+	argBuf := make([]value.Value, 4)
+	for _, tup := range tuples {
+		e.tuples = tup
+		e.itemVals = nil
+		var k string
+		if !global {
+			for i, g := range a.Stmt.GroupBy {
+				v, err := r.eval(g, e)
+				if err != nil {
+					return nil, err
+				}
+				keyBuf[i] = v
+			}
+			k = value.Key(keyBuf)
+		}
+		ga := accsByKey[k]
+		if ga == nil {
+			ga = &groupAcc{rep: tup}
+			for _, f := range a.Aggs {
+				ga.accs = append(ga.accs, newAcc(f))
+			}
+			accsByKey[k] = ga
+			order = append(order, k)
+		}
+		for _, acc := range ga.accs {
+			if acc.fn.Star {
+				acc.addStar()
+				continue
+			}
+			args := argBuf[:0]
+			for _, arg := range acc.fn.Args {
+				v, err := r.eval(arg, e)
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, v)
+			}
+			if len(args) == 0 {
+				return nil, fmt.Errorf("aggregate %s requires an argument", acc.fn.Name)
+			}
+			acc.add(args)
+		}
+	}
+
+	groups := make([]*group, 0, len(order))
+	for _, k := range order {
+		ga := accsByKey[k]
+		g := &group{rep: ga.rep, aggs: make(map[*ast.FuncCall]value.Value, len(ga.accs))}
+		for _, acc := range ga.accs {
+			g.aggs[acc.fn] = acc.final()
+		}
+		groups = append(groups, g)
+	}
+	return groups, nil
+}

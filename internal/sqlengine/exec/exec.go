@@ -1,0 +1,346 @@
+// Package exec is qirana's query executor. It runs analyzed SELECT
+// statements against the in-memory store with three entry points the
+// pricing framework needs:
+//
+//   - Run: ordinary execution of Q(D);
+//   - RunOverride: execution of Q over D with one or more relations
+//     replaced by supplied rows — this implements the Q((D \ R) ∪ {u})
+//     primitive of the disagreement algorithms (paper §4.1);
+//   - RunTagged: the batching device of §4.2 — the replaced relation's
+//     rows carry a hidden trailing "upid" column identifying which support
+//     set update they came from, and the output is grouped per upid so a
+//     single query answers the check for an entire batch of updates.
+//
+// The executor is materialized and order-agnostic: filtered scans feed a
+// greedy hash-join over the equi-join graph extracted from WHERE, residual
+// predicates apply as soon as their sources are joined, then grouping,
+// HAVING, projection, DISTINCT, ORDER BY and LIMIT.
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"qirana/internal/result"
+	"qirana/internal/schema"
+	"qirana/internal/sqlengine/analyze"
+	"qirana/internal/sqlengine/ast"
+	"qirana/internal/sqlengine/parser"
+	"qirana/internal/storage"
+	"qirana/internal/value"
+)
+
+// Overrides maps lower-cased relation names to replacement row sets.
+type Overrides map[string][][]value.Value
+
+// Query is a compiled (parsed + analyzed) statement, reusable across
+// executions and databases sharing the schema.
+type Query struct {
+	Stmt *ast.SelectStmt
+	A    *analyze.Analyzed
+	SQL  string
+}
+
+// Compile parses and analyzes a SQL string against a schema.
+func Compile(sql string, sch *schema.Schema) (*Query, error) {
+	stmt, err := parser.Parse(sql)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	a, err := analyze.Analyze(stmt, sch)
+	if err != nil {
+		return nil, fmt.Errorf("analyze %q: %w", sql, err)
+	}
+	return &Query{Stmt: stmt, A: a, SQL: sql}, nil
+}
+
+// CompileStmt analyzes an already-parsed statement.
+func CompileStmt(stmt *ast.SelectStmt, sch *schema.Schema) (*Query, error) {
+	a, err := analyze.Analyze(stmt, sch)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{Stmt: stmt, A: a, SQL: stmt.String()}, nil
+}
+
+// MustCompile compiles or panics; for statically-known workload queries.
+func MustCompile(sql string, sch *schema.Schema) *Query {
+	q, err := Compile(sql, sch)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Run executes the query against db.
+func (q *Query) Run(db *storage.Database) (*result.Result, error) {
+	return q.RunOverride(db, nil)
+}
+
+// RunOverride executes the query with the given relation overrides.
+func (q *Query) RunOverride(db *storage.Database, ov Overrides) (*result.Result, error) {
+	r := &runner{db: db, ov: ov, subCache: make(map[*analyze.Analyzed]*subResult)}
+	return r.exec(q.A, nil)
+}
+
+// RunTagged executes an SPJ (non-aggregating, non-distinct) query with
+// relation rel replaced by tagged rows. Each tagged row must be the
+// relation's row extended by one trailing INT value, the upid. The result
+// groups output rows by the upid of the rel-tuple that produced them.
+func (q *Query) RunTagged(db *storage.Database, rel string, tagged [][]value.Value) (map[int64][][]value.Value, error) {
+	if q.A.IsAgg || q.Stmt.Distinct || len(q.Stmt.OrderBy) > 0 || q.Stmt.Limit >= 0 {
+		return nil, fmt.Errorf("tagged execution requires a plain SPJ query, got %q", q.SQL)
+	}
+	srcIdx := q.A.SourceIndex(rel)
+	if srcIdx < 0 {
+		return nil, fmt.Errorf("relation %q not in query %q", rel, q.SQL)
+	}
+	arity := q.A.Sources[srcIdx].Rel.Arity()
+	ov := Overrides{strings.ToLower(rel): tagged}
+	r := &runner{db: db, ov: ov, subCache: make(map[*analyze.Analyzed]*subResult)}
+	tuples, err := r.joinPhase(q.A, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int64][][]value.Value)
+	env := &env{a: q.A}
+	for _, tup := range tuples {
+		env.tuples = tup
+		row, err := r.projectRow(q.A, env)
+		if err != nil {
+			return nil, err
+		}
+		upid := tup[srcIdx][arity].I
+		out[upid] = append(out[upid], row)
+	}
+	return out, nil
+}
+
+// EvalSingleSource evaluates an expression of this query with only source
+// si bound, to the given row. It is used by the disagreement checker's
+// conservative C[u⁺] satisfiability test (§4.1), which evaluates the WHERE
+// conjuncts that mention only the updated relation against the new tuple.
+func (q *Query) EvalSingleSource(db *storage.Database, si int, row []value.Value, e ast.Expr) (value.Value, error) {
+	r := &runner{db: db, subCache: make(map[*analyze.Analyzed]*subResult)}
+	env := &env{a: q.A, tuples: make([][]value.Value, len(q.A.Sources))}
+	env.tuples[si] = row
+	return r.eval(e, env)
+}
+
+// subResult caches a materialized subquery: the full result plus the
+// derived IN-set when used as an IN probe.
+type subResult struct {
+	res       *result.Result
+	inSet     map[string]bool
+	inHasNull bool
+	// correlated memo: key = correlated outer values
+	memo map[string]*subResult
+}
+
+type runner struct {
+	db       *storage.Database
+	ov       Overrides
+	subCache map[*analyze.Analyzed]*subResult
+	// partitions caches hash partitions of base tables by (rel, column),
+	// built lazily for correlated equality filters; valid for the lifetime
+	// of one execution (the database is not mutated mid-run).
+	partitions map[string]map[string][][]value.Value
+}
+
+// env is the evaluation environment for one statement level.
+type env struct {
+	a        *analyze.Analyzed
+	tuples   [][]value.Value // per source; nil when not bound
+	aggs     map[*ast.FuncCall]value.Value
+	itemVals []value.Value // select-item values for alias refs, nil until computed
+	outer    *env
+}
+
+func (e *env) at(level int) *env {
+	for ; level > 0; level-- {
+		e = e.outer
+	}
+	return e
+}
+
+// exec runs one statement level and returns its result.
+func (r *runner) exec(a *analyze.Analyzed, outer *env) (*result.Result, error) {
+	tuples, err := r.joinPhase(a, outer)
+	if err != nil {
+		return nil, err
+	}
+	var rows [][]value.Value
+	var orderKeys [][]value.Value
+
+	cols := make([]string, len(a.OutCols))
+	for i, oc := range a.OutCols {
+		cols[i] = oc.Name
+	}
+
+	emit := func(env *env) error {
+		row, err := r.projectRow(a, env)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, row)
+		if len(a.Stmt.OrderBy) > 0 {
+			keys := make([]value.Value, len(a.Stmt.OrderBy))
+			for i, o := range a.Stmt.OrderBy {
+				v, err := r.eval(o.Expr, env)
+				if err != nil {
+					return err
+				}
+				keys[i] = v
+			}
+			orderKeys = append(orderKeys, keys)
+		}
+		return nil
+	}
+
+	if a.IsAgg {
+		groups, err := r.groupPhase(a, tuples, outer)
+		if err != nil {
+			return nil, err
+		}
+		for _, g := range groups {
+			genv := &env{a: a, tuples: g.rep, aggs: g.aggs, outer: outer}
+			if a.Stmt.Having != nil {
+				hv, err := r.eval(a.Stmt.Having, genv)
+				if err != nil {
+					return nil, err
+				}
+				if value.TristateOf(hv) != value.True {
+					continue
+				}
+			}
+			if err := emit(genv); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		env := &env{a: a, outer: outer}
+		for _, tup := range tuples {
+			env.tuples = tup
+			env.itemVals = nil
+			if err := emit(env); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	if a.Stmt.Distinct {
+		seen := make(map[string]bool, len(rows))
+		kept := rows[:0]
+		var keptKeys [][]value.Value
+		if orderKeys != nil {
+			keptKeys = orderKeys[:0]
+		}
+		for i, row := range rows {
+			k := value.Key(row)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			kept = append(kept, row)
+			if orderKeys != nil {
+				keptKeys = append(keptKeys, orderKeys[i])
+			}
+		}
+		rows = kept
+		orderKeys = keptKeys
+	}
+
+	ordered := false
+	if len(a.Stmt.OrderBy) > 0 {
+		ordered = true
+		idx := make([]int, len(rows))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(x, y int) bool {
+			kx, ky := orderKeys[idx[x]], orderKeys[idx[y]]
+			for i, o := range a.Stmt.OrderBy {
+				c := compareForSort(kx[i], ky[i])
+				if c != 0 {
+					if o.Desc {
+						return c > 0
+					}
+					return c < 0
+				}
+			}
+			return false
+		})
+		sorted := make([][]value.Value, len(rows))
+		for i, j := range idx {
+			sorted[i] = rows[j]
+		}
+		rows = sorted
+	}
+
+	if a.Stmt.Limit >= 0 {
+		ordered = true
+		off := a.Stmt.Offset
+		if off > int64(len(rows)) {
+			off = int64(len(rows))
+		}
+		end := off + a.Stmt.Limit
+		if end > int64(len(rows)) {
+			end = int64(len(rows))
+		}
+		rows = rows[off:end]
+	}
+
+	return &result.Result{Cols: cols, Rows: rows, Ordered: ordered}, nil
+}
+
+// compareForSort gives NULLs-first total order for ORDER BY.
+func compareForSort(a, b value.Value) int {
+	an, bn := a.IsNull(), b.IsNull()
+	switch {
+	case an && bn:
+		return 0
+	case an:
+		return -1
+	case bn:
+		return 1
+	}
+	c, _ := value.Compare(a, b)
+	return c
+}
+
+func (r *runner) projectRow(a *analyze.Analyzed, e *env) ([]value.Value, error) {
+	row := make([]value.Value, len(a.OutCols))
+	for i, oc := range a.OutCols {
+		v, err := r.eval(oc.Expr, e)
+		if err != nil {
+			return nil, err
+		}
+		row[i] = v
+	}
+	e.itemVals = row // enables alias references in HAVING/ORDER BY
+	return row, nil
+}
+
+// sourceRows materializes the rows of one FROM source, honoring overrides.
+func (r *runner) sourceRows(a *analyze.Analyzed, si int, outer *env) ([][]value.Value, error) {
+	src := a.Sources[si]
+	if src.Sub != nil {
+		res, err := r.exec(src.Sub, outer)
+		if err != nil {
+			return nil, err
+		}
+		return res.Rows, nil
+	}
+	name := strings.ToLower(src.Rel.Name)
+	if r.ov != nil {
+		if rows, ok := r.ov[name]; ok {
+			return rows, nil
+		}
+	}
+	t := r.db.Table(src.Rel.Name)
+	if t == nil {
+		return nil, fmt.Errorf("relation %q not present in database", src.Rel.Name)
+	}
+	return t.Rows, nil
+}

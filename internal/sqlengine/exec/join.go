@@ -1,0 +1,556 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"qirana/internal/sqlengine/analyze"
+	"qirana/internal/sqlengine/ast"
+	"qirana/internal/value"
+)
+
+// conjunctInfo classifies one WHERE conjunct for planning.
+type conjunctInfo struct {
+	expr     ast.Expr
+	srcs     []int // level-0 sources referenced, ascending
+	edge     *joinEdge
+	applied  bool
+	pushdown bool // single-source (or source-free) filter
+}
+
+// joinEdge is an equi-join condition usable as a hash-join key.
+type joinEdge struct {
+	srcA, srcB   int
+	exprA, exprB ast.Expr // exprA references only srcA, exprB only srcB
+}
+
+// classify splits WHERE into pushdown filters, join edges and residuals.
+func classify(a *analyze.Analyzed) []*conjunctInfo {
+	conjs := ast.SplitConjuncts(a.Stmt.Where)
+	out := make([]*conjunctInfo, 0, len(conjs))
+	for _, c := range conjs {
+		ci := &conjunctInfo{expr: c, srcs: level0Sources(a, c)}
+		if len(ci.srcs) <= 1 {
+			ci.pushdown = true
+		} else if len(ci.srcs) == 2 {
+			if e := asEdge(a, c); e != nil {
+				ci.edge = e
+			}
+		}
+		out = append(out, ci)
+	}
+	return out
+}
+
+// level0Sources returns the distinct level-0 source indexes referenced by
+// e, including references made from within nested subqueries (a correlated
+// subquery ties the conjunct to the sources it correlates with).
+func level0Sources(a *analyze.Analyzed, e ast.Expr) []int {
+	set := make(map[int]bool)
+	var scan func(aa *analyze.Analyzed, x ast.Expr, depth int)
+	var scanStmt func(sa *analyze.Analyzed, depth int)
+	scan = func(aa *analyze.Analyzed, x ast.Expr, depth int) {
+		ast.Walk(x, func(n ast.Expr) {
+			switch v := n.(type) {
+			case *ast.ColumnRef:
+				if cb, ok := aa.Binds[v]; ok && cb.Level == depth {
+					set[cb.Table] = true
+				}
+			case *ast.SubqueryExpr:
+				scanStmt(aa.Subs[v.Sub], depth+1)
+			case *ast.ExistsExpr:
+				scanStmt(aa.Subs[v.Sub], depth+1)
+			case *ast.InExpr:
+				if v.Sub != nil {
+					scanStmt(aa.Subs[v.Sub], depth+1)
+				}
+			}
+		})
+	}
+	scanStmt = func(sa *analyze.Analyzed, depth int) {
+		if sa == nil {
+			return
+		}
+		walkAll(sa, func(x ast.Expr) { scan(sa, x, depth) })
+	}
+	scan(a, e, 0)
+	return sortedKeys(set)
+}
+
+// walkAll visits the top-level clause expressions of a statement once each.
+func walkAll(a *analyze.Analyzed, fn func(ast.Expr)) {
+	for _, oc := range a.OutCols {
+		fn(oc.Expr)
+	}
+	if a.Stmt.Where != nil {
+		fn(a.Stmt.Where)
+	}
+	for _, g := range a.Stmt.GroupBy {
+		fn(g)
+	}
+	if a.Stmt.Having != nil {
+		fn(a.Stmt.Having)
+	}
+	for _, o := range a.Stmt.OrderBy {
+		fn(o.Expr)
+	}
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// asEdge recognizes "exprA = exprB" with each side referencing exactly one
+// distinct level-0 source and no subqueries or outer references.
+func asEdge(a *analyze.Analyzed, c ast.Expr) *joinEdge {
+	b, ok := c.(*ast.BinaryExpr)
+	if !ok || b.Op != ast.OpEq {
+		return nil
+	}
+	sa, okA := soleSource(a, b.L)
+	sb, okB := soleSource(a, b.R)
+	if !okA || !okB || sa == sb {
+		return nil
+	}
+	return &joinEdge{srcA: sa, srcB: sb, exprA: b.L, exprB: b.R}
+}
+
+// soleSource reports the single level-0 source referenced by e, requiring
+// no subqueries, no aggregates and no outer references.
+func soleSource(a *analyze.Analyzed, e ast.Expr) (int, bool) {
+	src := -1
+	ok := true
+	ast.Walk(e, func(n ast.Expr) {
+		switch v := n.(type) {
+		case *ast.ColumnRef:
+			cb, bound := a.Binds[v]
+			if !bound || cb.Level != 0 {
+				ok = false
+				return
+			}
+			if src == -1 {
+				src = cb.Table
+			} else if src != cb.Table {
+				ok = false
+			}
+		case *ast.SubqueryExpr, *ast.ExistsExpr:
+			ok = false
+		case *ast.InExpr:
+			if v.Sub != nil {
+				ok = false
+			}
+		case *ast.FuncCall:
+			if v.IsAggregate() {
+				ok = false
+			}
+		}
+	})
+	return src, ok && src >= 0
+}
+
+// joinPhase materializes the joined tuples of the statement's FROM/WHERE.
+func (r *runner) joinPhase(a *analyze.Analyzed, outer *env) ([][][]value.Value, error) {
+	n := len(a.Sources)
+	conjs := classify(a)
+
+	// Statements with no FROM produce a single empty tuple.
+	if n == 0 {
+		for _, ci := range conjs {
+			keep, err := r.filterTuple(a, ci.expr, make([][]value.Value, 0), outer)
+			if err != nil {
+				return nil, err
+			}
+			if !keep {
+				return nil, nil
+			}
+		}
+		return [][][]value.Value{make([][]value.Value, 0)}, nil
+	}
+
+	// Materialize and pre-filter each source. Equality filters against
+	// outer-scope values (correlated predicates like "l_orderkey =
+	// o_orderkey") probe a per-runner hash partition of the source instead
+	// of scanning it — without this, a correlated subquery re-executed per
+	// outer binding costs a full scan each time.
+	srcRows := make([][][]value.Value, n)
+	for i := 0; i < n; i++ {
+		var rows [][]value.Value
+		materialized := false
+		for _, ci := range conjs {
+			if !ci.pushdown || ci.applied || len(ci.srcs) != 1 || ci.srcs[0] != i {
+				continue
+			}
+			if !materialized {
+				if col, rhs, ok := r.indexablePattern(a, ci.expr, i); ok {
+					bucket, hit, err := r.partitionLookup(a, i, col, rhs, outer)
+					if err != nil {
+						return nil, err
+					}
+					if hit {
+						rows = bucket
+						materialized = true
+						ci.applied = true
+						continue
+					}
+				}
+				var err error
+				rows, err = r.sourceRows(a, i, outer)
+				if err != nil {
+					return nil, err
+				}
+				materialized = true
+			}
+			var err error
+			rows, err = r.filterSource(a, ci.expr, i, rows, outer)
+			if err != nil {
+				return nil, err
+			}
+			ci.applied = true
+		}
+		if !materialized {
+			var err error
+			rows, err = r.sourceRows(a, i, outer)
+			if err != nil {
+				return nil, err
+			}
+		}
+		srcRows[i] = rows
+	}
+	// Source-free conjuncts evaluate once.
+	for _, ci := range conjs {
+		if ci.pushdown && !ci.applied && len(ci.srcs) == 0 {
+			keep, err := r.filterTuple(a, ci.expr, make([][]value.Value, n), outer)
+			if err != nil {
+				return nil, err
+			}
+			ci.applied = true
+			if !keep {
+				return nil, nil
+			}
+		}
+	}
+
+	// Greedy join order.
+	joined := make([]bool, n)
+	start := 0
+	for i := 1; i < n; i++ {
+		if len(srcRows[i]) < len(srcRows[start]) {
+			start = i
+		}
+	}
+	joined[start] = true
+	tuples := make([][][]value.Value, 0, len(srcRows[start]))
+	for _, row := range srcRows[start] {
+		t := make([][]value.Value, n)
+		t[start] = row
+		tuples = append(tuples, t)
+	}
+	var err error
+	tuples, err = r.applyResiduals(a, conjs, joined, tuples, outer)
+	if err != nil {
+		return nil, err
+	}
+
+	for done := 1; done < n; done++ {
+		// Pick the next source: smallest among edge-connected, else smallest.
+		next, connected := -1, false
+		for i := 0; i < n; i++ {
+			if joined[i] {
+				continue
+			}
+			conn := false
+			for _, ci := range conjs {
+				if ci.edge == nil || ci.applied {
+					continue
+				}
+				e := ci.edge
+				if (e.srcA == i && joined[e.srcB]) || (e.srcB == i && joined[e.srcA]) {
+					conn = true
+					break
+				}
+			}
+			if next == -1 || (conn && !connected) ||
+				(conn == connected && len(srcRows[i]) < len(srcRows[next])) {
+				next, connected = i, conn
+			}
+		}
+
+		// Gather the edges usable for this step.
+		var probeExprs, buildExprs []ast.Expr
+		for _, ci := range conjs {
+			if ci.edge == nil || ci.applied {
+				continue
+			}
+			e := ci.edge
+			switch {
+			case e.srcA == next && joined[e.srcB]:
+				buildExprs = append(buildExprs, e.exprB)
+				probeExprs = append(probeExprs, e.exprA)
+				ci.applied = true
+			case e.srcB == next && joined[e.srcA]:
+				buildExprs = append(buildExprs, e.exprA)
+				probeExprs = append(probeExprs, e.exprB)
+				ci.applied = true
+			}
+		}
+
+		if len(probeExprs) > 0 {
+			tuples, err = r.hashJoin(a, tuples, srcRows[next], next, buildExprs, probeExprs, outer)
+		} else {
+			tuples, err = r.crossJoin(tuples, srcRows[next], next)
+		}
+		if err != nil {
+			return nil, err
+		}
+		joined[next] = true
+		tuples, err = r.applyResiduals(a, conjs, joined, tuples, outer)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return tuples, nil
+}
+
+// hashJoin joins tuples with the rows of source next on the given key
+// expressions (buildExprs evaluate over the existing tuples, probeExprs
+// over next's rows). SQL equality: NULL keys never match.
+func (r *runner) hashJoin(a *analyze.Analyzed, tuples [][][]value.Value, rows [][]value.Value, next int,
+	buildExprs, probeExprs []ast.Expr, outer *env) ([][][]value.Value, error) {
+
+	n := len(a.Sources)
+	ht := make(map[string][]int, len(rows))
+	e := &env{a: a, outer: outer}
+	keyBuf := make([]value.Value, len(probeExprs))
+	for ri, row := range rows {
+		e.tuples = make([][]value.Value, n)
+		e.tuples[next] = row
+		null := false
+		for i, pe := range probeExprs {
+			v, err := r.eval(pe, e)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() {
+				null = true
+				break
+			}
+			keyBuf[i] = v
+		}
+		if null {
+			continue
+		}
+		k := value.Key(keyBuf)
+		ht[k] = append(ht[k], ri)
+	}
+
+	var out [][][]value.Value
+	for _, tup := range tuples {
+		e.tuples = tup
+		null := false
+		for i, be := range buildExprs {
+			v, err := r.eval(be, e)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() {
+				null = true
+				break
+			}
+			keyBuf[i] = v
+		}
+		if null {
+			continue
+		}
+		for _, ri := range ht[value.Key(keyBuf)] {
+			nt := make([][]value.Value, n)
+			copy(nt, tup)
+			nt[next] = rows[ri]
+			out = append(out, nt)
+		}
+	}
+	return out, nil
+}
+
+func (r *runner) crossJoin(tuples [][][]value.Value, rows [][]value.Value, next int) ([][][]value.Value, error) {
+	out := make([][][]value.Value, 0, len(tuples)*len(rows))
+	for _, tup := range tuples {
+		for _, row := range rows {
+			nt := make([][]value.Value, len(tup))
+			copy(nt, tup)
+			nt[next] = row
+			out = append(out, nt)
+		}
+	}
+	return out, nil
+}
+
+// applyResiduals filters tuples by every not-yet-applied conjunct whose
+// sources are all joined.
+func (r *runner) applyResiduals(a *analyze.Analyzed, conjs []*conjunctInfo, joined []bool,
+	tuples [][][]value.Value, outer *env) ([][][]value.Value, error) {
+	for _, ci := range conjs {
+		if ci.applied || ci.edge != nil || ci.pushdown {
+			continue
+		}
+		covered := true
+		for _, s := range ci.srcs {
+			if !joined[s] {
+				covered = false
+				break
+			}
+		}
+		if !covered {
+			continue
+		}
+		kept := tuples[:0]
+		for _, tup := range tuples {
+			ok, err := r.filterTuple(a, ci.expr, tup, outer)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				kept = append(kept, tup)
+			}
+		}
+		tuples = kept
+		ci.applied = true
+	}
+	return tuples, nil
+}
+
+// indexablePattern recognizes a single-source conjunct of the form
+// "col = rhs" (or "rhs = col") where col is a bare column of source si and
+// rhs references nothing at level 0 — typically a correlated outer column
+// or a constant. Such filters can probe a hash partition of the source.
+func (r *runner) indexablePattern(a *analyze.Analyzed, e ast.Expr, si int) (col int, rhs ast.Expr, ok bool) {
+	b, isEq := e.(*ast.BinaryExpr)
+	if !isEq || b.Op != ast.OpEq {
+		return 0, nil, false
+	}
+	try := func(colSide, other ast.Expr) (int, ast.Expr, bool) {
+		cr, isCol := colSide.(*ast.ColumnRef)
+		if !isCol {
+			return 0, nil, false
+		}
+		cb, bound := a.Binds[cr]
+		if !bound || cb.Level != 0 || cb.Table != si {
+			return 0, nil, false
+		}
+		if !freeOfLevel0(a, other) {
+			return 0, nil, false
+		}
+		return cb.Col, other, true
+	}
+	if c, rr, found := try(b.L, b.R); found {
+		return c, rr, true
+	}
+	return try(b.R, b.L)
+}
+
+// freeOfLevel0 reports whether e references no current-scope columns and
+// contains no subqueries (so it can be evaluated once per execution).
+func freeOfLevel0(a *analyze.Analyzed, e ast.Expr) bool {
+	ok := true
+	ast.Walk(e, func(n ast.Expr) {
+		switch v := n.(type) {
+		case *ast.ColumnRef:
+			if cb, bound := a.Binds[v]; !bound || cb.Level == 0 {
+				ok = false
+			}
+		case *ast.SubqueryExpr, *ast.ExistsExpr:
+			ok = false
+		case *ast.InExpr:
+			if v.Sub != nil {
+				ok = false
+			}
+		case *ast.FuncCall:
+			if v.IsAggregate() {
+				ok = false
+			}
+		}
+	})
+	return ok
+}
+
+// partitionLookup returns the rows of source si whose column col equals
+// the value of rhs, using (and lazily building) a per-runner hash
+// partition of the source. hit=false means the source cannot be indexed
+// here (derived table or overridden relation) and the caller must scan.
+func (r *runner) partitionLookup(a *analyze.Analyzed, si, col int, rhs ast.Expr, outer *env) (rows [][]value.Value, hit bool, err error) {
+	src := a.Sources[si]
+	if src.Rel == nil {
+		return nil, false, nil
+	}
+	name := strings.ToLower(src.Rel.Name)
+	if r.ov != nil {
+		if _, overridden := r.ov[name]; overridden {
+			return nil, false, nil
+		}
+	}
+	v, err := r.eval(rhs, &env{a: a, tuples: make([][]value.Value, len(a.Sources)), outer: outer})
+	if err != nil {
+		return nil, false, err
+	}
+	if v.IsNull() {
+		return nil, true, nil // NULL equals nothing
+	}
+	if r.partitions == nil {
+		r.partitions = make(map[string]map[string][][]value.Value)
+	}
+	pkey := fmt.Sprintf("%s#%d", name, col)
+	part, built := r.partitions[pkey]
+	if !built {
+		t := r.db.Table(src.Rel.Name)
+		if t == nil {
+			return nil, false, nil
+		}
+		part = make(map[string][][]value.Value, len(t.Rows)/2+1)
+		buf := make([]value.Value, 1)
+		for _, row := range t.Rows {
+			if row[col].IsNull() {
+				continue
+			}
+			buf[0] = row[col]
+			k := value.Key(buf)
+			part[k] = append(part[k], row)
+		}
+		r.partitions[pkey] = part
+	}
+	return part[value.Key([]value.Value{v})], true, nil
+}
+
+func (r *runner) filterSource(a *analyze.Analyzed, cond ast.Expr, si int, rows [][]value.Value, outer *env) ([][]value.Value, error) {
+	n := len(a.Sources)
+	e := &env{a: a, outer: outer}
+	out := rows[:0:0]
+	for _, row := range rows {
+		e.tuples = make([][]value.Value, n)
+		e.tuples[si] = row
+		v, err := r.eval(cond, e)
+		if err != nil {
+			return nil, err
+		}
+		if value.TristateOf(v) == value.True {
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+func (r *runner) filterTuple(a *analyze.Analyzed, cond ast.Expr, tup [][]value.Value, outer *env) (bool, error) {
+	e := &env{a: a, tuples: tup, outer: outer}
+	v, err := r.eval(cond, e)
+	if err != nil {
+		return false, err
+	}
+	return value.TristateOf(v) == value.True, nil
+}

@@ -1,0 +1,108 @@
+package lexer
+
+import (
+	"testing"
+
+	"qirana/internal/sqlengine/token"
+)
+
+func scan(t *testing.T, src string) []token.Token {
+	t.Helper()
+	toks, err := New(src).All()
+	if err != nil {
+		t.Fatalf("lex %q: %v", src, err)
+	}
+	return toks
+}
+
+func types(toks []token.Token) []token.Type {
+	out := make([]token.Type, len(toks))
+	for i, tk := range toks {
+		out[i] = tk.Type
+	}
+	return out
+}
+
+func TestBasicTokens(t *testing.T) {
+	toks := scan(t, "SELECT a, b FROM t WHERE x >= 1.5 AND y <> 'it''s'")
+	want := []token.Type{
+		token.KEYWORD, token.IDENT, token.COMMA, token.IDENT, token.KEYWORD,
+		token.IDENT, token.KEYWORD, token.IDENT, token.GE, token.NUMBER,
+		token.KEYWORD, token.IDENT, token.NEQ, token.STRING, token.EOF,
+	}
+	got := types(toks)
+	if len(got) != len(want) {
+		t.Fatalf("token count %d want %d: %v", len(got), len(want), toks)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: %v want %v", i, got[i], want[i])
+		}
+	}
+	if toks[13].Lit != "it's" {
+		t.Fatalf("escaped quote: %q", toks[13].Lit)
+	}
+}
+
+func TestKeywordsCaseInsensitive(t *testing.T) {
+	toks := scan(t, "select SeLeCt FROM from")
+	for _, tk := range toks[:4] {
+		if tk.Type != token.KEYWORD {
+			t.Fatalf("%v not a keyword", tk)
+		}
+	}
+}
+
+func TestOperators(t *testing.T) {
+	toks := scan(t, "< <= > >= = <> != + - * / % ( ) . ;")
+	want := []token.Type{token.LT, token.LE, token.GT, token.GE, token.EQ,
+		token.NEQ, token.NEQ, token.PLUS, token.MINUS, token.STAR, token.SLASH,
+		token.PERCENT, token.LPAREN, token.RPAREN, token.DOT, token.SEMI, token.EOF}
+	got := types(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("op %d: %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	for _, c := range []string{"0", "42", "3.14", "0.0001", "1e6", "2.5E-3", ".5"} {
+		toks := scan(t, c)
+		if toks[0].Type != token.NUMBER || toks[0].Lit != c {
+			t.Errorf("number %q lexed as %v", c, toks[0])
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	toks := scan(t, "a -- line comment\n b /* block\ncomment */ c")
+	if len(toks) != 4 { // a b c EOF
+		t.Fatalf("comments not skipped: %v", toks)
+	}
+}
+
+func TestQuotedIdentifiers(t *testing.T) {
+	toks := scan(t, `"weird name" + `+"`another`")
+	if toks[0].Type != token.IDENT || toks[0].Lit != "weird name" {
+		t.Fatalf("double-quoted ident: %v", toks[0])
+	}
+	if toks[2].Type != token.IDENT || toks[2].Lit != "another" {
+		t.Fatalf("backquoted ident: %v", toks[2])
+	}
+}
+
+func TestErrors(t *testing.T) {
+	for _, c := range []string{"'unterminated", "\"open", "@"} {
+		if _, err := New(c).All(); err == nil {
+			t.Errorf("no error for %q", c)
+		}
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks := scan(t, "ab  cd")
+	if toks[0].Pos != 0 || toks[1].Pos != 4 {
+		t.Fatalf("positions: %d %d", toks[0].Pos, toks[1].Pos)
+	}
+}

@@ -1,0 +1,242 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"qirana/internal/sqlengine/ast"
+	"qirana/internal/value"
+)
+
+func TestSelectShape(t *testing.T) {
+	s := MustParse(`SELECT DISTINCT a, b AS bee, count(*) FROM t1, t2 u
+		WHERE a = 1 AND b > 2 OR c LIKE 'x%'
+		GROUP BY a, b HAVING count(*) > 3
+		ORDER BY a DESC, b LIMIT 10 OFFSET 5`)
+	if !s.Distinct || len(s.Items) != 3 || len(s.From) != 2 {
+		t.Fatalf("shape: %+v", s)
+	}
+	if s.Items[1].Alias != "bee" {
+		t.Fatal("alias")
+	}
+	if s.From[1].Alias != "u" || s.From[1].EffectiveName() != "u" {
+		t.Fatal("table alias")
+	}
+	if len(s.GroupBy) != 2 || s.Having == nil {
+		t.Fatal("group/having")
+	}
+	if len(s.OrderBy) != 2 || !s.OrderBy[0].Desc || s.OrderBy[1].Desc {
+		t.Fatal("order by")
+	}
+	if s.Limit != 10 || s.Offset != 5 {
+		t.Fatal("limit/offset")
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	s := MustParse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+	or, ok := s.Where.(*ast.BinaryExpr)
+	if !ok || or.Op != ast.OpOr {
+		t.Fatalf("top is %v, want OR", s.Where)
+	}
+	and, ok := or.R.(*ast.BinaryExpr)
+	if !ok || and.Op != ast.OpAnd {
+		t.Fatal("AND binds tighter than OR")
+	}
+	s = MustParse("SELECT 1 + 2 * 3 FROM t")
+	add := s.Items[0].Expr.(*ast.BinaryExpr)
+	if add.Op != ast.OpAdd {
+		t.Fatal("* binds tighter than +")
+	}
+}
+
+func TestNotPrecedence(t *testing.T) {
+	s := MustParse("SELECT * FROM t WHERE NOT a = 1 AND b = 2")
+	and := s.Where.(*ast.BinaryExpr)
+	if and.Op != ast.OpAnd {
+		t.Fatal("want AND at top")
+	}
+	if _, ok := and.L.(*ast.UnaryExpr); !ok {
+		t.Fatal("NOT should wrap the left comparison")
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	s := MustParse(`SELECT * FROM t WHERE a BETWEEN 1 AND 5 AND b NOT LIKE 'x%'
+		AND c IN (1, 2, 3) AND d NOT IN (SELECT d FROM u) AND e IS NOT NULL
+		AND EXISTS (SELECT 1 FROM v)`)
+	conjs := ast.SplitConjuncts(s.Where)
+	if len(conjs) != 6 {
+		t.Fatalf("%d conjuncts", len(conjs))
+	}
+	if b, ok := conjs[0].(*ast.BetweenExpr); !ok || b.Not {
+		t.Fatal("between")
+	}
+	if l, ok := conjs[1].(*ast.LikeExpr); !ok || !l.Not {
+		t.Fatal("not like")
+	}
+	if in, ok := conjs[2].(*ast.InExpr); !ok || in.Sub != nil || len(in.List) != 3 {
+		t.Fatal("in list")
+	}
+	if in, ok := conjs[3].(*ast.InExpr); !ok || in.Sub == nil || !in.Not {
+		t.Fatal("not in subquery")
+	}
+	if n, ok := conjs[4].(*ast.IsNullExpr); !ok || !n.Not {
+		t.Fatal("is not null")
+	}
+	if _, ok := conjs[5].(*ast.ExistsExpr); !ok {
+		t.Fatal("exists")
+	}
+}
+
+func TestDateAndInterval(t *testing.T) {
+	s := MustParse("SELECT * FROM t WHERE d >= date '2011-01-01' AND d < date '2011-01-01' + interval '6' month")
+	conjs := ast.SplitConjuncts(s.Where)
+	ge := conjs[0].(*ast.BinaryExpr)
+	lit, ok := ge.R.(*ast.Literal)
+	if !ok || lit.Val.K != value.KindDate {
+		t.Fatal("date literal")
+	}
+	lt := conjs[1].(*ast.BinaryExpr)
+	plus := lt.R.(*ast.BinaryExpr)
+	iv, ok := plus.R.(*ast.Interval)
+	if !ok || iv.N != 6 || iv.Unit != "MONTH" {
+		t.Fatalf("interval: %+v", plus.R)
+	}
+}
+
+func TestDateAsTableName(t *testing.T) {
+	s := MustParse("SELECT d_year FROM lineorder, date WHERE lo_orderdate = d_datekey")
+	if len(s.From) != 2 || s.From[1].Name != "date" {
+		t.Fatalf("date table: %+v", s.From)
+	}
+}
+
+func TestJoinSyntaxFolding(t *testing.T) {
+	s := MustParse("SELECT * FROM a JOIN b ON a.x = b.x INNER JOIN c ON b.y = c.y WHERE a.z = 1")
+	if len(s.From) != 3 {
+		t.Fatalf("join folding: %d tables", len(s.From))
+	}
+	if len(ast.SplitConjuncts(s.Where)) != 3 {
+		t.Fatalf("ON conditions not folded into WHERE: %s", s.Where)
+	}
+}
+
+func TestDerivedTable(t *testing.T) {
+	s := MustParse("SELECT avg(cnt) FROM (SELECT a, count(*) AS cnt FROM t GROUP BY a) AS rc")
+	if s.From[0].Sub == nil || s.From[0].Alias != "rc" {
+		t.Fatal("derived table")
+	}
+	if _, err := Parse("SELECT * FROM (SELECT 1)"); err == nil {
+		t.Fatal("derived table without alias must fail")
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	s := MustParse("SELECT count(*), count(DISTINCT a), sum(a * b), min(a), max(a), avg(a) FROM t")
+	f0 := s.Items[0].Expr.(*ast.FuncCall)
+	if !f0.Star || f0.Name != "COUNT" {
+		t.Fatal("count star")
+	}
+	f1 := s.Items[1].Expr.(*ast.FuncCall)
+	if !f1.Distinct {
+		t.Fatal("count distinct")
+	}
+	for i := 2; i < 6; i++ {
+		f := s.Items[i].Expr.(*ast.FuncCall)
+		if !f.IsAggregate() {
+			t.Fatalf("item %d not an aggregate", i)
+		}
+	}
+}
+
+func TestCase(t *testing.T) {
+	s := MustParse("SELECT CASE WHEN a = 1 THEN 'one' WHEN a = 2 THEN 'two' ELSE 'many' END FROM t")
+	c := s.Items[0].Expr.(*ast.CaseExpr)
+	if c.Operand != nil || len(c.Whens) != 2 || c.Else == nil {
+		t.Fatal("searched case")
+	}
+	s = MustParse("SELECT CASE a WHEN 1 THEN 'one' END FROM t")
+	c = s.Items[0].Expr.(*ast.CaseExpr)
+	if c.Operand == nil || c.Else != nil {
+		t.Fatal("simple case")
+	}
+}
+
+func TestUnaryMinusFolding(t *testing.T) {
+	s := MustParse("SELECT -5, -a FROM t")
+	if lit, ok := s.Items[0].Expr.(*ast.Literal); !ok || lit.Val.AsInt() != -5 {
+		t.Fatal("negative literal folding")
+	}
+	if _, ok := s.Items[1].Expr.(*ast.UnaryExpr); !ok {
+		t.Fatal("unary minus on column")
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	// Parsing the rendering of a parsed query is a fixpoint.
+	for _, sql := range []string{
+		"SELECT a, b FROM t WHERE a = 1",
+		"SELECT DISTINCT a FROM t ORDER BY a DESC LIMIT 3",
+		"SELECT a, count(*) FROM t GROUP BY a HAVING count(*) > 2",
+		"SELECT * FROM t WHERE a IN (1, 2) AND b LIKE 'x%'",
+		"SELECT (SELECT max(b) FROM u) FROM t",
+		"SELECT CASE WHEN a = 1 THEN 2 ELSE 3 END FROM t",
+	} {
+		s1 := MustParse(sql)
+		s2, err := Parse(s1.String())
+		if err != nil {
+			t.Fatalf("re-parse %q (from %q): %v", s1.String(), sql, err)
+		}
+		if s1.String() != s2.String() {
+			t.Fatalf("not a fixpoint:\n%s\n%s", s1.String(), s2.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, sql := range []string{
+		"",
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT * FROM",
+		"SELECT * FROM t WHERE",
+		"SELECT * FROM t GROUP",
+		"SELECT * FROM t LIMIT x",
+		"SELECT a b c FROM t",
+		"SELECT * FROM t; SELECT * FROM u",
+		"SELECT count( FROM t",
+		"SELECT * FROM t WHERE a BETWEEN 1",
+		"SELECT CASE END FROM t",
+		"UPDATE t SET a = 1",
+	} {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("no error for %q", sql)
+		}
+	}
+}
+
+func TestQualifiedStarAndColumns(t *testing.T) {
+	s := MustParse("SELECT t.*, u.a FROM t, u")
+	if !s.Items[0].Star || s.Items[0].StarTable != "t" {
+		t.Fatal("qualified star")
+	}
+	cr := s.Items[1].Expr.(*ast.ColumnRef)
+	if cr.Table != "u" || cr.Name != "a" {
+		t.Fatal("qualified column")
+	}
+}
+
+func TestSemicolonTolerated(t *testing.T) {
+	if _, err := Parse("SELECT 1 ;"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeywordColumnAfterQualifier(t *testing.T) {
+	s := MustParse("SELECT d.year FROM d")
+	cr := s.Items[0].Expr.(*ast.ColumnRef)
+	if cr.Table != "d" || !strings.EqualFold(cr.Name, "year") {
+		t.Fatalf("keyword column: %+v", cr)
+	}
+}

@@ -1,0 +1,324 @@
+// Package plan extracts the SPJ normal form π_A σ_C (R₁ × … × R_ℓ), plus
+// the aggregation layer γ_{G, agg…}, from analyzed queries (paper §4,
+// equation 5). The extraction decides fast-path eligibility for the
+// disagreement algorithms and builds the derived statements they run:
+//
+//   - the contribution query  π_{P₁…P_ℓ} σ_C (R₁ × … × R_ℓ), whose output
+//     identifies the primary keys of every tuple contributing to Q(D)
+//     (the augmented query Q̂ of §4.1);
+//   - for aggregates, the unrolled query Q◦γ = π_{G, args} σ_C (…), which
+//     exposes group keys and aggregate inputs per contributing join row
+//     (§4.3).
+package plan
+
+import (
+	"fmt"
+
+	"qirana/internal/sqlengine/analyze"
+	"qirana/internal/sqlengine/ast"
+	"qirana/internal/value"
+)
+
+// AggSpec describes one aggregate output of an aggregation query.
+type AggSpec struct {
+	Fn *ast.FuncCall
+	// ArgCol is the column index of this aggregate's input value in the
+	// unrolled query's output (group columns come first).
+	ArgCol int
+}
+
+// SPJ is the normal form of a fast-path-eligible query.
+type SPJ struct {
+	A *analyze.Analyzed
+	// RelOfSource names the base relation of each FROM source.
+	RelOfSource []string
+	// Conjuncts are the top-level AND conjuncts of C.
+	Conjuncts []ast.Expr
+	// SingleRel[i] are the conjuncts referencing only source i; they are
+	// the conservative C[u⁺] satisfiability test of Algorithm 4.
+	SingleRel [][]ast.Expr
+	// ProjAttrs[i] is, per source, the set of attribute indexes appearing
+	// in the projection A (for plain SPJ) — used for the B ∩ A test.
+	ProjAttrs []map[int]bool
+	// GroupAttrs[i] is, per source, the attribute set referenced by the
+	// grouping expressions G — used for the B ∩ G test.
+	GroupAttrs []map[int]bool
+	// BareProj[i] is the subset of ProjAttrs[i] whose attributes appear as
+	// entire output columns (bare column references). For those, changing
+	// the attribute of a contributing tuple provably changes the output
+	// (the B ∩ A shortcut of Algorithm 4, line 8); for attributes buried
+	// inside computed expressions the shortcut is not exact, so the
+	// checker falls back to the compare check.
+	BareProj []map[int]bool
+	// BareGroup is the analogous bare subset of GroupAttrs.
+	BareGroup []map[int]bool
+	// HasCountStar reports whether some displayed aggregate is COUNT(*).
+	HasCountStar bool
+
+	IsAgg     bool
+	Aggs      []AggSpec
+	NumGroups int // number of grouping expressions
+
+	// ContribStmt is the contribution query; ContribOff[i] is the column
+	// offset of source i's primary key in its output.
+	ContribStmt *ast.SelectStmt
+	ContribOff  []int
+	ContribPKW  []int // width (number of PK columns) per source
+
+	// UnrolledStmt is Q◦γ for aggregation queries (nil for plain SPJ).
+	UnrolledStmt *ast.SelectStmt
+}
+
+// Extract builds the SPJ form, or returns an error describing why the
+// query must take the naive pricing path.
+func Extract(a *analyze.Analyzed) (*SPJ, error) {
+	stmt := a.Stmt
+	if stmt.Distinct {
+		return nil, fmt.Errorf("DISTINCT is outside the SPJ fast path")
+	}
+	if stmt.Limit >= 0 {
+		return nil, fmt.Errorf("LIMIT is outside the SPJ fast path")
+	}
+	if len(stmt.OrderBy) > 0 {
+		return nil, fmt.Errorf("ORDER BY is outside the SPJ fast path")
+	}
+	if stmt.Having != nil {
+		return nil, fmt.Errorf("HAVING is outside the SPJ fast path")
+	}
+	if len(a.Subs) > 0 {
+		return nil, fmt.Errorf("subqueries are outside the SPJ fast path")
+	}
+	if len(a.Sources) == 0 {
+		return nil, fmt.Errorf("FROM-less query")
+	}
+	s := &SPJ{A: a}
+	seen := make(map[string]bool)
+	for _, src := range a.Sources {
+		if src.Rel == nil {
+			return nil, fmt.Errorf("derived tables are outside the SPJ fast path")
+		}
+		ln := lower(src.Rel.Name)
+		if seen[ln] {
+			return nil, fmt.Errorf("self-join on %s is outside the SPJ fast path", src.Rel.Name)
+		}
+		seen[ln] = true
+		s.RelOfSource = append(s.RelOfSource, src.Rel.Name)
+	}
+	for _, f := range a.Aggs {
+		if f.Distinct {
+			return nil, fmt.Errorf("DISTINCT aggregates are outside the SPJ fast path")
+		}
+		if !f.Star && len(f.Args) != 1 {
+			return nil, fmt.Errorf("multi-argument aggregates are outside the SPJ fast path")
+		}
+	}
+	s.IsAgg = a.IsAgg
+	if s.IsAgg {
+		// Every grouping expression must surface in the select list so the
+		// output is exactly the (group key, aggregates) map; otherwise
+		// distinct groups may collapse and the group-delta reasoning of
+		// §4.3 is no longer exact.
+		for _, g := range stmt.GroupBy {
+			if !groupInSelect(a, g) {
+				return nil, fmt.Errorf("grouping expression %s not in select list", g.String())
+			}
+		}
+		// Conversely, each non-aggregate output expression must be one of
+		// the grouping expressions.
+		for _, oc := range a.OutCols {
+			if ast.HasAggregate(oc.Expr) {
+				continue
+			}
+			if !isGroupExpr(a, oc.Expr) {
+				return nil, fmt.Errorf("non-grouped output expression %s", oc.Expr.String())
+			}
+		}
+	}
+
+	s.Conjuncts = ast.SplitConjuncts(stmt.Where)
+	s.SingleRel = make([][]ast.Expr, len(a.Sources))
+	for _, c := range s.Conjuncts {
+		srcs, pure := exprSources(a, c)
+		if !pure {
+			return nil, fmt.Errorf("condition %s is outside the SPJ fast path", c.String())
+		}
+		if len(srcs) == 1 {
+			s.SingleRel[srcs[0]] = append(s.SingleRel[srcs[0]], c)
+		}
+	}
+
+	// Attribute sets.
+	s.ProjAttrs = make([]map[int]bool, len(a.Sources))
+	s.GroupAttrs = make([]map[int]bool, len(a.Sources))
+	s.BareProj = make([]map[int]bool, len(a.Sources))
+	s.BareGroup = make([]map[int]bool, len(a.Sources))
+	for i := range a.Sources {
+		s.ProjAttrs[i] = map[int]bool{}
+		s.GroupAttrs[i] = map[int]bool{}
+		s.BareProj[i] = map[int]bool{}
+		s.BareGroup[i] = map[int]bool{}
+	}
+	for _, oc := range a.OutCols {
+		if s.IsAgg && ast.HasAggregate(oc.Expr) {
+			continue
+		}
+		addAttrs(a, oc.Expr, s.ProjAttrs)
+		addBare(a, oc.Expr, s.BareProj)
+	}
+	for _, g := range stmt.GroupBy {
+		addAttrs(a, g, s.GroupAttrs)
+		addBare(a, g, s.BareGroup)
+	}
+	for _, f := range a.Aggs {
+		if f.Name == "COUNT" && f.Star {
+			s.HasCountStar = true
+		}
+	}
+
+	s.buildContrib()
+	if s.IsAgg {
+		s.buildUnrolled()
+	}
+	return s, nil
+}
+
+func lower(x string) string {
+	b := []byte(x)
+	for i, c := range b {
+		if 'A' <= c && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}
+
+// exprSources returns the level-0 sources referenced by e and whether the
+// expression is "pure" (no subqueries, no aggregates, no outer references).
+func exprSources(a *analyze.Analyzed, e ast.Expr) ([]int, bool) {
+	set := map[int]bool{}
+	pure := true
+	ast.Walk(e, func(n ast.Expr) {
+		switch v := n.(type) {
+		case *ast.ColumnRef:
+			cb, ok := a.Binds[v]
+			if !ok || cb.Level != 0 {
+				pure = false
+				return
+			}
+			set[cb.Table] = true
+		case *ast.SubqueryExpr, *ast.ExistsExpr:
+			pure = false
+		case *ast.InExpr:
+			if v.Sub != nil {
+				pure = false
+			}
+		case *ast.FuncCall:
+			if v.IsAggregate() {
+				pure = false
+			}
+		}
+	})
+	out := make([]int, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	return out, pure
+}
+
+func addAttrs(a *analyze.Analyzed, e ast.Expr, into []map[int]bool) {
+	ast.Walk(e, func(n ast.Expr) {
+		if cr, ok := n.(*ast.ColumnRef); ok {
+			if cb, bound := a.Binds[cr]; bound && cb.Level == 0 {
+				into[cb.Table][cb.Col] = true
+			}
+		}
+	})
+}
+
+// addBare records e's column when e is a bare column reference.
+func addBare(a *analyze.Analyzed, e ast.Expr, into []map[int]bool) {
+	if cr, ok := e.(*ast.ColumnRef); ok {
+		if cb, bound := a.Binds[cr]; bound && cb.Level == 0 {
+			into[cb.Table][cb.Col] = true
+		}
+	}
+}
+
+func groupInSelect(a *analyze.Analyzed, g ast.Expr) bool {
+	gs := g.String()
+	for _, oc := range a.OutCols {
+		if sameRef(a, oc.Expr, g) || oc.Expr.String() == gs {
+			return true
+		}
+	}
+	return false
+}
+
+func isGroupExpr(a *analyze.Analyzed, e ast.Expr) bool {
+	es := e.String()
+	for _, g := range a.Stmt.GroupBy {
+		if sameRef(a, e, g) || g.String() == es {
+			return true
+		}
+	}
+	return false
+}
+
+// sameRef reports whether two expressions are column references bound to
+// the same column (qualified and unqualified spellings compare equal).
+func sameRef(a *analyze.Analyzed, x, y ast.Expr) bool {
+	cx, okx := x.(*ast.ColumnRef)
+	cy, oky := y.(*ast.ColumnRef)
+	if !okx || !oky {
+		return false
+	}
+	bx, okx := a.Binds[cx]
+	by, oky := a.Binds[cy]
+	return okx && oky && bx == by
+}
+
+// buildContrib constructs π_{P₁,…,P_ℓ} σ_C (R₁ × … × R_ℓ).
+func (s *SPJ) buildContrib() {
+	a := s.A
+	stmt := &ast.SelectStmt{From: a.Stmt.From, Where: a.Stmt.Where, Limit: -1}
+	s.ContribOff = make([]int, len(a.Sources))
+	s.ContribPKW = make([]int, len(a.Sources))
+	col := 0
+	for i, src := range a.Sources {
+		s.ContribOff[i] = col
+		s.ContribPKW[i] = len(src.Rel.Key)
+		for _, k := range src.Rel.Key {
+			ref := &ast.ColumnRef{Table: src.Ref.EffectiveName(), Name: src.Rel.Attributes[k].Name}
+			stmt.Items = append(stmt.Items, ast.SelectItem{Expr: ref})
+			col++
+		}
+	}
+	s.ContribStmt = stmt
+}
+
+// buildUnrolled constructs Q◦γ = π_{G, arg₁…arg_k} σ_C (R₁ × … × R_ℓ).
+// COUNT(*) contributes the constant 1 as its argument column.
+func (s *SPJ) buildUnrolled() {
+	a := s.A
+	stmt := &ast.SelectStmt{From: a.Stmt.From, Where: a.Stmt.Where, Limit: -1}
+	for _, g := range a.Stmt.GroupBy {
+		stmt.Items = append(stmt.Items, ast.SelectItem{Expr: g})
+	}
+	s.NumGroups = len(a.Stmt.GroupBy)
+	col := s.NumGroups
+	for _, f := range a.Aggs {
+		spec := AggSpec{Fn: f, ArgCol: col}
+		if f.Star {
+			stmt.Items = append(stmt.Items, ast.SelectItem{Expr: one()})
+		} else {
+			stmt.Items = append(stmt.Items, ast.SelectItem{Expr: f.Args[0]})
+		}
+		s.Aggs = append(s.Aggs, spec)
+		col++
+	}
+	s.UnrolledStmt = stmt
+}
+
+func one() ast.Expr {
+	return &ast.Literal{Val: value.NewInt(1)}
+}

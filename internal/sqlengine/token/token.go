@@ -1,0 +1,71 @@
+// Package token defines the lexical tokens of qirana's SQL dialect.
+package token
+
+import "fmt"
+
+// Type classifies a token.
+type Type int
+
+// Token types. Keywords are recognized case-insensitively by the lexer and
+// reported as KEYWORD with the upper-cased text in Lit.
+const (
+	EOF Type = iota
+	IDENT
+	NUMBER
+	STRING
+	KEYWORD
+	// Punctuation / operators.
+	LPAREN  // (
+	RPAREN  // )
+	COMMA   // ,
+	DOT     // .
+	STAR    // *
+	PLUS    // +
+	MINUS   // -
+	SLASH   // /
+	PERCENT // %
+	EQ      // =
+	NEQ     // <> or !=
+	LT      // <
+	LE      // <=
+	GT      // >
+	GE      // >=
+	SEMI    // ;
+)
+
+// Token is a single lexical token. Pos is the byte offset in the input.
+type Token struct {
+	Type Type
+	Lit  string
+	Pos  int
+}
+
+func (t Token) String() string {
+	switch t.Type {
+	case EOF:
+		return "<eof>"
+	case IDENT, NUMBER, KEYWORD:
+		return t.Lit
+	case STRING:
+		return "'" + t.Lit + "'"
+	}
+	return t.Lit
+}
+
+// Keywords of the dialect. Anything else alphanumeric is an identifier.
+var Keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "OFFSET": true, "AS": true,
+	"AND": true, "OR": true, "NOT": true, "IN": true, "EXISTS": true,
+	"BETWEEN": true, "LIKE": true, "IS": true, "NULL": true, "DISTINCT": true,
+	"ASC": true, "DESC": true, "COUNT": true, "SUM": true, "AVG": true,
+	"MIN": true, "MAX": true, "TRUE": true, "FALSE": true, "DATE": true,
+	"INTERVAL": true, "YEAR": true, "MONTH": true, "DAY": true, "CASE": true,
+	"WHEN": true, "THEN": true, "ELSE": true, "END": true, "JOIN": true,
+	"INNER": true, "ON": true, "UNION": true, "ALL": true, "ANY": true,
+}
+
+// ErrorAt formats a parse error with position context.
+func ErrorAt(pos int, format string, args ...any) error {
+	return fmt.Errorf("at offset %d: %s", pos, fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,46 @@
+package token
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTokenString(t *testing.T) {
+	cases := []struct {
+		tok  Token
+		want string
+	}{
+		{Token{Type: EOF}, "<eof>"},
+		{Token{Type: IDENT, Lit: "foo"}, "foo"},
+		{Token{Type: KEYWORD, Lit: "SELECT"}, "SELECT"},
+		{Token{Type: NUMBER, Lit: "3.14"}, "3.14"},
+		{Token{Type: STRING, Lit: "abc"}, "'abc'"},
+		{Token{Type: LE, Lit: "<="}, "<="},
+	}
+	for _, c := range cases {
+		if got := c.tok.String(); got != c.want {
+			t.Errorf("%v: got %q want %q", c.tok.Type, got, c.want)
+		}
+	}
+}
+
+func TestKeywordTable(t *testing.T) {
+	for _, kw := range []string{"SELECT", "FROM", "WHERE", "GROUP", "BY",
+		"HAVING", "ORDER", "LIMIT", "DISTINCT", "COUNT", "SUM", "AVG",
+		"MIN", "MAX", "DATE", "INTERVAL", "CASE", "WHEN", "THEN", "END",
+		"EXISTS", "BETWEEN", "LIKE", "IN", "NULL", "JOIN", "ON"} {
+		if !Keywords[kw] {
+			t.Errorf("missing keyword %s", kw)
+		}
+	}
+	if Keywords["FOO"] || Keywords["select"] {
+		t.Error("keyword table must hold upper-cased entries only")
+	}
+}
+
+func TestErrorAt(t *testing.T) {
+	err := ErrorAt(42, "bad %s", "thing")
+	if err == nil || !strings.Contains(err.Error(), "offset 42") || !strings.Contains(err.Error(), "bad thing") {
+		t.Fatalf("error format: %v", err)
+	}
+}

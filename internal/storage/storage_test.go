@@ -1,0 +1,152 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+
+	"qirana/internal/schema"
+	"qirana/internal/value"
+)
+
+func testRel(t *testing.T) *schema.Relation {
+	t.Helper()
+	return schema.MustRelation("R", []schema.Attribute{
+		{Name: "id", Type: value.KindInt},
+		{Name: "a", Type: value.KindString},
+		{Name: "b", Type: value.KindInt},
+	}, []int{0})
+}
+
+func TestAppendAndPKIndex(t *testing.T) {
+	tb := NewTable(testRel(t))
+	if err := tb.Append([]value.Value{value.NewInt(1), value.NewString("x"), value.NewInt(10)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Append([]value.Value{value.NewInt(1), value.NewString("y"), value.NewInt(20)}); err == nil {
+		t.Fatal("duplicate PK accepted")
+	}
+	if err := tb.Append([]value.Value{value.NewInt(2), value.NewString("y")}); err == nil {
+		t.Fatal("short row accepted")
+	}
+	tb.MustAppend([]value.Value{value.NewInt(2), value.NewString("y"), value.NewInt(20)})
+	if i, ok := tb.LookupPK([]value.Value{value.NewInt(2)}); !ok || i != 1 {
+		t.Fatalf("LookupPK: %d %v", i, ok)
+	}
+	if _, ok := tb.LookupPK([]value.Value{value.NewInt(9)}); ok {
+		t.Fatal("phantom PK found")
+	}
+	if tb.KeyOfRow(0) == tb.KeyOfRow(1) {
+		t.Fatal("row keys must differ")
+	}
+}
+
+func TestSetGetRoundTrip(t *testing.T) {
+	tb := NewTable(testRel(t))
+	tb.MustAppend([]value.Value{value.NewInt(1), value.NewString("x"), value.NewInt(10)})
+	old := tb.Set(0, 2, value.NewInt(99))
+	if old.AsInt() != 10 || tb.Get(0, 2).AsInt() != 99 {
+		t.Fatal("Set/Get")
+	}
+}
+
+func TestActiveDomain(t *testing.T) {
+	tb := NewTable(testRel(t))
+	for i, s := range []string{"x", "y", "x", "z", "y"} {
+		tb.MustAppend([]value.Value{value.NewInt(int64(i)), value.NewString(s), value.NewInt(int64(i % 2))})
+	}
+	dom := tb.ActiveDomain(1)
+	if len(dom) != 3 {
+		t.Fatalf("domain: %v", dom)
+	}
+	// First-appearance order is deterministic.
+	if dom[0].S != "x" || dom[1].S != "y" || dom[2].S != "z" {
+		t.Fatalf("order: %v", dom)
+	}
+	if len(tb.ActiveDomain(2)) != 2 {
+		t.Fatal("int domain")
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	rel := testRel(t)
+	db := NewDatabase(schema.MustSchema(rel))
+	db.Table("R").MustAppend([]value.Value{value.NewInt(1), value.NewString("x"), value.NewInt(10)})
+	cl := db.Clone()
+	cl.Table("R").Set(0, 2, value.NewInt(77))
+	if db.Table("R").Get(0, 2).AsInt() != 10 {
+		t.Fatal("clone leaked into original")
+	}
+	if i, ok := cl.Table("R").LookupPK([]value.Value{value.NewInt(1)}); !ok || i != 0 {
+		t.Fatal("clone lost PK index")
+	}
+}
+
+func TestDatabaseAccessors(t *testing.T) {
+	rel := testRel(t)
+	db := NewDatabase(schema.MustSchema(rel))
+	if db.Table("r") == nil || db.Table("R") == nil {
+		t.Fatal("case-insensitive lookup")
+	}
+	if db.Table("nope") != nil {
+		t.Fatal("phantom table")
+	}
+	db.Table("R").MustAppend([]value.Value{value.NewInt(1), value.NewString("x"), value.NewInt(10)})
+	if db.TotalRows() != 1 || db.TotalAttrs() != 3 {
+		t.Fatal("counters")
+	}
+}
+
+func TestDomainDeclaredVsActive(t *testing.T) {
+	rel := schema.MustRelation("S", []schema.Attribute{
+		{Name: "id", Type: value.KindInt},
+		{Name: "c", Type: value.KindString,
+			Domain: []value.Value{value.NewString("p"), value.NewString("q")}},
+		{Name: "d", Type: value.KindString},
+	}, []int{0})
+	db := NewDatabase(schema.MustSchema(rel))
+	db.Table("S").MustAppend([]value.Value{value.NewInt(1), value.NewString("p"), value.NewString("only")})
+	if got := db.Domain("S", 1); len(got) != 2 {
+		t.Fatalf("declared domain ignored: %v", got)
+	}
+	if got := db.Domain("S", 2); len(got) != 1 || got[0].S != "only" {
+		t.Fatalf("active domain fallback: %v", got)
+	}
+	if db.Domain("nope", 0) != nil {
+		t.Fatal("unknown relation domain")
+	}
+}
+
+// Property: composite-key rows index correctly regardless of values.
+func TestQuickCompositeKeys(t *testing.T) {
+	rel := schema.MustRelation("E", []schema.Attribute{
+		{Name: "a", Type: value.KindInt},
+		{Name: "b", Type: value.KindInt},
+		{Name: "payload", Type: value.KindInt},
+	}, []int{0, 1})
+	f := func(pairs [][2]int8) bool {
+		tb := NewTable(rel)
+		seen := map[[2]int8]bool{}
+		for _, p := range pairs {
+			err := tb.Append([]value.Value{value.NewInt(int64(p[0])), value.NewInt(int64(p[1])), value.NewInt(0)})
+			if seen[p] {
+				if err == nil {
+					return false // duplicate must be rejected
+				}
+				continue
+			}
+			if err != nil {
+				return false
+			}
+			seen[p] = true
+		}
+		for p := range seen {
+			if _, ok := tb.LookupPK([]value.Value{value.NewInt(int64(p[0])), value.NewInt(int64(p[1]))}); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

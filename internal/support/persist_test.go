@@ -1,0 +1,102 @@
+package support
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"qirana/internal/value"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	db := testDB(t, 40, 3)
+	set, err := GenerateNeighborhood(db, DefaultConfig(120, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := set.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Size() != set.Size() {
+		t.Fatalf("size: %d vs %d", loaded.Size(), set.Size())
+	}
+	for i := range set.Updates {
+		if set.Updates[i].signature() != loaded.Updates[i].signature() {
+			t.Fatalf("update %d differs after round trip", i)
+		}
+	}
+	// The loaded set behaves identically: apply/undo restores the db.
+	before := snapshot(db)
+	for _, el := range loaded.Elements {
+		el.Apply(db)
+		el.Undo(db)
+	}
+	if !equalSnapshot(before, snapshot(db)) {
+		t.Fatal("loaded set corrupted the database")
+	}
+}
+
+func TestLoadDetectsDrift(t *testing.T) {
+	db := testDB(t, 20, 4)
+	set, err := GenerateNeighborhood(db, DefaultConfig(50, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := set.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Mutate the database out-of-band: a non-key cell some update recorded.
+	u := set.Updates[0]
+	db.Table(u.Rel).Set(u.Row1, u.Attrs[0], value.NewInt(987654))
+	if _, err := Load(&buf, db); err == nil || !strings.Contains(err.Error(), "drifted") {
+		t.Fatalf("drift undetected: %v", err)
+	}
+}
+
+func TestLoadRejectsWrongSchema(t *testing.T) {
+	db1 := testDB(t, 20, 4)
+	set, err := GenerateNeighborhood(db1, DefaultConfig(30, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := set.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Smaller database: row indexes overflow.
+	db2 := testDB(t, 3, 4)
+	if _, err := Load(&buf, db2); err == nil {
+		t.Fatal("mismatched database accepted")
+	}
+}
+
+func TestSaveRejectsUniform(t *testing.T) {
+	db := testDB(t, 10, 4)
+	set, err := GenerateUniform(db, DefaultConfig(5, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := set.Save(&buf); err == nil {
+		t.Fatal("uniform sets must not be saveable")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	db := testDB(t, 10, 4)
+	if _, err := Load(strings.NewReader("not json"), db); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Load(strings.NewReader(`{"version":9,"updates":[]}`), db); err == nil {
+		t.Fatal("future version accepted")
+	}
+	if _, err := Load(strings.NewReader(`{"version":1,"updates":[{"id":0,"rel":"ghost","row1":0,"attrs":[1],"old1":[{"k":"int"}],"new1":[{"k":"int","i":1}]}]}`), db); err == nil {
+		t.Fatal("unknown relation accepted")
+	}
+}

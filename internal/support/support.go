@@ -1,0 +1,427 @@
+// Package support implements QIRANA's support sets (paper §2.3, §3.2): the
+// small subset S ⊆ I of possible databases against which query prices are
+// computed. Two constructions are provided:
+//
+//   - random neighborhood (nbrs): elements are row updates (one tuple, one
+//     or more non-key attributes replaced from the attribute domain) and
+//     swap updates (the values of two tuples exchanged), i.e. databases at
+//     distance ≤ 2 from the instance for sale. They are stored implicitly
+//     as update/undo pairs applied in place.
+//   - random uniform: full random instances drawn uniformly from I (same
+//     schema, keys and cardinalities, every non-key attribute resampled
+//     from its domain). The paper shows these price poorly and cost much
+//     more memory; they are included to reproduce Figures 2 and 6.
+package support
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qirana/internal/storage"
+	"qirana/internal/value"
+)
+
+// Element is one support-set member D_i, represented as a reversible
+// mutation of the underlying database.
+type Element interface {
+	// Apply turns the database into D_i.
+	Apply(db *storage.Database)
+	// Undo restores the original database.
+	Undo(db *storage.Database)
+	// Touches reports whether D_i differs from D inside relation rel.
+	Touches(rel string) bool
+}
+
+// Update is a row or swap update (paper §3.2). A row update replaces the
+// values of attributes Attrs of row Row1 with New1. A swap update
+// exchanges the Attrs values of rows Row1 and Row2.
+type Update struct {
+	ID   int
+	Rel  string
+	Swap bool
+	Row1 int
+	Row2 int // swap only
+	// Attrs are the modified attribute indexes (the set B of §4.1).
+	Attrs []int
+	// Old1/New1 are row1's values at Attrs before/after; likewise 2.
+	Old1, New1 []value.Value
+	Old2, New2 []value.Value
+}
+
+// Apply applies the update in place (the up↑ of Algorithm 1).
+func (u *Update) Apply(db *storage.Database) {
+	t := db.Table(u.Rel)
+	for i, a := range u.Attrs {
+		t.Set(u.Row1, a, u.New1[i])
+		if u.Swap {
+			t.Set(u.Row2, a, u.New2[i])
+		}
+	}
+}
+
+// Undo restores the original rows (the up↓ of Algorithm 1).
+func (u *Update) Undo(db *storage.Database) {
+	t := db.Table(u.Rel)
+	for i, a := range u.Attrs {
+		t.Set(u.Row1, a, u.Old1[i])
+		if u.Swap {
+			t.Set(u.Row2, a, u.Old2[i])
+		}
+	}
+}
+
+// Touches reports whether the update modifies rel.
+func (u *Update) Touches(rel string) bool { return equalFold(u.Rel, rel) }
+
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+// MinusRows returns copies of the affected tuples in their original state
+// (u⁻). Must be called while the database is in its original state.
+func (u *Update) MinusRows(db *storage.Database) [][]value.Value {
+	t := db.Table(u.Rel)
+	out := [][]value.Value{copyRow(t.Rows[u.Row1])}
+	if u.Swap {
+		out = append(out, copyRow(t.Rows[u.Row2]))
+	}
+	return out
+}
+
+// PlusRows returns copies of the affected tuples in their updated state
+// (u⁺). Must be called while the database is in its original state.
+func (u *Update) PlusRows(db *storage.Database) [][]value.Value {
+	t := db.Table(u.Rel)
+	r1 := copyRow(t.Rows[u.Row1])
+	for i, a := range u.Attrs {
+		r1[a] = u.New1[i]
+	}
+	out := [][]value.Value{r1}
+	if u.Swap {
+		r2 := copyRow(t.Rows[u.Row2])
+		for i, a := range u.Attrs {
+			r2[a] = u.New2[i]
+		}
+		out = append(out, r2)
+	}
+	return out
+}
+
+func copyRow(r []value.Value) []value.Value {
+	out := make([]value.Value, len(r))
+	copy(out, r)
+	return out
+}
+
+// Instance is a full materialized support-set element (random uniform
+// construction). Applying it swaps whole table contents.
+type Instance struct {
+	Rows  map[string][][]value.Value // lower(rel) -> rows
+	saved map[string][][]value.Value
+}
+
+// Apply swaps the instance's rows in.
+func (in *Instance) Apply(db *storage.Database) {
+	in.saved = make(map[string][][]value.Value, len(in.Rows))
+	for rel, rows := range in.Rows {
+		t := db.Table(rel)
+		in.saved[rel] = t.Rows
+		t.Rows = rows
+	}
+}
+
+// Undo restores the original rows.
+func (in *Instance) Undo(db *storage.Database) {
+	for rel, rows := range in.saved {
+		db.Table(rel).Rows = rows
+	}
+	in.saved = nil
+}
+
+// Touches reports whether the instance differs inside rel; materialized
+// instances are resampled everywhere, so every relation is touched.
+func (in *Instance) Touches(rel string) bool {
+	_, ok := in.Rows[lower(rel)]
+	return ok
+}
+
+func lower(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if 'A' <= c && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}
+
+// Set is a generated support set.
+type Set struct {
+	Elements []Element
+	// Updates aliases Elements when the set is a neighborhood set; nil for
+	// uniform sets. The disagreement fast path requires updates.
+	Updates []*Update
+}
+
+// Size returns |S|.
+func (s *Set) Size() int { return len(s.Elements) }
+
+// Config parametrizes the random neighborhood generator.
+type Config struct {
+	// Size is |S|, the number of elements to generate.
+	Size int
+	// SwapFraction is the fraction of swap updates (the paper's default
+	// experiments fix a 1:1 row-to-swap ratio, i.e. 0.5).
+	SwapFraction float64
+	// Seed makes generation deterministic.
+	Seed int64
+	// Domains optionally overrides the per-relation/attribute domains; by
+	// default the database's declared-or-active domain is used.
+	Domains map[string][][]value.Value
+}
+
+// DefaultConfig returns the paper's default generator parameters.
+func DefaultConfig(size int, seed int64) Config {
+	return Config{Size: size, SwapFraction: 0.5, Seed: seed}
+}
+
+// generator caches per-attribute domains.
+type generator struct {
+	db      *storage.Database
+	rng     *rand.Rand
+	cfg     Config
+	rels    []string // updatable relations
+	domains map[string][][]value.Value
+}
+
+// GenerateNeighborhood builds a random-neighborhood support set over db
+// following §3.2: relation uniform at random, each non-key attribute
+// chosen independently with probability 1/2 (redrawn if empty), row vs
+// swap by the configured ratio, and values drawn from the attribute
+// domain such that the generated instance always differs from D.
+func GenerateNeighborhood(db *storage.Database, cfg Config) (*Set, error) {
+	g := &generator{db: db, rng: rand.New(rand.NewSource(cfg.Seed)), cfg: cfg,
+		domains: make(map[string][][]value.Value)}
+	for _, r := range db.Schema.Relations {
+		if db.Table(r.Name).Len() > 0 && len(r.NonKeyAttrs()) > 0 {
+			g.rels = append(g.rels, r.Name)
+		}
+	}
+	if len(g.rels) == 0 {
+		return nil, fmt.Errorf("no updatable relation (all empty or key-only)")
+	}
+	set := &Set{}
+	seen := make(map[string]bool, cfg.Size)
+	for i := 0; i < cfg.Size; i++ {
+		var u *Update
+		// Distinct elements: two different updates yielding the same
+		// instance would double-count its weight and break the exact
+		// p(Q_all) = P scaling of the entropy functions.
+		for tries := 0; ; tries++ {
+			var err error
+			u, err = g.genUpdate(i)
+			if err != nil {
+				return nil, err
+			}
+			sig := u.signature()
+			if !seen[sig] {
+				seen[sig] = true
+				break
+			}
+			if tries > 2000 {
+				return nil, fmt.Errorf("support set of size %d exceeds the distinct neighborhood of this database", cfg.Size)
+			}
+		}
+		set.Elements = append(set.Elements, u)
+		set.Updates = append(set.Updates, u)
+	}
+	return set, nil
+}
+
+// signature canonically describes the instance the update produces: the
+// sorted set of (row, attribute, new value) cell writes that differ from D.
+func (u *Update) signature() string {
+	type cell struct {
+		row, attr int
+		v         value.Value
+	}
+	var cells []cell
+	for i, a := range u.Attrs {
+		if !value.Equal(u.Old1[i], u.New1[i]) {
+			cells = append(cells, cell{u.Row1, a, u.New1[i]})
+		}
+		if u.Swap && !value.Equal(u.Old2[i], u.New2[i]) {
+			cells = append(cells, cell{u.Row2, a, u.New2[i]})
+		}
+	}
+	for i := 1; i < len(cells); i++ {
+		for j := i; j > 0 && (cells[j].row < cells[j-1].row ||
+			(cells[j].row == cells[j-1].row && cells[j].attr < cells[j-1].attr)); j-- {
+			cells[j], cells[j-1] = cells[j-1], cells[j]
+		}
+	}
+	var sb []byte
+	sb = append(sb, u.Rel...)
+	for _, c := range cells {
+		sb = append(sb, byte(c.row), byte(c.row>>8), byte(c.row>>16), byte(c.attr))
+		sb = append(sb, value.Key([]value.Value{c.v})...)
+	}
+	return string(sb)
+}
+
+func (g *generator) attrDomain(rel string, a int) [][]value.Value {
+	key := lower(rel)
+	d, ok := g.domains[key]
+	if !ok {
+		rl := g.db.Table(rel).Rel
+		d = make([][]value.Value, rl.Arity())
+		g.domains[key] = d
+	}
+	if d[a] == nil {
+		if ov, ok := g.cfg.Domains[key]; ok && ov[a] != nil {
+			d[a] = ov[a]
+		} else {
+			d[a] = g.db.Domain(rel, a)
+		}
+	}
+	return d
+}
+
+func (g *generator) genUpdate(id int) (*Update, error) {
+	const maxTries = 1000
+	for try := 0; try < maxTries; try++ {
+		rel := g.rels[g.rng.Intn(len(g.rels))]
+		t := g.db.Table(rel)
+		nonKey := t.Rel.NonKeyAttrs()
+		// Choose each non-key attribute independently with p = 1/2.
+		var attrs []int
+		for _, a := range nonKey {
+			if g.rng.Intn(2) == 0 {
+				attrs = append(attrs, a)
+			}
+		}
+		if len(attrs) == 0 {
+			continue
+		}
+		if g.rng.Float64() < g.cfg.SwapFraction && t.Len() >= 2 {
+			if u := g.trySwap(id, rel, t, attrs); u != nil {
+				return u, nil
+			}
+		} else {
+			if u := g.tryRow(id, rel, t, attrs); u != nil {
+				return u, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("could not generate update after %d tries (domains too small?)", maxTries)
+}
+
+func (g *generator) tryRow(id int, rel string, t *storage.Table, attrs []int) *Update {
+	row := g.rng.Intn(t.Len())
+	u := &Update{ID: id, Rel: rel, Row1: row}
+	for _, a := range attrs {
+		dom := g.attrDomain(rel, a)[a]
+		old := t.Get(row, a)
+		nv, ok := g.pickDifferent(dom, old)
+		if !ok {
+			continue // singleton domain: this attribute cannot change
+		}
+		u.Attrs = append(u.Attrs, a)
+		u.Old1 = append(u.Old1, old)
+		u.New1 = append(u.New1, nv)
+	}
+	if len(u.Attrs) == 0 {
+		return nil
+	}
+	return u
+}
+
+func (g *generator) pickDifferent(dom []value.Value, old value.Value) (value.Value, bool) {
+	if len(dom) < 2 {
+		return value.Null, false
+	}
+	for k := 0; k < 16; k++ {
+		v := dom[g.rng.Intn(len(dom))]
+		if !value.Equal(v, old) {
+			return v, true
+		}
+	}
+	// Fall back to a linear scan from a random start for tiny/skewed domains.
+	start := g.rng.Intn(len(dom))
+	for i := 0; i < len(dom); i++ {
+		v := dom[(start+i)%len(dom)]
+		if !value.Equal(v, old) {
+			return v, true
+		}
+	}
+	return value.Null, false
+}
+
+func (g *generator) trySwap(id int, rel string, t *storage.Table, attrs []int) *Update {
+	r1 := g.rng.Intn(t.Len())
+	r2 := g.rng.Intn(t.Len())
+	if r1 == r2 {
+		return nil
+	}
+	u := &Update{ID: id, Rel: rel, Swap: true, Row1: r1, Row2: r2}
+	differs := false
+	for _, a := range attrs {
+		v1, v2 := t.Get(r1, a), t.Get(r2, a)
+		u.Attrs = append(u.Attrs, a)
+		u.Old1 = append(u.Old1, v1)
+		u.New1 = append(u.New1, v2)
+		u.Old2 = append(u.Old2, v2)
+		u.New2 = append(u.New2, v1)
+		if !value.Equal(v1, v2) {
+			differs = true
+		}
+	}
+	if !differs {
+		return nil // would generate D itself
+	}
+	return u
+}
+
+// GenerateUniform builds a random-uniform support set: each element is a
+// full instance with every non-key attribute of every tuple resampled
+// uniformly from its domain (schema, keys and cardinalities preserved).
+func GenerateUniform(db *storage.Database, cfg Config) (*Set, error) {
+	g := &generator{db: db, rng: rand.New(rand.NewSource(cfg.Seed)), cfg: cfg,
+		domains: make(map[string][][]value.Value)}
+	set := &Set{}
+	for i := 0; i < cfg.Size; i++ {
+		in := &Instance{Rows: make(map[string][][]value.Value)}
+		for _, r := range db.Schema.Relations {
+			t := db.Table(r.Name)
+			rows := make([][]value.Value, t.Len())
+			for ri := range t.Rows {
+				row := copyRow(t.Rows[ri])
+				for _, a := range r.NonKeyAttrs() {
+					dom := g.attrDomain(r.Name, a)[a]
+					if len(dom) > 0 {
+						row[a] = dom[g.rng.Intn(len(dom))]
+					}
+				}
+				rows[ri] = row
+			}
+			in.Rows[lower(r.Name)] = rows
+		}
+		set.Elements = append(set.Elements, in)
+	}
+	return set, nil
+}

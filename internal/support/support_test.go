@@ -1,0 +1,317 @@
+package support
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"qirana/internal/schema"
+	"qirana/internal/storage"
+	"qirana/internal/value"
+)
+
+func testDB(t testing.TB, rows int, seed int64) *storage.Database {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	rel := schema.MustRelation("R", []schema.Attribute{
+		{Name: "id", Type: value.KindInt},
+		{Name: "a", Type: value.KindInt},
+		{Name: "b", Type: value.KindString},
+	}, []int{0})
+	s := schema.MustRelation("S", []schema.Attribute{
+		{Name: "k", Type: value.KindInt},
+		{Name: "x", Type: value.KindInt},
+	}, []int{0})
+	db := storage.NewDatabase(schema.MustSchema(rel, s))
+	words := []string{"p", "q", "r", "s"}
+	for i := 0; i < rows; i++ {
+		db.Table("R").MustAppend([]value.Value{
+			value.NewInt(int64(i)), value.NewInt(int64(rng.Intn(30))), value.NewString(words[rng.Intn(4)]),
+		})
+		db.Table("S").MustAppend([]value.Value{
+			value.NewInt(int64(i)), value.NewInt(int64(rng.Intn(10))),
+		})
+	}
+	return db
+}
+
+func snapshot(db *storage.Database) map[string][]string {
+	out := map[string][]string{}
+	for _, rel := range db.Schema.Relations {
+		t := db.Table(rel.Name)
+		var rows []string
+		for _, r := range t.Rows {
+			rows = append(rows, value.Key(r))
+		}
+		out[rel.Name] = rows
+	}
+	return out
+}
+
+func equalSnapshot(a, b map[string][]string) bool {
+	for k, ra := range a {
+		rb := b[k]
+		if len(ra) != len(rb) {
+			return false
+		}
+		for i := range ra {
+			if ra[i] != rb[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestApplyUndoRoundTrip(t *testing.T) {
+	db := testDB(t, 50, 3)
+	before := snapshot(db)
+	set, err := GenerateNeighborhood(db, DefaultConfig(300, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, el := range set.Elements {
+		el.Apply(db)
+		el.Undo(db)
+	}
+	if !equalSnapshot(before, snapshot(db)) {
+		t.Fatal("apply/undo did not restore the database")
+	}
+}
+
+func TestEveryElementDiffersFromD(t *testing.T) {
+	db := testDB(t, 40, 5)
+	before := snapshot(db)
+	set, err := GenerateNeighborhood(db, DefaultConfig(200, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, el := range set.Elements {
+		el.Apply(db)
+		if equalSnapshot(before, snapshot(db)) {
+			t.Fatalf("element %d equals D", i)
+		}
+		el.Undo(db)
+	}
+}
+
+func TestElementsAreDistinct(t *testing.T) {
+	db := testDB(t, 10, 1)
+	set, err := GenerateNeighborhood(db, DefaultConfig(400, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for i, el := range set.Elements {
+		el.Apply(db)
+		k := value.Key(flatten(db))
+		el.Undo(db)
+		if j, dup := seen[k]; dup {
+			t.Fatalf("elements %d and %d produce the same instance", i, j)
+		}
+		seen[k] = i
+	}
+}
+
+func flatten(db *storage.Database) []value.Value {
+	var out []value.Value
+	for _, rel := range db.Schema.Relations {
+		for _, r := range db.Table(rel.Name).Rows {
+			out = append(out, r...)
+		}
+	}
+	return out
+}
+
+func TestGeneratorInvariants(t *testing.T) {
+	db := testDB(t, 60, 11)
+	set, err := GenerateNeighborhood(db, Config{Size: 500, SwapFraction: 0.5, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	swaps := 0
+	for _, u := range set.Updates {
+		if u.Swap {
+			swaps++
+			if u.Row1 == u.Row2 {
+				t.Fatal("swap on the same row")
+			}
+			differs := false
+			for i := range u.Attrs {
+				if !value.Equal(u.Old1[i], u.Old2[i]) {
+					differs = true
+				}
+			}
+			if !differs {
+				t.Fatal("no-op swap generated")
+			}
+		} else {
+			for i := range u.Attrs {
+				if value.Equal(u.Old1[i], u.New1[i]) {
+					t.Fatal("no-op row write generated")
+				}
+			}
+		}
+		rel := db.Table(u.Rel).Rel
+		for _, a := range u.Attrs {
+			if rel.IsKeyAttr(a) {
+				t.Fatalf("update touches primary key attribute %d of %s", a, u.Rel)
+			}
+		}
+	}
+	if swaps < 150 || swaps > 350 {
+		t.Errorf("swap count %d far from the configured 50%%", swaps)
+	}
+}
+
+func TestSwapFractionExtremes(t *testing.T) {
+	db := testDB(t, 60, 11)
+	allRows, err := GenerateNeighborhood(db, Config{Size: 100, SwapFraction: 0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range allRows.Updates {
+		if u.Swap {
+			t.Fatal("swap generated at fraction 0")
+		}
+	}
+	allSwaps, err := GenerateNeighborhood(db, Config{Size: 100, SwapFraction: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range allSwaps.Updates {
+		if !u.Swap {
+			t.Fatal("row update generated at fraction 1")
+		}
+	}
+}
+
+func TestMinusPlusRows(t *testing.T) {
+	db := testDB(t, 20, 2)
+	set, err := GenerateNeighborhood(db, DefaultConfig(50, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range set.Updates {
+		minus := u.MinusRows(db)
+		plus := u.PlusRows(db)
+		t1 := db.Table(u.Rel)
+		if value.Key(minus[0]) != value.Key(t1.Rows[u.Row1]) {
+			t.Fatal("minus row must be the current row")
+		}
+		u.Apply(db)
+		if value.Key(plus[0]) != value.Key(t1.Rows[u.Row1]) {
+			t.Fatal("plus row must be the updated row")
+		}
+		u.Undo(db)
+	}
+}
+
+func TestUniformGeneration(t *testing.T) {
+	db := testDB(t, 30, 4)
+	before := snapshot(db)
+	set, err := GenerateUniform(db, DefaultConfig(20, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Updates != nil {
+		t.Fatal("uniform sets carry no updates")
+	}
+	for _, el := range set.Elements {
+		el.Apply(db)
+		// Keys preserved, cardinality preserved.
+		for _, rel := range db.Schema.Relations {
+			if db.Table(rel.Name).Len() != len(before[rel.Name]) {
+				t.Fatal("cardinality changed")
+			}
+		}
+		el.Undo(db)
+	}
+	if !equalSnapshot(before, snapshot(db)) {
+		t.Fatal("uniform apply/undo did not restore")
+	}
+}
+
+func TestDomainOverride(t *testing.T) {
+	db := testDB(t, 30, 8)
+	rel := db.Table("R").Rel
+	domains := map[string][][]value.Value{"r": make([][]value.Value, rel.Arity())}
+	domains["r"][1] = []value.Value{value.NewInt(1000), value.NewInt(2000)}
+	set, err := GenerateNeighborhood(db, Config{Size: 200, SwapFraction: 0, Seed: 1, Domains: domains})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range set.Updates {
+		if u.Rel != "R" {
+			continue
+		}
+		for i, a := range u.Attrs {
+			if a == 1 {
+				v := u.New1[i].AsInt()
+				if v != 1000 && v != 2000 {
+					t.Fatalf("override ignored: new value %d", v)
+				}
+			}
+		}
+	}
+}
+
+func TestErrorOnKeyOnlySchema(t *testing.T) {
+	rel := schema.MustRelation("K", []schema.Attribute{
+		{Name: "a", Type: value.KindInt},
+	}, []int{0})
+	db := storage.NewDatabase(schema.MustSchema(rel))
+	db.Table("K").MustAppend([]value.Value{value.NewInt(1)})
+	if _, err := GenerateNeighborhood(db, DefaultConfig(10, 1)); err == nil {
+		t.Fatal("key-only schema must be rejected")
+	}
+}
+
+func TestExhaustionError(t *testing.T) {
+	// A 1-row, 1-non-key-binary-attribute table has exactly 1 neighbor.
+	rel := schema.MustRelation("T", []schema.Attribute{
+		{Name: "id", Type: value.KindInt},
+		{Name: "f", Type: value.KindInt, Domain: []value.Value{value.NewInt(0), value.NewInt(1)}},
+	}, []int{0})
+	db := storage.NewDatabase(schema.MustSchema(rel))
+	db.Table("T").MustAppend([]value.Value{value.NewInt(1), value.NewInt(0)})
+	if _, err := GenerateNeighborhood(db, DefaultConfig(5, 1)); err == nil {
+		t.Fatal("requesting more elements than the neighborhood holds must fail")
+	}
+	set, err := GenerateNeighborhood(db, DefaultConfig(1, 1))
+	if err != nil || set.Size() != 1 {
+		t.Fatalf("the single neighbor should be generatable: %v", err)
+	}
+}
+
+// Property: generation is deterministic in the seed.
+func TestQuickDeterministicGeneration(t *testing.T) {
+	db := testDB(t, 25, 6)
+	f := func(seed int64) bool {
+		a, err1 := GenerateNeighborhood(db, DefaultConfig(50, seed))
+		b, err2 := GenerateNeighborhood(db, DefaultConfig(50, seed))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range a.Updates {
+			if a.Updates[i].signature() != b.Updates[i].signature() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllEmptyTablesRejected(t *testing.T) {
+	rel := schema.MustRelation("E", []schema.Attribute{
+		{Name: "id", Type: value.KindInt},
+		{Name: "x", Type: value.KindInt},
+	}, []int{0})
+	db := storage.NewDatabase(schema.MustSchema(rel))
+	if _, err := GenerateNeighborhood(db, DefaultConfig(5, 1)); err == nil {
+		t.Fatal("empty database must be rejected")
+	}
+}

@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// SSB returns the 13 Star Schema Benchmark flights Q1.1–Q4.3 used in
+// Figures 4e–4g and 5a. ORDER BY clauses are dropped (they carry no
+// information content for pricing and the §4 fast path covers SPJ+γ, as in
+// the paper's evaluation).
+func SSB() []Query {
+	return []Query{
+		{Name: "Q1.1", SQL: `select sum(lo_extendedprice * lo_discount) as revenue
+			from lineorder, date
+			where lo_orderdate = d_datekey and d_year = 1993
+			and lo_discount between 1 and 3 and lo_quantity < 25`},
+		{Name: "Q1.2", SQL: `select sum(lo_extendedprice * lo_discount) as revenue
+			from lineorder, date
+			where lo_orderdate = d_datekey and d_yearmonthnum = 199401
+			and lo_discount between 4 and 6 and lo_quantity between 26 and 35`},
+		{Name: "Q1.3", SQL: `select sum(lo_extendedprice * lo_discount) as revenue
+			from lineorder, date
+			where lo_orderdate = d_datekey and d_weeknuminyear = 6 and d_year = 1994
+			and lo_discount between 5 and 7 and lo_quantity between 26 and 35`},
+		{Name: "Q2.1", SQL: `select sum(lo_revenue), d_year, p_brand1
+			from lineorder, date, part, supplier
+			where lo_orderdate = d_datekey and lo_partkey = p_partkey and lo_suppkey = s_suppkey
+			and p_category = 'MFGR#12' and s_region = 'AMERICA'
+			group by d_year, p_brand1`},
+		{Name: "Q2.2", SQL: `select sum(lo_revenue), d_year, p_brand1
+			from lineorder, date, part, supplier
+			where lo_orderdate = d_datekey and lo_partkey = p_partkey and lo_suppkey = s_suppkey
+			and p_brand1 between 'MFGR#2221' and 'MFGR#2228' and s_region = 'ASIA'
+			group by d_year, p_brand1`},
+		{Name: "Q2.3", SQL: `select sum(lo_revenue), d_year, p_brand1
+			from lineorder, date, part, supplier
+			where lo_orderdate = d_datekey and lo_partkey = p_partkey and lo_suppkey = s_suppkey
+			and p_brand1 = 'MFGR#2221' and s_region = 'EUROPE'
+			group by d_year, p_brand1`},
+		{Name: "Q3.1", SQL: `select c_nation, s_nation, d_year, sum(lo_revenue) as revenue
+			from customer, lineorder, supplier, date
+			where lo_custkey = c_custkey and lo_suppkey = s_suppkey and lo_orderdate = d_datekey
+			and c_region = 'ASIA' and s_region = 'ASIA' and d_year >= 1992 and d_year <= 1997
+			group by c_nation, s_nation, d_year`},
+		{Name: "Q3.2", SQL: `select c_city, s_city, d_year, sum(lo_revenue) as revenue
+			from customer, lineorder, supplier, date
+			where lo_custkey = c_custkey and lo_suppkey = s_suppkey and lo_orderdate = d_datekey
+			and c_nation = 'UNITED STATES' and s_nation = 'UNITED STATES'
+			and d_year >= 1992 and d_year <= 1997
+			group by c_city, s_city, d_year`},
+		{Name: "Q3.3", SQL: `select c_city, s_city, d_year, sum(lo_revenue) as revenue
+			from customer, lineorder, supplier, date
+			where lo_custkey = c_custkey and lo_suppkey = s_suppkey and lo_orderdate = d_datekey
+			and (c_city = 'UNITED KI1' or c_city = 'UNITED KI5')
+			and (s_city = 'UNITED KI1' or s_city = 'UNITED KI5')
+			and d_year >= 1992 and d_year <= 1997
+			group by c_city, s_city, d_year`},
+		{Name: "Q3.4", SQL: `select c_city, s_city, d_year, sum(lo_revenue) as revenue
+			from customer, lineorder, supplier, date
+			where lo_custkey = c_custkey and lo_suppkey = s_suppkey and lo_orderdate = d_datekey
+			and (c_city = 'UNITED KI1' or c_city = 'UNITED KI5')
+			and (s_city = 'UNITED KI1' or s_city = 'UNITED KI5')
+			and d_yearmonth = 'Dec1997'
+			group by c_city, s_city, d_year`},
+		{Name: "Q4.1", SQL: `select d_year, c_nation, sum(lo_revenue - lo_supplycost) as profit
+			from date, customer, supplier, part, lineorder
+			where lo_custkey = c_custkey and lo_suppkey = s_suppkey and lo_partkey = p_partkey
+			and lo_orderdate = d_datekey and c_region = 'AMERICA' and s_region = 'AMERICA'
+			and (p_mfgr = 'MFGR#1' or p_mfgr = 'MFGR#2')
+			group by d_year, c_nation`},
+		{Name: "Q4.2", SQL: `select d_year, s_nation, p_category, sum(lo_revenue - lo_supplycost) as profit
+			from date, customer, supplier, part, lineorder
+			where lo_custkey = c_custkey and lo_suppkey = s_suppkey and lo_partkey = p_partkey
+			and lo_orderdate = d_datekey and c_region = 'AMERICA' and s_region = 'AMERICA'
+			and (d_year = 1997 or d_year = 1998) and (p_mfgr = 'MFGR#1' or p_mfgr = 'MFGR#2')
+			group by d_year, s_nation, p_category`},
+		{Name: "Q4.3", SQL: `select d_year, s_city, p_brand1, sum(lo_revenue - lo_supplycost) as profit
+			from date, customer, supplier, part, lineorder
+			where lo_custkey = c_custkey and lo_suppkey = s_suppkey and lo_partkey = p_partkey
+			and lo_orderdate = d_datekey and s_nation = 'UNITED STATES'
+			and (d_year = 1997 or d_year = 1998) and p_category = 'MFGR#14'
+			group by d_year, s_city, p_brand1`},
+	}
+}
+
+// SSBQ11Variant generates a random instantiation of flight Q1.1 with
+// d_year, lo_discount and lo_quantity parameters sampled uniformly from
+// their domains, as in the Figure 4g experiment (25 such variants).
+func SSBQ11Variant(rng *rand.Rand) Query {
+	year := 1992 + rng.Intn(7)
+	dlo := rng.Intn(9)
+	dhi := dlo + 2
+	q := 10 + rng.Intn(40)
+	return Query{
+		Name: fmt.Sprintf("Q1.1[y=%d,d=%d-%d,q<%d]", year, dlo, dhi, q),
+		SQL: fmt.Sprintf(`select sum(lo_extendedprice * lo_discount) as revenue
+			from lineorder, date
+			where lo_orderdate = d_datekey and d_year = %d
+			and lo_discount between %d and %d and lo_quantity < %d`, year, dlo, dhi, q),
+	}
+}
+
+// TPCH returns the Figure 5b TPC-H queries (Q1, Q2, Q4, Q5, Q6, Q11, Q12,
+// Q17) in qirana's dialect: ORDER BY/LIMIT presentation clauses dropped,
+// validation-parameter substitutions as in the specification's example
+// queries. Q2/Q4/Q11/Q17 retain their (correlated) subqueries and
+// therefore take the naive pricing path — the fast path covers SPJ+γ only.
+func TPCH() []Query {
+	return []Query{
+		{Name: "Q1", SQL: `select l_returnflag, l_linestatus, sum(l_quantity) as sum_qty,
+			sum(l_extendedprice) as sum_base_price,
+			sum(l_extendedprice * (1 - l_discount)) as sum_disc_price,
+			sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) as sum_charge,
+			avg(l_quantity) as avg_qty, avg(l_extendedprice) as avg_price,
+			avg(l_discount) as avg_disc, count(*) as count_order
+			from lineitem
+			where l_shipdate <= date '1998-12-01' - interval '90' day
+			group by l_returnflag, l_linestatus`},
+		{Name: "Q2", SQL: `select s_acctbal, s_name, n_name, p_partkey, p_mfgr, s_address, s_phone, s_comment
+			from part, supplier, partsupp, nation, region
+			where p_partkey = ps_partkey and s_suppkey = ps_suppkey
+			and p_size = 15 and p_type like '%BRASS'
+			and s_nationkey = n_nationkey and n_regionkey = r_regionkey and r_name = 'EUROPE'
+			and ps_supplycost = (
+				select min(ps_supplycost) from partsupp, supplier, nation, region
+				where p_partkey = ps_partkey and s_suppkey = ps_suppkey
+				and s_nationkey = n_nationkey and n_regionkey = r_regionkey and r_name = 'EUROPE')`},
+		{Name: "Q4", SQL: `select o_orderpriority, count(*) as order_count
+			from orders
+			where o_orderdate >= date '1993-07-01' and o_orderdate < date '1993-07-01' + interval '3' month
+			and exists (select 1 from lineitem where l_orderkey = o_orderkey and l_commitdate < l_receiptdate)
+			group by o_orderpriority`},
+		{Name: "Q5", SQL: `select n_name, sum(l_extendedprice * (1 - l_discount)) as revenue
+			from customer, orders, lineitem, supplier, nation, region
+			where c_custkey = o_custkey and l_orderkey = o_orderkey and l_suppkey = s_suppkey
+			and c_nationkey = s_nationkey and s_nationkey = n_nationkey
+			and n_regionkey = r_regionkey and r_name = 'ASIA'
+			and o_orderdate >= date '1994-01-01' and o_orderdate < date '1994-01-01' + interval '1' year
+			group by n_name`},
+		{Name: "Q6", SQL: `select sum(l_extendedprice * l_discount) as revenue
+			from lineitem
+			where l_shipdate >= date '1994-01-01' and l_shipdate < date '1994-01-01' + interval '1' year
+			and l_discount between 0.05 and 0.07 and l_quantity < 24`},
+		{Name: "Q11", SQL: `select ps_partkey, sum(ps_supplycost * ps_availqty) as val
+			from partsupp, supplier, nation
+			where ps_suppkey = s_suppkey and s_nationkey = n_nationkey and n_name = 'GERMANY'
+			group by ps_partkey
+			having sum(ps_supplycost * ps_availqty) > (
+				select sum(ps_supplycost * ps_availqty) * 0.0001
+				from partsupp, supplier, nation
+				where ps_suppkey = s_suppkey and s_nationkey = n_nationkey and n_name = 'GERMANY')`},
+		{Name: "Q12", SQL: `select l_shipmode,
+			sum(case when o_orderpriority = '1-URGENT' or o_orderpriority = '2-HIGH' then 1 else 0 end) as high_line_count,
+			sum(case when o_orderpriority <> '1-URGENT' and o_orderpriority <> '2-HIGH' then 1 else 0 end) as low_line_count
+			from orders, lineitem
+			where o_orderkey = l_orderkey and (l_shipmode = 'MAIL' or l_shipmode = 'SHIP')
+			and l_commitdate < l_receiptdate and l_shipdate < l_commitdate
+			and l_receiptdate >= date '1994-01-01' and l_receiptdate < date '1995-01-01'
+			group by l_shipmode`},
+		{Name: "Q17", SQL: `select sum(l_extendedprice) / 7.0 as avg_yearly
+			from lineitem, part
+			where p_partkey = l_partkey and p_brand = 'Brand#23' and p_container = 'MED BOX'
+			and l_quantity < (select 0.2 * avg(l_quantity) from lineitem where l_partkey = p_partkey)`},
+	}
+}

@@ -1,0 +1,195 @@
+// Package workload defines every query workload of the paper's evaluation:
+// the parametrized benchmark queries of §2.4 (Qσ_u, Qπ_u, Q⋈_u, Qγ_u) and
+// §5.1 (Qr1, Qr2), the world queries Qw1–Qw34 (Appendix B, Figure 7), the
+// DBLP queries Qd1–Qd7 (Figure 8), the US car crash queries Qc1–Qc4
+// (Figure 9), the 13 SSB flights and the TPC-H subset of Figure 5b.
+//
+// Dialect adaptations from the paper's listings, each noted inline:
+// ORDER BY clauses are dropped from SSB/TPC-H queries (ordering carries no
+// information content and keeps the queries inside the §4 fast path, which
+// is what the paper benchmarks), and data-dependent constants (DBLP node
+// ids) are derived from the generated instance instead of hard-coded SNAP
+// ids.
+package workload
+
+import (
+	"fmt"
+
+	"qirana/internal/storage"
+)
+
+// Query is a named workload query.
+type Query struct {
+	Name string
+	SQL  string
+}
+
+// SigmaU is Qσ_u: SELECT * FROM Country WHERE ID < u (§2.4). As u ranges
+// over 1..240 the output cardinality grows linearly from 0 to 239.
+func SigmaU(u int) Query {
+	return Query{Name: fmt.Sprintf("Qσ_%d", u),
+		SQL: fmt.Sprintf("SELECT * FROM Country WHERE ID < %d", u)}
+}
+
+// worldProjAttrs are Country's 13 non-key attributes A₁…A₁₃ in order.
+var worldProjAttrs = []string{
+	"Name", "Continent", "Region", "SurfaceArea", "IndepYear", "Population",
+	"LifeExpectancy", "GNP", "LocalName", "GovernmentForm", "HeadOfState",
+	"Capital", "Code2",
+}
+
+// PiU is Qπ_u: SELECT A₁,…,A_u FROM Country (§2.4). Qπ₁₃ discloses the
+// full (non-key) content of Country.
+func PiU(u int) Query {
+	if u < 1 {
+		u = 1
+	}
+	if u > len(worldProjAttrs) {
+		u = len(worldProjAttrs)
+	}
+	cols := worldProjAttrs[0]
+	for _, c := range worldProjAttrs[1:u] {
+		cols += ", " + c
+	}
+	return Query{Name: fmt.Sprintf("Qπ_%d", u),
+		SQL: "SELECT " + cols + " FROM Country"}
+}
+
+// JoinU is Q⋈_u: the Country ⋈ CountryLanguage join filtered by language
+// percentage below u (§2.4; the paper's listing abbreviates
+// CL.CountryCode as CL.Code).
+func JoinU(u float64) Query {
+	return Query{Name: fmt.Sprintf("Q⋈_%g", u),
+		SQL: fmt.Sprintf("SELECT * FROM Country C, CountryLanguage CL WHERE C.Code = CL.CountryCode AND CL.Percentage < %g", u)}
+}
+
+// GammaU is Qγ_u: regional life expectancy averages limited to u groups
+// (§2.4). LIMIT places it on the naive pricing path, as in the paper.
+func GammaU(u int) Query {
+	return Query{Name: fmt.Sprintf("Qγ_%d", u),
+		SQL: fmt.Sprintf("SELECT Region, AVG(LifeExpectancy) FROM Country GROUP BY Region LIMIT %d", u)}
+}
+
+// Qr1 and Qr2 are the §5.1 queries used to study the row/swap update
+// ratio: swaps never change either output, rows on Population always do.
+var (
+	Qr1 = Query{Name: "Qr1", SQL: "SELECT AVG(Population) FROM Country"}
+	Qr2 = Query{Name: "Qr2", SQL: "SELECT Name FROM Country WHERE Population > 2000000000"}
+)
+
+// World returns Qw1–Qw34 (Appendix B, Figure 7). Qw6's pattern is
+// truncated in the paper's listing; the intended LIKE 'A%' is used.
+func World() []Query {
+	qs := []string{
+		"select count(Name) from Country where Continent = 'Asia'",
+		"select count(distinct Continent) from Country",
+		"select avg(Population) from Country",
+		"select max(Population) from Country",
+		"select min(LifeExpectancy) from Country",
+		"select count(Name) from Country where Name like 'A%'",
+		"select Region, max(SurfaceArea) from Country group by Region",
+		"select Continent, max(Population) from Country group by Continent",
+		"select Continent, count(Code) from Country group by Continent",
+		"select * from Country",
+		"select Name from Country where Name like 'A%'",
+		"select * from Country where Continent='Europe' and Population > 5000000",
+		"select * from Country where Region='Caribbean'",
+		"select Name from Country where Region='Caribbean'",
+		"select Name from Country where Population between 10000000 and 20000000",
+		"select * from Country where Continent='Europe' limit 2",
+		"select Population from Country where Code = 'USA'",
+		"select GovernmentForm from Country",
+		"select distinct GovernmentForm from Country",
+		"select * from City where Population >= 1000000 and CountryCode = 'USA'",
+		"select distinct Language from CountryLanguage where CountryCode='USA'",
+		"select * from CountryLanguage where IsOfficial = 'T'",
+		"select Language, count(CountryCode) from CountryLanguage group by Language",
+		"select count(Language) from CountryLanguage where CountryCode = 'USA'",
+		"select CountryCode, sum(Population) from City group by CountryCode",
+		"select CountryCode, count(ID) from City group by CountryCode",
+		"select * from City where CountryCode = 'GRC'",
+		"select distinct 1 from City where CountryCode = 'USA' and Population > 10000000",
+		"select Name from Country, CountryLanguage where Code = CountryCode and Language = 'Greek'",
+		"select C.Name from Country C, CountryLanguage L where C.Code = L.CountryCode and L.Language = 'English' and L.Percentage >= 50",
+		"select T.District from Country C, City T where C.Code = 'USA' and C.Capital = T.ID",
+		"select * from Country C, CountryLanguage L where C.Code = L.CountryCode and L.Language = 'Spanish'",
+		"select Name, Language from Country, CountryLanguage where Code = CountryCode",
+		"select * from Country, CountryLanguage where Code = CountryCode",
+	}
+	out := make([]Query, len(qs))
+	for i, s := range qs {
+		out[i] = Query{Name: fmt.Sprintf("Qw%d", i+1), SQL: s}
+	}
+	return out
+}
+
+// CarCrash returns Qc1–Qc4 (Figure 9).
+func CarCrash() []Query {
+	return []Query{
+		{Name: "Qc1", SQL: "select State, count(*) from crash group by State"},
+		{Name: "Qc2", SQL: "select count(*) from crash where State = 'Texas' and Gender = 'Male' and Alcohol_Results > 0.0"},
+		{Name: "Qc3", SQL: "select sum(Fatalities_in_crash) from crash where State = 'California' and Crash_Date >= date '2011-01-01' and Crash_Date < date '2011-01-01' + interval '6' month"},
+		{Name: "Qc4", SQL: "select count(Fatalities_in_crash) from crash where State = 'Wisconsin' and Injury_Severity = 'Fatal Injury (K)' and Atmospheric_Condition = 'Snow'"},
+	}
+}
+
+// DBLP returns Qd1–Qd7 (Figure 8). The SNAP node ids the paper hard-codes
+// (38868, 148255, 45479) are replaced by ids with the same roles in the
+// generated graph: a high-degree hub for Qd4/Qd7 and two mid-degree
+// authors for Qd5.
+func DBLP(db *storage.Database) []Query {
+	hub, mid1, mid2 := dblpLandmarks(db)
+	return []Query{
+		{Name: "Qd1", SQL: "select FromNodeId, count(ToNodeId) from dblp group by FromNodeId having count(ToNodeId) > 100"},
+		{Name: "Qd2", SQL: "select avg(cnt) from (select FromNodeId, count(ToNodeId) as cnt from dblp group by FromNodeId) as rc"},
+		{Name: "Qd3", SQL: fmt.Sprintf("select count(*) from dblp A where FromNodeId > %d", dblpMedianNode(db))},
+		{Name: "Qd4", SQL: fmt.Sprintf("select FromNodeId, count(*) from dblp A where A.FromNodeId in (select FromNodeId from dblp B where B.ToNodeId = %d) group by FromNodeId", hub)},
+		{Name: "Qd5", SQL: fmt.Sprintf("select ToNodeId from dblp where (FromNodeId = %d or FromNodeId = %d)", mid1, mid2)},
+		{Name: "Qd6", SQL: "select FromNodeId, count(*) as collab from dblp group by ToNodeId having collab = 1"},
+		{Name: "Qd7", SQL: fmt.Sprintf("select * from dblp A where A.FromNodeId = %d or A.ToNodeId = %d", hub, hub)},
+	}
+}
+
+// dblpLandmarks finds a hub (high in-degree as ToNodeId) and two
+// mid-degree FromNodeIds in the generated graph.
+func dblpLandmarks(db *storage.Database) (hub, mid1, mid2 int64) {
+	inDeg := map[int64]int{}
+	outDeg := map[int64]int{}
+	for _, row := range db.Table("dblp").Rows {
+		outDeg[row[1].I]++
+		inDeg[row[2].I]++
+	}
+	best := -1
+	for n, d := range inDeg {
+		if d > best || (d == best && n < hub) {
+			best, hub = d, n
+		}
+	}
+	// Two distinct nodes with moderate out-degree (≥ 2).
+	for n, d := range outDeg {
+		if d >= 2 && d <= 20 {
+			if mid1 == 0 {
+				mid1 = n
+			} else if mid2 == 0 && n != mid1 {
+				mid2 = n
+				break
+			}
+		}
+	}
+	if mid1 == 0 {
+		mid1 = hub
+	}
+	if mid2 == 0 {
+		mid2 = mid1
+	}
+	return hub, mid1, mid2
+}
+
+func dblpMedianNode(db *storage.Database) int64 {
+	// Roughly half the edges should satisfy FromNodeId > median.
+	rows := db.Table("dblp").Rows
+	if len(rows) == 0 {
+		return 0
+	}
+	return rows[len(rows)/2][1].I
+}

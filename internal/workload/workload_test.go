@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"qirana/internal/datagen"
+	"qirana/internal/sqlengine/exec"
+	"qirana/internal/sqlengine/plan"
+	"qirana/internal/storage"
+)
+
+func runAll(t *testing.T, db *storage.Database, qs []Query) map[string]int {
+	t.Helper()
+	rows := make(map[string]int)
+	for _, wq := range qs {
+		q, err := exec.Compile(wq.SQL, db.Schema)
+		if err != nil {
+			t.Errorf("%s: compile: %v", wq.Name, err)
+			continue
+		}
+		res, err := q.Run(db)
+		if err != nil {
+			t.Errorf("%s: run: %v", wq.Name, err)
+			continue
+		}
+		rows[wq.Name] = res.Len()
+	}
+	return rows
+}
+
+func TestWorldQueriesRun(t *testing.T) {
+	db := datagen.World(1)
+	rows := runAll(t, db, World())
+	if rows["Qw10"] != 239 {
+		t.Errorf("Qw10 (full Country): %d rows", rows["Qw10"])
+	}
+	if rows["Qw34"] != 984 {
+		t.Errorf("Qw34 (join on CL): %d rows, want 984", rows["Qw34"])
+	}
+	if rows["Qw16"] != 2 {
+		t.Errorf("Qw16 (limit 2): %d rows", rows["Qw16"])
+	}
+	if rows["Qw17"] != 1 {
+		t.Errorf("Qw17 (USA population): %d rows", rows["Qw17"])
+	}
+	if rows["Qw27"] == 0 {
+		t.Error("Qw27 (Greek cities): no rows — GRC code missing")
+	}
+	if rows["Qw31"] != 1 {
+		t.Errorf("Qw31 (US capital district): %d rows", rows["Qw31"])
+	}
+}
+
+func TestParametrizedQueries(t *testing.T) {
+	db := datagen.World(1)
+	for _, u := range []int{1, 64, 240} {
+		q := exec.MustCompile(SigmaU(u).SQL, db.Schema)
+		res, err := q.Run(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Len() != u-1 && u <= 240 {
+			t.Errorf("Qσ_%d: %d rows, want %d", u, res.Len(), u-1)
+		}
+	}
+	for u := 1; u <= 13; u++ {
+		q := exec.MustCompile(PiU(u).SQL, db.Schema)
+		res, err := q.Run(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Cols) != u {
+			t.Errorf("Qπ_%d: %d cols", u, len(res.Cols))
+		}
+	}
+	for _, u := range []float64{0.01, 1, 100} {
+		q := exec.MustCompile(JoinU(u).SQL, db.Schema)
+		if _, err := q.Run(db); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := exec.MustCompile(GammaU(20).SQL, db.Schema)
+	res, err := q.Run(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() > 20 {
+		t.Errorf("Qγ_20 returned %d groups", res.Len())
+	}
+	for _, wq := range []Query{Qr1, Qr2} {
+		if _, err := exec.MustCompile(wq.SQL, db.Schema).Run(db); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCarCrashQueriesRun(t *testing.T) {
+	db := datagen.CarCrash(1, 4000)
+	rows := runAll(t, db, CarCrash())
+	if rows["Qc1"] < 40 {
+		t.Errorf("Qc1 group count: %d", rows["Qc1"])
+	}
+}
+
+func TestDBLPQueriesRun(t *testing.T) {
+	db := datagen.DBLP(1, 0.003)
+	rows := runAll(t, db, DBLP(db))
+	if rows["Qd7"] == 0 {
+		t.Error("Qd7: hub node has no edges")
+	}
+	if rows["Qd5"] == 0 {
+		t.Error("Qd5: mid-degree nodes have no edges")
+	}
+	if rows["Qd2"] != 1 {
+		t.Errorf("Qd2 (avg degree): %d rows", rows["Qd2"])
+	}
+}
+
+func TestSSBQueriesRun(t *testing.T) {
+	db := datagen.SSB(1, 0.002)
+	rows := runAll(t, db, SSB())
+	if rows["Q1.1"] != 1 {
+		t.Errorf("Q1.1: %d rows", rows["Q1.1"])
+	}
+	// The grouped flights must produce some groups at this scale.
+	if rows["Q2.1"] == 0 || rows["Q3.1"] == 0 || rows["Q4.1"] == 0 {
+		t.Errorf("grouped flights empty: %v", rows)
+	}
+}
+
+func TestSSBFastPathEligibility(t *testing.T) {
+	db := datagen.SSB(1, 0.001)
+	for _, wq := range SSB() {
+		q := exec.MustCompile(wq.SQL, db.Schema)
+		if _, err := plan.Extract(q.A); err != nil {
+			t.Errorf("%s should be fast-path eligible: %v", wq.Name, err)
+		}
+	}
+}
+
+func TestTPCHQueriesRun(t *testing.T) {
+	db := datagen.TPCH(1, 0.002)
+	rows := runAll(t, db, TPCH())
+	if rows["Q1"] == 0 {
+		t.Error("Q1 produced no groups")
+	}
+	if rows["Q12"] == 0 {
+		t.Error("Q12 produced no groups")
+	}
+}
+
+func TestTPCHFastPathSplit(t *testing.T) {
+	db := datagen.TPCH(1, 0.001)
+	fast := map[string]bool{"Q1": true, "Q5": true, "Q6": true, "Q12": true}
+	for _, wq := range TPCH() {
+		q := exec.MustCompile(wq.SQL, db.Schema)
+		_, err := plan.Extract(q.A)
+		if fast[wq.Name] && err != nil {
+			t.Errorf("%s should be fast-path eligible: %v", wq.Name, err)
+		}
+		if !fast[wq.Name] && err == nil {
+			t.Errorf("%s (subqueries/having) should be outside the fast path", wq.Name)
+		}
+	}
+}
+
+func TestSSBQ11Variants(t *testing.T) {
+	db := datagen.SSB(1, 0.001)
+	rng := rand.New(rand.NewSource(4))
+	seen := map[string]bool{}
+	for i := 0; i < 25; i++ {
+		v := SSBQ11Variant(rng)
+		if !strings.Contains(v.SQL, "d_year") {
+			t.Fatal("variant lost its parameter")
+		}
+		seen[v.SQL] = true
+		if _, err := exec.MustCompile(v.SQL, db.Schema).Run(db); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(seen) < 20 {
+		t.Errorf("only %d distinct variants out of 25", len(seen))
+	}
+}

@@ -1,0 +1,81 @@
+package qirana
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// TestBrokerRestartKeepsPrices: a broker reloaded from a saved support set
+// over the same database quotes identical prices — the restart story the
+// paper solves by persisting UpdateQueries/UndoUpdateQueries.
+func TestBrokerRestartKeepsPrices(t *testing.T) {
+	db, err := LoadDataset("world", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := NewBroker(db, 100, Options{SupportSetSize: 300, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		"SELECT Name FROM Country WHERE Continent = 'Asia'",
+		"SELECT Continent, count(*) FROM Country GROUP BY Continent",
+		"SELECT * FROM CountryLanguage",
+	}
+	want := make([]float64, len(queries))
+	for i, sql := range queries {
+		p, err := b1.Quote(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = p
+	}
+	var buf bytes.Buffer
+	if err := b1.SaveSupportSet(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	b2, err := NewBrokerFromSupport(db, 100, &buf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sql := range queries {
+		p, err := b2.Quote(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(p-want[i]) > 1e-9 {
+			t.Errorf("%q: %g after restart, want %g", sql, p, want[i])
+		}
+	}
+}
+
+func TestAskWithRefundFlow(t *testing.T) {
+	db, err := LoadDataset("world", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBroker(db, 100, Options{SupportSetSize: 250, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, g1, r1, err := b.AskWithRefund("zoe", "SELECT Continent FROM Country")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != 0 || g1 <= 0 {
+		t.Fatalf("first purchase: gross %g refund %g", g1, r1)
+	}
+	// The determined histogram is fully refunded.
+	_, g2, r2, err := b.AskWithRefund("zoe", "SELECT Continent, count(*) FROM Country GROUP BY Continent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g2-r2) > 1e-9 {
+		t.Fatalf("owned information not fully refunded: gross %g refund %g", g2, r2)
+	}
+	if math.Abs(b.TotalPaid("zoe")-g1) > 1e-9 {
+		t.Fatalf("net paid %g, want %g", b.TotalPaid("zoe"), g1)
+	}
+}

@@ -1,0 +1,425 @@
+// Package qirana is a query-based data pricing broker, a from-scratch Go
+// reproduction of "QIRANA: A Framework for Scalable Query Pricing" (Deep &
+// Koutris, SIGMOD 2017).
+//
+// A Broker sits between a data buyer and an (embedded, in-memory)
+// relational database. For every SQL query it computes an arbitrage-free
+// price: the price reflects how much the answer shrinks the buyer's space
+// of possible databases, approximated by a support set of neighboring
+// instances. Buyers with purchase history are only charged for new
+// information (history-aware pricing), and the seller can pin the price of
+// specific queries (price points) with the remaining weights fitted by
+// entropy maximization.
+//
+// Quick start:
+//
+//	db := qirana.LoadDataset("world", 1, 0)
+//	broker, _ := qirana.NewBroker(db, 100, qirana.Options{SupportSetSize: 1000})
+//	price, _ := broker.Quote("SELECT Name FROM Country WHERE Continent = 'Asia'")
+//	res, charge, _ := broker.Ask("alice", "SELECT Name FROM Country WHERE Continent = 'Asia'")
+package qirana
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"qirana/internal/datagen"
+	"qirana/internal/pricing"
+	"qirana/internal/result"
+	"qirana/internal/schema"
+	"qirana/internal/sqlengine/exec"
+	"qirana/internal/storage"
+	"qirana/internal/support"
+	"qirana/internal/value"
+)
+
+// Re-exported building blocks so downstream users never import internal
+// packages directly.
+type (
+	// Database is an in-memory relational instance.
+	Database = storage.Database
+	// Table holds one relation's rows.
+	Table = storage.Table
+	// Schema describes the relations of a database.
+	Schema = schema.Schema
+	// Relation is one relation schema.
+	Relation = schema.Relation
+	// Attribute is one typed column.
+	Attribute = schema.Attribute
+	// Result is a query result set.
+	Result = result.Result
+	// History is a buyer's purchase bookkeeping.
+	History = pricing.History
+	// PricingFunc selects one of the four arbitrage-aware pricing
+	// functions.
+	PricingFunc = pricing.Func
+	// Stats describes how the last pricing call was computed.
+	Stats = pricing.Stats
+)
+
+// Value is a typed SQL value; rows are []Value.
+type Value = value.Value
+
+// Value constructors for building databases through the public API.
+var (
+	NewInt    = value.NewInt
+	NewFloat  = value.NewFloat
+	NewString = value.NewString
+	NewBool   = value.NewBool
+	NewDate   = value.NewDate
+	Null      = value.Null
+)
+
+// Column type kinds for Attribute.Type.
+const (
+	KindInt    = value.KindInt
+	KindFloat  = value.KindFloat
+	KindString = value.KindString
+	KindBool   = value.KindBool
+	KindDate   = value.KindDate
+)
+
+// The four pricing functions (paper §2.3). WeightedCoverage is the
+// recommended default: strongly information-arbitrage-free, bundle
+// arbitrage-free, customizable, and optimizable.
+const (
+	WeightedCoverage   = pricing.WeightedCoverage
+	UniformEntropyGain = pricing.UniformEntropyGain
+	ShannonEntropy     = pricing.ShannonEntropy
+	QEntropy           = pricing.QEntropy
+)
+
+// NewDatabase creates an empty database over a schema (see NewSchema,
+// NewRelation).
+func NewDatabase(s *Schema) *Database { return storage.NewDatabase(s) }
+
+// NewSchema builds a schema from relations.
+func NewSchema(rels ...*Relation) (*Schema, error) { return schema.NewSchema(rels...) }
+
+// NewRelation builds a relation schema; key lists the indexes of the
+// primary-key attributes.
+func NewRelation(name string, attrs []Attribute, key []int) (*Relation, error) {
+	return schema.NewRelation(name, attrs, key)
+}
+
+// Options configures a Broker.
+type Options struct {
+	// SupportSetSize is |S| (default 1000). Larger sets give finer-grained
+	// prices at proportionally higher pricing cost (paper Figure 4d).
+	SupportSetSize int
+	// SwapFraction is the fraction of swap updates among the support set's
+	// neighboring instances (default 0.5, the paper's 1:1 ratio; §5.1).
+	SwapFraction float64
+	// Seed makes the support set deterministic.
+	Seed int64
+	// UniformSupport selects random-uniform instances instead of the
+	// random neighborhood. The paper shows this prices poorly (Figure 2);
+	// it exists for completeness and experiments.
+	UniformSupport bool
+	// Func is the pricing function for Quote/Ask (default
+	// WeightedCoverage).
+	Func PricingFunc
+	// DisableFastPath turns off the §4 disagreement checker.
+	DisableFastPath bool
+	// DisableBatching turns off the §4.2 batched checks.
+	DisableBatching bool
+	// Workers > 1 parallelizes naive-path pricing (entropy functions and
+	// out-of-fast-path queries) across goroutines on database clones.
+	Workers int
+}
+
+// Broker is the pricing middleware between buyers and a database. All
+// methods are safe for concurrent use: pricing temporarily mutates the
+// shared database (support elements are applied in place and undone), so
+// calls serialize on an internal lock.
+type Broker struct {
+	mu     sync.Mutex
+	db     *storage.Database
+	engine *pricing.Engine
+	fn     pricing.Func
+	buyers map[string]*pricing.History
+	seed   int64
+	opts   Options
+	total  float64
+}
+
+// NewBroker creates a broker selling db for totalPrice.
+func NewBroker(db *Database, totalPrice float64, opt Options) (*Broker, error) {
+	if totalPrice <= 0 {
+		return nil, fmt.Errorf("total price must be positive, got %g", totalPrice)
+	}
+	if opt.SupportSetSize == 0 {
+		opt.SupportSetSize = 1000
+	}
+	if opt.SwapFraction == 0 {
+		opt.SwapFraction = 0.5
+	}
+	b := &Broker{db: db, fn: opt.Func, buyers: make(map[string]*pricing.History),
+		seed: opt.Seed, opts: opt, total: totalPrice}
+	if err := b.resample(opt.Seed); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// resample regenerates the support set (used at construction and when
+// price-point fitting reports infeasibility).
+func (b *Broker) resample(seed int64) error {
+	cfg := support.Config{Size: b.opts.SupportSetSize, SwapFraction: b.opts.SwapFraction, Seed: seed}
+	var set *support.Set
+	var err error
+	if b.opts.UniformSupport {
+		set, err = support.GenerateUniform(b.db, cfg)
+	} else {
+		set, err = support.GenerateNeighborhood(b.db, cfg)
+	}
+	if err != nil {
+		return fmt.Errorf("generate support set: %w", err)
+	}
+	b.engine = pricing.NewEngine(b.db, set, b.total)
+	b.engine.Opts.FastPath = !b.opts.DisableFastPath
+	b.engine.Opts.Batching = !b.opts.DisableBatching
+	b.engine.Opts.Workers = b.opts.Workers
+	// Existing buyer histories refer to the old support set; they must be
+	// preserved in spirit but the bitmap indexes new elements. Resampling
+	// only happens before selling starts (price-point setup), so reject it
+	// afterwards.
+	if len(b.buyers) > 0 {
+		return fmt.Errorf("cannot resample the support set after purchases began")
+	}
+	return nil
+}
+
+// Compile parses and validates a query against the broker's schema.
+func (b *Broker) Compile(sql string) (*exec.Query, error) {
+	return exec.Compile(sql, b.db.Schema)
+}
+
+// Quote prices a query (history-oblivious) with the broker's pricing
+// function without running it for a buyer. With up-front pricing the quote
+// can be disclosed before purchase (paper §2.2, price leakage discussion).
+func (b *Broker) Quote(sql string) (float64, error) {
+	return b.QuoteWith(b.fn, sql)
+}
+
+// QuoteWith prices a query under a specific pricing function.
+func (b *Broker) QuoteWith(fn PricingFunc, sql string) (float64, error) {
+	q, err := b.Compile(sql)
+	if err != nil {
+		return 0, err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.engine.Price(fn, q)
+}
+
+// QuoteBundle prices a bundle of queries asked together.
+func (b *Broker) QuoteBundle(sqls ...string) (float64, error) {
+	qs := make([]*exec.Query, len(sqls))
+	for i, s := range sqls {
+		q, err := b.Compile(s)
+		if err != nil {
+			return 0, err
+		}
+		qs[i] = q
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.engine.Price(b.fn, qs...)
+}
+
+// Buyer returns (creating if needed) the purchase history of a buyer
+// account.
+func (b *Broker) Buyer(name string) *History {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buyerLocked(name)
+}
+
+func (b *Broker) buyerLocked(name string) *History {
+	h, ok := b.buyers[name]
+	if !ok {
+		h = pricing.NewHistory(b.engine.Set.Size())
+		b.buyers[name] = h
+	}
+	return h
+}
+
+// Ask executes the query for the buyer and returns the answer plus the
+// incremental history-aware charge (weighted coverage; Algorithm 3). The
+// buyer never pays twice for the same information, and once they have paid
+// the full dataset price every further query is free.
+func (b *Broker) Ask(buyer, sql string) (*Result, float64, error) {
+	q, err := b.Compile(sql)
+	if err != nil {
+		return nil, 0, err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	res, err := q.Run(b.db)
+	if err != nil {
+		return nil, 0, err
+	}
+	charge, err := b.engine.PriceHistoryAware(b.buyerLocked(buyer), q)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res, charge, nil
+}
+
+// AskWithRefund is Ask under the refund settlement model the paper cites
+// from prior work (§2.2): the buyer pays the full history-oblivious price
+// and is reimbursed for information already owned. Net payments equal
+// Ask's; only the cash flow differs.
+func (b *Broker) AskWithRefund(buyer, sql string) (res *Result, gross, refund float64, err error) {
+	q, err := b.Compile(sql)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	res, err = q.Run(b.db)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	gross, refund, err = b.engine.PriceWithRefund(b.buyerLocked(buyer), q)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return res, gross, refund, nil
+}
+
+// SaveSupportSet persists the broker's support set (the paper stores the
+// update/undo statements in database tables; we write JSON). A broker
+// reopened over the same database can reload it with
+// Options-independent NewBrokerFromSupport, keeping prices stable across
+// restarts.
+func (b *Broker) SaveSupportSet(w io.Writer) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.engine.Set.Save(w)
+}
+
+// NewBrokerFromSupport opens a broker whose support set is loaded from r
+// instead of freshly sampled; the set must have been saved against the
+// same database instance.
+func NewBrokerFromSupport(db *Database, totalPrice float64, r io.Reader, opt Options) (*Broker, error) {
+	if totalPrice <= 0 {
+		return nil, fmt.Errorf("total price must be positive, got %g", totalPrice)
+	}
+	set, err := support.Load(r, db)
+	if err != nil {
+		return nil, err
+	}
+	b := &Broker{db: db, fn: opt.Func, buyers: make(map[string]*pricing.History),
+		seed: opt.Seed, opts: opt, total: totalPrice}
+	b.engine = pricing.NewEngine(db, set, totalPrice)
+	b.engine.Opts.FastPath = !opt.DisableFastPath
+	b.engine.Opts.Batching = !opt.DisableBatching
+	b.engine.Opts.Workers = opt.Workers
+	return b, nil
+}
+
+// PricePoint pins the weighted-coverage price of a query (paper §3.3).
+type PricePoint struct {
+	SQL   string
+	Price float64
+}
+
+// SetPricePoints fits the support-set weights to the seller's price
+// points by entropy maximization. On infeasibility it resamples and then
+// enlarges the support set before giving up, as §3.3 prescribes.
+func (b *Broker) SetPricePoints(points []PricePoint) error {
+	pts := make([]pricing.PricePoint, len(points))
+	for i, p := range points {
+		q, err := b.Compile(p.SQL)
+		if err != nil {
+			return fmt.Errorf("price point %d: %w", i, err)
+		}
+		pts[i] = pricing.PricePoint{Query: q, Price: p.Price}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		if lastErr = b.engine.FitWeights(pts); lastErr == nil {
+			return nil
+		}
+		// Resample, then grow: a larger support set can separate the
+		// conflict sets of contradictory-looking price points.
+		seed := b.seed + int64(attempt) + 101
+		if attempt == 1 {
+			b.opts.SupportSetSize *= 2
+		}
+		if err := b.resample(seed); err != nil {
+			return err
+		}
+	}
+	return lastErr
+}
+
+// TotalPaid reports how much the buyer has paid so far.
+func (b *Broker) TotalPaid(buyer string) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buyerLocked(buyer).Paid
+}
+
+// TotalPrice returns the full-dataset price.
+func (b *Broker) TotalPrice() float64 { return b.total }
+
+// Run executes a query without pricing (seller-side inspection).
+func (b *Broker) Run(sql string) (*Result, error) {
+	q, err := b.Compile(sql)
+	if err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return q.Run(b.db)
+}
+
+// LastStats reports how the last pricing call was computed.
+func (b *Broker) LastStats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.engine.LastStats
+}
+
+// SupportSetSize returns |S|.
+func (b *Broker) SupportSetSize() int { return b.engine.Set.Size() }
+
+// LoadDataset builds one of the paper's benchmark datasets:
+// "world", "carcrash", "dblp", "tpch" or "ssb". scale is the dataset's
+// scale knob (rows for carcrash, scale factor for the others); pass 0 for
+// a small default suitable for interactive use.
+func LoadDataset(name string, seed int64, scale float64) (*Database, error) {
+	switch strings.ToLower(name) {
+	case "world":
+		return datagen.World(seed), nil
+	case "carcrash":
+		rows := int(scale)
+		if scale == 0 {
+			rows = 10000
+		}
+		return datagen.CarCrash(seed, rows), nil
+	case "dblp":
+		if scale == 0 {
+			scale = 0.01
+		}
+		return datagen.DBLP(seed, scale), nil
+	case "tpch":
+		if scale == 0 {
+			scale = 0.01
+		}
+		return datagen.TPCH(seed, scale), nil
+	case "ssb":
+		if scale == 0 {
+			scale = 0.01
+		}
+		return datagen.SSB(seed, scale), nil
+	}
+	return nil, fmt.Errorf("unknown dataset %q (want world, carcrash, dblp, tpch or ssb)", name)
+}
