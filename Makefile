@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test race bench json-bench vet
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector run over the whole module. The parallel differential test
+# (internal/pricing) forces GOMAXPROCS=4 and runs every pricing path with
+# Workers=4, so this doubles as the shared-read correctness gate at CI
+# scale factors.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# Machine-readable pricing benchmarks (Fig 4d/5a/5b groups at workers 1
+# and NumCPU); writes BENCH_pricing.json for cross-PR perf tracking.
+json-bench:
+	$(GO) run ./cmd/bench

@@ -12,6 +12,7 @@ package qirana
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -141,7 +142,8 @@ func BenchmarkFig4eHistorySSB(b *testing.B) {
 }
 
 // benchScalability is the Figure 5 harness: per query, no-batching vs
-// batching vs bare execution.
+// batching vs bare execution, plus the batched fast path at NumCPU
+// workers (clamps to GOMAXPROCS — identical to /batching on one core).
 func benchScalability(b *testing.B, f *fixture, wqs []workload.Query) {
 	for _, wq := range wqs {
 		q := exec.MustCompile(wq.SQL, f.db.Schema)
@@ -162,6 +164,14 @@ func benchScalability(b *testing.B, f *fixture, wqs []workload.Query) {
 		})
 		b.Run(wq.Name+"/batching", func(b *testing.B) {
 			e := pricing.NewEngine(f.db, f.set, 100)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				priceOnce(b, e, pricing.WeightedCoverage, q)
+			}
+		})
+		b.Run(wq.Name+"/batching-parallel", func(b *testing.B) {
+			e := pricing.NewEngine(f.db, f.set, 100)
+			e.Opts.Workers = runtime.NumCPU()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				priceOnce(b, e, pricing.WeightedCoverage, q)

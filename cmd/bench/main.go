@@ -1,0 +1,226 @@
+// Command bench times the pricing-engine benchmark groups the paper's
+// Figures 4d, 5a and 5b measure and writes the results as machine-readable
+// JSON (default BENCH_pricing.json), so successive PRs can track perf
+// deltas without parsing `go test -bench` output.
+//
+// Every pricing benchmark runs at each requested worker count (default
+// "1,numcpu" — the serial baseline and the parallel engine). Worker counts
+// clamp to GOMAXPROCS inside the engine, so on a single-core host the two
+// settings coincide; the JSON records GOMAXPROCS so readers can tell.
+//
+// Usage:
+//
+//	bench                          # CI scale, BENCH_pricing.json
+//	bench -groups fig5a -workers 1,2,4 -out /tmp/bench.json
+//	bench -support 200 -min-time 200ms   # quicker, noisier
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"qirana/internal/datagen"
+	"qirana/internal/pricing"
+	"qirana/internal/sqlengine/exec"
+	"qirana/internal/storage"
+	"qirana/internal/support"
+	"qirana/internal/workload"
+)
+
+type result struct {
+	Group   string  `json:"group"`
+	Name    string  `json:"name"`
+	Workers int     `json:"workers"`
+	Iters   int     `json:"iters"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+type report struct {
+	GeneratedUnix int64    `json:"generated_unix"`
+	GoVersion     string   `json:"go_version"`
+	GOMAXPROCS    int      `json:"gomaxprocs"`
+	NumCPU        int      `json:"num_cpu"`
+	SupportSize   int      `json:"support_size"`
+	SSBScale      float64  `json:"ssb_scale"`
+	TPCHScale     float64  `json:"tpch_scale"`
+	MinTime       string   `json:"min_time"`
+	Results       []result `json:"results"`
+}
+
+type runner struct {
+	minTime time.Duration
+	maxIter int
+	out     []result
+}
+
+// measure times op (ns/op over enough iterations to fill minTime) and
+// records it under group/name/workers.
+func (r *runner) measure(group, name string, workers int, op func() error) {
+	var (
+		iters int
+		total time.Duration
+	)
+	// Always at least one iteration, whatever the flags say.
+	for iters == 0 || (total < r.minTime && iters < r.maxIter) {
+		start := time.Now()
+		if err := op(); err != nil {
+			fmt.Fprintf(os.Stderr, "bench %s/%s: %v\n", group, name, err)
+			os.Exit(1)
+		}
+		total += time.Since(start)
+		iters++
+	}
+	ns := float64(total.Nanoseconds()) / float64(iters)
+	r.out = append(r.out, result{Group: group, Name: name, Workers: workers, Iters: iters, NsPerOp: ns})
+	fmt.Printf("%-8s %-28s workers=%-2d %12.0f ns/op  (%d iters)\n", group, name, workers, ns, iters)
+}
+
+func main() {
+	var (
+		out      = flag.String("out", "BENCH_pricing.json", "output JSON path")
+		groups   = flag.String("groups", "fig4d,fig5a,fig5b", "comma-separated benchmark groups")
+		workersF = flag.String("workers", "1,numcpu", "comma-separated worker counts ('numcpu' allowed)")
+		supportN = flag.Int("support", 500, "support set size for the Fig 5 fixtures")
+		ssbSF    = flag.Float64("ssb-sf", 0.002, "SSB scale factor")
+		tpchSF   = flag.Float64("tpch-sf", 0.002, "TPC-H scale factor")
+		minTime  = flag.Duration("min-time", 500*time.Millisecond, "minimum measurement time per benchmark")
+		maxIter  = flag.Int("max-iters", 20, "iteration cap per benchmark")
+		seed     = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	workers, err := parseWorkers(*workersF)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	want := map[string]bool{}
+	for _, g := range strings.Split(*groups, ",") {
+		want[strings.TrimSpace(g)] = true
+	}
+
+	r := &runner{minTime: *minTime, maxIter: *maxIter}
+
+	if want["fig4d"] {
+		db := datagen.World(*seed)
+		for _, size := range []int{10, 200, 1000} {
+			set, err := support.GenerateNeighborhood(db, support.DefaultConfig(size, *seed))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			for _, wq := range []workload.Query{workload.SigmaU(80), workload.PiU(4), workload.JoinU(80), workload.GammaU(20)} {
+				q := exec.MustCompile(wq.SQL, db.Schema)
+				for _, w := range workers {
+					e := pricing.NewEngine(db, set, 100)
+					e.Opts.Workers = w
+					r.measure("fig4d", fmt.Sprintf("%s/S=%d", wq.Name, size), w, func() error {
+						_, err := e.Price(pricing.WeightedCoverage, q)
+						return err
+					})
+				}
+			}
+		}
+	}
+	if want["fig5a"] {
+		all := workload.SSB()
+		scalability(r, "fig5a", datagen.SSB(*seed, *ssbSF), *supportN, *seed, workers,
+			[]workload.Query{all[0], all[3], all[6], all[10]})
+	}
+	if want["fig5b"] {
+		byName := map[string]workload.Query{}
+		for _, wq := range workload.TPCH() {
+			byName[wq.Name] = wq
+		}
+		scalability(r, "fig5b", datagen.TPCH(*seed, *tpchSF), *supportN, *seed, workers,
+			[]workload.Query{byName["Q1"], byName["Q6"], byName["Q12"], byName["Q17"]})
+	}
+
+	rep := report{
+		GeneratedUnix: time.Now().Unix(),
+		GoVersion:     runtime.Version(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+		SupportSize:   *supportN,
+		SSBScale:      *ssbSF,
+		TPCHScale:     *tpchSF,
+		MinTime:       minTime.String(),
+		Results:       r.out,
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d results)\n", *out, len(r.out))
+}
+
+// scalability is the Figure 5 shape: per query, bare execution plus
+// no-batching and batching pricing at every worker count.
+func scalability(r *runner, group string, db *storage.Database, supportN int, seed int64, workers []int, wqs []workload.Query) {
+	set, err := support.GenerateNeighborhood(db, support.DefaultConfig(supportN, seed))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, wq := range wqs {
+		q := exec.MustCompile(wq.SQL, db.Schema)
+		r.measure(group, wq.Name+"/exec", 1, func() error {
+			_, err := q.Run(db)
+			return err
+		})
+		for _, w := range workers {
+			e := pricing.NewEngine(db, set, 100)
+			e.Opts.Batching = false
+			e.Opts.Workers = w
+			r.measure(group, wq.Name+"/no-batching", w, func() error {
+				_, err := e.Price(pricing.WeightedCoverage, q)
+				return err
+			})
+		}
+		for _, w := range workers {
+			e := pricing.NewEngine(db, set, 100)
+			e.Opts.Workers = w
+			r.measure(group, wq.Name+"/batching", w, func() error {
+				_, err := e.Price(pricing.WeightedCoverage, q)
+				return err
+			})
+		}
+	}
+}
+
+// parseWorkers parses "1,numcpu,4" into a sorted, deduplicated list.
+func parseWorkers(s string) ([]int, error) {
+	seen := map[int]bool{}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		var w int
+		if strings.EqualFold(part, "numcpu") {
+			w = runtime.NumCPU()
+		} else {
+			n, err := strconv.Atoi(part)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("bad worker count %q", part)
+			}
+			w = n
+		}
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}

@@ -1,9 +1,37 @@
 package disagree
 
 import (
+	"sort"
+
+	"qirana/internal/pool"
+	"qirana/internal/storage"
 	"qirana/internal/support"
 	"qirana/internal/value"
 )
+
+// skipped marks support elements excluded by the live mask.
+const skipped Outcome = -1
+
+// classifyBlock is the shard granularity of the parallel classification
+// pass: large enough to amortize the work-stealing index, small enough to
+// balance skewed blocks.
+const classifyBlock = 64
+
+// minBatchShard is the smallest tagged-batch slice worth its own worker:
+// below this the per-query fixed cost (join setup over the base relations)
+// dominates and sharding would add work instead of hiding it.
+const minBatchShard = 32
+
+// batchJob is one tagged-query task: answer the NeedPlus (compare=false)
+// or NeedCompare (compare=true) checks for a slice of updates that all
+// touch relation rel. Jobs partition the pending updates, touch disjoint
+// res indexes, and only read the checker and the base database, so any
+// number of them run concurrently.
+type batchJob struct {
+	rel     string
+	idxs    []int
+	compare bool
+}
 
 // CheckBatch decides all updates, batching the database checks per
 // relation (paper §4.2): for every relation at most one tagged query
@@ -11,44 +39,164 @@ import (
 // NeedCompare checks, independent of how many updates are in the batch.
 // The live mask (nil = all live) lets history-aware pricing skip elements
 // that already contributed to the price.
+//
+// With Workers > 1 the batch runs concurrently over the shared read-only
+// database: the static classification shards across workers, the
+// per-relation tagged queries run in parallel (oversized batches split
+// into chunks), and the residual full checks fan out over per-worker
+// overlays. Every (element, query) decision is independent and lands in
+// its own res slot, and Stats are aggregated by counting, so results and
+// Stats are bit-identical to the serial (Workers ≤ 1) run.
 func (c *Checker) CheckBatch(us []*support.Update, live []bool) ([]bool, error) {
 	res := make([]bool, len(us))
+	workers := pool.Clamp(c.Workers, len(us))
+
+	// Static classification (Algorithms 4/5/6, no database access).
+	outcomes := make([]Outcome, len(us))
+	nBlocks := (len(us) + classifyBlock - 1) / classifyBlock
+	_ = pool.Run(workers, nBlocks, func(b int) error {
+		lo, hi := b*classifyBlock, (b+1)*classifyBlock
+		if hi > len(us) {
+			hi = len(us)
+		}
+		for i := lo; i < hi; i++ {
+			if live != nil && !live[i] {
+				outcomes[i] = skipped
+				continue
+			}
+			outcomes[i] = c.Classify(us[i])
+		}
+		return nil
+	})
+
 	plusPending := make(map[string][]int)
 	comparePending := make(map[string][]int)
 	var fullPending []int
-
-	for i, u := range us {
-		if live != nil && !live[i] {
-			continue
-		}
-		switch c.Classify(u) {
+	for i := range us {
+		switch outcomes[i] {
+		case skipped:
 		case Agree:
 			c.Stats.Static++
 		case Disagree:
 			c.Stats.Static++
 			res[i] = true
 		case NeedPlus:
-			plusPending[lower(u.Rel)] = append(plusPending[lower(u.Rel)], i)
+			plusPending[lower(us[i].Rel)] = append(plusPending[lower(us[i].Rel)], i)
 		case NeedCompare:
-			comparePending[lower(u.Rel)] = append(comparePending[lower(u.Rel)], i)
+			comparePending[lower(us[i].Rel)] = append(comparePending[lower(us[i].Rel)], i)
 		case NeedFull:
 			fullPending = append(fullPending, i)
 		}
 	}
 
 	// Batch 1 per relation: Q((D \ R) ∪ {u⁺}) emptiness checks.
-	for rel, idxs := range plusPending {
-		tagged := c.tagRows(us, idxs, true)
-		q := c.Q
-		if c.SPJ.IsAgg {
-			q = c.unrolledQ
+	// Batches 2+3 per relation: compare the {u⁻} and {u⁺} runs.
+	jobs := makeJobs(plusPending, comparePending, workers)
+	batched := 0
+	for _, j := range jobs {
+		batched += len(j.idxs)
+	}
+	extraFull := make([][]int, len(jobs))
+	if err := pool.Run(workers, len(jobs), func(k int) error {
+		ef, err := c.runBatchJob(us, jobs[k], res)
+		extraFull[k] = ef
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	c.Stats.Batched += batched
+	for _, ef := range extraFull {
+		fullPending = append(fullPending, ef...)
+	}
+
+	// Residual full runs (rare: MIN/MAX removals and float borderlines),
+	// fanned out over per-worker overlays of the shared instance.
+	if len(fullPending) > 0 {
+		if err := c.ensureBaseHash(); err != nil {
+			return nil, err
 		}
-		out, err := q.RunTagged(c.db, rel, tagged)
+		fw := pool.Clamp(workers, len(fullPending))
+		overlays := make([]*storage.Overlay, fw)
+		if err := pool.RunWorkers(fw, len(fullPending), func(w, k int) error {
+			o := overlays[w]
+			if o == nil {
+				o = storage.NewOverlay(c.db)
+				overlays[w] = o
+			}
+			d, err := c.fullRunOn(o, us[fullPending[k]])
+			if err != nil {
+				return err
+			}
+			res[fullPending[k]] = d
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		c.Stats.FullRuns += len(fullPending)
+	}
+	return res, nil
+}
+
+// makeJobs turns the pending maps into a deterministic job list, sharding
+// a relation's updates across several tagged queries when the batch is
+// large enough to keep multiple workers busy.
+func makeJobs(plusPending, comparePending map[string][]int, workers int) []batchJob {
+	var jobs []batchJob
+	add := func(pending map[string][]int, compare bool) {
+		rels := make([]string, 0, len(pending))
+		for rel := range pending {
+			rels = append(rels, rel)
+		}
+		sort.Strings(rels)
+		for _, rel := range rels {
+			for _, chunk := range shard(pending[rel], workers) {
+				jobs = append(jobs, batchJob{rel: rel, idxs: chunk, compare: compare})
+			}
+		}
+	}
+	add(plusPending, false)
+	add(comparePending, true)
+	return jobs
+}
+
+// shard splits idxs into at most workers near-equal chunks of at least
+// minBatchShard elements (one chunk when serial or small).
+func shard(idxs []int, workers int) [][]int {
+	n := len(idxs)
+	chunks := workers
+	if c := n / minBatchShard; c < chunks {
+		chunks = c
+	}
+	if chunks <= 1 {
+		return [][]int{idxs}
+	}
+	size := (n + chunks - 1) / chunks
+	out := make([][]int, 0, chunks)
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		out = append(out, idxs[lo:hi])
+	}
+	return out
+}
+
+// runBatchJob answers one job's checks with the §4.2 tagged queries,
+// writing the decided bits into res (disjoint indexes per job) and
+// returning the updates escalated to a residual full run.
+func (c *Checker) runBatchJob(us []*support.Update, j batchJob, res []bool) ([]int, error) {
+	q := c.Q
+	if c.SPJ.IsAgg {
+		q = c.unrolledQ
+	}
+	var fullPending []int
+	if !j.compare {
+		out, err := q.RunTagged(c.db, j.rel, c.tagRows(us, j.idxs, true))
 		if err != nil {
 			return nil, err
 		}
-		for _, i := range idxs {
-			c.Stats.Batched++
+		for _, i := range j.idxs {
 			if c.SPJ.IsAgg {
 				switch c.aggDelta(nil, out[int64(i)]) {
 				case Disagree:
@@ -60,46 +208,29 @@ func (c *Checker) CheckBatch(us []*support.Update, live []bool) ([]bool, error) 
 				res[i] = len(out[int64(i)]) > 0
 			}
 		}
+		return fullPending, nil
 	}
-
-	// Batches 2+3 per relation: compare the {u⁻} and {u⁺} runs.
-	for rel, idxs := range comparePending {
-		q := c.Q
+	outMinus, err := q.RunTagged(c.db, j.rel, c.tagRows(us, j.idxs, false))
+	if err != nil {
+		return nil, err
+	}
+	outPlus, err := q.RunTagged(c.db, j.rel, c.tagRows(us, j.idxs, true))
+	if err != nil {
+		return nil, err
+	}
+	for _, i := range j.idxs {
 		if c.SPJ.IsAgg {
-			q = c.unrolledQ
-		}
-		outMinus, err := q.RunTagged(c.db, rel, c.tagRows(us, idxs, false))
-		if err != nil {
-			return nil, err
-		}
-		outPlus, err := q.RunTagged(c.db, rel, c.tagRows(us, idxs, true))
-		if err != nil {
-			return nil, err
-		}
-		for _, i := range idxs {
-			c.Stats.Batched++
-			if c.SPJ.IsAgg {
-				switch c.aggDelta(outMinus[int64(i)], outPlus[int64(i)]) {
-				case Disagree:
-					res[i] = true
-				case NeedFull:
-					fullPending = append(fullPending, i)
-				}
-			} else {
-				res[i] = !equalMultiset(outMinus[int64(i)], outPlus[int64(i)])
+			switch c.aggDelta(outMinus[int64(i)], outPlus[int64(i)]) {
+			case Disagree:
+				res[i] = true
+			case NeedFull:
+				fullPending = append(fullPending, i)
 			}
+		} else {
+			res[i] = !equalMultiset(outMinus[int64(i)], outPlus[int64(i)])
 		}
 	}
-
-	// Residual full runs (rare: MIN/MAX removals and float borderlines).
-	for _, i := range fullPending {
-		d, err := c.fullRun(us[i])
-		if err != nil {
-			return nil, err
-		}
-		res[i] = d
-	}
-	return res, nil
+	return fullPending, nil
 }
 
 // tagRows builds the tagged replacement relation R⁺ (or R⁻) of §4.2: each

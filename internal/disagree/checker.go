@@ -80,6 +80,12 @@ type Checker struct {
 	baseHash    uint64
 	baseHashSet bool
 
+	// Workers > 1 parallelizes CheckBatch (classification, per-relation
+	// tagged batches, residual full runs) across that many goroutines over
+	// the shared read-only database. Results and Stats are bit-identical
+	// to the serial run. Set by the pricing engine from Options.Workers.
+	Workers int
+
 	// Stats counts how each update was decided (reported by experiments).
 	Stats struct {
 		Static, Batched, FullRuns int
@@ -344,21 +350,39 @@ func (c *Checker) resolveDelta(u *support.Update, minus, plus [][]value.Value) (
 	return c.fullRun(u)
 }
 
-// fullRun applies the update, re-executes Q, and compares output hashes
-// (Algorithm 1's inner loop for a single element).
+// ensureBaseHash computes and caches h(Q(D)). It must be called before
+// fullRunOn fans out (the residual checks then only read the checker).
+func (c *Checker) ensureBaseHash() error {
+	if c.baseHashSet {
+		return nil
+	}
+	res, err := c.Q.Run(c.db)
+	if err != nil {
+		return err
+	}
+	c.baseHash = res.Hash()
+	c.baseHashSet = true
+	return nil
+}
+
+// fullRun re-executes Q over the updated instance and compares output
+// hashes (Algorithm 1's inner loop for a single element).
 func (c *Checker) fullRun(u *support.Update) (bool, error) {
-	if !c.baseHashSet {
-		res, err := c.Q.Run(c.db)
-		if err != nil {
-			return false, err
-		}
-		c.baseHash = res.Hash()
-		c.baseHashSet = true
+	if err := c.ensureBaseHash(); err != nil {
+		return false, err
 	}
 	c.Stats.FullRuns++
-	u.Apply(c.db)
-	res, err := c.Q.Run(c.db)
-	u.Undo(c.db)
+	return c.fullRunOn(storage.NewOverlay(c.db), u)
+}
+
+// fullRunOn evaluates one residual full check through a (per-worker,
+// reusable) overlay: the update is realized as a copy-on-write view, so
+// the base database is never written and checks run concurrently. The
+// caller must have run ensureBaseHash and accounts Stats itself.
+func (c *Checker) fullRunOn(o *storage.Overlay, u *support.Update) (bool, error) {
+	u.ApplyOverlay(o)
+	res, err := c.Q.RunOverride(c.db, o.Overrides())
+	u.UndoOverlay(o)
 	if err != nil {
 		return false, err
 	}

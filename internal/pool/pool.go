@@ -1,0 +1,115 @@
+// Package pool provides the bounded worker pool shared by the pricing
+// engine and the disagreement checker. All pricing-side parallelism runs
+// through it, so one knob (pricing.Options.Workers) governs the whole
+// engine.
+//
+// Work is handed out through an atomic work-stealing index rather than
+// static chunking: a worker that draws a cheap item immediately steals the
+// next one, so a few expensive items (a skewed relation, a residual full
+// run) cannot idle the rest of the pool.
+//
+// Error handling is fail-fast and deterministic-leaning: each worker
+// records only its first error, every other worker stops drawing new items
+// as soon as any error is recorded, and Run returns the recorded error
+// with the smallest item index. Callers therefore see the error closest to
+// the one a serial left-to-right run would have hit.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Clamp bounds a requested worker count to [1, GOMAXPROCS] and to the item
+// count n. Zero or negative requests mean "serial".
+func Clamp(workers, n int) int {
+	if workers < 1 {
+		workers = 1
+	}
+	if p := runtime.GOMAXPROCS(0); workers > p {
+		workers = p
+	}
+	if n >= 0 && workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// RunWorkers executes fn(worker, i) for every i in [0, n), using at most
+// the given number of goroutines. The worker argument identifies the
+// executing goroutine (0 ≤ worker < effective workers), letting callers
+// keep cheap per-worker scratch state (e.g. a database overlay) without
+// locking. fn must write only to item-indexed slots or worker-private
+// state; items are claimed through a shared atomic counter.
+//
+// With workers ≤ 1 (or n ≤ 1) the items run inline on the calling
+// goroutine in index order, so the serial path stays allocation- and
+// goroutine-free and bitwise identical to the pre-pool behavior.
+func RunWorkers(workers, n int, fn func(worker, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Clamp(workers, n)
+	if workers == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(0, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var next atomic.Int64
+	var failed atomic.Bool
+	type firstErr struct {
+		idx int
+		err error
+	}
+	errs := make([]firstErr, workers)
+	for w := range errs {
+		errs[w].idx = -1
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(w, i); err != nil {
+					errs[w] = firstErr{idx: i, err: err}
+					failed.Store(true)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	best := -1
+	for w := range errs {
+		if errs[w].idx < 0 {
+			continue
+		}
+		if best < 0 || errs[w].idx < errs[best].idx {
+			best = w
+		}
+	}
+	if best >= 0 {
+		return errs[best].err
+	}
+	return nil
+}
+
+// Run is RunWorkers for callers that need no per-worker state.
+func Run(workers, n int, fn func(i int) error) error {
+	return RunWorkers(workers, n, func(_, i int) error { return fn(i) })
+}

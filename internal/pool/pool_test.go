@@ -1,0 +1,102 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversAllItems(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	for _, workers := range []int{1, 2, 4, 100} {
+		n := 237
+		hits := make([]atomic.Int32, n)
+		if err := Run(workers, n, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: item %d executed %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestRunReturnsSmallestIndexError(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	// Every item from 50 on fails; the reported error must be one of the
+	// failing items and, across many runs, never precede index 50.
+	for trial := 0; trial < 20; trial++ {
+		err := Run(4, 200, func(i int) error {
+			if i >= 50 {
+				return fmt.Errorf("item %d failed", i)
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatal("expected an error")
+		}
+	}
+}
+
+func TestRunCancelsAfterFailure(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	boom := errors.New("boom")
+	var executed atomic.Int32
+	err := Run(4, 10000, func(i int) error {
+		executed.Add(1)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+	// Cancellation is prompt: nowhere near all items may run. The bound is
+	// loose (each worker can be mid-item when the flag flips).
+	if n := executed.Load(); n > 5000 {
+		t.Fatalf("executed %d items after failure; cancellation did not propagate", n)
+	}
+}
+
+func TestSerialIsInOrderAndFailFast(t *testing.T) {
+	var seen []int
+	err := Run(1, 10, func(i int) error {
+		seen = append(seen, i)
+		if i == 4 {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	if err == nil || len(seen) != 5 {
+		t.Fatalf("serial run: seen=%v err=%v", seen, err)
+	}
+	for i, v := range seen {
+		if i != v {
+			t.Fatalf("serial order violated: %v", seen)
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	old := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(old)
+	if got := Clamp(0, 10); got != 1 {
+		t.Fatalf("Clamp(0,10)=%d", got)
+	}
+	if got := Clamp(8, 3); got != 3 {
+		t.Fatalf("Clamp(8,3)=%d", got)
+	}
+	if got := Clamp(3, -1); got < 1 {
+		t.Fatalf("Clamp(3,-1)=%d", got)
+	}
+}

@@ -1,39 +1,38 @@
 package pricing
 
 import (
-	"fmt"
-	"runtime"
-	"sync"
-
+	"qirana/internal/pool"
 	"qirana/internal/storage"
 )
 
-// Parallel naive evaluation (engineering extension, not in the paper):
-// Algorithm 1's loop is embarrassingly parallel across support elements —
-// each element is an independent apply → run → undo — but the elements
-// mutate the database in place, so workers operate on private clones.
-// Cloning costs memory proportional to the database; it amortizes when
-// |S| is large relative to the clone cost, which is exactly the regime
-// where the naive path hurts (entropy pricing functions and
-// out-of-fast-path queries).
+// Shared-read parallel evaluation: Algorithm 1's loop is embarrassingly
+// parallel across support elements — each element is an independent
+// evaluation of Q over a neighboring instance. Elements are realized as
+// copy-on-write overlays (storage.Overlay) instead of in-place mutations,
+// so any number of workers evaluate concurrently over ONE immutable
+// database: per-element cost is O(|delta|), not a full O(|D|) clone per
+// worker, and peak memory no longer scales with workers × |D|.
+//
+// The same pool.RunWorkers scheduler drives the disagreement checker's
+// batched fast path (disagree.Checker.Workers), so Options.Workers is the
+// single parallelism knob for the whole engine. Work is handed out through
+// an atomic index (work stealing), so skewed elements cannot idle workers.
 
-// parallelWorkers resolves the configured worker count.
+// parallelWorkers resolves the configured worker count (clamped to
+// GOMAXPROCS; ≤ 1 means serial).
 func (e *Engine) parallelWorkers() int {
-	w := e.Opts.Workers
-	if w <= 1 {
+	if e.Opts.Workers <= 1 {
 		return 1
 	}
-	if max := runtime.GOMAXPROCS(0); w > max {
-		w = max
-	}
-	return w
+	return pool.Clamp(e.Opts.Workers, -1)
 }
 
-// parallelApply runs fn(workerDB, elementIndex) for every live element
-// across worker clones. fn must leave the clone as it found it (the usual
-// apply/undo discipline).
-func (e *Engine) parallelApply(mask []bool, fn func(db *storage.Database, i int) error) error {
-	workers := e.parallelWorkers()
+// parallelApply runs fn(overlay, elementIndex) for every live element.
+// Each worker owns one overlay over the shared database; fn must leave the
+// overlay as it found it (the usual apply/undo discipline, now against the
+// overlay). With one worker the elements run inline in index order, so the
+// serial path is bit-identical to the parallel one by construction.
+func (e *Engine) parallelApply(mask []bool, fn func(o *storage.Overlay, i int) error) error {
 	var live []int
 	for i := range e.Set.Elements {
 		if mask == nil || mask[i] {
@@ -43,40 +42,14 @@ func (e *Engine) parallelApply(mask []bool, fn func(db *storage.Database, i int)
 	if len(live) == 0 {
 		return nil
 	}
-	if workers > len(live) {
-		workers = len(live)
-	}
-	var wg sync.WaitGroup
-	errCh := make(chan error, workers)
-	chunk := (len(live) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(live) {
-			hi = len(live)
+	workers := pool.Clamp(e.parallelWorkers(), len(live))
+	overlays := make([]*storage.Overlay, workers)
+	return pool.RunWorkers(workers, len(live), func(w, k int) error {
+		o := overlays[w]
+		if o == nil {
+			o = storage.NewOverlay(e.DB)
+			overlays[w] = o
 		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(part []int, clone *storage.Database) {
-			defer wg.Done()
-			for _, i := range part {
-				if err := fn(clone, i); err != nil {
-					select {
-					case errCh <- err:
-					default:
-					}
-					return
-				}
-			}
-		}(live[lo:hi], e.DB.Clone())
-	}
-	wg.Wait()
-	select {
-	case err := <-errCh:
-		return fmt.Errorf("parallel pricing: %w", err)
-	default:
-		return nil
-	}
+		return fn(o, live[k])
+	})
 }

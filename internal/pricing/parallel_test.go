@@ -56,7 +56,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 	}
 }
 
-// TestParallelLeavesDatabaseIntact: worker clones must never leak into the
+// TestParallelLeavesDatabaseIntact: worker overlays must never leak into the
 // primary instance.
 func TestParallelLeavesDatabaseIntact(t *testing.T) {
 	forceParallel(t)

@@ -17,6 +17,7 @@ import (
 	"math"
 
 	"qirana/internal/disagree"
+	"qirana/internal/pool"
 	"qirana/internal/result"
 	"qirana/internal/sqlengine/exec"
 	"qirana/internal/sqlengine/plan"
@@ -73,10 +74,14 @@ type Options struct {
 	// InstanceReduction enables the Appendix A instance-reduction
 	// optimization on the naive path for eligible SPJ queries.
 	InstanceReduction bool
-	// Workers > 1 parallelizes the naive path (per-element re-execution)
-	// across that many goroutines, each on a private database clone. An
-	// engineering extension beyond the paper; the fast path is already
-	// dominated by a handful of batched queries and stays serial.
+	// Workers > 1 parallelizes the whole engine across that many
+	// goroutines (clamped to GOMAXPROCS): the naive path's per-element
+	// re-executions, the Appendix A reduced checks, and the §4.2 fast
+	// path's classification, per-relation tagged batches and residual full
+	// runs. All workers share one immutable database and evaluate support
+	// elements through copy-on-write overlays; prices and Stats are
+	// bit-identical to the serial run. An engineering extension beyond the
+	// paper.
 	Workers int
 }
 
@@ -200,6 +205,7 @@ func (e *Engine) Disagreements(qs []*exec.Query, live []bool) ([]bool, error) {
 
 func (e *Engine) fastDisagree(c *disagree.Checker, mask, out []bool) error {
 	c.Stats.Static, c.Stats.Batched, c.Stats.FullRuns = 0, 0, 0
+	c.Workers = e.parallelWorkers()
 	if e.Opts.Batching {
 		res, err := c.CheckBatch(e.Set.Updates, mask)
 		if err != nil {
@@ -232,7 +238,9 @@ func (e *Engine) fastDisagree(c *disagree.Checker, mask, out []bool) error {
 
 // naiveDisagree is Algorithm 1's loop: run Q on every (live) neighboring
 // instance and compare output hashes, with the Appendix A instance
-// reduction when eligible and enabled.
+// reduction when eligible and enabled. Elements are evaluated through
+// copy-on-write overlays over the shared (never mutated) database, one
+// overlay per worker; with one worker they run inline in index order.
 func (e *Engine) naiveDisagree(q *exec.Query, mask, out []bool) error {
 	if e.Opts.InstanceReduction && e.Set.Updates != nil {
 		if ok, err := e.reducedDisagree(q, mask, out); ok {
@@ -244,51 +252,49 @@ func (e *Engine) naiveDisagree(q *exec.Query, mask, out []bool) error {
 		return err
 	}
 	bh := base.Hash()
-	if e.parallelWorkers() > 1 {
-		n := 0
-		err := e.parallelApply(mask, func(db *storage.Database, i int) error {
-			el := e.Set.Elements[i]
-			el.Apply(db)
-			res, err := q.Run(db)
-			el.Undo(db)
-			if err != nil {
-				return err
-			}
-			if res.Hash() != bh {
-				out[i] = true // distinct index per element: no contention
-			}
-			return nil
-		})
-		for i := range mask {
-			if mask[i] {
-				n++
-			}
+	n := 0
+	for i := range mask {
+		if mask[i] {
+			n++
 		}
-		e.LastStats.Naive += n
+	}
+	err = e.parallelApply(mask, func(o *storage.Overlay, i int) error {
+		el := e.Set.Elements[i]
+		el.ApplyOverlay(o)
+		res, rerr := q.RunOverride(e.DB, o.Overrides())
+		el.UndoOverlay(o)
+		if rerr != nil {
+			return rerr
+		}
+		if res.Hash() != bh {
+			out[i] = true // distinct index per element: no contention
+		}
+		return nil
+	})
+	if err != nil {
 		return err
 	}
-	for i, el := range e.Set.Elements {
-		if !mask[i] {
-			continue
-		}
-		el.Apply(e.DB)
-		res, err := q.Run(e.DB)
-		el.Undo(e.DB)
-		if err != nil {
-			return err
-		}
-		e.LastStats.Naive++
-		if res.Hash() != bh {
-			out[i] = true
-		}
-	}
+	e.LastStats.Naive += n
 	return nil
+}
+
+// reducedRel is one relation's Appendix A reduction: the touched base rows
+// (aliased, never written), the position of each base row index inside the
+// reduced slice, and the baseline output hash over the reduced instance.
+type reducedRel struct {
+	rows     [][]value.Value
+	pos      map[int]int
+	baseline uint64
 }
 
 // reducedDisagree implements the instance-reduction optimization of
 // Appendix A (Lemma A.3): for SPJ queries, an update on relation R changes
 // Q(D) iff it changes Q(D with R reduced to the rows the support set
 // touches). It returns ok=false when the query is ineligible.
+//
+// Each element's check substitutes its updated tuples into a private copy
+// of the (tiny) reduced relation, so the base database stays read-only and
+// the per-element checks parallelize across workers.
 func (e *Engine) reducedDisagree(q *exec.Query, mask, out []bool) (bool, error) {
 	s, err := plan.Extract(q.A)
 	if err != nil || s.IsAgg {
@@ -298,16 +304,18 @@ func (e *Engine) reducedDisagree(q *exec.Query, mask, out []bool) (bool, error) 
 	for _, rel := range s.RelOfSource {
 		inQuery[lowerName(rel)] = true
 	}
-	// Collect the touched row set per relation.
+	// Collect the touched row set per relation and the elements to check.
 	touched := make(map[string]map[int]bool)
+	var idxs []int
 	for i, u := range e.Set.Updates {
 		if !mask[i] {
 			continue
 		}
 		rel := lowerName(u.Rel)
 		if !inQuery[rel] {
-			continue
+			continue // cannot disagree
 		}
+		idxs = append(idxs, i)
 		m := touched[rel]
 		if m == nil {
 			m = make(map[int]bool)
@@ -318,42 +326,67 @@ func (e *Engine) reducedDisagree(q *exec.Query, mask, out []bool) (bool, error) 
 			m[u.Row2] = true
 		}
 	}
-	baselines := make(map[string]uint64)
-	reduced := make(map[string][][]value.Value)
+	reduced := make(map[string]*reducedRel)
 	for rel, rows := range touched {
 		t := e.DB.Table(rel)
-		r0 := make([][]value.Value, 0, len(rows))
+		rr := &reducedRel{pos: make(map[int]int, len(rows))}
 		for ri := range t.Rows { // deterministic order
 			if rows[ri] {
-				r0 = append(r0, t.Rows[ri])
+				rr.pos[ri] = len(rr.rows)
+				rr.rows = append(rr.rows, t.Rows[ri])
 			}
 		}
-		reduced[rel] = r0
-		res, err := q.RunOverride(e.DB, exec.Overrides{rel: r0})
+		res, err := q.RunOverride(e.DB, exec.Overrides{rel: rr.rows})
 		if err != nil {
 			return true, err
 		}
-		baselines[rel] = res.Hash()
+		rr.baseline = res.Hash()
+		reduced[rel] = rr
 	}
-	for i, u := range e.Set.Updates {
-		if !mask[i] {
-			continue
-		}
+	if len(idxs) == 0 {
+		return true, nil
+	}
+	workers := pool.Clamp(e.parallelWorkers(), len(idxs))
+	scratch := make([]map[string][][]value.Value, workers)
+	err = pool.RunWorkers(workers, len(idxs), func(w, k int) error {
+		i := idxs[k]
+		u := e.Set.Updates[i]
 		rel := lowerName(u.Rel)
-		if !inQuery[rel] {
-			continue // cannot disagree
+		rr := reduced[rel]
+		if scratch[w] == nil {
+			scratch[w] = make(map[string][][]value.Value)
 		}
-		u.Apply(e.DB)
-		res, err := q.RunOverride(e.DB, exec.Overrides{rel: reduced[rel]})
-		u.Undo(e.DB)
-		if err != nil {
-			return true, err
+		cp := scratch[w][rel]
+		if cp == nil {
+			cp = make([][]value.Value, len(rr.rows))
+			copy(cp, rr.rows)
+			scratch[w][rel] = cp
 		}
-		e.LastStats.Naive++
-		if res.Hash() != baselines[rel] {
+		plus := u.PlusRows(e.DB)
+		p1 := rr.pos[u.Row1]
+		cp[p1] = plus[0]
+		p2 := -1
+		if u.Swap {
+			p2 = rr.pos[u.Row2]
+			cp[p2] = plus[1]
+		}
+		res, rerr := q.RunOverride(e.DB, exec.Overrides{rel: cp})
+		cp[p1] = rr.rows[p1]
+		if p2 >= 0 {
+			cp[p2] = rr.rows[p2]
+		}
+		if rerr != nil {
+			return rerr
+		}
+		if res.Hash() != rr.baseline {
 			out[i] = true
 		}
+		return nil
+	})
+	if err != nil {
+		return true, err
 	}
+	e.LastStats.Naive += len(idxs)
 	return true, nil
 }
 
@@ -382,44 +415,25 @@ func (e *Engine) OutputHashes(qs []*exec.Query) (elems []uint64, base uint64, er
 	}
 	base = combine(baseHashes)
 	elems = make([]uint64, e.Set.Size())
-	if e.parallelWorkers() > 1 {
-		err = e.parallelApply(nil, func(db *storage.Database, i int) error {
-			el := e.Set.Elements[i]
-			el.Apply(db)
-			defer el.Undo(db)
-			hs := make([]uint64, len(qs))
-			for j, q := range qs {
-				res, rerr := q.Run(db)
-				if rerr != nil {
-					return rerr
-				}
-				hs[j] = res.Hash()
-			}
-			elems[i] = combine(hs)
-			return nil
-		})
-		if err != nil {
-			return nil, 0, err
-		}
-		e.LastStats.Naive += e.Set.Size() * len(qs)
-		return elems, base, nil
-	}
-	hs := make([]uint64, len(qs))
-	for i, el := range e.Set.Elements {
-		el.Apply(e.DB)
+	err = e.parallelApply(nil, func(o *storage.Overlay, i int) error {
+		el := e.Set.Elements[i]
+		el.ApplyOverlay(o)
+		defer el.UndoOverlay(o)
+		hs := make([]uint64, len(qs))
 		for j, q := range qs {
-			var res *result.Result
-			res, err = q.Run(e.DB)
-			if err != nil {
-				el.Undo(e.DB)
-				return nil, 0, err
+			res, rerr := q.RunOverride(e.DB, o.Overrides())
+			if rerr != nil {
+				return rerr
 			}
 			hs[j] = res.Hash()
 		}
-		el.Undo(e.DB)
 		elems[i] = combine(hs)
-		e.LastStats.Naive += len(qs)
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
 	}
+	e.LastStats.Naive += e.Set.Size() * len(qs)
 	return elems, base, nil
 }
 
@@ -506,15 +520,22 @@ func (e *Engine) scaleUEG(d int) float64 {
 // output hashes, normalized so that the all-singletons partition (achieved
 // by Q_all) prices at Total.
 func (e *Engine) entropyPrice(fn Func, hashes []uint64) float64 {
+	// Blocks accumulate and sum in first-appearance order (not map
+	// iteration order) so the floating-point result is bit-identical
+	// across runs — part of the engine's determinism guarantee.
 	blocks := make(map[uint64]float64)
+	var order []uint64
 	for i, h := range hashes {
+		if _, seen := blocks[h]; !seen {
+			order = append(order, h)
+		}
 		blocks[h] += e.Weights[i] / e.Total
 	}
 	var v, vmax float64
 	switch fn {
 	case ShannonEntropy:
-		for _, w := range blocks {
-			if w > 0 {
+		for _, h := range order {
+			if w := blocks[h]; w > 0 {
 				v -= w * math.Log(w)
 			}
 		}
@@ -525,7 +546,8 @@ func (e *Engine) entropyPrice(fn Func, hashes []uint64) float64 {
 			}
 		}
 	case QEntropy:
-		for _, w := range blocks {
+		for _, h := range order {
+			w := blocks[h]
 			v += w * (1 - w)
 		}
 		for i := range hashes {

@@ -1,0 +1,154 @@
+// Property test for the copy-on-write overlay: after installing any
+// sequence of support-set elements, the overlay's effective view must be
+// row-for-row identical to a mutated clone of the database, and after
+// undoing them it must be identical to the untouched base. This is the
+// correctness contract the clone-free pricing paths rest on, checked with
+// testing/quick over random apply/undo sequences on every generator
+// schema.
+package storage_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"qirana/internal/datagen"
+	"qirana/internal/storage"
+	"qirana/internal/support"
+	"qirana/internal/value"
+)
+
+func TestOverlayMatchesMutatedClone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test over all generator schemas")
+	}
+	cases := []struct {
+		name string
+		db   *storage.Database
+	}{
+		{"world", datagen.World(1)},
+		{"carcrash", datagen.CarCrash(2, 400)},
+		{"ssb", datagen.SSB(3, 0.001)},
+		{"tpch", datagen.TPCH(4, 0.002)},
+		{"dblp", datagen.DBLP(5, 0.02)},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			set, err := support.GenerateNeighborhood(tc.db, support.DefaultConfig(120, 11))
+			if err != nil {
+				t.Fatal(err)
+			}
+			pristine := tc.db.Clone()
+
+			// One random apply → compare → undo → compare round trip.
+			prop := func(seed int64, picks []uint8) bool {
+				rng := rand.New(rand.NewSource(seed))
+				clone := tc.db.Clone()
+				o := storage.NewOverlay(tc.db)
+				// Install a random subset of elements, at most one per
+				// relation (the support-set contract: one element is one
+				// neighboring database, and apply/undo rounds never
+				// overlap on the engine's overlays).
+				var applied []support.Element
+				touched := make(map[string]bool)
+				for _, p := range picks {
+					el := set.Elements[(int(p)+rng.Intn(set.Size()))%set.Size()]
+					if overlaps(tc.db, el, touched) {
+						continue
+					}
+					el.Apply(clone)
+					el.ApplyOverlay(o)
+					applied = append(applied, el)
+				}
+				if !sameDatabase(t, tc.db, o, clone) {
+					return false
+				}
+				// Undo in random order; overlay and clone must both land
+				// back on the base instance.
+				rng.Shuffle(len(applied), func(i, j int) {
+					applied[i], applied[j] = applied[j], applied[i]
+				})
+				for _, el := range applied {
+					el.Undo(clone)
+					el.UndoOverlay(o)
+				}
+				if len(o.Overrides()) != 0 {
+					t.Errorf("%s: overrides still active after undo: %d", tc.name, len(o.Overrides()))
+					return false
+				}
+				return sameDatabase(t, tc.db, o, clone) && databasesEqual(tc.db, pristine)
+			}
+			if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// overlaps reports whether el touches a relation already claimed this
+// round, and claims its relations otherwise.
+func overlaps(db *storage.Database, el support.Element, touched map[string]bool) bool {
+	for _, r := range db.Schema.Relations {
+		if el.Touches(r.Name) && touched[strings.ToLower(r.Name)] {
+			return true
+		}
+	}
+	for _, r := range db.Schema.Relations {
+		if el.Touches(r.Name) {
+			touched[strings.ToLower(r.Name)] = true
+		}
+	}
+	return false
+}
+
+// sameDatabase checks that the overlay's effective view of base equals the
+// mutated clone, relation by relation, cell by cell.
+func sameDatabase(t *testing.T, base *storage.Database, o *storage.Overlay, clone *storage.Database) bool {
+	t.Helper()
+	for _, r := range base.Schema.Relations {
+		want := clone.Table(r.Name).Rows
+		var got [][]value.Value
+		if rows, ok := o.Overrides()[strings.ToLower(r.Name)]; ok {
+			got = rows
+		} else {
+			got = base.Table(r.Name).Rows
+		}
+		if len(got) != len(want) {
+			t.Errorf("%s: overlay has %d rows, clone has %d", r.Name, len(got), len(want))
+			return false
+		}
+		for i := range got {
+			if len(got[i]) != len(want[i]) {
+				t.Errorf("%s row %d: arity %d != %d", r.Name, i, len(got[i]), len(want[i]))
+				return false
+			}
+			for j := range got[i] {
+				if got[i][j] != want[i][j] {
+					t.Errorf("%s row %d col %d: overlay %v != clone %v", r.Name, i, j, got[i][j], want[i][j])
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// databasesEqual guards the base against accidental writes.
+func databasesEqual(a, b *storage.Database) bool {
+	for _, r := range a.Schema.Relations {
+		ra, rb := a.Table(r.Name).Rows, b.Table(r.Name).Rows
+		if len(ra) != len(rb) {
+			return false
+		}
+		for i := range ra {
+			for j := range ra[i] {
+				if ra[i][j] != rb[i][j] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

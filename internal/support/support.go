@@ -22,12 +22,23 @@ import (
 )
 
 // Element is one support-set member D_i, represented as a reversible
-// mutation of the underlying database.
+// mutation of the underlying database. Elements can be realized two ways:
+// destructively (Apply/Undo mutate the database in place) or as a
+// copy-on-write view (ApplyOverlay/UndoOverlay install the delta into a
+// storage.Overlay while the base database stays immutable). The pricing
+// engine uses the overlay form everywhere so that workers can share one
+// read-only instance.
 type Element interface {
 	// Apply turns the database into D_i.
 	Apply(db *storage.Database)
 	// Undo restores the original database.
 	Undo(db *storage.Database)
+	// ApplyOverlay installs D_i into the overlay without touching the
+	// overlay's base database.
+	ApplyOverlay(o *storage.Overlay)
+	// UndoOverlay reverts ApplyOverlay, returning the overlay to the base
+	// view.
+	UndoOverlay(o *storage.Overlay)
 	// Touches reports whether D_i differs from D inside relation rel.
 	Touches(rel string) bool
 }
@@ -68,6 +79,36 @@ func (u *Update) Undo(db *storage.Database) {
 			t.Set(u.Row2, a, u.Old2[i])
 		}
 	}
+}
+
+// ApplyOverlay installs the updated tuples into the overlay: the touched
+// rows are replaced by fresh copies carrying the new values, the base
+// database is never written. Cost is O(|Attrs|) plus one row copy per
+// touched tuple (after the overlay's one-time first-touch of the
+// relation).
+func (u *Update) ApplyOverlay(o *storage.Overlay) {
+	t := o.Base().Table(u.Rel)
+	r1 := copyRow(t.Rows[u.Row1])
+	for i, a := range u.Attrs {
+		r1[a] = u.New1[i]
+	}
+	o.SetRow(u.Rel, u.Row1, r1)
+	if u.Swap {
+		r2 := copyRow(t.Rows[u.Row2])
+		for i, a := range u.Attrs {
+			r2[a] = u.New2[i]
+		}
+		o.SetRow(u.Rel, u.Row2, r2)
+	}
+}
+
+// UndoOverlay reverts ApplyOverlay.
+func (u *Update) UndoOverlay(o *storage.Overlay) {
+	o.ResetRow(u.Rel, u.Row1)
+	if u.Swap {
+		o.ResetRow(u.Rel, u.Row2)
+	}
+	o.Drop(u.Rel)
 }
 
 // Touches reports whether the update modifies rel.
@@ -151,6 +192,21 @@ func (in *Instance) Undo(db *storage.Database) {
 		db.Table(rel).Rows = rows
 	}
 	in.saved = nil
+}
+
+// ApplyOverlay swaps the instance's materialized tables into the overlay
+// (O(1) per relation; the base database is untouched).
+func (in *Instance) ApplyOverlay(o *storage.Overlay) {
+	for rel, rows := range in.Rows {
+		o.ReplaceTable(rel, rows)
+	}
+}
+
+// UndoOverlay reverts ApplyOverlay.
+func (in *Instance) UndoOverlay(o *storage.Overlay) {
+	for rel := range in.Rows {
+		o.Drop(rel)
+	}
 }
 
 // Touches reports whether the instance differs inside rel; materialized

@@ -125,15 +125,19 @@ type Options struct {
 	DisableFastPath bool
 	// DisableBatching turns off the §4.2 batched checks.
 	DisableBatching bool
-	// Workers > 1 parallelizes naive-path pricing (entropy functions and
-	// out-of-fast-path queries) across goroutines on database clones.
+	// Workers > 1 parallelizes pricing — the batched disagreement checks
+	// and the naive per-element evaluations — across goroutines sharing
+	// the read-only database through copy-on-write overlays (clamped to
+	// GOMAXPROCS). Prices and statistics are bit-identical to Workers=1.
 	Workers int
 }
 
 // Broker is the pricing middleware between buyers and a database. All
-// methods are safe for concurrent use: pricing temporarily mutates the
-// shared database (support elements are applied in place and undone), so
-// calls serialize on an internal lock.
+// methods are safe for concurrent use: calls serialize on an internal
+// lock, which protects the engine's per-call state and the buyers'
+// purchase histories. The database itself is never mutated by pricing
+// (support elements evaluate over copy-on-write overlays), so within one
+// call the engine's own workers read it concurrently.
 type Broker struct {
 	mu     sync.Mutex
 	db     *storage.Database
