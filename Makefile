@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench json-bench vet
+.PHONY: all build test race bench json-bench vet fuzz bench-compare
 
 all: build test
 
@@ -27,3 +27,15 @@ bench:
 # and NumCPU); writes BENCH_pricing.json for cross-PR perf tracking.
 json-bench:
 	$(GO) run ./cmd/bench
+
+# Quick fuzz pass over the SQL lexer+parser, seeded from the workload
+# query corpus (plus the committed regression corpus in testdata/fuzz).
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test ./internal/sqlengine/parser -fuzz FuzzParse -fuzztime $(FUZZTIME)
+
+# Re-run the pricing benchmarks at a reduced scale and compare against the
+# committed BENCH_pricing.json; exits nonzero on a >20% regression.
+bench-compare:
+	$(GO) run ./cmd/bench -support 250 -min-time 300ms \
+		-out /tmp/BENCH_new.json -compare BENCH_pricing.json

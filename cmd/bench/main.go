@@ -13,12 +13,15 @@
 //	bench                          # CI scale, BENCH_pricing.json
 //	bench -groups fig5a -workers 1,2,4 -out /tmp/bench.json
 //	bench -support 200 -min-time 200ms   # quicker, noisier
+//	bench -compare BENCH_old.json  # per-group speedup table; exit 2 on
+//	                               # a >20% regression vs the old report
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"sort"
@@ -93,6 +96,7 @@ func main() {
 		minTime  = flag.Duration("min-time", 500*time.Millisecond, "minimum measurement time per benchmark")
 		maxIter  = flag.Int("max-iters", 20, "iteration cap per benchmark")
 		seed     = flag.Int64("seed", 1, "generator seed")
+		compare  = flag.String("compare", "", "previous report JSON; print per-group speedups and exit nonzero on a >20% regression")
 	)
 	flag.Parse()
 
@@ -164,6 +168,94 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (%d results)\n", *out, len(r.out))
+
+	if *compare != "" {
+		if !compareReports(*compare, rep) {
+			os.Exit(2)
+		}
+	}
+}
+
+// regressionTolerance is the slowdown a benchmark may show against the
+// baseline before the comparison fails: benchmarks in shared CI runners are
+// noisy, so small movements are not actionable.
+const regressionTolerance = 1.20
+
+// compareReports prints a per-group speedup table of rep against the report
+// stored at path (matching results by group, name and worker count) and
+// reports whether the run is free of >20% regressions.
+func compareReports(path string, rep report) bool {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "compare: %v\n", err)
+		return false
+	}
+	var old report
+	if err := json.Unmarshal(buf, &old); err != nil {
+		fmt.Fprintf(os.Stderr, "compare: %s: %v\n", path, err)
+		return false
+	}
+	base := make(map[string]result, len(old.Results))
+	for _, res := range old.Results {
+		base[fmt.Sprintf("%s|%s|%d", res.Group, res.Name, res.Workers)] = res
+	}
+
+	type groupAcc struct {
+		n         int
+		logSum    float64 // for the geometric-mean speedup
+		worst     float64
+		worstName string
+	}
+	groups := make(map[string]*groupAcc)
+	var order []string
+	var regressions []string
+	matched := 0
+	for _, res := range rep.Results {
+		o, ok := base[fmt.Sprintf("%s|%s|%d", res.Group, res.Name, res.Workers)]
+		if !ok || o.NsPerOp <= 0 || res.NsPerOp <= 0 {
+			continue
+		}
+		matched++
+		speedup := o.NsPerOp / res.NsPerOp
+		g := groups[res.Group]
+		if g == nil {
+			g = &groupAcc{worst: math.Inf(1)}
+			groups[res.Group] = g
+			order = append(order, res.Group)
+		}
+		g.n++
+		g.logSum += math.Log(speedup)
+		if speedup < g.worst {
+			g.worst = speedup
+			g.worstName = fmt.Sprintf("%s w=%d", res.Name, res.Workers)
+		}
+		if res.NsPerOp > o.NsPerOp*regressionTolerance {
+			regressions = append(regressions,
+				fmt.Sprintf("%s/%s w=%d: %.0f -> %.0f ns/op (%.2fx slower)",
+					res.Group, res.Name, res.Workers, o.NsPerOp, res.NsPerOp, res.NsPerOp/o.NsPerOp))
+		}
+	}
+	if matched == 0 {
+		fmt.Fprintf(os.Stderr, "compare: no overlapping results with %s\n", path)
+		return false
+	}
+
+	fmt.Printf("\ncomparison vs %s (%d matched results)\n", path, matched)
+	fmt.Printf("%-8s %6s %10s %10s  %s\n", "group", "cases", "geomean", "worst", "worst case")
+	for _, name := range order {
+		g := groups[name]
+		fmt.Printf("%-8s %6d %9.2fx %9.2fx  %s\n",
+			name, g.n, math.Exp(g.logSum/float64(g.n)), g.worst, g.worstName)
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "\n%d regression(s) beyond %.0f%%:\n", len(regressions), (regressionTolerance-1)*100)
+		for _, line := range regressions {
+			fmt.Fprintln(os.Stderr, "  "+line)
+		}
+		return false
+	}
+	fmt.Printf("no regressions beyond %.0f%%\n", (regressionTolerance-1)*100)
+	return true
 }
 
 // scalability is the Figure 5 shape: per query, bare execution plus

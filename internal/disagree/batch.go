@@ -51,6 +51,12 @@ func (c *Checker) CheckBatch(us []*support.Update, live []bool) ([]bool, error) 
 	res := make([]bool, len(us))
 	workers := pool.Clamp(c.Workers, len(us))
 
+	// Account the executor's index-cache movement for this batch. Both
+	// snapshots happen at quiesced points (pool.Run waits for its workers),
+	// so the before/after delta is exact.
+	before := c.cacheSnapshot()
+	defer c.accountCache(before)
+
 	// Static classification (Algorithms 4/5/6, no database access).
 	outcomes := make([]Outcome, len(us))
 	nBlocks := (len(us) + classifyBlock - 1) / classifyBlock

@@ -74,6 +74,7 @@ type Checker struct {
 
 	contrib []map[string]bool // per source: contributing PK set
 	srcOf   map[string]int    // lower(rel) -> source index
+	deltaOK map[string]bool   // lower(rel) -> residual checks may use RunDelta
 
 	groups map[string]*groupState
 
@@ -86,10 +87,47 @@ type Checker struct {
 	// to the serial run. Set by the pricing engine from Options.Workers.
 	Workers int
 
-	// Stats counts how each update was decided (reported by experiments).
+	// Stats counts how each update was decided (reported by experiments)
+	// and how the execution layer served the database checks.
 	Stats struct {
 		Static, Batched, FullRuns int
+		// DeltaRuns counts database checks answered through the delta
+		// evaluation path (Query.RunDelta) instead of a full re-execution.
+		DeltaRuns int
+		// IndexCacheHits/Misses aggregate the executor's index-cache
+		// counters (filtered sources, join build sides, probe partitions)
+		// across the queries this checker drives, accumulated per
+		// Check/CheckBatch call. Hit counts depend on Workers (job
+		// sharding), so they are informational, not part of the
+		// bit-identical result contract.
+		IndexCacheHits, IndexCacheMisses int
 	}
+}
+
+// cacheSnapshot sums the execution-cache counters of every compiled query
+// the checker runs (the priced query and, for aggregates, its unrolled
+// form; the contribution query only runs at construction time).
+func (c *Checker) cacheSnapshot() exec.CacheStats {
+	s := c.Q.CacheStats()
+	if c.unrolledQ != nil {
+		u := c.unrolledQ.CacheStats()
+		s.Hits += u.Hits
+		s.Misses += u.Misses
+	}
+	if c.contribQ != nil {
+		t := c.contribQ.CacheStats()
+		s.Hits += t.Hits
+		s.Misses += t.Misses
+	}
+	return s
+}
+
+// accountCache folds the cache-counter movement since `before` into Stats.
+// Both snapshots must be taken at quiesced points (no in-flight workers).
+func (c *Checker) accountCache(before exec.CacheStats) {
+	after := c.cacheSnapshot()
+	c.Stats.IndexCacheHits += int(after.Hits - before.Hits)
+	c.Stats.IndexCacheMisses += int(after.Misses - before.Misses)
 }
 
 // New builds a checker, or returns an error when the query is outside the
@@ -133,6 +171,16 @@ func New(q *exec.Query, db *storage.Database) (*Checker, error) {
 		c.groups = make(map[string]*groupState)
 		for _, row := range ur.Rows {
 			c.addToGroup(row)
+		}
+	}
+	// Precompute, once, which relations' residual checks may take the
+	// delta path: the SPJ contract (s.DeltaRels) narrowed by the check
+	// query's own capability guard.
+	c.deltaOK = make(map[string]bool, len(s.RelOfSource))
+	cq := c.checkQuery()
+	for rel := range s.DeltaRels() {
+		if cq.DeltaCapable(rel) {
+			c.deltaOK[rel] = true
 		}
 	}
 	return c, nil
@@ -283,6 +331,8 @@ func (c *Checker) plusRowUnsat(u *support.Update, src int, idx int) bool {
 // Check fully decides one update, resolving any needed database checks
 // individually (the "no batching" mode of Figure 5).
 func (c *Checker) Check(u *support.Update) (bool, error) {
+	before := c.cacheSnapshot()
+	defer c.accountCache(before)
 	switch c.Classify(u) {
 	case Agree:
 		c.Stats.Static++
@@ -298,42 +348,68 @@ func (c *Checker) Check(u *support.Update) (bool, error) {
 	return c.fullRun(u)
 }
 
+// checkQuery is the query a residual database check runs: the priced query
+// itself for SPJ, its unrolled form (a plain SPJ over the same joins) for
+// aggregates.
+func (c *Checker) checkQuery() *exec.Query {
+	if c.SPJ.IsAgg {
+		return c.unrolledQ
+	}
+	return c.Q
+}
+
 func (c *Checker) checkPlus(u *support.Update) (bool, error) {
-	ov := exec.Overrides{lower(u.Rel): u.PlusRows(c.db)}
-	if !c.SPJ.IsAgg {
-		res, err := c.Q.RunOverride(c.db, ov)
+	q := c.checkQuery()
+	if c.deltaOK[lower(u.Rel)] {
+		// Delta path: only the u⁺ rows flow through the join pipeline,
+		// probing the cached indexes of the untouched relations.
+		c.Stats.DeltaRuns++
+		_, outPlus, err := q.RunDelta(c.db, u.Rel, nil, u.PlusRows(c.db))
 		if err != nil {
 			return false, err
 		}
-		return !res.IsEmpty(), nil
+		if !c.SPJ.IsAgg {
+			return len(outPlus) > 0, nil
+		}
+		return c.resolveDelta(u, nil, outPlus)
 	}
-	res, err := c.unrolledQ.RunOverride(c.db, ov)
+	ov := exec.Overrides{lower(u.Rel): u.PlusRows(c.db)}
+	res, err := q.RunOverride(c.db, ov)
 	if err != nil {
 		return false, err
+	}
+	if !c.SPJ.IsAgg {
+		return !res.IsEmpty(), nil
 	}
 	return c.resolveDelta(u, nil, res.Rows)
 }
 
 func (c *Checker) checkCompare(u *support.Update) (bool, error) {
+	q := c.checkQuery()
+	if c.deltaOK[lower(u.Rel)] {
+		// Delta path: Q(up(D)) = Q(D) − outMinus + outPlus as multisets,
+		// so the outputs differ iff the two correction terms differ.
+		c.Stats.DeltaRuns++
+		outMinus, outPlus, err := q.RunDelta(c.db, u.Rel, u.MinusRows(c.db), u.PlusRows(c.db))
+		if err != nil {
+			return false, err
+		}
+		if !c.SPJ.IsAgg {
+			return !equalMultiset(outMinus, outPlus), nil
+		}
+		return c.resolveDelta(u, outMinus, outPlus)
+	}
 	name := lower(u.Rel)
+	minus, err := q.RunOverride(c.db, exec.Overrides{name: u.MinusRows(c.db)})
+	if err != nil {
+		return false, err
+	}
+	plus, err := q.RunOverride(c.db, exec.Overrides{name: u.PlusRows(c.db)})
+	if err != nil {
+		return false, err
+	}
 	if !c.SPJ.IsAgg {
-		minus, err := c.Q.RunOverride(c.db, exec.Overrides{name: u.MinusRows(c.db)})
-		if err != nil {
-			return false, err
-		}
-		plus, err := c.Q.RunOverride(c.db, exec.Overrides{name: u.PlusRows(c.db)})
-		if err != nil {
-			return false, err
-		}
 		return !minus.Equal(plus), nil
-	}
-	minus, err := c.unrolledQ.RunOverride(c.db, exec.Overrides{name: u.MinusRows(c.db)})
-	if err != nil {
-		return false, err
-	}
-	plus, err := c.unrolledQ.RunOverride(c.db, exec.Overrides{name: u.PlusRows(c.db)})
-	if err != nil {
-		return false, err
 	}
 	return c.resolveDelta(u, minus.Rows, plus.Rows)
 }

@@ -205,6 +205,7 @@ func (e *Engine) Disagreements(qs []*exec.Query, live []bool) ([]bool, error) {
 
 func (e *Engine) fastDisagree(c *disagree.Checker, mask, out []bool) error {
 	c.Stats.Static, c.Stats.Batched, c.Stats.FullRuns = 0, 0, 0
+	c.Stats.DeltaRuns, c.Stats.IndexCacheHits, c.Stats.IndexCacheMisses = 0, 0, 0
 	c.Workers = e.parallelWorkers()
 	if e.Opts.Batching {
 		res, err := c.CheckBatch(e.Set.Updates, mask)

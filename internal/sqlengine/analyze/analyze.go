@@ -312,3 +312,27 @@ func (a *Analyzed) SourceIndex(rel string) int {
 	}
 	return -1
 }
+
+// RelOccurrences counts the top-level FROM sources binding base relation
+// rel. A count above one marks a self-join, under which per-relation delta
+// evaluation would need second-order terms.
+func (a *Analyzed) RelOccurrences(rel string) int {
+	n := 0
+	for _, s := range a.Sources {
+		if s.Rel != nil && strings.EqualFold(s.Rel.Name, rel) {
+			n++
+		}
+	}
+	return n
+}
+
+// HasDerivedTables reports whether any top-level FROM source is a derived
+// table (subquery in FROM).
+func (a *Analyzed) HasDerivedTables() bool {
+	for _, s := range a.Sources {
+		if s.Sub != nil {
+			return true
+		}
+	}
+	return false
+}

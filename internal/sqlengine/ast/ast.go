@@ -10,8 +10,44 @@ import (
 	"fmt"
 	"strings"
 
+	"qirana/internal/sqlengine/token"
 	"qirana/internal/value"
 )
+
+// Ident renders an identifier, quoting it whenever the bare form would not
+// lex back to the same identifier: empty names, names with characters
+// outside [A-Za-z0-9_], names starting with a digit, and reserved keywords.
+// Double quotes are preferred; a name that itself contains a double quote
+// uses backticks (the lexer has no escape inside quoted identifiers, so a
+// name containing both quote characters is not lexable and cannot have come
+// from parsed input).
+func Ident(name string) string {
+	if !identNeedsQuoting(name) {
+		return name
+	}
+	if strings.ContainsRune(name, '"') {
+		return "`" + name + "`"
+	}
+	return `"` + name + `"`
+}
+
+func identNeedsQuoting(name string) bool {
+	if name == "" {
+		return true
+	}
+	for i, c := range name {
+		switch {
+		case c == '_' || 'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z':
+		case '0' <= c && c <= '9':
+			if i == 0 {
+				return true
+			}
+		default:
+			return true
+		}
+	}
+	return token.Keywords[strings.ToUpper(name)]
+}
 
 // Expr is any SQL expression node.
 type Expr interface {
@@ -60,9 +96,9 @@ type ColumnRef struct {
 func (e *ColumnRef) exprNode() {}
 func (e *ColumnRef) String() string {
 	if e.Table != "" {
-		return e.Table + "." + e.Name
+		return Ident(e.Table) + "." + Ident(e.Name)
 	}
-	return e.Name
+	return Ident(e.Name)
 }
 
 // Literal is a constant value.
@@ -119,7 +155,7 @@ type FuncCall struct {
 func (e *FuncCall) exprNode() {}
 func (e *FuncCall) String() string {
 	if e.Star {
-		return e.Name + "(*)"
+		return Ident(e.Name) + "(*)"
 	}
 	args := make([]string, len(e.Args))
 	for i, a := range e.Args {
@@ -129,7 +165,7 @@ func (e *FuncCall) String() string {
 	if e.Distinct {
 		d = "DISTINCT "
 	}
-	return e.Name + "(" + d + strings.Join(args, ", ") + ")"
+	return Ident(e.Name) + "(" + d + strings.Join(args, ", ") + ")"
 }
 
 // IsAggregate reports whether the function is one of the SQL aggregates.
@@ -276,12 +312,12 @@ type SelectItem struct {
 func (it SelectItem) String() string {
 	if it.Star {
 		if it.StarTable != "" {
-			return it.StarTable + ".*"
+			return Ident(it.StarTable) + ".*"
 		}
 		return "*"
 	}
 	if it.Alias != "" {
-		return it.Expr.String() + " AS " + it.Alias
+		return it.Expr.String() + " AS " + Ident(it.Alias)
 	}
 	return it.Expr.String()
 }
@@ -309,14 +345,14 @@ func (t TableRef) String() string {
 	if t.Sub != nil {
 		s := "(" + t.Sub.String() + ")"
 		if t.Alias != "" {
-			s += " AS " + t.Alias
+			s += " AS " + Ident(t.Alias)
 		}
 		return s
 	}
 	if t.Alias != "" && !strings.EqualFold(t.Alias, t.Name) {
-		return t.Name + " " + t.Alias
+		return Ident(t.Name) + " " + Ident(t.Alias)
 	}
-	return t.Name
+	return Ident(t.Name)
 }
 
 // OrderItem is one ORDER BY key.

@@ -1,0 +1,90 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"qirana/internal/storage"
+	"qirana/internal/value"
+)
+
+// This file implements delta evaluation: running only the ± rows of an
+// updated relation through the join pipeline instead of re-executing the
+// query over the whole database. For a plain SPJ query Q without self-joins
+// on the updated relation, multiset semantics give
+//
+//	Q(up(D)) = Q(D) − Q(D[rel ← minus]) + Q(D[rel ← plus])
+//
+// where D[rel ← rows] replaces rel by just the delta rows. The two
+// correction terms join a handful of rows against the cached filtered
+// sources and hash indexes of the untouched relations (cache.go), so a
+// disagreement check that would otherwise re-run Q over O(|D|) tuples costs
+// O(|delta| probes). Callers that need Q(up(D)) ≟ Q(D) only have to compare
+// the two correction multisets: the outputs differ iff outMinus ≢ outPlus.
+
+// DeltaCapable reports whether RunDelta applies to this query for updates of
+// relation rel: the query must be a plain SPJ (no aggregation, DISTINCT,
+// ORDER BY or LIMIT — the same shape RunTagged requires, under which output
+// rows are a multiset-linear function of each input relation) and must
+// reference rel exactly once (a self-join would need second-order delta
+// terms).
+func (q *Query) DeltaCapable(rel string) bool {
+	if q.A.IsAgg || q.Stmt.Distinct || len(q.Stmt.OrderBy) > 0 || q.Stmt.Limit >= 0 {
+		return false
+	}
+	if q.A.HasDerivedTables() || q.A.RelOccurrences(rel) != 1 {
+		return false
+	}
+	// Subqueries anywhere in the statement could also mention rel; the
+	// analyzer records them, so reject when present.
+	return len(q.A.Subs) == 0
+}
+
+// RunDelta evaluates the effect of replacing rows `minus` by rows `plus` in
+// relation rel: outMinus is Q over D with rel restricted to minus, outPlus
+// likewise for plus. Either side may be nil (pure insertion/deletion
+// deltas). The query must be DeltaCapable for rel.
+func (q *Query) RunDelta(db *storage.Database, rel string, minus, plus [][]value.Value) (outMinus, outPlus [][]value.Value, err error) {
+	if !q.DeltaCapable(rel) {
+		return nil, nil, fmt.Errorf("delta execution requires a plain SPJ query referencing %q once, got %q", rel, q.SQL)
+	}
+	name := strings.ToLower(rel)
+	if q.A.SourceIndex(rel) < 0 {
+		return nil, nil, fmt.Errorf("relation %q not in query %q", rel, q.SQL)
+	}
+	outMinus, err = q.deltaSide(db, name, minus)
+	if err != nil {
+		return nil, nil, err
+	}
+	outPlus, err = q.deltaSide(db, name, plus)
+	if err != nil {
+		return nil, nil, err
+	}
+	return outMinus, outPlus, nil
+}
+
+// deltaSide runs the query with rel replaced by the given delta rows,
+// returning projected output rows. A nil/empty delta yields no output
+// without touching the executor.
+func (q *Query) deltaSide(db *storage.Database, rel string, delta [][]value.Value) ([][]value.Value, error) {
+	if len(delta) == 0 {
+		return nil, nil
+	}
+	r := &runner{q: q, db: db, ov: Overrides{rel: delta}}
+	tuples, err := r.joinPhase(q.A, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]value.Value, 0, len(tuples))
+	env := &env{a: q.A}
+	for _, tup := range tuples {
+		env.tuples = tup
+		env.itemVals = nil
+		row, err := r.projectRow(q.A, env)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}

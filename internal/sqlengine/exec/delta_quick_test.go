@@ -1,0 +1,135 @@
+// Property test for delta evaluation: for any support-set update u on a
+// relation of an SPJ query Q, the delta identity
+//
+//	multiset(Q(up(D))) = multiset(Q(D)) − outMinus + outPlus
+//
+// must hold exactly, where (outMinus, outPlus) = Q.RunDelta(D, rel, u⁻, u⁺).
+// This is the contract the disagreement checker's fast compare path rests
+// on, checked with testing/quick over every generator schema. The full runs
+// on the updated instance go through copy-on-write overlays, so the test
+// also exercises cache bypass for overridden relations.
+package exec_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"qirana/internal/datagen"
+	"qirana/internal/sqlengine/exec"
+	"qirana/internal/storage"
+	"qirana/internal/support"
+	"qirana/internal/value"
+)
+
+// deltaQuickCases pairs each generator schema with SPJ queries that span
+// single-relation filters and multi-relation equi-joins.
+var deltaQuickCases = []struct {
+	name    string
+	db      func() *storage.Database
+	queries []string
+}{
+	{"world", func() *storage.Database { return datagen.World(1) }, []string{
+		"SELECT Name, Population FROM Country WHERE Population > 10000000",
+		"SELECT * FROM Country C, CountryLanguage CL WHERE C.Code = CL.CountryCode AND CL.Percentage < 50",
+	}},
+	{"carcrash", func() *storage.Database { return datagen.CarCrash(2, 400) }, []string{
+		"SELECT State, Age FROM crash WHERE Age > 40",
+	}},
+	{"ssb", func() *storage.Database { return datagen.SSB(3, 0.001) }, []string{
+		"SELECT c_city, lo_revenue FROM customer, lineorder WHERE c_custkey = lo_custkey AND lo_discount > 5",
+	}},
+	{"tpch", func() *storage.Database { return datagen.TPCH(4, 0.002) }, []string{
+		"SELECT n_name, s_name FROM nation, supplier WHERE n_nationkey = s_nationkey",
+	}},
+	{"dblp", func() *storage.Database { return datagen.DBLP(5, 0.02) }, []string{
+		"SELECT FromNodeId FROM dblp WHERE ToNodeId < 1000",
+	}},
+}
+
+func TestRunDeltaMatchesFullRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test over all generator schemas")
+	}
+	for _, tc := range deltaQuickCases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			db := tc.db()
+			set, err := support.GenerateNeighborhood(db, support.DefaultConfig(120, 17))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, sql := range tc.queries {
+				q, err := exec.Compile(sql, db.Schema)
+				if err != nil {
+					t.Fatalf("compile %q: %v", sql, err)
+				}
+				base, err := q.Run(db)
+				if err != nil {
+					t.Fatal(err)
+				}
+				baseCounts := rowCounts(base.Rows)
+				o := storage.NewOverlay(db)
+
+				prop := func(pick uint16) bool {
+					u := set.Updates[int(pick)%len(set.Updates)]
+					if !q.DeltaCapable(u.Rel) {
+						return true // update touches a relation outside Q
+					}
+					outMinus, outPlus, err := q.RunDelta(db, u.Rel, u.MinusRows(db), u.PlusRows(db))
+					if err != nil {
+						t.Errorf("%q / %s: RunDelta: %v", sql, u.Rel, err)
+						return false
+					}
+					// Expected: base − outMinus + outPlus, as a multiset.
+					want := make(map[string]int, len(baseCounts))
+					for k, n := range baseCounts {
+						want[k] = n
+					}
+					for _, row := range outMinus {
+						k := value.Key(row)
+						if want[k] == 0 {
+							t.Errorf("%q: outMinus row %v not in Q(D)", sql, row)
+							return false
+						}
+						want[k]--
+					}
+					for _, row := range outPlus {
+						want[value.Key(row)]++
+					}
+					// Ground truth: full run over the updated instance.
+					u.ApplyOverlay(o)
+					full, err := q.RunOverride(db, o.Overrides())
+					u.UndoOverlay(o)
+					if err != nil {
+						t.Errorf("%q: full run: %v", sql, err)
+						return false
+					}
+					got := rowCounts(full.Rows)
+					if len(got) > len(want) {
+						return false
+					}
+					for k, n := range want {
+						if n != 0 && got[k] != n {
+							return false
+						}
+						if n == 0 && got[k] != 0 {
+							return false
+						}
+					}
+					return true
+				}
+				if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+					t.Errorf("%s / %q: %v", tc.name, sql, err)
+				}
+			}
+		})
+	}
+}
+
+func rowCounts(rows [][]value.Value) map[string]int {
+	m := make(map[string]int, len(rows))
+	for _, row := range rows {
+		m[value.Key(row)]++
+	}
+	return m
+}

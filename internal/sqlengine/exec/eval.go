@@ -381,6 +381,9 @@ func (r *runner) runSub(sa *analyze.Analyzed, env *env) (*subResult, error) {
 	if sa == nil {
 		return nil, fmt.Errorf("internal: subquery not analyzed")
 	}
+	if r.subCache == nil {
+		r.subCache = make(map[*analyze.Analyzed]*subResult)
+	}
 	root := r.subCache[sa]
 	if root == nil {
 		root = &subResult{}

@@ -35,11 +35,16 @@ import (
 type Overrides map[string][][]value.Value
 
 // Query is a compiled (parsed + analyzed) statement, reusable across
-// executions and databases sharing the schema.
+// executions and databases sharing the schema. It carries the execution
+// index cache (see cache.go): filtered source rows, hash-join build sides
+// and probe partitions built once per relation version and shared —
+// concurrency-safe — across every Run/RunOverride/RunTagged/RunDelta call.
 type Query struct {
 	Stmt *ast.SelectStmt
 	A    *analyze.Analyzed
 	SQL  string
+
+	cache execCache
 }
 
 // Compile parses and analyzes a SQL string against a schema.
@@ -80,7 +85,7 @@ func (q *Query) Run(db *storage.Database) (*result.Result, error) {
 
 // RunOverride executes the query with the given relation overrides.
 func (q *Query) RunOverride(db *storage.Database, ov Overrides) (*result.Result, error) {
-	r := &runner{db: db, ov: ov, subCache: make(map[*analyze.Analyzed]*subResult)}
+	r := &runner{q: q, db: db, ov: ov}
 	return r.exec(q.A, nil)
 }
 
@@ -98,7 +103,7 @@ func (q *Query) RunTagged(db *storage.Database, rel string, tagged [][]value.Val
 	}
 	arity := q.A.Sources[srcIdx].Rel.Arity()
 	ov := Overrides{strings.ToLower(rel): tagged}
-	r := &runner{db: db, ov: ov, subCache: make(map[*analyze.Analyzed]*subResult)}
+	r := &runner{q: q, db: db, ov: ov}
 	tuples, err := r.joinPhase(q.A, nil)
 	if err != nil {
 		return nil, err
@@ -122,7 +127,7 @@ func (q *Query) RunTagged(db *storage.Database, rel string, tagged [][]value.Val
 // conservative C[u⁺] satisfiability test (§4.1), which evaluates the WHERE
 // conjuncts that mention only the updated relation against the new tuple.
 func (q *Query) EvalSingleSource(db *storage.Database, si int, row []value.Value, e ast.Expr) (value.Value, error) {
-	r := &runner{db: db, subCache: make(map[*analyze.Analyzed]*subResult)}
+	r := &runner{q: q, db: db}
 	env := &env{a: q.A, tuples: make([][]value.Value, len(q.A.Sources))}
 	env.tuples[si] = row
 	return r.eval(e, env)
@@ -139,12 +144,17 @@ type subResult struct {
 }
 
 type runner struct {
+	// q is the compiled query this runner executes; nil-safe (a nil q
+	// disables the shared execution cache, as in ad-hoc evaluation).
+	q        *Query
 	db       *storage.Database
 	ov       Overrides
-	subCache map[*analyze.Analyzed]*subResult
-	// partitions caches hash partitions of base tables by (rel, column),
-	// built lazily for correlated equality filters; valid for the lifetime
-	// of one execution (the database is not mutated mid-run).
+	subCache map[*analyze.Analyzed]*subResult // lazily allocated by runSub
+	// partitions caches, per runner, pointers to the hash partitions of
+	// base tables by (rel, column) used for correlated equality filters.
+	// The partitions themselves live in the query's shared cache (version-
+	// stamped); the per-runner map just avoids the cache mutex on repeated
+	// probes within one execution.
 	partitions map[string]map[string][][]value.Value
 }
 

@@ -1,7 +1,6 @@
 package exec
 
 import (
-	"fmt"
 	"strings"
 
 	"qirana/internal/sqlengine/analyze"
@@ -176,13 +175,24 @@ func (r *runner) joinPhase(a *analyze.Analyzed, outer *env) ([][][]value.Value, 
 		return [][][]value.Value{make([][]value.Value, 0)}, nil
 	}
 
-	// Materialize and pre-filter each source. Equality filters against
+	// Materialize and pre-filter each source. Top-level base relations not
+	// touched by this run's overrides serve their filtered rows straight
+	// from the query's execution index cache (built once per relation
+	// version, shared across runs and workers). Equality filters against
 	// outer-scope values (correlated predicates like "l_orderkey =
-	// o_orderkey") probe a per-runner hash partition of the source instead
-	// of scanning it — without this, a correlated subquery re-executed per
+	// o_orderkey") probe a hash partition of the source instead of
+	// scanning it — without this, a correlated subquery re-executed per
 	// outer binding costs a full scan each time.
 	srcRows := make([][][]value.Value, n)
+	cachedSrc := make([]*cachedSource, n)
 	for i := 0; i < n; i++ {
+		if cs, ok, err := r.cachedSourceRows(a, i, conjs); err != nil {
+			return nil, err
+		} else if ok {
+			cachedSrc[i] = cs
+			srcRows[i] = cs.rows
+			continue
+		}
 		var rows [][]value.Value
 		materialized := false
 		for _, ci := range conjs {
@@ -303,9 +313,19 @@ func (r *runner) joinPhase(a *analyze.Analyzed, outer *env) ([][][]value.Value, 
 			}
 		}
 
-		if len(probeExprs) > 0 {
+		switch {
+		case len(probeExprs) > 0 && cachedSrc[next] != nil:
+			// The build side lives in the cache: probe it instead of
+			// rebuilding the hash table for this run.
+			var ht map[string][]int
+			ht, err = r.q.cache.joinIndex(r, a, cachedSrc[next], next, probeExprs)
+			if err != nil {
+				return nil, err
+			}
+			tuples, err = r.probeJoin(a, tuples, cachedSrc[next].rows, next, buildExprs, ht, outer)
+		case len(probeExprs) > 0:
 			tuples, err = r.hashJoin(a, tuples, srcRows[next], next, buildExprs, probeExprs, outer)
-		} else {
+		default:
 			tuples, err = r.crossJoin(tuples, srcRows[next], next)
 		}
 		if err != nil {
@@ -328,10 +348,9 @@ func (r *runner) hashJoin(a *analyze.Analyzed, tuples [][][]value.Value, rows []
 
 	n := len(a.Sources)
 	ht := make(map[string][]int, len(rows))
-	e := &env{a: a, outer: outer}
+	e := &env{a: a, outer: outer, tuples: make([][]value.Value, n)}
 	keyBuf := make([]value.Value, len(probeExprs))
 	for ri, row := range rows {
-		e.tuples = make([][]value.Value, n)
 		e.tuples[next] = row
 		null := false
 		for i, pe := range probeExprs {
@@ -351,7 +370,19 @@ func (r *runner) hashJoin(a *analyze.Analyzed, tuples [][][]value.Value, rows []
 		k := value.Key(keyBuf)
 		ht[k] = append(ht[k], ri)
 	}
+	return r.probeJoin(a, tuples, rows, next, buildExprs, ht, outer)
+}
 
+// probeJoin joins the accumulated tuples against a prebuilt (possibly
+// cached) hash index of source next's rows: per tuple, evaluate the
+// build-side key and emit one extended tuple per matching row, in row
+// order — exactly hashJoin's probe phase.
+func (r *runner) probeJoin(a *analyze.Analyzed, tuples [][][]value.Value, rows [][]value.Value, next int,
+	buildExprs []ast.Expr, ht map[string][]int, outer *env) ([][][]value.Value, error) {
+
+	n := len(a.Sources)
+	e := &env{a: a, outer: outer}
+	keyBuf := make([]value.Value, len(buildExprs))
 	var out [][][]value.Value
 	for _, tup := range tuples {
 		e.tuples = tup
@@ -412,12 +443,14 @@ func (r *runner) applyResiduals(a *analyze.Analyzed, conjs []*conjunctInfo, join
 			continue
 		}
 		kept := tuples[:0]
+		e := &env{a: a, outer: outer}
 		for _, tup := range tuples {
-			ok, err := r.filterTuple(a, ci.expr, tup, outer)
+			e.tuples = tup
+			v, err := r.eval(ci.expr, e)
 			if err != nil {
 				return nil, err
 			}
-			if ok {
+			if value.TristateOf(v) == value.True {
 				kept = append(kept, tup)
 			}
 		}
@@ -506,22 +539,23 @@ func (r *runner) partitionLookup(a *analyze.Analyzed, si, col int, rhs ast.Expr,
 	if r.partitions == nil {
 		r.partitions = make(map[string]map[string][][]value.Value)
 	}
-	pkey := fmt.Sprintf("%s#%d", name, col)
+	pkey := partKey(name, col)
 	part, built := r.partitions[pkey]
 	if !built {
-		t := r.db.Table(src.Rel.Name)
-		if t == nil {
-			return nil, false, nil
-		}
-		part = make(map[string][][]value.Value, len(t.Rows)/2+1)
-		buf := make([]value.Value, 1)
-		for _, row := range t.Rows {
-			if row[col].IsNull() {
-				continue
+		if r.q != nil {
+			// Shared per-query partition, version-stamped and reused
+			// across runs; cache the pointer per-runner so repeated
+			// correlated probes skip the cache mutex.
+			part = r.q.cache.partition(r.db, name, col)
+			if part == nil {
+				return nil, false, nil
 			}
-			buf[0] = row[col]
-			k := value.Key(buf)
-			part[k] = append(part[k], row)
+		} else {
+			t := r.db.Table(src.Rel.Name)
+			if t == nil {
+				return nil, false, nil
+			}
+			part = buildPartition(t.Rows, col)
 		}
 		r.partitions[pkey] = part
 	}
@@ -530,10 +564,9 @@ func (r *runner) partitionLookup(a *analyze.Analyzed, si, col int, rhs ast.Expr,
 
 func (r *runner) filterSource(a *analyze.Analyzed, cond ast.Expr, si int, rows [][]value.Value, outer *env) ([][]value.Value, error) {
 	n := len(a.Sources)
-	e := &env{a: a, outer: outer}
+	e := &env{a: a, outer: outer, tuples: make([][]value.Value, n)}
 	out := rows[:0:0]
 	for _, row := range rows {
-		e.tuples = make([][]value.Value, n)
 		e.tuples[si] = row
 		v, err := r.eval(cond, e)
 		if err != nil {

@@ -1,0 +1,48 @@
+package parser
+
+import (
+	"testing"
+
+	"qirana/internal/workload"
+)
+
+// FuzzParse drives the lexer and parser with arbitrary input, seeded from
+// the paper's workload query corpus. Two properties are enforced: the
+// parser never panics (the fuzzer catches that on its own), and printing is
+// a fixpoint — any statement that parses must re-parse from its printed
+// form to the same printed form, since the engine round-trips SQL through
+// String() when compiling rewritten statements (unrolled and contribution
+// queries).
+func FuzzParse(f *testing.F) {
+	for _, q := range workload.World() {
+		f.Add(q.SQL)
+	}
+	for _, q := range workload.CarCrash() {
+		f.Add(q.SQL)
+	}
+	f.Add(workload.SigmaU(13).SQL)
+	f.Add(workload.PiU(7).SQL)
+	f.Add(workload.JoinU(0.5).SQL)
+	f.Add(workload.GammaU(10).SQL)
+	// Syntax corners the corpus does not cover.
+	f.Add("select * from t where a in (select b from s where s.x = t.y)")
+	f.Add("select -x, not a and b or c from t order by 1 desc limit 3 offset 4")
+	f.Add("select a from t where b is not null and c like '%\\_%' having sum(d) > 0")
+	f.Add("select 'it''s', \"quoted col\", 1.5e-3, x'ff' from t")
+	f.Add("select ((1)) from (select a from u) v where exists (select 1 from w)")
+
+	f.Fuzz(func(t *testing.T, sql string) {
+		stmt, err := Parse(sql)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		printed := stmt.String()
+		again, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its printed form %q: %v", sql, printed, err)
+		}
+		if p2 := again.String(); p2 != printed {
+			t.Fatalf("printing is not a fixpoint: %q -> %q -> %q", sql, printed, p2)
+		}
+	})
+}

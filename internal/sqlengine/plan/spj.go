@@ -182,6 +182,19 @@ func Extract(a *analyze.Analyzed) (*SPJ, error) {
 	return s, nil
 }
 
+// DeltaRels returns the lower-cased base relations whose residual database
+// checks may be answered by delta evaluation over the check query
+// (exec.Query.RunDelta): the SPJ form already guarantees no self-joins,
+// derived tables or subqueries, so every relation of the query qualifies —
+// for aggregates through the unrolled (plain SPJ) form.
+func (s *SPJ) DeltaRels() map[string]bool {
+	out := make(map[string]bool, len(s.RelOfSource))
+	for _, rel := range s.RelOfSource {
+		out[lower(rel)] = true
+	}
+	return out
+}
+
 func lower(x string) string {
 	b := []byte(x)
 	for i, c := range b {

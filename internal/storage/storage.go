@@ -14,11 +14,21 @@ import (
 // Table holds the rows of one relation. Row order is stable: updates modify
 // rows in place and the pricing framework never inserts or deletes (the set
 // of possible instances I fixes relation cardinalities, paper §3.1).
+//
+// Every mutation of the table's contents (Append, Set, SwapRows) bumps a
+// version counter. Derived read structures — the executor's per-query
+// filtered-source and join-index caches — stamp themselves with the version
+// they were built against and rebuild when it moves, so stale indexes can
+// never serve a mutated relation. Copy-on-write overlays never touch the
+// base table and therefore never move the version: an overridden relation
+// simply bypasses the caches for that run while the untouched relations
+// keep serving cached indexes.
 type Table struct {
 	Rel  *schema.Relation
 	Rows [][]value.Value
 
 	pkIndex map[string]int // primary-key tuple -> row index
+	version uint64
 }
 
 // NewTable creates an empty table for a relation.
@@ -37,7 +47,26 @@ func (t *Table) Append(row []value.Value) error {
 	}
 	t.pkIndex[k] = len(t.Rows)
 	t.Rows = append(t.Rows, row)
+	t.version++
 	return nil
+}
+
+// Version returns the table's mutation counter. It moves on every Append,
+// Set and SwapRows; readers holding derived structures (hash partitions,
+// join build sides) compare it to decide cache validity. Reading the
+// version concurrently is safe only while no goroutine mutates the table —
+// the same contract under which the rows themselves may be shared.
+func (t *Table) Version() uint64 { return t.version }
+
+// SwapRows replaces the table's row slice wholesale, returning the previous
+// one, and bumps the version. Used by materialized support instances, which
+// exchange entire relations (paper §3.2's random-uniform construction).
+// The caller keeps the cardinality and primary-key contract.
+func (t *Table) SwapRows(rows [][]value.Value) [][]value.Value {
+	old := t.Rows
+	t.Rows = rows
+	t.version++
+	return old
 }
 
 // MustAppend is Append that panics on error; used by generators that
@@ -78,6 +107,7 @@ func (t *Table) Len() int { return len(t.Rows) }
 func (t *Table) Set(i, a int, v value.Value) value.Value {
 	old := t.Rows[i][a]
 	t.Rows[i][a] = v
+	t.version++
 	return old
 }
 
@@ -86,7 +116,8 @@ func (t *Table) Get(i, a int) value.Value { return t.Rows[i][a] }
 
 // Clone deep-copies the table.
 func (t *Table) Clone() *Table {
-	nt := &Table{Rel: t.Rel, Rows: make([][]value.Value, len(t.Rows)), pkIndex: make(map[string]int, len(t.pkIndex))}
+	nt := &Table{Rel: t.Rel, Rows: make([][]value.Value, len(t.Rows)),
+		pkIndex: make(map[string]int, len(t.pkIndex)), version: t.version}
 	for i, r := range t.Rows {
 		nr := make([]value.Value, len(r))
 		copy(nr, r)

@@ -176,20 +176,19 @@ type Instance struct {
 	saved map[string][][]value.Value
 }
 
-// Apply swaps the instance's rows in.
+// Apply swaps the instance's rows in (bumping each table's version so
+// cached execution indexes over the base rows invalidate).
 func (in *Instance) Apply(db *storage.Database) {
 	in.saved = make(map[string][][]value.Value, len(in.Rows))
 	for rel, rows := range in.Rows {
-		t := db.Table(rel)
-		in.saved[rel] = t.Rows
-		t.Rows = rows
+		in.saved[rel] = db.Table(rel).SwapRows(rows)
 	}
 }
 
 // Undo restores the original rows.
 func (in *Instance) Undo(db *storage.Database) {
 	for rel, rows := range in.saved {
-		db.Table(rel).Rows = rows
+		db.Table(rel).SwapRows(rows)
 	}
 	in.saved = nil
 }
