@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench json-bench vet fuzz bench-compare
+.PHONY: all build test race bench json-bench vet fuzz bench-compare throughput
 
 all: build test
 
@@ -37,5 +37,10 @@ fuzz:
 # Re-run the pricing benchmarks at a reduced scale and compare against the
 # committed BENCH_pricing.json; exits nonzero on a >20% regression.
 bench-compare:
-	$(GO) run ./cmd/bench -support 250 -min-time 300ms \
+	$(GO) run ./cmd/bench -support 250 -min-time 300ms -reps 5 \
 		-out /tmp/BENCH_new.json -compare BENCH_pricing.json
+
+# Broker-frontend quote throughput only (repeated vs unique traffic mixes,
+# 1 and NumCPU concurrent clients); prints the warm/cold speedup.
+throughput:
+	$(GO) run ./cmd/bench -groups quote -out /tmp/BENCH_quote.json

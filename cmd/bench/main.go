@@ -27,8 +27,11 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"qirana"
 	"qirana/internal/datagen"
 	"qirana/internal/pricing"
 	"qirana/internal/sqlengine/exec"
@@ -60,41 +63,57 @@ type report struct {
 type runner struct {
 	minTime time.Duration
 	maxIter int
+	reps    int
 	out     []result
 }
 
-// measure times op (ns/op over enough iterations to fill minTime) and
-// records it under group/name/workers.
+// measure times op and records it under group/name/workers. Each of the
+// reps repetitions runs op for enough iterations to fill minTime and
+// averages; the recorded figure is the minimum average across
+// repetitions. Scheduling noise on a shared machine only ever adds
+// time, so the minimum is the robust estimator of intrinsic cost — it
+// keeps the -compare regression gate from tripping on host steal.
 func (r *runner) measure(group, name string, workers int, op func() error) {
-	var (
-		iters int
-		total time.Duration
-	)
-	// Always at least one iteration, whatever the flags say.
-	for iters == 0 || (total < r.minTime && iters < r.maxIter) {
-		start := time.Now()
-		if err := op(); err != nil {
-			fmt.Fprintf(os.Stderr, "bench %s/%s: %v\n", group, name, err)
-			os.Exit(1)
-		}
-		total += time.Since(start)
-		iters++
+	reps := r.reps
+	if reps < 1 {
+		reps = 1
 	}
-	ns := float64(total.Nanoseconds()) / float64(iters)
-	r.out = append(r.out, result{Group: group, Name: name, Workers: workers, Iters: iters, NsPerOp: ns})
-	fmt.Printf("%-8s %-28s workers=%-2d %12.0f ns/op  (%d iters)\n", group, name, workers, ns, iters)
+	best := math.Inf(1)
+	bestIters := 0
+	for rep := 0; rep < reps; rep++ {
+		var (
+			iters int
+			total time.Duration
+		)
+		// Always at least one iteration, whatever the flags say.
+		for iters == 0 || (total < r.minTime && iters < r.maxIter) {
+			start := time.Now()
+			if err := op(); err != nil {
+				fmt.Fprintf(os.Stderr, "bench %s/%s: %v\n", group, name, err)
+				os.Exit(1)
+			}
+			total += time.Since(start)
+			iters++
+		}
+		if ns := float64(total.Nanoseconds()) / float64(iters); ns < best {
+			best, bestIters = ns, iters
+		}
+	}
+	r.out = append(r.out, result{Group: group, Name: name, Workers: workers, Iters: bestIters, NsPerOp: best})
+	fmt.Printf("%-8s %-28s workers=%-2d %12.0f ns/op  (%d iters, best of %d)\n", group, name, workers, best, bestIters, reps)
 }
 
 func main() {
 	var (
 		out      = flag.String("out", "BENCH_pricing.json", "output JSON path")
-		groups   = flag.String("groups", "fig4d,fig5a,fig5b", "comma-separated benchmark groups")
+		groups   = flag.String("groups", "fig4d,fig5a,fig5b,quote", "comma-separated benchmark groups")
 		workersF = flag.String("workers", "1,numcpu", "comma-separated worker counts ('numcpu' allowed)")
 		supportN = flag.Int("support", 500, "support set size for the Fig 5 fixtures")
 		ssbSF    = flag.Float64("ssb-sf", 0.002, "SSB scale factor")
 		tpchSF   = flag.Float64("tpch-sf", 0.002, "TPC-H scale factor")
 		minTime  = flag.Duration("min-time", 500*time.Millisecond, "minimum measurement time per benchmark")
 		maxIter  = flag.Int("max-iters", 20, "iteration cap per benchmark")
+		reps     = flag.Int("reps", 3, "repetitions per benchmark; the best (minimum) average is reported")
 		seed     = flag.Int64("seed", 1, "generator seed")
 		compare  = flag.String("compare", "", "previous report JSON; print per-group speedups and exit nonzero on a >20% regression")
 	)
@@ -110,7 +129,7 @@ func main() {
 		want[strings.TrimSpace(g)] = true
 	}
 
-	r := &runner{minTime: *minTime, maxIter: *maxIter}
+	r := &runner{minTime: *minTime, maxIter: *maxIter, reps: *reps}
 
 	if want["fig4d"] {
 		db := datagen.World(*seed)
@@ -145,6 +164,9 @@ func main() {
 		}
 		scalability(r, "fig5b", datagen.TPCH(*seed, *tpchSF), *supportN, *seed, workers,
 			[]workload.Query{byName["Q1"], byName["Q6"], byName["Q12"], byName["Q17"]})
+	}
+	if want["quote"] {
+		quoteThroughput(r, *seed, *supportN)
 	}
 
 	rep := report{
@@ -289,6 +311,106 @@ func scalability(r *runner, group string, db *storage.Database, supportN int, se
 				return err
 			})
 		}
+	}
+}
+
+// quoteThroughput is the broker-frontend throughput group: quote latency
+// through the public Broker under four traffic mixes (repeated queries
+// against a disabled cache, repeated against a primed cache, all-unique,
+// and a 90/10 repeated/unique mix), each with 1 client and NumCPU
+// concurrent clients. One op = clients × quotesPerClient quotes, so
+// ns/op is comparable across mixes at a fixed client count.
+func quoteThroughput(r *runner, seed int64, supportN int) {
+	db := datagen.World(seed)
+	repeated := []string{
+		"SELECT Name FROM Country WHERE Continent = 'Asia'",
+		"SELECT Population FROM Country WHERE ID < 50",
+		"SELECT * FROM CountryLanguage WHERE IsOfficial = 'T'",
+		"SELECT Name, Region FROM Country WHERE Continent = 'Europe'",
+	}
+	var uniqueN atomic.Int64
+	unique := func() string {
+		return fmt.Sprintf("SELECT Name FROM Country WHERE Population > %d", uniqueN.Add(1)*1000)
+	}
+	newBroker := func(cacheSize int) *qirana.Broker {
+		b, err := qirana.NewBroker(db, 100, qirana.Options{
+			SupportSetSize: supportN, Seed: seed,
+			Workers: runtime.NumCPU(), QuoteCacheSize: cacheSize,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return b
+	}
+	const quotesPerClient = 4
+	run := func(b *qirana.Broker, clients int, sqlFor func(g, i int) string) func() error {
+		return func() error {
+			errs := make(chan error, clients)
+			var wg sync.WaitGroup
+			for g := 0; g < clients; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < quotesPerClient; i++ {
+						if _, err := b.Quote(sqlFor(g, i)); err != nil {
+							select {
+							case errs <- err:
+							default:
+							}
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			close(errs)
+			return <-errs
+		}
+	}
+	repSQL := func(g, i int) string { return repeated[(g+i)%len(repeated)] }
+	uniSQL := func(g, i int) string { return unique() }
+	mixSQL := func(g, i int) string {
+		if (g*quotesPerClient+i)%10 == 9 {
+			return unique()
+		}
+		return repSQL(g, i)
+	}
+	clients := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		clients = append(clients, n)
+	}
+	for _, c := range clients {
+		cold := newBroker(-1)
+		r.measure("quote", fmt.Sprintf("repeated-cold/clients=%d", c), c, run(cold, c, repSQL))
+		warm := newBroker(0)
+		for _, sql := range repeated { // prime
+			if _, err := warm.Quote(sql); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		r.measure("quote", fmt.Sprintf("repeated-warm/clients=%d", c), c, run(warm, c, repSQL))
+		uni := newBroker(0)
+		r.measure("quote", fmt.Sprintf("unique-cold/clients=%d", c), c, run(uni, c, uniSQL))
+		mix := newBroker(0)
+		r.measure("quote", fmt.Sprintf("mix-90-10/clients=%d", c), c, run(mix, c, mixSQL))
+	}
+	var coldNs, warmNs float64
+	for _, res := range r.out {
+		if res.Group != "quote" {
+			continue
+		}
+		switch res.Name {
+		case "repeated-cold/clients=1":
+			coldNs = res.NsPerOp
+		case "repeated-warm/clients=1":
+			warmNs = res.NsPerOp
+		}
+	}
+	if coldNs > 0 && warmNs > 0 {
+		fmt.Printf("quote: warm repeated path %.0fx faster than cold (%.0f ns vs %.0f ns per %d quotes)\n",
+			coldNs/warmNs, warmNs, coldNs, quotesPerClient)
 	}
 }
 

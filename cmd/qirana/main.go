@@ -43,6 +43,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "generator seed")
 		script  = flag.String("e", "", "run semicolon-separated shell commands non-interactively and exit")
 		load    = flag.String("load", "", "load a support set saved with the 'save' command instead of sampling")
+		workers = flag.Int("workers", 0, "parallel pricing workers (0 or 1 = serial, capped at GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -59,10 +60,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, ferr)
 			os.Exit(2)
 		}
-		broker, err = qirana.NewBrokerFromSupport(db, *price, f, qirana.Options{})
+		broker, err = qirana.NewBrokerFromSupport(db, *price, f, qirana.Options{Workers: *workers})
 		f.Close()
 	} else {
-		broker, err = qirana.NewBroker(db, *price, qirana.Options{SupportSetSize: *size, Seed: *seed})
+		broker, err = qirana.NewBroker(db, *price, qirana.Options{SupportSetSize: *size, Seed: *seed, Workers: *workers})
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -197,6 +198,9 @@ func main() {
 			s := broker.LastStats()
 			fmt.Printf("last pricing: %d static, %d batched, %d full runs, %d naive executions\n",
 				s.Static, s.Batched, s.FullRuns, s.Naive)
+			c := broker.QuoteCacheStats()
+			fmt.Printf("quote cache: %d hits, %d misses, %d coalesced waits, %d evictions (%d entries)\n",
+				c.Hits, c.Misses, c.CoalescedWaits, c.Evictions, broker.QuoteCacheLen())
 		case "schema":
 			for _, rel := range db.Schema.Relations {
 				cols := make([]string, len(rel.Attributes))

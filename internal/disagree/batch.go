@@ -102,9 +102,11 @@ func (c *Checker) CheckBatch(us []*support.Update, live []bool) ([]bool, error) 
 	for _, j := range jobs {
 		batched += len(j.idxs)
 	}
+	plusOf := func(i int) [][]value.Value { return us[i].PlusRows(c.db) }
+	minusOf := func(i int) [][]value.Value { return us[i].MinusRows(c.db) }
 	extraFull := make([][]int, len(jobs))
 	if err := pool.Run(workers, len(jobs), func(k int) error {
-		ef, err := c.runBatchJob(us, jobs[k], res)
+		ef, err := c.runBatchJob(us, jobs[k], res, plusOf, minusOf)
 		extraFull[k] = ef
 		return err
 	}); err != nil {
@@ -190,15 +192,17 @@ func shard(idxs []int, workers int) [][]int {
 
 // runBatchJob answers one job's checks with the §4.2 tagged queries,
 // writing the decided bits into res (disjoint indexes per job) and
-// returning the updates escalated to a residual full run.
-func (c *Checker) runBatchJob(us []*support.Update, j batchJob, res []bool) ([]int, error) {
+// returning the updates escalated to a residual full run. plusOf/minusOf
+// supply the u⁺/u⁻ tuples per update index — built on demand by
+// CheckBatch, materialized once and shared by the multi-query sweep.
+func (c *Checker) runBatchJob(us []*support.Update, j batchJob, res []bool, plusOf, minusOf func(int) [][]value.Value) ([]int, error) {
 	q := c.Q
 	if c.SPJ.IsAgg {
 		q = c.unrolledQ
 	}
 	var fullPending []int
 	if !j.compare {
-		out, err := q.RunTagged(c.db, j.rel, c.tagRows(us, j.idxs, true))
+		out, err := q.RunTagged(c.db, j.rel, tagRows(plusOf, j.idxs))
 		if err != nil {
 			return nil, err
 		}
@@ -216,11 +220,11 @@ func (c *Checker) runBatchJob(us []*support.Update, j batchJob, res []bool) ([]i
 		}
 		return fullPending, nil
 	}
-	outMinus, err := q.RunTagged(c.db, j.rel, c.tagRows(us, j.idxs, false))
+	outMinus, err := q.RunTagged(c.db, j.rel, tagRows(minusOf, j.idxs))
 	if err != nil {
 		return nil, err
 	}
-	outPlus, err := q.RunTagged(c.db, j.rel, c.tagRows(us, j.idxs, true))
+	outPlus, err := q.RunTagged(c.db, j.rel, tagRows(plusOf, j.idxs))
 	if err != nil {
 		return nil, err
 	}
@@ -241,16 +245,14 @@ func (c *Checker) runBatchJob(us []*support.Update, j batchJob, res []bool) ([]i
 
 // tagRows builds the tagged replacement relation R⁺ (or R⁻) of §4.2: each
 // affected tuple of update i extended with the trailing upid column i.
-func (c *Checker) tagRows(us []*support.Update, idxs []int, plus bool) [][]value.Value {
+// The source tuples come through rowsOf and are never mutated (they are
+// built with cap == len, so the append allocates a fresh backing array —
+// required when the multi-query sweep shares one materialization across
+// concurrent jobs).
+func tagRows(rowsOf func(int) [][]value.Value, idxs []int) [][]value.Value {
 	var out [][]value.Value
 	for _, i := range idxs {
-		var rows [][]value.Value
-		if plus {
-			rows = us[i].PlusRows(c.db)
-		} else {
-			rows = us[i].MinusRows(c.db)
-		}
-		for _, r := range rows {
+		for _, r := range rowsOf(i) {
 			out = append(out, append(r, value.NewInt(int64(i))))
 		}
 	}

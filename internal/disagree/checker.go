@@ -24,6 +24,7 @@ import (
 	"math"
 
 	"qirana/internal/result"
+	"qirana/internal/sqlengine/ast"
 	"qirana/internal/sqlengine/exec"
 	"qirana/internal/sqlengine/plan"
 	"qirana/internal/storage"
@@ -186,15 +187,8 @@ func New(q *exec.Query, db *storage.Database) (*Checker, error) {
 	return c, nil
 }
 
-func lower(x string) string {
-	b := []byte(x)
-	for i, ch := range b {
-		if 'A' <= ch && ch <= 'Z' {
-			b[i] = ch + 'a' - 'A'
-		}
-	}
-	return string(b)
-}
+// lower is the shared identifier normalization (see ast.LowerName).
+func lower(x string) string { return ast.LowerName(x) }
 
 func (c *Checker) addToGroup(row []value.Value) {
 	s := c.SPJ
@@ -238,6 +232,14 @@ func (c *Checker) addToGroup(row []value.Value) {
 // Classify makes the static decision of Algorithms 4/5/6 for one update,
 // without touching the database.
 func (c *Checker) Classify(u *support.Update) Outcome {
+	return c.classifyWith(u, nil)
+}
+
+// classifyWith is Classify with the update's u⁺ tuples optionally
+// pre-materialized (nil = fetch lazily). The multi-query shared sweep
+// materializes them once and classifies the same update against every
+// checker in the batch.
+func (c *Checker) classifyWith(u *support.Update, plus [][]value.Value) Outcome {
 	src, ok := c.srcOf[lower(u.Rel)]
 	if !ok {
 		return Agree // the update does not modify any relation of Q
@@ -251,7 +253,7 @@ func (c *Checker) Classify(u *support.Update) Outcome {
 		// u⁻ contributed nothing; the output changes iff u⁺ contributes.
 		// If every new tuple already fails a single-relation conjunct, it
 		// cannot contribute: agree without a database check.
-		if c.allPlusUnsat(u, src) {
+		if c.allPlusUnsat(u, src, plus) {
 			return Agree
 		}
 		return NeedPlus
@@ -267,13 +269,13 @@ func (c *Checker) Classify(u *support.Update) Outcome {
 					return Disagree
 				}
 			}
-			if c.plusRowUnsat(u, src, 0) {
+			if c.plusRowUnsat(u, src, 0, plus) {
 				return Disagree
 			}
 		} else {
 			// Swap update, contributing (Algorithm 6): if both new tuples
 			// fail C, all contributed rows vanish.
-			if c.plusRowUnsat(u, src, 0) && c.plusRowUnsat(u, src, 1) {
+			if c.plusRowUnsat(u, src, 0, plus) && c.plusRowUnsat(u, src, 1, plus) {
 				return Disagree
 			}
 		}
@@ -295,24 +297,27 @@ func (c *Checker) Classify(u *support.Update) Outcome {
 
 // allPlusUnsat reports whether every u⁺ tuple fails some single-relation
 // conjunct (the conservative C[u⁺] satisfiability check of §4.1).
-func (c *Checker) allPlusUnsat(u *support.Update, src int) bool {
-	if !c.plusRowUnsat(u, src, 0) {
+func (c *Checker) allPlusUnsat(u *support.Update, src int, plus [][]value.Value) bool {
+	if !c.plusRowUnsat(u, src, 0, plus) {
 		return false
 	}
-	if u.Swap && !c.plusRowUnsat(u, src, 1) {
+	if u.Swap && !c.plusRowUnsat(u, src, 1, plus) {
 		return false
 	}
 	return true
 }
 
 // plusRowUnsat evaluates the single-relation conjuncts on the idx-th new
-// tuple; any non-true conjunct proves the tuple cannot contribute.
-func (c *Checker) plusRowUnsat(u *support.Update, src int, idx int) bool {
+// tuple; any non-true conjunct proves the tuple cannot contribute. rows
+// may carry the pre-materialized u⁺ tuples (nil = build them here).
+func (c *Checker) plusRowUnsat(u *support.Update, src int, idx int, rows [][]value.Value) bool {
 	conjs := c.SPJ.SingleRel[src]
 	if len(conjs) == 0 {
 		return false
 	}
-	rows := u.PlusRows(c.db)
+	if rows == nil {
+		rows = u.PlusRows(c.db)
+	}
 	if idx >= len(rows) {
 		return false
 	}

@@ -1,0 +1,173 @@
+package disagree
+
+import (
+	"fmt"
+
+	"qirana/internal/pool"
+	"qirana/internal/sqlengine/exec"
+	"qirana/internal/storage"
+	"qirana/internal/support"
+	"qirana/internal/value"
+)
+
+// CheckBatchMulti decides all updates for k checkers — k distinct priced
+// queries over the same database and support set — in ONE shared pass
+// (the cross-query extension of the paper's §4.2 batching): the u⁺/u⁻
+// tuple materialization happens once per update instead of once per
+// (update, query), the static classification sweep touches each update's
+// cache lines once for all k queries, the per-relation tagged batches of
+// every checker run in one worker pool, and the residual full runs of
+// all checkers share per-worker overlays.
+//
+// Every (update, query) decision is computed by exactly the same code
+// path as a solo CheckBatch, lands in its own result slot, and Stats
+// accumulate by counting — so results and per-checker Stats are
+// bit-identical to k sequential CheckBatch calls, serial or parallel.
+func CheckBatchMulti(cs []*Checker, us []*support.Update, live []bool) ([][]bool, error) {
+	if len(cs) == 0 {
+		return nil, nil
+	}
+	if len(cs) == 1 {
+		res, err := cs[0].CheckBatch(us, live)
+		return [][]bool{res}, err
+	}
+	db := cs[0].db
+	workers := 1
+	for _, c := range cs {
+		if c.db != db {
+			return nil, fmt.Errorf("CheckBatchMulti: checkers span different databases")
+		}
+		if c.Workers > workers {
+			workers = c.Workers
+		}
+	}
+	workers = pool.Clamp(workers, len(us))
+
+	befores := make([]exec.CacheStats, len(cs))
+	for k, c := range cs {
+		befores[k] = c.cacheSnapshot()
+	}
+	defer func() {
+		for k, c := range cs {
+			c.accountCache(befores[k])
+		}
+	}()
+
+	// Shared materialization + classification: one parallel pass over the
+	// updates builds each update's u⁺/u⁻ tuples once and classifies it
+	// against every checker.
+	plus := make([][][]value.Value, len(us))
+	minus := make([][][]value.Value, len(us))
+	outcomes := make([][]Outcome, len(cs))
+	for k := range cs {
+		outcomes[k] = make([]Outcome, len(us))
+	}
+	nBlocks := (len(us) + classifyBlock - 1) / classifyBlock
+	_ = pool.Run(workers, nBlocks, func(b int) error {
+		lo, hi := b*classifyBlock, (b+1)*classifyBlock
+		if hi > len(us) {
+			hi = len(us)
+		}
+		for i := lo; i < hi; i++ {
+			if live != nil && !live[i] {
+				for k := range cs {
+					outcomes[k][i] = skipped
+				}
+				continue
+			}
+			plus[i] = us[i].PlusRows(db)
+			minus[i] = us[i].MinusRows(db)
+			for k, c := range cs {
+				outcomes[k][i] = c.classifyWith(us[i], plus[i])
+			}
+		}
+		return nil
+	})
+	plusOf := func(i int) [][]value.Value { return plus[i] }
+	minusOf := func(i int) [][]value.Value { return minus[i] }
+
+	// Per checker: fold the static decisions, then collect every tagged
+	// job of every checker into one pool.
+	type multiJob struct {
+		k int
+		j batchJob
+	}
+	results := make([][]bool, len(cs))
+	fullPending := make([][]int, len(cs))
+	var jobs []multiJob
+	for k, c := range cs {
+		results[k] = make([]bool, len(us))
+		plusPending := make(map[string][]int)
+		comparePending := make(map[string][]int)
+		for i := range us {
+			switch outcomes[k][i] {
+			case skipped:
+			case Agree:
+				c.Stats.Static++
+			case Disagree:
+				c.Stats.Static++
+				results[k][i] = true
+			case NeedPlus:
+				plusPending[lower(us[i].Rel)] = append(plusPending[lower(us[i].Rel)], i)
+			case NeedCompare:
+				comparePending[lower(us[i].Rel)] = append(comparePending[lower(us[i].Rel)], i)
+			case NeedFull:
+				fullPending[k] = append(fullPending[k], i)
+			}
+		}
+		for _, j := range makeJobs(plusPending, comparePending, c.Workers) {
+			c.Stats.Batched += len(j.idxs)
+			jobs = append(jobs, multiJob{k: k, j: j})
+		}
+	}
+	extraFull := make([][]int, len(jobs))
+	if err := pool.Run(workers, len(jobs), func(x int) error {
+		mj := jobs[x]
+		ef, err := cs[mj.k].runBatchJob(us, mj.j, results[mj.k], plusOf, minusOf)
+		extraFull[x] = ef
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	for x, ef := range extraFull {
+		fullPending[jobs[x].k] = append(fullPending[jobs[x].k], ef...)
+	}
+
+	// Residual full runs of every checker fan out over one pool of
+	// per-worker overlays (all checkers share the database, so a worker's
+	// overlay serves any of them under the apply/run/undo discipline).
+	type fullCheck struct{ k, i int }
+	var fulls []fullCheck
+	for k, c := range cs {
+		if len(fullPending[k]) == 0 {
+			continue
+		}
+		if err := c.ensureBaseHash(); err != nil {
+			return nil, err
+		}
+		c.Stats.FullRuns += len(fullPending[k])
+		for _, i := range fullPending[k] {
+			fulls = append(fulls, fullCheck{k: k, i: i})
+		}
+	}
+	if len(fulls) > 0 {
+		fw := pool.Clamp(workers, len(fulls))
+		overlays := make([]*storage.Overlay, fw)
+		if err := pool.RunWorkers(fw, len(fulls), func(w, x int) error {
+			o := overlays[w]
+			if o == nil {
+				o = storage.NewOverlay(db)
+				overlays[w] = o
+			}
+			d, err := cs[fulls[x].k].fullRunOn(o, us[fulls[x].i])
+			if err != nil {
+				return err
+			}
+			results[fulls[x].k][fulls[x].i] = d
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

@@ -68,6 +68,58 @@ func (e *Engine) PriceWithRefund(h *History, qs ...*exec.Query) (gross, refund f
 	return gross, refund, nil
 }
 
+// ChargeFromDisagreements applies Algorithm 3's bookkeeping given the
+// bundle's full (history-oblivious) disagreement bitmap — the form the
+// broker's quote cache stores. For every support element the bitmap bit
+// equals the bit the live-masked Disagreements call would compute (the
+// mask only skips work, it never changes a decision), and the charge sums
+// the same weights in the same index order as PriceHistoryAware, so the
+// result is bit-identical to the cold path.
+func (e *Engine) ChargeFromDisagreements(h *History, dis []bool, sqls ...string) (float64, error) {
+	if len(h.Charged) != e.Set.Size() {
+		return 0, fmt.Errorf("history size %d does not match support set size %d", len(h.Charged), e.Set.Size())
+	}
+	if len(dis) != e.Set.Size() {
+		return 0, fmt.Errorf("got %d disagreement bits for support set of size %d", len(dis), e.Set.Size())
+	}
+	charge := 0.0
+	for i, d := range dis {
+		if d && !h.Charged[i] {
+			charge += e.Weights[i]
+			h.Charged[i] = true
+		}
+	}
+	h.Paid += charge
+	h.Queries = append(h.Queries, sqls...)
+	return charge, nil
+}
+
+// RefundFromDisagreements applies the charge-then-refund bookkeeping of
+// PriceWithRefund given the bundle's full disagreement bitmap, with the
+// same bit-identity guarantee as ChargeFromDisagreements.
+func (e *Engine) RefundFromDisagreements(h *History, dis []bool, sqls ...string) (gross, refund float64, err error) {
+	if len(h.Charged) != e.Set.Size() {
+		return 0, 0, fmt.Errorf("history size %d does not match support set size %d", len(h.Charged), e.Set.Size())
+	}
+	if len(dis) != e.Set.Size() {
+		return 0, 0, fmt.Errorf("got %d disagreement bits for support set of size %d", len(dis), e.Set.Size())
+	}
+	for i, d := range dis {
+		if !d {
+			continue
+		}
+		gross += e.Weights[i]
+		if h.Charged[i] {
+			refund += e.Weights[i]
+		} else {
+			h.Charged[i] = true
+		}
+	}
+	h.Paid += gross - refund
+	h.Queries = append(h.Queries, sqls...)
+	return gross, refund, nil
+}
+
 // PriceHistoryAware charges the buyer for the new information in the
 // bundle given their history, under weighted coverage (the paper presents
 // history-awareness for p_wc; the same bookkeeping applies to any

@@ -1,0 +1,180 @@
+package pricing
+
+import (
+	"qirana/internal/disagree"
+	"qirana/internal/sqlengine/exec"
+	"qirana/internal/storage"
+)
+
+// DisagreementsMulti computes the full (history-oblivious) disagreement
+// bitmap of every query in qs — k INDEPENDENT queries, not one bundle —
+// in a single shared sweep over the support set. Fast-path queries go
+// through disagree.CheckBatchMulti (one classification pass, one u⁺/u⁻
+// materialization, one merged job pool); fallback queries without the
+// instance reduction share one overlay pass that applies each element
+// once and runs all of them. The broker's batch-quote endpoint uses it
+// to price k cache misses for the cost of roughly one sweep.
+//
+// Per query, the returned bitmap and Stats are bit-identical to a solo
+// Disagreements([]*exec.Query{q}, nil) call — every decision runs the
+// same code against the same inputs, only shared setup is factored out.
+// LastStats is left holding the sum over all k queries.
+func (e *Engine) DisagreementsMulti(qs []*exec.Query) ([][]bool, []Stats, error) {
+	if len(qs) == 0 {
+		return nil, nil, nil
+	}
+	results := make([][]bool, len(qs))
+	stats := make([]Stats, len(qs))
+	size := e.Set.Size()
+
+	// Partition by evaluation path, mirroring the solo dispatch in
+	// Disagreements → fastDisagree/naiveDisagree.
+	var fastIdx []int
+	var checkers []*disagree.Checker
+	var soloIdx []int  // checkable but unbatched, or reduction-eligible
+	var naiveIdx []int // plain naive: share one overlay sweep
+	for j, q := range qs {
+		if c := e.checker(q); c != nil {
+			if e.Opts.Batching {
+				fastIdx = append(fastIdx, j)
+				checkers = append(checkers, c)
+			} else {
+				soloIdx = append(soloIdx, j)
+			}
+			continue
+		}
+		if e.Opts.InstanceReduction && e.Set.Updates != nil {
+			soloIdx = append(soloIdx, j) // reduction attempt happens solo
+		} else {
+			naiveIdx = append(naiveIdx, j)
+		}
+	}
+
+	// Shared §4.2 sweep across all batched fast-path queries.
+	if len(checkers) > 0 {
+		for _, c := range checkers {
+			c.Stats.Static, c.Stats.Batched, c.Stats.FullRuns = 0, 0, 0
+			c.Stats.DeltaRuns, c.Stats.IndexCacheHits, c.Stats.IndexCacheMisses = 0, 0, 0
+			c.Workers = e.parallelWorkers()
+		}
+		res, err := disagree.CheckBatchMulti(checkers, e.Set.Updates, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		for k, j := range fastIdx {
+			results[j] = res[k]
+			stats[j] = Stats{
+				Static:   checkers[k].Stats.Static,
+				Batched:  checkers[k].Stats.Batched,
+				FullRuns: checkers[k].Stats.FullRuns,
+			}
+		}
+	}
+
+	// Queries whose solo path is already specialized (non-batched checker
+	// walk, Appendix A reduction) run through it one by one; each sees
+	// exactly what a solo call would.
+	prev := e.LastStats
+	for _, j := range soloIdx {
+		dis, err := e.Disagreements(qs[j:j+1], nil)
+		if err != nil {
+			e.LastStats = prev
+			return nil, nil, err
+		}
+		results[j] = dis
+		stats[j] = e.LastStats
+	}
+
+	// Plain naive fallbacks share one overlay pass: apply each element
+	// once, run every query, compare hashes against its own baseline.
+	if len(naiveIdx) > 0 {
+		bases := make([]uint64, len(naiveIdx))
+		for x, j := range naiveIdx {
+			base, err := qs[j].Run(e.DB)
+			if err != nil {
+				e.LastStats = prev
+				return nil, nil, err
+			}
+			bases[x] = base.Hash()
+			results[j] = make([]bool, size)
+		}
+		err := e.parallelApply(nil, func(o *storage.Overlay, i int) error {
+			el := e.Set.Elements[i]
+			el.ApplyOverlay(o)
+			defer el.UndoOverlay(o)
+			for x, j := range naiveIdx {
+				res, rerr := qs[j].RunOverride(e.DB, o.Overrides())
+				if rerr != nil {
+					return rerr
+				}
+				if res.Hash() != bases[x] {
+					results[j][i] = true
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			e.LastStats = prev
+			return nil, nil, err
+		}
+		for _, j := range naiveIdx {
+			stats[j] = Stats{Naive: size}
+		}
+	}
+
+	var sum Stats
+	for _, s := range stats {
+		sum.Static += s.Static
+		sum.Batched += s.Batched
+		sum.FullRuns += s.FullRuns
+		sum.Naive += s.Naive
+	}
+	e.LastStats = sum
+	return results, stats, nil
+}
+
+// OutputHashesMulti is the k-query form of OutputHashes for INDEPENDENT
+// queries: one overlay pass over the support set applies each element
+// once and runs all k queries, returning per-query element hashes and
+// base hashes in exactly the encoding a solo OutputHashes([]{q}) call
+// produces (so entropy prices derived from them are bit-identical).
+// Adds Size×k to LastStats.Naive, matching k solo calls.
+func (e *Engine) OutputHashesMulti(qs []*exec.Query) ([][]uint64, []uint64, error) {
+	if len(qs) == 0 {
+		return nil, nil, nil
+	}
+	bases := make([]uint64, len(qs))
+	var one [1]uint64
+	for j, q := range qs {
+		res, err := q.Run(e.DB)
+		if err != nil {
+			return nil, nil, err
+		}
+		one[0] = res.Hash()
+		bases[j] = combine(one[:])
+	}
+	elems := make([][]uint64, len(qs))
+	for j := range elems {
+		elems[j] = make([]uint64, e.Set.Size())
+	}
+	err := e.parallelApply(nil, func(o *storage.Overlay, i int) error {
+		el := e.Set.Elements[i]
+		el.ApplyOverlay(o)
+		defer el.UndoOverlay(o)
+		var h [1]uint64
+		for j, q := range qs {
+			res, rerr := q.RunOverride(e.DB, o.Overrides())
+			if rerr != nil {
+				return rerr
+			}
+			h[0] = res.Hash()
+			elems[j][i] = combine(h[:])
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	e.LastStats.Naive += e.Set.Size() * len(qs)
+	return elems, bases, nil
+}

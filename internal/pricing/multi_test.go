@@ -1,0 +1,140 @@
+package pricing
+
+import (
+	"testing"
+
+	"qirana/internal/sqlengine/exec"
+)
+
+// multiTestQueries mixes fast-path SPJ queries, an aggregate (checkable
+// via unrolling), and shapes that fall off the fast path, so the shared
+// sweep exercises every dispatch branch.
+var multiTestQueries = []string{
+	"SELECT id FROM R WHERE a = 3",
+	"SELECT * FROM R WHERE b < 250",
+	"SELECT c, count(*) FROM R GROUP BY c",
+	"SELECT id FROM R WHERE a = 3 AND c = 'x'",
+	"SELECT sum(b) FROM R WHERE a < 10",
+	"SELECT id FROM R WHERE a = 3", // duplicate of the first on purpose
+}
+
+func compileAll(t *testing.T, e *Engine, sqls []string) []*exec.Query {
+	t.Helper()
+	qs := make([]*exec.Query, len(sqls))
+	for i, s := range sqls {
+		qs[i] = exec.MustCompile(s, e.DB.Schema)
+	}
+	return qs
+}
+
+// TestDisagreementsMultiMatchesSolo asserts the shared sweep returns, per
+// query, exactly the bitmap and Stats of a solo Disagreements call —
+// serial and parallel.
+func TestDisagreementsMultiMatchesSolo(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		db := benchDB(7, 120)
+		e := newEngine(t, db, 150, 100)
+		e.Opts.Workers = workers
+		qs := compileAll(t, e, multiTestQueries)
+
+		// Solo references on a fresh engine so checker/exec caches start
+		// identically cold in both runs.
+		ref := newEngine(t, benchDB(7, 120), 150, 100)
+		ref.Opts.Workers = workers
+		refQs := compileAll(t, ref, multiTestQueries)
+		wantDis := make([][]bool, len(qs))
+		wantStats := make([]Stats, len(qs))
+		for j := range refQs {
+			dis, err := ref.Disagreements(refQs[j:j+1], nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantDis[j] = dis
+			wantStats[j] = ref.LastStats
+		}
+
+		got, stats, err := e.DisagreementsMulti(qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range qs {
+			if stats[j] != wantStats[j] {
+				t.Errorf("workers=%d query %d: stats %+v, want %+v", workers, j, stats[j], wantStats[j])
+			}
+			for i := range got[j] {
+				if got[j][i] != wantDis[j][i] {
+					t.Fatalf("workers=%d query %d element %d: multi=%v solo=%v", workers, j, i, got[j][i], wantDis[j][i])
+				}
+			}
+		}
+	}
+}
+
+// TestDisagreementsMultiNaiveSharing drives the shared-overlay naive pool
+// (fast path off) and checks it still matches solo naive runs.
+func TestDisagreementsMultiNaiveSharing(t *testing.T) {
+	db := benchDB(9, 80)
+	e := newEngine(t, db, 100, 100)
+	e.Opts.FastPath = false
+	e.Opts.InstanceReduction = false
+	qs := compileAll(t, e, multiTestQueries[:4])
+
+	ref := newEngine(t, benchDB(9, 80), 100, 100)
+	ref.Opts.FastPath = false
+	ref.Opts.InstanceReduction = false
+	refQs := compileAll(t, ref, multiTestQueries[:4])
+
+	got, stats, err := e.DisagreementsMulti(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range qs {
+		want, err := ref.Disagreements(refQs[j:j+1], nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats[j] != ref.LastStats {
+			t.Errorf("query %d: stats %+v, want %+v", j, stats[j], ref.LastStats)
+		}
+		for i := range want {
+			if got[j][i] != want[i] {
+				t.Fatalf("query %d element %d: multi=%v solo=%v", j, i, got[j][i], want[i])
+			}
+		}
+	}
+}
+
+// TestOutputHashesMultiMatchesSolo asserts the k-query overlay pass
+// produces the exact hash encoding of solo OutputHashes calls, so entropy
+// prices derived from either are bit-identical.
+func TestOutputHashesMultiMatchesSolo(t *testing.T) {
+	db := benchDB(11, 80)
+	e := newEngine(t, db, 100, 100)
+	qs := compileAll(t, e, multiTestQueries[:4])
+
+	elems, bases, err := e.OutputHashesMulti(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range qs {
+		wantElems, wantBase, err := e.OutputHashes(qs[j : j+1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bases[j] != wantBase {
+			t.Errorf("query %d: base hash %d, want %d", j, bases[j], wantBase)
+		}
+		for i := range wantElems {
+			if elems[j][i] != wantElems[i] {
+				t.Fatalf("query %d element %d: hash mismatch", j, i)
+			}
+		}
+		for _, fn := range AllFuncs {
+			got := e.PricesFromHashes(elems[j], bases[j])[fn]
+			want := e.PricesFromHashes(wantElems, wantBase)[fn]
+			if got != want {
+				t.Errorf("query %d %v: price %g, want %g", j, fn, got, want)
+			}
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"qirana/internal/disagree"
 	"qirana/internal/pool"
 	"qirana/internal/result"
+	"qirana/internal/sqlengine/ast"
 	"qirana/internal/sqlengine/exec"
 	"qirana/internal/sqlengine/plan"
 	"qirana/internal/storage"
@@ -110,6 +111,11 @@ type Engine struct {
 	checkers    map[*exec.Query]*disagree.Checker
 	uncheckable map[*exec.Query]bool
 	LastStats   Stats
+
+	// weightsEpoch counts weight-vector installations. External caches
+	// (the broker's quote cache) embed it in their keys so a SetWeights
+	// call atomically orphans every price computed under the old vector.
+	weightsEpoch uint64
 }
 
 // NewEngine builds an engine with uniform weights w_i = Total/|S| (the
@@ -142,8 +148,20 @@ func (e *Engine) SetWeights(w []float64) error {
 		return fmt.Errorf("weights sum to %g, want total price %g", sum, e.Total)
 	}
 	e.Weights = w
+	e.weightsEpoch++
 	return nil
 }
+
+// WeightsEpoch returns the number of successful SetWeights calls. Cache
+// keys derived from prices must include it: two calls with equal SQL but
+// different epochs may price differently.
+func (e *Engine) WeightsEpoch() uint64 { return e.weightsEpoch }
+
+// maxCheckers bounds the per-query checker map: a long-lived broker fed a
+// stream of unique queries would otherwise grow it without limit. Beyond
+// the bound the maps reset wholesale — checkers are cheap to rebuild and
+// correctness never depends on them being cached.
+const maxCheckers = 256
 
 // checker returns (and caches) the disagreement checker for q, or nil when
 // q is outside the fast path.
@@ -156,6 +174,9 @@ func (e *Engine) checker(q *exec.Query) *disagree.Checker {
 	}
 	if c, ok := e.checkers[q]; ok {
 		return c
+	}
+	if len(e.checkers) >= maxCheckers || len(e.uncheckable) >= maxCheckers {
+		e.InvalidateCache()
 	}
 	c, err := disagree.New(q, e.DB)
 	if err != nil {
@@ -303,7 +324,7 @@ func (e *Engine) reducedDisagree(q *exec.Query, mask, out []bool) (bool, error) 
 	}
 	inQuery := make(map[string]bool)
 	for _, rel := range s.RelOfSource {
-		inQuery[lowerName(rel)] = true
+		inQuery[ast.LowerName(rel)] = true
 	}
 	// Collect the touched row set per relation and the elements to check.
 	touched := make(map[string]map[int]bool)
@@ -312,7 +333,7 @@ func (e *Engine) reducedDisagree(q *exec.Query, mask, out []bool) (bool, error) 
 		if !mask[i] {
 			continue
 		}
-		rel := lowerName(u.Rel)
+		rel := ast.LowerName(u.Rel)
 		if !inQuery[rel] {
 			continue // cannot disagree
 		}
@@ -352,7 +373,7 @@ func (e *Engine) reducedDisagree(q *exec.Query, mask, out []bool) (bool, error) 
 	err = pool.RunWorkers(workers, len(idxs), func(w, k int) error {
 		i := idxs[k]
 		u := e.Set.Updates[i]
-		rel := lowerName(u.Rel)
+		rel := ast.LowerName(u.Rel)
 		rr := reduced[rel]
 		if scratch[w] == nil {
 			scratch[w] = make(map[string][][]value.Value)
@@ -389,16 +410,6 @@ func (e *Engine) reducedDisagree(q *exec.Query, mask, out []bool) (bool, error) 
 	}
 	e.LastStats.Naive += len(idxs)
 	return true, nil
-}
-
-func lowerName(x string) string {
-	b := []byte(x)
-	for i, c := range b {
-		if 'A' <= c && c <= 'Z' {
-			b[i] = c + 'a' - 'A'
-		}
-	}
-	return string(b)
 }
 
 // OutputHashes runs the bundle on D and every support element, returning
@@ -462,22 +473,7 @@ func (e *Engine) Price(fn Func, qs ...*exec.Query) (float64, error) {
 		if err != nil {
 			return 0, err
 		}
-		if fn == WeightedCoverage {
-			p := 0.0
-			for i, d := range dis {
-				if d {
-					p += e.Weights[i]
-				}
-			}
-			return p, nil
-		}
-		d := 0
-		for _, x := range dis {
-			if x {
-				d++
-			}
-		}
-		return e.scaleUEG(d), nil
+		return e.PriceFromDisagreements(fn, dis)
 
 	case ShannonEntropy, QEntropy:
 		hashes, _, err := e.OutputHashes(qs)
@@ -487,6 +483,36 @@ func (e *Engine) Price(fn Func, qs ...*exec.Query) (float64, error) {
 		return e.entropyPrice(fn, hashes), nil
 	}
 	return 0, fmt.Errorf("unknown pricing function %v", fn)
+}
+
+// PriceFromDisagreements turns a disagreement bitmap into a price under a
+// coverage-style function, using exactly the summation of Price — same
+// elements, same index order, same float additions — so a price recomputed
+// from a cached bitmap is bit-identical to the cold computation. Only
+// WeightedCoverage and UniformEntropyGain are derivable from the bitmap.
+func (e *Engine) PriceFromDisagreements(fn Func, dis []bool) (float64, error) {
+	if len(dis) != e.Set.Size() {
+		return 0, fmt.Errorf("got %d disagreement bits for support set of size %d", len(dis), e.Set.Size())
+	}
+	switch fn {
+	case WeightedCoverage:
+		p := 0.0
+		for i, d := range dis {
+			if d {
+				p += e.Weights[i]
+			}
+		}
+		return p, nil
+	case UniformEntropyGain:
+		d := 0
+		for _, x := range dis {
+			if x {
+				d++
+			}
+		}
+		return e.scaleUEG(d), nil
+	}
+	return 0, fmt.Errorf("pricing function %v is not derivable from a disagreement bitmap", fn)
 }
 
 // PricesFromHashes derives all four pricing functions from one pass of

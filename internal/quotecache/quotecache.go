@@ -1,0 +1,167 @@
+// Package quotecache is the broker's cross-query price cache: a
+// capacity-bounded LRU map with singleflight request coalescing.
+//
+// The broker keys entries by the canonical query fingerprint combined
+// with every input the price depends on (pricing function, weights
+// epoch, support-set generation, the referenced relations' version
+// counters — see qirana.Broker), so a cached value can be served without
+// any validity check: staleness is impossible by construction, stale
+// keys simply stop being asked for and age out of the LRU. Coalescing
+// means N concurrent misses on one key run the underlying computation
+// once; the N−1 waiters block until the leader finishes and then share
+// its result bit-for-bit.
+package quotecache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Stats are the cache's monotonic counters.
+type Stats struct {
+	// Hits counts lookups served from the LRU.
+	Hits uint64
+	// Misses counts lookups that ran the computation (flight leaders).
+	Misses uint64
+	// CoalescedWaits counts lookups that joined another caller's
+	// in-flight computation instead of running their own.
+	CoalescedWaits uint64
+	// Evictions counts entries dropped by the LRU capacity bound.
+	Evictions uint64
+}
+
+// Cache is a concurrency-safe LRU with request coalescing. The zero
+// value is not usable; construct with New.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recently used
+	entries map[string]*list.Element
+	flights map[string]*flight
+	stats   Stats
+}
+
+type entry struct {
+	key string
+	val any
+}
+
+// flight is one in-progress computation. done is closed after val/err
+// are written, so waiters read them without further synchronization.
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// New creates a cache holding at most capacity entries (minimum 1).
+func New(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		cap:     capacity,
+		ll:      list.New(),
+		entries: make(map[string]*list.Element),
+		flights: make(map[string]*flight),
+	}
+}
+
+// Get returns the cached value for key, marking it most recently used.
+func (c *Cache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		c.stats.Hits++
+		return el.Value.(*entry).val, true
+	}
+	c.stats.Misses++
+	return nil, false
+}
+
+// Put inserts (or refreshes) a value, evicting the least recently used
+// entry beyond capacity. Used by batch pricing, which computes many keys
+// in one shared sweep and cannot lead one flight per key.
+func (c *Cache) Put(key string, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.putLocked(key, val)
+}
+
+func (c *Cache) putLocked(key string, val any) {
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*entry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&entry{key: key, val: val})
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.entries, last.Value.(*entry).key)
+		c.stats.Evictions++
+	}
+}
+
+// Do returns the cached value for key, or computes it by calling fn
+// exactly once across all concurrent callers (singleflight): the first
+// misser becomes the leader and runs fn, later callers for the same key
+// block on the leader's result. A successful result is inserted into the
+// LRU; an error is handed to every waiter of that flight and nothing is
+// cached, so the next caller retries.
+func (c *Cache) Do(key string, fn func() (any, error)) (any, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		c.stats.Hits++
+		v := el.Value.(*entry).val
+		c.mu.Unlock()
+		return v, nil
+	}
+	if f, ok := c.flights[key]; ok {
+		c.stats.CoalescedWaits++
+		c.mu.Unlock()
+		<-f.done
+		return f.val, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	f.val, f.err = fn()
+
+	c.mu.Lock()
+	delete(c.flights, key)
+	if f.err == nil {
+		c.putLocked(key, f.val)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.val, f.err
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Invalidate drops every cached entry (in-flight computations finish and
+// insert their results afterwards; their keys embed the epoch counters,
+// so a configuration change never resurrects a stale price).
+func (c *Cache) Invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.entries = make(map[string]*list.Element)
+}

@@ -1,0 +1,122 @@
+package quotecache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("c", 3) // evicts a
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("a should have been evicted")
+	}
+	if v, ok := c.Get("b"); !ok || v.(int) != 2 {
+		t.Fatalf("b = %v, %v", v, ok)
+	}
+	// b is now most recent; inserting d evicts c.
+	c.Put("d", 4)
+	if _, ok := c.Get("c"); ok {
+		t.Fatal("c should have been evicted")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if s := c.Stats(); s.Evictions != 2 {
+		t.Fatalf("Evictions = %d, want 2", s.Evictions)
+	}
+}
+
+func TestDoCachesAndCounts(t *testing.T) {
+	c := New(10)
+	calls := 0
+	for i := 0; i < 3; i++ {
+		v, err := c.Do("k", func() (any, error) { calls++; return 42, nil })
+		if err != nil || v.(int) != 42 {
+			t.Fatalf("Do = %v, %v", v, err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("fn ran %d times, want 1", calls)
+	}
+	s := c.Stats()
+	if s.Hits != 2 || s.Misses != 1 {
+		t.Fatalf("stats = %+v, want 2 hits / 1 miss", s)
+	}
+}
+
+func TestDoErrorNotCached(t *testing.T) {
+	c := New(10)
+	boom := errors.New("boom")
+	if _, err := c.Do("k", func() (any, error) { return nil, boom }); err != boom {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("error result must not be cached")
+	}
+	if v, err := c.Do("k", func() (any, error) { return 7, nil }); err != nil || v.(int) != 7 {
+		t.Fatalf("retry = %v, %v", v, err)
+	}
+}
+
+func TestCoalescing(t *testing.T) {
+	c := New(10)
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	const n = 16
+	var wg sync.WaitGroup
+	vals := make([]any, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := c.Do("k", func() (any, error) {
+				calls.Add(1)
+				<-gate // hold the flight open so the others coalesce
+				return "shared", nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			vals[i] = v
+		}(i)
+	}
+	// Let the leader claim the flight, then release it. The waiters may
+	// still be en route, but every one either coalesces or hits the LRU —
+	// fn can only run once more if the leader finished before a waiter
+	// started, in which case it's an LRU hit, not a second call.
+	gate <- struct{}{}
+	close(gate)
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("fn ran %d times, want 1", got)
+	}
+	for i, v := range vals {
+		if v.(string) != "shared" {
+			t.Fatalf("vals[%d] = %v", i, v)
+		}
+	}
+	s := c.Stats()
+	if s.CoalescedWaits+s.Hits != n-1 {
+		t.Fatalf("stats = %+v, want coalesced+hits = %d", s, n-1)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(10)
+	for i := 0; i < 5; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i)
+	}
+	c.Invalidate()
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d after Invalidate", c.Len())
+	}
+	if _, ok := c.Get("k0"); ok {
+		t.Fatal("entry survived Invalidate")
+	}
+}

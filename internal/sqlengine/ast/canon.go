@@ -1,0 +1,339 @@
+package ast
+
+import (
+	"sort"
+	"strings"
+)
+
+// This file implements the canonical query printer behind the broker's
+// cross-query quote cache. Fingerprint renders a statement into a
+// normal form such that two statements with equal fingerprints are
+// semantically identical queries — same result multiset over every
+// database instance — so a price computed for one can be served for the
+// other. The normalizations are deliberately conservative: only
+// transformations that provably preserve bag semantics (including SQL
+// three-valued logic and IEEE float commutativity) are applied; anything
+// order-sensitive (select-list order, FROM order under SELECT *, ORDER BY
+// priority, CASE arm order) is kept verbatim. Distinct fingerprints for
+// equivalent queries only cost a cache miss; equal fingerprints for
+// inequivalent queries would serve a wrong price, so when in doubt the
+// printer does not normalize.
+
+// LowerName lower-cases ASCII letters of an identifier without touching
+// other bytes — the one identifier normalization the whole system shares
+// (storage keys, source resolution, the canonical printer). It returns
+// the input string unchanged (no allocation) when already lower-case.
+func LowerName(s string) string {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; 'A' <= c && c <= 'Z' {
+			b := []byte(s)
+			for j := i; j < len(b); j++ {
+				if 'A' <= b[j] && b[j] <= 'Z' {
+					b[j] += 'a' - 'A'
+				}
+			}
+			return string(b)
+		}
+	}
+	return s
+}
+
+// Fingerprint renders the canonical form of a statement. Applied
+// normalizations:
+//
+//   - identifier case (LowerName) and quoting (Ident on the lowered name);
+//   - AND/OR chains flattened and their operands sorted (associative and
+//     commutative as three-valued truth functions);
+//   - the direct operands of the commutative operators =, <>, + and *
+//     ordered canonically (+/* are swapped pairwise only — float addition
+//     is commutative but not associative, so chains keep their shape);
+//   - a > b and a >= b rewritten as b < a and b <= a;
+//   - IN-list members sorted (an OR of equalities);
+//   - GROUP BY keys sorted (grouping is by key set);
+//   - select-item aliases dropped (output column names never affect the
+//     result multiset the pricing hash compares).
+func Fingerprint(s *SelectStmt) string {
+	var sb strings.Builder
+	canonStmt(&sb, s)
+	return sb.String()
+}
+
+func canonStmt(sb *strings.Builder, s *SelectStmt) {
+	sb.WriteString("SELECT ")
+	if s.Distinct {
+		sb.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		canonItem(sb, it)
+	}
+	if len(s.From) > 0 {
+		sb.WriteString(" FROM ")
+		for i, t := range s.From {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			canonTableRef(sb, t)
+		}
+	}
+	if s.Where != nil {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(canonExpr(s.Where))
+	}
+	if len(s.GroupBy) > 0 {
+		keys := make([]string, len(s.GroupBy))
+		for i, g := range s.GroupBy {
+			keys[i] = canonExpr(g)
+		}
+		sort.Strings(keys)
+		sb.WriteString(" GROUP BY ")
+		sb.WriteString(strings.Join(keys, ", "))
+	}
+	if s.Having != nil {
+		sb.WriteString(" HAVING ")
+		sb.WriteString(canonExpr(s.Having))
+	}
+	if len(s.OrderBy) > 0 {
+		sb.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(canonExpr(o.Expr))
+			if o.Desc {
+				sb.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit >= 0 {
+		sb.WriteString(" LIMIT ")
+		writeInt(sb, s.Limit)
+		if s.Offset > 0 {
+			sb.WriteString(" OFFSET ")
+			writeInt(sb, s.Offset)
+		}
+	}
+}
+
+func writeInt(sb *strings.Builder, n int64) {
+	if n == 0 {
+		sb.WriteByte('0')
+		return
+	}
+	var d [20]byte
+	i := len(d)
+	for n > 0 {
+		i--
+		d[i] = byte('0' + n%10)
+		n /= 10
+	}
+	sb.Write(d[i:])
+}
+
+func canonItem(sb *strings.Builder, it SelectItem) {
+	if it.Star {
+		if it.StarTable != "" {
+			sb.WriteString(canonIdent(it.StarTable))
+			sb.WriteString(".*")
+			return
+		}
+		sb.WriteByte('*')
+		return
+	}
+	sb.WriteString(canonExpr(it.Expr))
+}
+
+func canonTableRef(sb *strings.Builder, t TableRef) {
+	if t.Sub != nil {
+		sb.WriteByte('(')
+		canonStmt(sb, t.Sub)
+		sb.WriteByte(')')
+		if t.Alias != "" {
+			sb.WriteString(" AS ")
+			sb.WriteString(canonIdent(t.Alias))
+		}
+		return
+	}
+	sb.WriteString(canonIdent(t.Name))
+	if t.Alias != "" && !strings.EqualFold(t.Alias, t.Name) {
+		sb.WriteByte(' ')
+		sb.WriteString(canonIdent(t.Alias))
+	}
+}
+
+func canonIdent(name string) string { return Ident(LowerName(name)) }
+
+// canonExpr renders one expression canonically.
+func canonExpr(e Expr) string {
+	switch x := e.(type) {
+	case *ColumnRef:
+		if x.Table != "" {
+			return canonIdent(x.Table) + "." + canonIdent(x.Name)
+		}
+		return canonIdent(x.Name)
+	case *Literal:
+		return x.Val.SQL()
+	case *Interval:
+		return x.String()
+	case *BinaryExpr:
+		return canonBinary(x)
+	case *UnaryExpr:
+		if x.Op == "NOT" {
+			return "(NOT " + canonExpr(x.X) + ")"
+		}
+		return "(" + x.Op + canonExpr(x.X) + ")"
+	case *FuncCall:
+		if x.Star {
+			return x.Name + "(*)"
+		}
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = canonExpr(a)
+		}
+		d := ""
+		if x.Distinct {
+			d = "DISTINCT "
+		}
+		return x.Name + "(" + d + strings.Join(args, ", ") + ")"
+	case *LikeExpr:
+		return "(" + canonExpr(x.X) + not(x.Not) + " LIKE " + canonExpr(x.Pattern) + ")"
+	case *BetweenExpr:
+		return "(" + canonExpr(x.X) + not(x.Not) + " BETWEEN " + canonExpr(x.Lo) + " AND " + canonExpr(x.Hi) + ")"
+	case *InExpr:
+		if x.Sub != nil {
+			var sb strings.Builder
+			sb.WriteByte('(')
+			sb.WriteString(canonExpr(x.X))
+			sb.WriteString(not(x.Not))
+			sb.WriteString(" IN (")
+			canonStmt(&sb, x.Sub)
+			sb.WriteString("))")
+			return sb.String()
+		}
+		items := make([]string, len(x.List))
+		for i, a := range x.List {
+			items[i] = canonExpr(a)
+		}
+		sort.Strings(items)
+		return "(" + canonExpr(x.X) + not(x.Not) + " IN (" + strings.Join(items, ", ") + "))"
+	case *ExistsExpr:
+		var sb strings.Builder
+		sb.WriteByte('(')
+		if x.Not {
+			sb.WriteString("NOT ")
+		}
+		sb.WriteString("EXISTS (")
+		canonStmt(&sb, x.Sub)
+		sb.WriteString("))")
+		return sb.String()
+	case *SubqueryExpr:
+		var sb strings.Builder
+		sb.WriteByte('(')
+		canonStmt(&sb, x.Sub)
+		sb.WriteByte(')')
+		return sb.String()
+	case *IsNullExpr:
+		return "(" + canonExpr(x.X) + " IS" + not(x.Not) + " NULL)"
+	case *CaseExpr:
+		var sb strings.Builder
+		sb.WriteString("CASE")
+		if x.Operand != nil {
+			sb.WriteByte(' ')
+			sb.WriteString(canonExpr(x.Operand))
+		}
+		for _, w := range x.Whens {
+			sb.WriteString(" WHEN " + canonExpr(w.Cond) + " THEN " + canonExpr(w.Result))
+		}
+		if x.Else != nil {
+			sb.WriteString(" ELSE " + canonExpr(x.Else))
+		}
+		sb.WriteString(" END")
+		return sb.String()
+	}
+	return e.String()
+}
+
+func not(n bool) string {
+	if n {
+		return " NOT"
+	}
+	return ""
+}
+
+func canonBinary(x *BinaryExpr) string {
+	switch x.Op {
+	case OpAnd, OpOr:
+		var parts []string
+		flattenCanon(x, x.Op, &parts)
+		sort.Strings(parts)
+		return "(" + strings.Join(parts, " "+x.Op.String()+" ") + ")"
+	case OpEq, OpNeq, OpAdd, OpMul:
+		l, r := canonExpr(x.L), canonExpr(x.R)
+		if r < l {
+			l, r = r, l
+		}
+		return "(" + l + " " + x.Op.String() + " " + r + ")"
+	case OpGt:
+		return "(" + canonExpr(x.R) + " < " + canonExpr(x.L) + ")"
+	case OpGe:
+		return "(" + canonExpr(x.R) + " <= " + canonExpr(x.L) + ")"
+	}
+	return "(" + canonExpr(x.L) + " " + x.Op.String() + " " + canonExpr(x.R) + ")"
+}
+
+// flattenCanon collects the canonical renderings of a same-operator
+// AND/OR chain (associative, so the tree shape is normalized away).
+func flattenCanon(e Expr, op BinOp, out *[]string) {
+	if b, ok := e.(*BinaryExpr); ok && b.Op == op {
+		flattenCanon(b.L, op, out)
+		flattenCanon(b.R, op, out)
+		return
+	}
+	*out = append(*out, canonExpr(e))
+}
+
+// ReferencedTables returns the lower-cased names of every base table the
+// statement references, in any FROM clause at any nesting depth, sorted
+// and deduplicated. Derived-table aliases are not included. The quote
+// cache keys on the version counters of exactly these relations.
+func ReferencedTables(s *SelectStmt) []string {
+	seen := make(map[string]bool)
+	collectTables(s, seen)
+	out := make([]string, 0, len(seen))
+	for name := range seen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func collectTables(s *SelectStmt, seen map[string]bool) {
+	for _, t := range s.From {
+		if t.Sub != nil {
+			collectTables(t.Sub, seen)
+			continue
+		}
+		seen[LowerName(t.Name)] = true
+	}
+	var exprs []Expr
+	for _, it := range s.Items {
+		if !it.Star {
+			exprs = append(exprs, it.Expr)
+		}
+	}
+	exprs = append(exprs, s.Where, s.Having)
+	exprs = append(exprs, s.GroupBy...)
+	for _, o := range s.OrderBy {
+		exprs = append(exprs, o.Expr)
+	}
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		for _, sub := range Subqueries(e) {
+			collectTables(sub, seen)
+		}
+	}
+}

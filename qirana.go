@@ -27,8 +27,10 @@ import (
 
 	"qirana/internal/datagen"
 	"qirana/internal/pricing"
+	"qirana/internal/quotecache"
 	"qirana/internal/result"
 	"qirana/internal/schema"
+	"qirana/internal/sqlengine/ast"
 	"qirana/internal/sqlengine/exec"
 	"qirana/internal/storage"
 	"qirana/internal/support"
@@ -57,6 +59,8 @@ type (
 	PricingFunc = pricing.Func
 	// Stats describes how the last pricing call was computed.
 	Stats = pricing.Stats
+	// CacheStats reports the broker's quote-cache counters.
+	CacheStats = quotecache.Stats
 )
 
 // Value is a typed SQL value; rows are []Value.
@@ -130,23 +134,77 @@ type Options struct {
 	// the read-only database through copy-on-write overlays (clamped to
 	// GOMAXPROCS). Prices and statistics are bit-identical to Workers=1.
 	Workers int
+	// QuoteCacheSize bounds the broker's cross-query quote cache in
+	// entries. 0 selects the default (1024); a negative value disables
+	// caching and request coalescing entirely.
+	QuoteCacheSize int
 }
 
-// Broker is the pricing middleware between buyers and a database. All
-// methods are safe for concurrent use: calls serialize on an internal
-// lock, which protects the engine's per-call state and the buyers'
-// purchase histories. The database itself is never mutated by pricing
-// (support elements evaluate over copy-on-write overlays), so within one
-// call the engine's own workers read it concurrently.
+// defaultQuoteCacheSize is the quote-cache capacity when Options leaves
+// QuoteCacheSize at zero.
+const defaultQuoteCacheSize = 1024
+
+// Broker is the pricing middleware between buyers and a database — a
+// concurrent quoting frontend. All methods are safe for concurrent use,
+// and read-only quoting scales with cores instead of serializing:
+//
+//   - Quotes are cached across queries AND buyers under a canonical
+//     fingerprint of the normalized AST (case, quoting, commutative
+//     predicate order), so syntactic variants of one query share an
+//     entry. Cache keys embed every input the price depends on (pricing
+//     function, weights epoch, support-set generation, the referenced
+//     relations' version counters), making served entries valid by
+//     construction; nothing is ever served stale.
+//   - Concurrent misses on the same key coalesce: one caller computes,
+//     the rest wait and share the result bit-for-bit (singleflight).
+//   - Distinct cold quotes serialize on the engine (whose per-call state
+//     is single-threaded by design) but parallelize internally per
+//     Options.Workers; warm quotes bypass the engine entirely and only
+//     touch the cache and the (read-locked) weight vector.
+//   - Buyer histories lock per buyer, so purchases by different buyers
+//     never contend.
+//
+// Cached, coalesced and batched paths return bit-identical prices to a
+// cold serial computation. The database itself is never mutated by
+// pricing (support elements evaluate over copy-on-write overlays);
+// mutating it outside the broker must not race with broker calls.
 type Broker struct {
-	mu     sync.Mutex
+	// mu guards the broker configuration: the engine pointer and its
+	// weight vector, fn, opts, seed, total and supportGen. Quoting paths
+	// hold it read-locked; resampling and weight fitting write-lock it.
+	mu     sync.RWMutex
 	db     *storage.Database
 	engine *pricing.Engine
 	fn     pricing.Func
-	buyers map[string]*pricing.History
 	seed   int64
 	opts   Options
 	total  float64
+
+	// engineMu serializes cold pricing: the engine's per-call scratch
+	// state (LastStats, checker cache, base hashes) is single-threaded.
+	// Held after mu, never the other way around. dbVersion is the sum of
+	// table version counters last seen; movement means the database was
+	// mutated externally and per-query engine state must be rebuilt.
+	engineMu  sync.Mutex
+	dbVersion uint64
+
+	// qc is the cross-query quote cache (nil when disabled). supportGen
+	// counts resamples; keys embed it so a resample orphans every entry.
+	qc         *quotecache.Cache
+	supportGen uint64
+
+	buyersMu sync.Mutex
+	buyers   map[string]*buyerState
+
+	statsMu   sync.Mutex
+	lastStats pricing.Stats
+}
+
+// buyerState is one buyer's purchase history behind its own lock, so
+// concurrent purchases only contend per buyer.
+type buyerState struct {
+	mu sync.Mutex
+	h  *pricing.History
 }
 
 // NewBroker creates a broker selling db for totalPrice.
@@ -160,16 +218,28 @@ func NewBroker(db *Database, totalPrice float64, opt Options) (*Broker, error) {
 	if opt.SwapFraction == 0 {
 		opt.SwapFraction = 0.5
 	}
-	b := &Broker{db: db, fn: opt.Func, buyers: make(map[string]*pricing.History),
-		seed: opt.Seed, opts: opt, total: totalPrice}
+	b := &Broker{db: db, fn: opt.Func, buyers: make(map[string]*buyerState),
+		seed: opt.Seed, opts: opt, total: totalPrice, qc: newQuoteCache(opt)}
 	if err := b.resample(opt.Seed); err != nil {
 		return nil, err
 	}
 	return b, nil
 }
 
+func newQuoteCache(opt Options) *quotecache.Cache {
+	if opt.QuoteCacheSize < 0 {
+		return nil
+	}
+	size := opt.QuoteCacheSize
+	if size == 0 {
+		size = defaultQuoteCacheSize
+	}
+	return quotecache.New(size)
+}
+
 // resample regenerates the support set (used at construction and when
-// price-point fitting reports infeasibility).
+// price-point fitting reports infeasibility). Callers hold mu exclusively
+// (or the broker is not yet shared).
 func (b *Broker) resample(seed int64) error {
 	cfg := support.Config{Size: b.opts.SupportSetSize, SwapFraction: b.opts.SwapFraction, Seed: seed}
 	var set *support.Set
@@ -186,11 +256,20 @@ func (b *Broker) resample(seed int64) error {
 	b.engine.Opts.FastPath = !b.opts.DisableFastPath
 	b.engine.Opts.Batching = !b.opts.DisableBatching
 	b.engine.Opts.Workers = b.opts.Workers
+	// A new support set means new prices: bump the generation so every
+	// cached quote key goes dead, and drop the dead entries eagerly.
+	b.supportGen++
+	if b.qc != nil {
+		b.qc.Invalidate()
+	}
 	// Existing buyer histories refer to the old support set; they must be
 	// preserved in spirit but the bitmap indexes new elements. Resampling
 	// only happens before selling starts (price-point setup), so reject it
 	// afterwards.
-	if len(b.buyers) > 0 {
+	b.buyersMu.Lock()
+	n := len(b.buyers)
+	b.buyersMu.Unlock()
+	if n > 0 {
 		return fmt.Errorf("cannot resample the support set after purchases began")
 	}
 	return nil
@@ -199,6 +278,156 @@ func (b *Broker) resample(seed int64) error {
 // Compile parses and validates a query against the broker's schema.
 func (b *Broker) Compile(sql string) (*exec.Query, error) {
 	return exec.Compile(sql, b.db.Schema)
+}
+
+// disKey keys a bundle's disagreement bitmap: the bitmap depends on the
+// queries, the support set and the database contents — NOT on the pricing
+// function or the weight vector, so one cached bitmap serves coverage
+// quotes, uniform-gain quotes and every buyer's history-aware purchase,
+// across weight refits.
+func (b *Broker) disKey(qs []*exec.Query) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "d|%d|%d", b.supportGen, b.maxVersion(qs))
+	for _, q := range qs {
+		sb.WriteByte('\x01')
+		sb.WriteString(ast.Fingerprint(q.Stmt))
+	}
+	return sb.String()
+}
+
+// entropyKey keys a final entropy price, which additionally depends on
+// the pricing function and the weight vector (via its epoch).
+func (b *Broker) entropyKey(fn PricingFunc, qs []*exec.Query) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "e|%d|%d|%d|%d", int(fn), b.engine.WeightsEpoch(), b.supportGen, b.maxVersion(qs))
+	for _, q := range qs {
+		sb.WriteByte('\x01')
+		sb.WriteString(ast.Fingerprint(q.Stmt))
+	}
+	return sb.String()
+}
+
+// maxVersion returns the largest mutation counter over the relations the
+// bundle references: a point update to any of them moves the key, so a
+// cached price can never outlive the data it priced.
+func (b *Broker) maxVersion(qs []*exec.Query) uint64 {
+	var v uint64
+	for _, q := range qs {
+		for _, rel := range ast.ReferencedTables(q.Stmt) {
+			if t := b.db.Table(rel); t != nil && t.Version() > v {
+				v = t.Version()
+			}
+		}
+	}
+	return v
+}
+
+// cached runs compute through the quote cache's singleflight (or directly
+// when caching is disabled).
+func (b *Broker) cached(key string, compute func() (any, error)) (any, error) {
+	if b.qc == nil {
+		return compute()
+	}
+	return b.qc.Do(key, compute)
+}
+
+// disEntry is a cached disagreement bitmap plus the Stats of the cold
+// computation that produced it (restored on hits so warm and cold quotes
+// report identically). The bitmap is shared read-only by every consumer.
+type disEntry struct {
+	dis   []bool
+	stats pricing.Stats
+}
+
+// priceEntry is a cached final entropy price.
+type priceEntry struct {
+	price float64
+	stats pricing.Stats
+}
+
+// disagreements returns the bundle's full (history-oblivious)
+// disagreement bitmap, from the cache when possible. Callers hold
+// mu.RLock.
+func (b *Broker) disagreements(qs []*exec.Query) (disEntry, error) {
+	v, err := b.cached(b.disKey(qs), func() (any, error) {
+		b.engineMu.Lock()
+		defer b.engineMu.Unlock()
+		b.refreshEngineLocked()
+		dis, err := b.engine.Disagreements(qs, nil)
+		if err != nil {
+			return nil, err
+		}
+		return disEntry{dis: dis, stats: b.engine.LastStats}, nil
+	})
+	if err != nil {
+		return disEntry{}, err
+	}
+	return v.(disEntry), nil
+}
+
+// entropyPrice returns the bundle's price under an entropy pricing
+// function, from the cache when possible. Callers hold mu.RLock.
+func (b *Broker) entropyPrice(fn PricingFunc, qs []*exec.Query) (priceEntry, error) {
+	v, err := b.cached(b.entropyKey(fn, qs), func() (any, error) {
+		b.engineMu.Lock()
+		defer b.engineMu.Unlock()
+		b.refreshEngineLocked()
+		b.engine.LastStats = pricing.Stats{}
+		p, err := b.engine.Price(fn, qs...)
+		if err != nil {
+			return nil, err
+		}
+		return priceEntry{price: p, stats: b.engine.LastStats}, nil
+	})
+	if err != nil {
+		return priceEntry{}, err
+	}
+	return v.(priceEntry), nil
+}
+
+// refreshEngineLocked rebuilds per-query engine state (disagreement
+// checkers, cached base hashes) after an external database mutation,
+// detected by movement of the summed table version counters. Callers hold
+// engineMu.
+func (b *Broker) refreshEngineLocked() {
+	var v uint64
+	for _, t := range b.db.Tables {
+		v += t.Version()
+	}
+	if v != b.dbVersion {
+		b.engine.InvalidateCache()
+		b.dbVersion = v
+	}
+}
+
+func (b *Broker) setLastStats(s pricing.Stats) {
+	b.statsMu.Lock()
+	b.lastStats = s
+	b.statsMu.Unlock()
+}
+
+// quoteLocked prices a compiled bundle under fn. Callers hold mu.RLock.
+func (b *Broker) quoteLocked(fn PricingFunc, qs []*exec.Query) (float64, error) {
+	switch fn {
+	case WeightedCoverage, UniformEntropyGain:
+		ent, err := b.disagreements(qs)
+		if err != nil {
+			return 0, err
+		}
+		b.setLastStats(ent.stats)
+		// Summing the current weights over the cached bitmap is the exact
+		// summation the cold path performs — bit-identical, and correct
+		// across weight refits because the bitmap is weight-independent.
+		return b.engine.PriceFromDisagreements(fn, ent.dis)
+	case ShannonEntropy, QEntropy:
+		ent, err := b.entropyPrice(fn, qs)
+		if err != nil {
+			return 0, err
+		}
+		b.setLastStats(ent.stats)
+		return ent.price, nil
+	}
+	return 0, fmt.Errorf("unknown pricing function %v", fn)
 }
 
 // Quote prices a query (history-oblivious) with the broker's pricing
@@ -214,9 +443,9 @@ func (b *Broker) QuoteWith(fn PricingFunc, sql string) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.engine.Price(fn, q)
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.quoteLocked(fn, []*exec.Query{q})
 }
 
 // QuoteBundle prices a bundle of queries asked together.
@@ -229,44 +458,208 @@ func (b *Broker) QuoteBundle(sqls ...string) (float64, error) {
 		}
 		qs[i] = q
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.engine.Price(b.fn, qs...)
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.quoteLocked(b.fn, qs)
+}
+
+// QuoteBatch prices k INDEPENDENT queries (not a bundle) in one shared
+// sweep over the support set with the broker's pricing function,
+// returning one price per query. Cache hits are served directly; the
+// misses share static classification, overlay setup and tagged-row
+// materialization through the engine's multi-query sweep. Each price is
+// bit-identical to a solo Quote of that query.
+//
+// Batch misses insert into the cache without claiming singleflight
+// leadership, so they do not coalesce with concurrent solo quotes of the
+// same query (both may compute; both results are identical).
+func (b *Broker) QuoteBatch(sqls []string) ([]float64, error) {
+	return b.QuoteBatchWith(b.fn, sqls)
+}
+
+// QuoteBatchWith is QuoteBatch under a specific pricing function.
+func (b *Broker) QuoteBatchWith(fn PricingFunc, sqls []string) ([]float64, error) {
+	qs := make([]*exec.Query, len(sqls))
+	for i, s := range sqls {
+		q, err := b.Compile(s)
+		if err != nil {
+			return nil, err
+		}
+		qs[i] = q
+	}
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+
+	switch fn {
+	case WeightedCoverage, UniformEntropyGain:
+		entries, err := batchEntries(b, qs, b.disKey,
+			func(miss []*exec.Query) ([]disEntry, error) {
+				res, stats, err := b.engine.DisagreementsMulti(miss)
+				if err != nil {
+					return nil, err
+				}
+				out := make([]disEntry, len(miss))
+				for x := range miss {
+					out[x] = disEntry{dis: res[x], stats: stats[x]}
+				}
+				return out, nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		prices := make([]float64, len(qs))
+		var sum pricing.Stats
+		for j := range qs {
+			p, err := b.engine.PriceFromDisagreements(fn, entries[j].dis)
+			if err != nil {
+				return nil, err
+			}
+			prices[j] = p
+			addStats(&sum, entries[j].stats)
+		}
+		b.setLastStats(sum)
+		return prices, nil
+
+	case ShannonEntropy, QEntropy:
+		entries, err := batchEntries(b, qs,
+			func(qs []*exec.Query) string { return b.entropyKey(fn, qs) },
+			func(miss []*exec.Query) ([]priceEntry, error) {
+				elems, bases, err := b.engine.OutputHashesMulti(miss)
+				if err != nil {
+					return nil, err
+				}
+				out := make([]priceEntry, len(miss))
+				for x := range miss {
+					// Identical to the solo path: the price is a function
+					// of the element-hash partition alone.
+					p := b.engine.PricesFromHashes(elems[x], bases[x])[fn]
+					out[x] = priceEntry{price: p, stats: pricing.Stats{Naive: b.engine.Set.Size()}}
+				}
+				return out, nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		prices := make([]float64, len(qs))
+		var sum pricing.Stats
+		for j := range qs {
+			prices[j] = entries[j].price
+			addStats(&sum, entries[j].stats)
+		}
+		b.setLastStats(sum)
+		return prices, nil
+	}
+	return nil, fmt.Errorf("unknown pricing function %v", fn)
+}
+
+func addStats(sum *pricing.Stats, s pricing.Stats) {
+	sum.Static += s.Static
+	sum.Batched += s.Batched
+	sum.FullRuns += s.FullRuns
+	sum.Naive += s.Naive
+}
+
+// batchEntries resolves one cache entry per query: hits from the LRU,
+// in-batch duplicates folded onto one computation, and the remaining
+// misses computed together by the shared sweep and inserted via Put.
+func batchEntries[E any](b *Broker, qs []*exec.Query, keyOf func([]*exec.Query) string, sweep func([]*exec.Query) ([]E, error)) ([]E, error) {
+	entries := make([]E, len(qs))
+	keys := make([]string, len(qs))
+	slot := make(map[string]int, len(qs)) // key → entries index of its computation
+	var missIdx []int
+	for j, q := range qs {
+		keys[j] = keyOf([]*exec.Query{q})
+		if _, dup := slot[keys[j]]; dup {
+			continue
+		}
+		if b.qc != nil {
+			if v, ok := b.qc.Get(keys[j]); ok {
+				entries[j] = v.(E)
+				slot[keys[j]] = j
+				continue
+			}
+		}
+		slot[keys[j]] = j
+		missIdx = append(missIdx, j)
+	}
+	if len(missIdx) > 0 {
+		miss := make([]*exec.Query, len(missIdx))
+		for x, j := range missIdx {
+			miss[x] = qs[j]
+		}
+		b.engineMu.Lock()
+		b.refreshEngineLocked()
+		out, err := sweep(miss)
+		b.engineMu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		for x, j := range missIdx {
+			entries[j] = out[x]
+			if b.qc != nil {
+				b.qc.Put(keys[j], entries[j])
+			}
+		}
+	}
+	for j := range qs {
+		if k := slot[keys[j]]; k != j {
+			entries[j] = entries[k]
+		}
+	}
+	return entries, nil
 }
 
 // Buyer returns (creating if needed) the purchase history of a buyer
 // account.
 func (b *Broker) Buyer(name string) *History {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.buyerLocked(name)
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.buyerState(name).h
 }
 
-func (b *Broker) buyerLocked(name string) *History {
-	h, ok := b.buyers[name]
+// buyerState returns (creating if needed) a buyer's locked history.
+// Callers hold mu.RLock (the history size comes from the engine).
+func (b *Broker) buyerState(name string) *buyerState {
+	b.buyersMu.Lock()
+	defer b.buyersMu.Unlock()
+	bs, ok := b.buyers[name]
 	if !ok {
-		h = pricing.NewHistory(b.engine.Set.Size())
-		b.buyers[name] = h
+		bs = &buyerState{h: pricing.NewHistory(b.engine.Set.Size())}
+		b.buyers[name] = bs
 	}
-	return h
+	return bs
 }
 
 // Ask executes the query for the buyer and returns the answer plus the
 // incremental history-aware charge (weighted coverage; Algorithm 3). The
 // buyer never pays twice for the same information, and once they have paid
 // the full dataset price every further query is free.
+//
+// The charge folds the bundle's cached (history-oblivious) disagreement
+// bitmap into the buyer's history: an element's disagreement bit does not
+// depend on who is asking, so one cached bitmap serves every buyer, and
+// the masked cold computation decides every element identically — the
+// charge is bit-identical to pricing against the history directly.
 func (b *Broker) Ask(buyer, sql string) (*Result, float64, error) {
 	q, err := b.Compile(sql)
 	if err != nil {
 		return nil, 0, err
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	res, err := q.Run(b.db)
 	if err != nil {
 		return nil, 0, err
 	}
-	charge, err := b.engine.PriceHistoryAware(b.buyerLocked(buyer), q)
+	ent, err := b.disagreements([]*exec.Query{q})
+	if err != nil {
+		return nil, 0, err
+	}
+	b.setLastStats(ent.stats)
+	bs := b.buyerState(buyer)
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	charge, err := b.engine.ChargeFromDisagreements(bs.h, ent.dis, q.SQL)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -282,13 +675,21 @@ func (b *Broker) AskWithRefund(buyer, sql string) (res *Result, gross, refund fl
 	if err != nil {
 		return nil, 0, 0, err
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	res, err = q.Run(b.db)
 	if err != nil {
 		return nil, 0, 0, err
 	}
-	gross, refund, err = b.engine.PriceWithRefund(b.buyerLocked(buyer), q)
+	ent, err := b.disagreements([]*exec.Query{q})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	b.setLastStats(ent.stats)
+	bs := b.buyerState(buyer)
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	gross, refund, err = b.engine.RefundFromDisagreements(bs.h, ent.dis, q.SQL)
 	if err != nil {
 		return nil, 0, 0, err
 	}
@@ -301,8 +702,8 @@ func (b *Broker) AskWithRefund(buyer, sql string) (res *Result, gross, refund fl
 // Options-independent NewBrokerFromSupport, keeping prices stable across
 // restarts.
 func (b *Broker) SaveSupportSet(w io.Writer) error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	return b.engine.Set.Save(w)
 }
 
@@ -317,8 +718,8 @@ func NewBrokerFromSupport(db *Database, totalPrice float64, r io.Reader, opt Opt
 	if err != nil {
 		return nil, err
 	}
-	b := &Broker{db: db, fn: opt.Func, buyers: make(map[string]*pricing.History),
-		seed: opt.Seed, opts: opt, total: totalPrice}
+	b := &Broker{db: db, fn: opt.Func, buyers: make(map[string]*buyerState),
+		seed: opt.Seed, opts: opt, total: totalPrice, qc: newQuoteCache(opt)}
 	b.engine = pricing.NewEngine(db, set, totalPrice)
 	b.engine.Opts.FastPath = !opt.DisableFastPath
 	b.engine.Opts.Batching = !opt.DisableBatching
@@ -366,9 +767,12 @@ func (b *Broker) SetPricePoints(points []PricePoint) error {
 
 // TotalPaid reports how much the buyer has paid so far.
 func (b *Broker) TotalPaid(buyer string) float64 {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.buyerLocked(buyer).Paid
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	bs := b.buyerState(buyer)
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	return bs.h.Paid
 }
 
 // TotalPrice returns the full-dataset price.
@@ -380,16 +784,44 @@ func (b *Broker) Run(sql string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	return q.Run(b.db)
 }
 
-// LastStats reports how the last pricing call was computed.
-func (b *Broker) LastStats() Stats {
+// SetWeights installs seller-customized support-set weights (they must
+// sum to the total price), atomically invalidating every cached quote
+// that depends on the old vector.
+func (b *Broker) SetWeights(w []float64) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return b.engine.LastStats
+	return b.engine.SetWeights(w)
+}
+
+// LastStats reports how the last pricing call was computed. A quote
+// served from the cache reports the stats of the cold computation that
+// populated the entry.
+func (b *Broker) LastStats() Stats {
+	b.statsMu.Lock()
+	defer b.statsMu.Unlock()
+	return b.lastStats
+}
+
+// QuoteCacheStats reports the quote cache's hit/miss/coalescing counters
+// (all zero when the cache is disabled).
+func (b *Broker) QuoteCacheStats() CacheStats {
+	if b.qc == nil {
+		return CacheStats{}
+	}
+	return b.qc.Stats()
+}
+
+// QuoteCacheLen returns the number of cached quote entries.
+func (b *Broker) QuoteCacheLen() int {
+	if b.qc == nil {
+		return 0
+	}
+	return b.qc.Len()
 }
 
 // SupportSetSize returns |S|.
