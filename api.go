@@ -1,0 +1,300 @@
+package qirana
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"qirana/internal/pricing"
+	"qirana/internal/sqlengine/exec"
+)
+
+// This file is the broker's consolidated serving API. Price and Purchase
+// are the two real entry points — context-aware, request/response shaped,
+// and instrumented — and every legacy method (Quote, QuoteWith,
+// QuoteBundle, QuoteBatch, QuoteBatchWith, Ask, AskWithRefund) is a thin
+// wrapper that delegates to them, so existing callers compile unchanged.
+//
+// Cancellation contract (holds for Price and Purchase alike):
+//
+//   - ctx flows through the engine into the worker pool; a cancelled
+//     context or expired deadline aborts the support-set sweep mid-batch
+//     and the call returns ctx.Err() promptly.
+//   - A cancelled call has NO side effects: the buyer's history and
+//     TotalPaid are untouched (the charge is applied only after the sweep
+//     completes and ctx is re-checked), and the quote cache never stores
+//     a partial result (errors are not cached).
+//   - Singleflight followers never inherit a leader's cancellation: if
+//     the computing caller is cancelled, a waiting caller with a live
+//     context takes over and computes under its own context.
+
+// PriceRequest asks for an up-front (history-oblivious) price.
+type PriceRequest struct {
+	// SQLs are the queries to price. At least one is required.
+	SQLs []string
+	// Func selects the pricing function; nil uses the broker's default.
+	Func *PricingFunc
+	// Bundle prices all SQLs as ONE bundle bought together (sub-additive:
+	// shared information is charged once). False prices each query
+	// independently in one shared support-set sweep.
+	Bundle bool
+}
+
+// QuoteInfo is the provenance of one priced entry.
+type QuoteInfo struct {
+	// Price is the entry's price.
+	Price float64 `json:"price"`
+	// Stats reports how the price was computed. A cache hit reports the
+	// stats of the cold computation that populated the entry.
+	Stats Stats `json:"stats"`
+	// Cached is true when the price was served (or coalesced) from the
+	// quote cache rather than computed by this call.
+	Cached bool `json:"cached"`
+}
+
+// PriceResponse carries the prices plus per-query provenance.
+type PriceResponse struct {
+	// Prices has one entry per request SQL. In bundle mode it has exactly
+	// one entry: the bundle price.
+	Prices []float64 `json:"prices"`
+	// Total is the bundle price in bundle mode, the sum of Prices
+	// otherwise.
+	Total float64 `json:"total"`
+	// PerQuery aligns with Prices (one entry for the whole bundle in
+	// bundle mode).
+	PerQuery []QuoteInfo `json:"per_query"`
+	// Stats sums the per-entry stats (what LastStats reports).
+	Stats Stats `json:"stats"`
+}
+
+// PurchaseRequest asks to buy a query's answer for a buyer account.
+type PurchaseRequest struct {
+	// Buyer is the purchasing account (created on first use).
+	Buyer string
+	// SQL is the query to run and charge for.
+	SQL string
+	// Refund selects the charge-then-refund settlement model (§2.2): the
+	// receipt's Gross is the full history-oblivious price and Refund the
+	// reimbursement for information already owned. Net is identical
+	// either way.
+	Refund bool
+}
+
+// Receipt is the outcome of a purchase: the answer plus the full money
+// trail.
+type Receipt struct {
+	// Result is the query answer.
+	Result *Result `json:"-"`
+	// Gross is the amount charged before any refund. Under the default
+	// (incremental) settlement it already equals Net.
+	Gross float64 `json:"gross"`
+	// Refund is the amount reimbursed for information the buyer already
+	// owned (nonzero only under PurchaseRequest.Refund).
+	Refund float64 `json:"refund"`
+	// Net is what the buyer actually paid for this purchase.
+	Net float64 `json:"net"`
+	// Balance is the buyer's cumulative payment after this purchase.
+	Balance float64 `json:"balance"`
+	// Cached is true when the charge was derived from a cached
+	// disagreement bitmap instead of a fresh sweep.
+	Cached bool `json:"cached"`
+}
+
+// isContextErr reports whether err is (or wraps) a cancellation/deadline
+// error.
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// countOutcome records one request outcome in the obs registry.
+func (b *Broker) countOutcome(err error) {
+	if err == nil {
+		return
+	}
+	if isContextErr(err) {
+		b.obs.Add("broker_cancellations", 1)
+	} else {
+		b.obs.Add("broker_errors", 1)
+	}
+}
+
+// Price is the broker's quoting entry point: it prices req.SQLs under
+// req's pricing function and mode, honoring ctx end-to-end (see the
+// cancellation contract above). All legacy Quote* methods delegate here.
+func (b *Broker) Price(ctx context.Context, req PriceRequest) (resp *PriceResponse, err error) {
+	b.obs.Add("broker_price_requests", 1)
+	defer b.obs.Timer("broker_price")()
+	defer func() { b.countOutcome(err) }()
+	if len(req.SQLs) == 0 {
+		return nil, fmt.Errorf("price request carries no queries")
+	}
+	qs, err := b.compileAll(req.SQLs)
+	if err != nil {
+		return nil, err
+	}
+	fn := b.fn
+	if req.Func != nil {
+		fn = *req.Func
+	}
+
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+
+	if req.Bundle || len(qs) == 1 {
+		price, stats, cached, err := b.quoteLocked(ctx, fn, qs)
+		if err != nil {
+			return nil, err
+		}
+		return &PriceResponse{
+			Prices: []float64{price},
+			Total:  price,
+			Stats:  stats,
+			PerQuery: []QuoteInfo{
+				{Price: price, Stats: stats, Cached: cached},
+			},
+		}, nil
+	}
+
+	prices, stats, cached, err := b.priceBatchLocked(ctx, fn, qs)
+	if err != nil {
+		return nil, err
+	}
+	resp = &PriceResponse{Prices: prices, PerQuery: make([]QuoteInfo, len(qs))}
+	for j := range qs {
+		resp.Total += prices[j]
+		resp.PerQuery[j] = QuoteInfo{Price: prices[j], Stats: stats[j], Cached: cached[j]}
+		addStats(&resp.Stats, stats[j])
+	}
+	return resp, nil
+}
+
+// Purchase runs the query for the buyer and applies the history-aware
+// charge, honoring ctx end-to-end. The charge is applied only after the
+// pricing sweep has fully completed and ctx has been re-checked, so a
+// cancelled purchase never moves TotalPaid. All legacy Ask* methods
+// delegate here.
+func (b *Broker) Purchase(ctx context.Context, req PurchaseRequest) (rec *Receipt, err error) {
+	b.obs.Add("broker_purchase_requests", 1)
+	defer b.obs.Timer("broker_purchase")()
+	defer func() { b.countOutcome(err) }()
+	q, err := b.Compile(req.SQL)
+	if err != nil {
+		return nil, err
+	}
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	res, err := q.Run(b.db)
+	if err != nil {
+		return nil, err
+	}
+	ent, cached, err := b.disagreements(ctx, []*exec.Query{q})
+	if err != nil {
+		return nil, err
+	}
+	b.setLastStats(ent.stats)
+	// The sweep is done; nothing below blocks. Re-check ctx once so a
+	// cancellation that raced the sweep's completion still leaves the
+	// buyer uncharged, then commit the charge atomically under the
+	// buyer's lock.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	bs := b.buyerState(req.Buyer)
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	rec = &Receipt{Result: res, Cached: cached}
+	if req.Refund {
+		rec.Gross, rec.Refund, err = b.engine.RefundFromDisagreements(bs.h, ent.dis, q.SQL)
+	} else {
+		rec.Gross, err = b.engine.ChargeFromDisagreements(bs.h, ent.dis, q.SQL)
+	}
+	if err != nil {
+		return nil, err
+	}
+	rec.Net = rec.Gross - rec.Refund
+	rec.Balance = bs.h.Paid
+	return rec, nil
+}
+
+// compileAll parses and validates every SQL, timing the parse stage.
+func (b *Broker) compileAll(sqls []string) ([]*exec.Query, error) {
+	defer b.obs.Timer("stage_parse")()
+	qs := make([]*exec.Query, len(sqls))
+	for i, s := range sqls {
+		q, err := exec.Compile(s, b.db.Schema)
+		if err != nil {
+			return nil, fmt.Errorf("query %d: %w", i, err)
+		}
+		qs[i] = q
+	}
+	return qs, nil
+}
+
+// priceBatchLocked prices k independent queries in one shared sweep with
+// per-entry cache provenance. Callers hold mu.RLock.
+func (b *Broker) priceBatchLocked(ctx context.Context, fn PricingFunc, qs []*exec.Query) ([]float64, []Stats, []bool, error) {
+	switch fn {
+	case WeightedCoverage, UniformEntropyGain:
+		entries, cached, err := batchEntries(ctx, b, qs, b.disKey,
+			func(ctx context.Context, miss []*exec.Query) ([]disEntry, error) {
+				res, stats, err := b.engine.DisagreementsMultiCtx(ctx, miss)
+				if err != nil {
+					return nil, err
+				}
+				out := make([]disEntry, len(miss))
+				for x := range miss {
+					out[x] = disEntry{dis: res[x], stats: stats[x]}
+				}
+				return out, nil
+			})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		prices := make([]float64, len(qs))
+		stats := make([]Stats, len(qs))
+		var sum pricing.Stats
+		for j := range qs {
+			p, err := b.engine.PriceFromDisagreements(fn, entries[j].dis)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			prices[j] = p
+			stats[j] = entries[j].stats
+			addStats(&sum, entries[j].stats)
+		}
+		b.setLastStats(sum)
+		return prices, stats, cached, nil
+
+	case ShannonEntropy, QEntropy:
+		entries, cached, err := batchEntries(ctx, b, qs,
+			func(qs []*exec.Query) string { return b.entropyKey(fn, qs) },
+			func(ctx context.Context, miss []*exec.Query) ([]priceEntry, error) {
+				elems, bases, err := b.engine.OutputHashesMultiCtx(ctx, miss)
+				if err != nil {
+					return nil, err
+				}
+				out := make([]priceEntry, len(miss))
+				for x := range miss {
+					// Identical to the solo path: the price is a function
+					// of the element-hash partition alone.
+					p := b.engine.PricesFromHashes(elems[x], bases[x])[fn]
+					out[x] = priceEntry{price: p, stats: pricing.Stats{Naive: b.engine.Set.Size()}}
+				}
+				return out, nil
+			})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		prices := make([]float64, len(qs))
+		stats := make([]Stats, len(qs))
+		var sum pricing.Stats
+		for j := range qs {
+			prices[j] = entries[j].price
+			stats[j] = entries[j].stats
+			addStats(&sum, entries[j].stats)
+		}
+		b.setLastStats(sum)
+		return prices, stats, cached, nil
+	}
+	return nil, nil, nil, fmt.Errorf("unknown pricing function %v", fn)
+}

@@ -1,0 +1,100 @@
+// Command qiranad serves a query-pricing broker over HTTP: the daemon
+// form of the interactive qirana shell. It loads one of the benchmark
+// datasets, prices it, and answers JSON requests:
+//
+//	POST /quote        {"sql": "SELECT ..."}                  up-front price
+//	POST /quote/batch  {"sqls": ["...", "..."]}               k prices, one sweep
+//	POST /ask          {"buyer": "alice", "sql": "..."}       buy: answer + charge
+//	GET  /stats        broker counters (pricing stats, quote cache)
+//	GET  /metrics      request counters + latency percentiles (p50/p95/p99)
+//	GET  /debug/vars   expvar, including the live metrics registry
+//	GET  /debug/pprof  runtime profiling
+//
+// Every pricing request runs under a context derived from the HTTP
+// request: a dropped connection or the -timeout deadline (per-request
+// override: ?timeout_ms=) cancels the support-set sweep mid-batch, and
+// the broker guarantees a cancelled request charges no buyer and caches
+// nothing. On SIGINT/SIGTERM the daemon stops accepting connections and
+// drains in-flight requests for up to -drain before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"qirana"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "localhost:8080", "listen address")
+		dataset = flag.String("dataset", "world", "dataset: world, carcrash, dblp, tpch, ssb")
+		price   = flag.Float64("price", 100, "price of the full dataset")
+		size    = flag.Int("support", 1000, "support set size")
+		scale   = flag.Float64("scale", 0, "dataset scale (0 = small default)")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		workers = flag.Int("workers", 0, "parallel pricing workers (0 or 1 = serial, capped at GOMAXPROCS)")
+		load    = flag.String("load", "", "load a support set saved by the qirana shell instead of sampling")
+		timeout = flag.Duration("timeout", 30*time.Second, "per-request pricing timeout (0 = none)")
+		drain   = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+	)
+	flag.Parse()
+	if err := run(*addr, *dataset, *price, *size, *scale, *seed, *workers, *load, *timeout, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+}
+
+func run(addr, dataset string, price float64, size int, scale float64, seed int64, workers int, load string, timeout, drain time.Duration) error {
+	db, err := qirana.LoadDataset(dataset, seed, scale)
+	if err != nil {
+		return err
+	}
+	var broker *qirana.Broker
+	if load != "" {
+		f, ferr := os.Open(load)
+		if ferr != nil {
+			return ferr
+		}
+		broker, err = qirana.NewBrokerFromSupport(db, price, f, qirana.Options{Workers: workers})
+		f.Close()
+	} else {
+		broker, err = qirana.NewBroker(db, price, qirana.Options{SupportSetSize: size, Seed: seed, Workers: workers})
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("qiranad: %s (%d tuples), support %d, price %g, serving on http://%s\n",
+		dataset, db.TotalRows(), broker.SupportSetSize(), price, addr)
+
+	srv := &http.Server{Addr: addr, Handler: newMux(broker, timeout)}
+
+	// Graceful drain: on SIGINT/SIGTERM stop accepting, let in-flight
+	// pricing requests finish (bounded by the drain window — their own
+	// request contexts keep ticking), then exit.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Println("qiranad: draining")
+	dctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	<-errc // ListenAndServe's http.ErrServerClosed
+	return nil
+}

@@ -1,0 +1,243 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"time"
+
+	"qirana"
+)
+
+// server wraps one broker behind the JSON HTTP API. Every pricing
+// endpoint derives its context from the request (so a dropped client
+// connection cancels the sweep mid-batch) with the configured per-request
+// timeout layered on top; the broker's cancellation contract guarantees
+// an aborted request charges nobody and poisons no cache entry.
+type server struct {
+	broker *qirana.Broker
+	// timeout bounds each pricing request (0 = no bound beyond the
+	// client's connection). Overridable per request with ?timeout_ms=.
+	timeout time.Duration
+}
+
+// newMux routes the serving API:
+//
+//	POST /quote        price one query (or a bundle)
+//	POST /quote/batch  price k independent queries in one shared sweep
+//	POST /ask          buy a query for a buyer account
+//	GET  /stats        broker counters (last pricing stats, quote cache)
+//	GET  /metrics      obs snapshot: counters + latency percentiles
+//	GET  /debug/vars   expvar (includes the live metrics registry)
+//	GET  /debug/pprof  runtime profiling
+func newMux(b *qirana.Broker, timeout time.Duration) *http.ServeMux {
+	s := &server{broker: b, timeout: timeout}
+	b.PublishExpvar("qirana")
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /quote", s.handleQuote)
+	mux.HandleFunc("POST /quote/batch", s.handleQuoteBatch)
+	mux.HandleFunc("POST /ask", s.handleAsk)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// requestCtx derives the pricing context: the request's own context
+// (cancelled when the client goes away) bounded by the per-request
+// timeout, which ?timeout_ms= may tighten or loosen per call.
+func (s *server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	timeout := s.timeout
+	if ms := r.URL.Query().Get("timeout_ms"); ms != "" {
+		if v, err := strconv.Atoi(ms); err == nil && v > 0 {
+			timeout = time.Duration(v) * time.Millisecond
+		}
+	}
+	if timeout <= 0 {
+		return context.WithCancel(r.Context())
+	}
+	return context.WithTimeout(r.Context(), timeout)
+}
+
+// funcByName maps the wire names onto the pricing functions; empty means
+// "use the broker's default".
+func funcByName(name string) (*qirana.PricingFunc, error) {
+	var f qirana.PricingFunc
+	switch strings.ToLower(name) {
+	case "":
+		return nil, nil
+	case "coverage", "weighted_coverage":
+		f = qirana.WeightedCoverage
+	case "gain", "uniform_gain", "uniform_entropy_gain":
+		f = qirana.UniformEntropyGain
+	case "shannon", "shannon_entropy":
+		f = qirana.ShannonEntropy
+	case "qentropy", "q_entropy":
+		f = qirana.QEntropy
+	default:
+		return nil, fmt.Errorf("unknown pricing function %q (want coverage, gain, shannon or qentropy)", name)
+	}
+	return &f, nil
+}
+
+type quoteRequest struct {
+	// SQL prices a single query; SQLs prices several. Exactly one of the
+	// two must be set.
+	SQL  string   `json:"sql,omitempty"`
+	SQLs []string `json:"sqls,omitempty"`
+	// Func selects the pricing function (coverage, gain, shannon,
+	// qentropy); empty uses the broker default.
+	Func string `json:"func,omitempty"`
+	// Bundle prices SQLs as one bundle bought together.
+	Bundle bool `json:"bundle,omitempty"`
+}
+
+func (qr *quoteRequest) toPriceRequest() (qirana.PriceRequest, error) {
+	fn, err := funcByName(qr.Func)
+	if err != nil {
+		return qirana.PriceRequest{}, err
+	}
+	sqls := qr.SQLs
+	if qr.SQL != "" {
+		if len(sqls) > 0 {
+			return qirana.PriceRequest{}, errors.New(`set "sql" or "sqls", not both`)
+		}
+		sqls = []string{qr.SQL}
+	}
+	if len(sqls) == 0 {
+		return qirana.PriceRequest{}, errors.New(`request carries no queries (set "sql" or "sqls")`)
+	}
+	return qirana.PriceRequest{SQLs: sqls, Func: fn, Bundle: qr.Bundle}, nil
+}
+
+func (s *server) handleQuote(w http.ResponseWriter, r *http.Request) {
+	s.price(w, r, false)
+}
+
+func (s *server) handleQuoteBatch(w http.ResponseWriter, r *http.Request) {
+	s.price(w, r, true)
+}
+
+func (s *server) price(w http.ResponseWriter, r *http.Request, batch bool) {
+	var qr quoteRequest
+	if err := json.NewDecoder(r.Body).Decode(&qr); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	req, err := qr.toPriceRequest()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if !batch && len(req.SQLs) > 1 && !req.Bundle {
+		writeError(w, http.StatusBadRequest,
+			errors.New("independent multi-query pricing belongs on /quote/batch (or set bundle:true)"))
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	resp, err := s.broker.Price(ctx, req)
+	if err != nil {
+		writeRequestError(w, err)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+type askRequest struct {
+	Buyer string `json:"buyer"`
+	SQL   string `json:"sql"`
+	// Refund selects the charge-then-refund settlement model.
+	Refund bool `json:"refund,omitempty"`
+}
+
+// askResponse is a Receipt plus the materialized answer (Receipt keeps
+// Result off the wire by default; the daemon inlines it as strings).
+type askResponse struct {
+	*qirana.Receipt
+	Cols []string   `json:"cols"`
+	Rows [][]string `json:"rows"`
+}
+
+func (s *server) handleAsk(w http.ResponseWriter, r *http.Request) {
+	var ar askRequest
+	if err := json.NewDecoder(r.Body).Decode(&ar); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if ar.Buyer == "" {
+		writeError(w, http.StatusBadRequest, errors.New(`request carries no buyer (set "buyer")`))
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	rec, err := s.broker.Purchase(ctx, qirana.PurchaseRequest{Buyer: ar.Buyer, SQL: ar.SQL, Refund: ar.Refund})
+	if err != nil {
+		writeRequestError(w, err)
+		return
+	}
+	resp := askResponse{Receipt: rec, Cols: rec.Result.Cols, Rows: make([][]string, rec.Result.Len())}
+	for i, row := range rec.Result.Rows {
+		out := make([]string, len(row))
+		for j, v := range row {
+			out[j] = v.String()
+		}
+		resp.Rows[i] = out
+	}
+	writeJSON(w, resp)
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"support_set_size": s.broker.SupportSetSize(),
+		"total_price":      s.broker.TotalPrice(),
+		"last_stats":       s.broker.LastStats(),
+		"quote_cache":      s.broker.QuoteCacheStats(),
+		"quote_cache_len":  s.broker.QuoteCacheLen(),
+	})
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.broker.Metrics())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeRequestError maps a pricing error onto an HTTP status: an expired
+// deadline is a gateway timeout, a client-side cancellation a client
+// closed request, anything else a bad request (the broker's own errors
+// are all input errors; internal invariants panic).
+func writeRequestError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, err)
+	case errors.Is(err, context.Canceled):
+		// 499 is nginx's "client closed request"; the client is usually
+		// gone, but write it anyway for proxies and tests.
+		writeError(w, 499, err)
+	default:
+		writeError(w, http.StatusBadRequest, err)
+	}
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

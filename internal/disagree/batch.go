@@ -1,6 +1,7 @@
 package disagree
 
 import (
+	"context"
 	"sort"
 
 	"qirana/internal/pool"
@@ -48,6 +49,13 @@ type batchJob struct {
 // its own res slot, and Stats are aggregated by counting, so results and
 // Stats are bit-identical to the serial (Workers ≤ 1) run.
 func (c *Checker) CheckBatch(us []*support.Update, live []bool) ([]bool, error) {
+	return c.CheckBatchCtx(context.Background(), us, live)
+}
+
+// CheckBatchCtx is CheckBatch under a context: the worker pools of every
+// stage poll ctx between items, so cancellation or an expired deadline
+// aborts the sweep mid-batch with ctx.Err() instead of finishing it.
+func (c *Checker) CheckBatchCtx(ctx context.Context, us []*support.Update, live []bool) ([]bool, error) {
 	res := make([]bool, len(us))
 	workers := pool.Clamp(c.Workers, len(us))
 
@@ -58,9 +66,10 @@ func (c *Checker) CheckBatch(us []*support.Update, live []bool) ([]bool, error) 
 	defer c.accountCache(before)
 
 	// Static classification (Algorithms 4/5/6, no database access).
+	stopClassify := c.Obs.Timer("stage_classify")
 	outcomes := make([]Outcome, len(us))
 	nBlocks := (len(us) + classifyBlock - 1) / classifyBlock
-	_ = pool.Run(workers, nBlocks, func(b int) error {
+	if err := pool.RunCtx(ctx, workers, nBlocks, func(b int) error {
 		lo, hi := b*classifyBlock, (b+1)*classifyBlock
 		if hi > len(us) {
 			hi = len(us)
@@ -73,7 +82,10 @@ func (c *Checker) CheckBatch(us []*support.Update, live []bool) ([]bool, error) 
 			outcomes[i] = c.Classify(us[i])
 		}
 		return nil
-	})
+	}); err != nil {
+		return nil, err
+	}
+	stopClassify()
 
 	plusPending := make(map[string][]int)
 	comparePending := make(map[string][]int)
@@ -105,13 +117,15 @@ func (c *Checker) CheckBatch(us []*support.Update, live []bool) ([]bool, error) 
 	plusOf := func(i int) [][]value.Value { return us[i].PlusRows(c.db) }
 	minusOf := func(i int) [][]value.Value { return us[i].MinusRows(c.db) }
 	extraFull := make([][]int, len(jobs))
-	if err := pool.Run(workers, len(jobs), func(k int) error {
+	stopTagged := c.Obs.Timer("stage_tagged_batch")
+	if err := pool.RunCtx(ctx, workers, len(jobs), func(k int) error {
 		ef, err := c.runBatchJob(us, jobs[k], res, plusOf, minusOf)
 		extraFull[k] = ef
 		return err
 	}); err != nil {
 		return nil, err
 	}
+	stopTagged()
 	c.Stats.Batched += batched
 	for _, ef := range extraFull {
 		fullPending = append(fullPending, ef...)
@@ -120,12 +134,13 @@ func (c *Checker) CheckBatch(us []*support.Update, live []bool) ([]bool, error) 
 	// Residual full runs (rare: MIN/MAX removals and float borderlines),
 	// fanned out over per-worker overlays of the shared instance.
 	if len(fullPending) > 0 {
+		defer c.Obs.Timer("stage_residual")()
 		if err := c.ensureBaseHash(); err != nil {
 			return nil, err
 		}
 		fw := pool.Clamp(workers, len(fullPending))
 		overlays := make([]*storage.Overlay, fw)
-		if err := pool.RunWorkers(fw, len(fullPending), func(w, k int) error {
+		if err := pool.RunWorkersCtx(ctx, fw, len(fullPending), func(w, k int) error {
 			o := overlays[w]
 			if o == nil {
 				o = storage.NewOverlay(c.db)

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math"
 
+	"qirana/internal/obs"
 	"qirana/internal/result"
 	"qirana/internal/sqlengine/ast"
 	"qirana/internal/sqlengine/exec"
@@ -87,6 +88,11 @@ type Checker struct {
 	// the shared read-only database. Results and Stats are bit-identical
 	// to the serial run. Set by the pricing engine from Options.Workers.
 	Workers int
+
+	// Obs, when non-nil, receives per-stage latency observations
+	// (stage_classify, stage_tagged_batch, stage_residual) from every
+	// CheckBatch. Set by the pricing engine; nil costs one branch.
+	Obs *obs.Registry
 
 	// Stats counts how each update was decided (reported by experiments)
 	// and how the execution layer served the database checks.

@@ -1,8 +1,10 @@
 package disagree
 
 import (
+	"context"
 	"fmt"
 
+	"qirana/internal/obs"
 	"qirana/internal/pool"
 	"qirana/internal/sqlengine/exec"
 	"qirana/internal/storage"
@@ -24,11 +26,18 @@ import (
 // accumulate by counting — so results and per-checker Stats are
 // bit-identical to k sequential CheckBatch calls, serial or parallel.
 func CheckBatchMulti(cs []*Checker, us []*support.Update, live []bool) ([][]bool, error) {
+	return CheckBatchMultiCtx(context.Background(), cs, us, live)
+}
+
+// CheckBatchMultiCtx is CheckBatchMulti under a context: every shared
+// stage (classification, merged tagged-job pool, residual overlays) polls
+// ctx between items and aborts with ctx.Err() on cancellation.
+func CheckBatchMultiCtx(ctx context.Context, cs []*Checker, us []*support.Update, live []bool) ([][]bool, error) {
 	if len(cs) == 0 {
 		return nil, nil
 	}
 	if len(cs) == 1 {
-		res, err := cs[0].CheckBatch(us, live)
+		res, err := cs[0].CheckBatchCtx(ctx, us, live)
 		return [][]bool{res}, err
 	}
 	db := cs[0].db
@@ -53,9 +62,21 @@ func CheckBatchMulti(cs []*Checker, us []*support.Update, live []bool) ([][]bool
 		}
 	}()
 
+	// One registry serves the shared stages: the checkers of one engine
+	// all carry the engine's registry, so the first non-nil one stands in
+	// for the sweep as a whole.
+	var reg *obs.Registry
+	for _, c := range cs {
+		if c.Obs != nil {
+			reg = c.Obs
+			break
+		}
+	}
+
 	// Shared materialization + classification: one parallel pass over the
 	// updates builds each update's u⁺/u⁻ tuples once and classifies it
 	// against every checker.
+	stopClassify := reg.Timer("stage_classify")
 	plus := make([][][]value.Value, len(us))
 	minus := make([][][]value.Value, len(us))
 	outcomes := make([][]Outcome, len(cs))
@@ -63,7 +84,7 @@ func CheckBatchMulti(cs []*Checker, us []*support.Update, live []bool) ([][]bool
 		outcomes[k] = make([]Outcome, len(us))
 	}
 	nBlocks := (len(us) + classifyBlock - 1) / classifyBlock
-	_ = pool.Run(workers, nBlocks, func(b int) error {
+	err := pool.RunCtx(ctx, workers, nBlocks, func(b int) error {
 		lo, hi := b*classifyBlock, (b+1)*classifyBlock
 		if hi > len(us) {
 			hi = len(us)
@@ -83,6 +104,10 @@ func CheckBatchMulti(cs []*Checker, us []*support.Update, live []bool) ([][]bool
 		}
 		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
+	stopClassify()
 	plusOf := func(i int) [][]value.Value { return plus[i] }
 	minusOf := func(i int) [][]value.Value { return minus[i] }
 
@@ -121,7 +146,8 @@ func CheckBatchMulti(cs []*Checker, us []*support.Update, live []bool) ([][]bool
 		}
 	}
 	extraFull := make([][]int, len(jobs))
-	if err := pool.Run(workers, len(jobs), func(x int) error {
+	stopTagged := reg.Timer("stage_tagged_batch")
+	if err := pool.RunCtx(ctx, workers, len(jobs), func(x int) error {
 		mj := jobs[x]
 		ef, err := cs[mj.k].runBatchJob(us, mj.j, results[mj.k], plusOf, minusOf)
 		extraFull[x] = ef
@@ -129,6 +155,7 @@ func CheckBatchMulti(cs []*Checker, us []*support.Update, live []bool) ([][]bool
 	}); err != nil {
 		return nil, err
 	}
+	stopTagged()
 	for x, ef := range extraFull {
 		fullPending[jobs[x].k] = append(fullPending[jobs[x].k], ef...)
 	}
@@ -151,9 +178,10 @@ func CheckBatchMulti(cs []*Checker, us []*support.Update, live []bool) ([][]bool
 		}
 	}
 	if len(fulls) > 0 {
+		defer reg.Timer("stage_residual")()
 		fw := pool.Clamp(workers, len(fulls))
 		overlays := make([]*storage.Overlay, fw)
-		if err := pool.RunWorkers(fw, len(fulls), func(w, x int) error {
+		if err := pool.RunWorkersCtx(ctx, fw, len(fulls), func(w, x int) error {
 			o := overlays[w]
 			if o == nil {
 				o = storage.NewOverlay(db)

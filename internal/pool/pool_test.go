@@ -1,11 +1,14 @@
 package pool
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestRunCoversAllItems(t *testing.T) {
@@ -84,6 +87,77 @@ func TestSerialIsInOrderAndFailFast(t *testing.T) {
 		if i != v {
 			t.Fatalf("serial order violated: %v", seen)
 		}
+	}
+}
+
+func TestRunCtxCancelsMidRun(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var executed atomic.Int32
+		err := RunCtx(ctx, workers, 10000, func(i int) error {
+			if executed.Add(1) == 5 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: got %v, want context.Canceled", workers, err)
+		}
+		if n := executed.Load(); n > 5000 {
+			t.Fatalf("workers=%d: executed %d items after cancel", workers, n)
+		}
+	}
+}
+
+func TestRunCtxDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	err := RunCtx(ctx, 1, 1000, func(i int) error {
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestRunCtxCompletedBeforeCancelIsNil(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := RunCtx(ctx, 1, 10, func(i int) error { return nil }); err != nil {
+		t.Fatalf("uncancelled run: %v", err)
+	}
+	cancel()
+}
+
+func TestRunRecoversPanic(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	for _, workers := range []int{1, 4} {
+		err := Run(workers, 100, func(i int) error {
+			if i == 7 {
+				panic("kaboom")
+			}
+			return nil
+		})
+		if err == nil || !strings.Contains(err.Error(), "kaboom") {
+			t.Fatalf("workers=%d: panic not surfaced as error: %v", workers, err)
+		}
+	}
+}
+
+func TestRunWorkersRecoversPanicValueError(t *testing.T) {
+	boom := errors.New("typed boom")
+	err := RunWorkers(1, 3, func(_, i int) error {
+		if i == 1 {
+			panic(boom)
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "typed boom") {
+		t.Fatalf("got %v", err)
 	}
 }
 

@@ -1,6 +1,8 @@
 package pricing
 
 import (
+	"context"
+
 	"qirana/internal/disagree"
 	"qirana/internal/sqlengine/exec"
 	"qirana/internal/storage"
@@ -20,6 +22,13 @@ import (
 // same code against the same inputs, only shared setup is factored out.
 // LastStats is left holding the sum over all k queries.
 func (e *Engine) DisagreementsMulti(qs []*exec.Query) ([][]bool, []Stats, error) {
+	return e.DisagreementsMultiCtx(context.Background(), qs)
+}
+
+// DisagreementsMultiCtx is DisagreementsMulti under a context: the shared
+// sweep and every solo fallback poll ctx between elements and abort with
+// ctx.Err().
+func (e *Engine) DisagreementsMultiCtx(ctx context.Context, qs []*exec.Query) ([][]bool, []Stats, error) {
 	if len(qs) == 0 {
 		return nil, nil, nil
 	}
@@ -57,7 +66,7 @@ func (e *Engine) DisagreementsMulti(qs []*exec.Query) ([][]bool, []Stats, error)
 			c.Stats.DeltaRuns, c.Stats.IndexCacheHits, c.Stats.IndexCacheMisses = 0, 0, 0
 			c.Workers = e.parallelWorkers()
 		}
-		res, err := disagree.CheckBatchMulti(checkers, e.Set.Updates, nil)
+		res, err := disagree.CheckBatchMultiCtx(ctx, checkers, e.Set.Updates, nil)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -76,7 +85,7 @@ func (e *Engine) DisagreementsMulti(qs []*exec.Query) ([][]bool, []Stats, error)
 	// exactly what a solo call would.
 	prev := e.LastStats
 	for _, j := range soloIdx {
-		dis, err := e.Disagreements(qs[j:j+1], nil)
+		dis, err := e.DisagreementsCtx(ctx, qs[j:j+1], nil)
 		if err != nil {
 			e.LastStats = prev
 			return nil, nil, err
@@ -98,7 +107,7 @@ func (e *Engine) DisagreementsMulti(qs []*exec.Query) ([][]bool, []Stats, error)
 			bases[x] = base.Hash()
 			results[j] = make([]bool, size)
 		}
-		err := e.parallelApply(nil, func(o *storage.Overlay, i int) error {
+		err := e.parallelApplyCtx(ctx, nil, func(o *storage.Overlay, i int) error {
 			el := e.Set.Elements[i]
 			el.ApplyOverlay(o)
 			defer el.UndoOverlay(o)
@@ -140,9 +149,15 @@ func (e *Engine) DisagreementsMulti(qs []*exec.Query) ([][]bool, []Stats, error)
 // produces (so entropy prices derived from them are bit-identical).
 // Adds Size×k to LastStats.Naive, matching k solo calls.
 func (e *Engine) OutputHashesMulti(qs []*exec.Query) ([][]uint64, []uint64, error) {
+	return e.OutputHashesMultiCtx(context.Background(), qs)
+}
+
+// OutputHashesMultiCtx is OutputHashesMulti under a context.
+func (e *Engine) OutputHashesMultiCtx(ctx context.Context, qs []*exec.Query) ([][]uint64, []uint64, error) {
 	if len(qs) == 0 {
 		return nil, nil, nil
 	}
+	defer e.Obs.Timer("stage_entropy")()
 	bases := make([]uint64, len(qs))
 	var one [1]uint64
 	for j, q := range qs {
@@ -157,7 +172,7 @@ func (e *Engine) OutputHashesMulti(qs []*exec.Query) ([][]uint64, []uint64, erro
 	for j := range elems {
 		elems[j] = make([]uint64, e.Set.Size())
 	}
-	err := e.parallelApply(nil, func(o *storage.Overlay, i int) error {
+	err := e.parallelApplyCtx(ctx, nil, func(o *storage.Overlay, i int) error {
 		el := e.Set.Elements[i]
 		el.ApplyOverlay(o)
 		defer el.UndoOverlay(o)

@@ -1,6 +1,8 @@
 package pricing
 
 import (
+	"context"
+
 	"qirana/internal/pool"
 	"qirana/internal/storage"
 )
@@ -33,6 +35,13 @@ func (e *Engine) parallelWorkers() int {
 // overlay). With one worker the elements run inline in index order, so the
 // serial path is bit-identical to the parallel one by construction.
 func (e *Engine) parallelApply(mask []bool, fn func(o *storage.Overlay, i int) error) error {
+	return e.parallelApplyCtx(context.Background(), mask, fn)
+}
+
+// parallelApplyCtx is parallelApply under a context: the pool polls ctx
+// between elements, so a cancelled sweep stops after the in-flight
+// elements finish their apply/run/undo cycle.
+func (e *Engine) parallelApplyCtx(ctx context.Context, mask []bool, fn func(o *storage.Overlay, i int) error) error {
 	var live []int
 	for i := range e.Set.Elements {
 		if mask == nil || mask[i] {
@@ -44,7 +53,7 @@ func (e *Engine) parallelApply(mask []bool, fn func(o *storage.Overlay, i int) e
 	}
 	workers := pool.Clamp(e.parallelWorkers(), len(live))
 	overlays := make([]*storage.Overlay, workers)
-	return pool.RunWorkers(workers, len(live), func(w, k int) error {
+	return pool.RunWorkersCtx(ctx, workers, len(live), func(w, k int) error {
 		o := overlays[w]
 		if o == nil {
 			o = storage.NewOverlay(e.DB)

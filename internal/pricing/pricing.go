@@ -12,11 +12,13 @@
 package pricing
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"math"
 
 	"qirana/internal/disagree"
+	"qirana/internal/obs"
 	"qirana/internal/pool"
 	"qirana/internal/result"
 	"qirana/internal/sqlengine/ast"
@@ -112,6 +114,11 @@ type Engine struct {
 	uncheckable map[*exec.Query]bool
 	LastStats   Stats
 
+	// Obs, when non-nil, receives per-stage latency observations from the
+	// engine and its checkers (stage_classify, stage_tagged_batch,
+	// stage_residual, stage_entropy). Set by the broker; nil is a no-op.
+	Obs *obs.Registry
+
 	// weightsEpoch counts weight-vector installations. External caches
 	// (the broker's quote cache) embed it in their keys so a SetWeights
 	// call atomically orphans every price computed under the old vector.
@@ -183,6 +190,7 @@ func (e *Engine) checker(q *exec.Query) *disagree.Checker {
 		e.uncheckable[q] = true
 		return nil
 	}
+	c.Obs = e.Obs
 	e.checkers[q] = c
 	return c
 }
@@ -199,6 +207,15 @@ func (e *Engine) InvalidateCache() {
 // two databases apart). Elements with live[i]=false are skipped (history-
 // aware pricing); live may be nil.
 func (e *Engine) Disagreements(qs []*exec.Query, live []bool) ([]bool, error) {
+	return e.DisagreementsCtx(context.Background(), qs, live)
+}
+
+// DisagreementsCtx is Disagreements under a context: every evaluation
+// path (batched checker, per-element checker walk, naive and reduced
+// re-execution) polls ctx between elements and aborts mid-sweep with
+// ctx.Err(). A cancelled call leaves no partial state behind — the next
+// call recomputes from scratch.
+func (e *Engine) DisagreementsCtx(ctx context.Context, qs []*exec.Query, live []bool) ([]bool, error) {
 	e.LastStats = Stats{}
 	out := make([]bool, e.Set.Size())
 	for _, q := range qs {
@@ -212,24 +229,24 @@ func (e *Engine) Disagreements(qs []*exec.Query, live []bool) ([]bool, error) {
 			break
 		}
 		if c := e.checker(q); c != nil {
-			if err := e.fastDisagree(c, mask, out); err != nil {
+			if err := e.fastDisagree(ctx, c, mask, out); err != nil {
 				return nil, err
 			}
 			continue
 		}
-		if err := e.naiveDisagree(q, mask, out); err != nil {
+		if err := e.naiveDisagree(ctx, q, mask, out); err != nil {
 			return nil, err
 		}
 	}
 	return out, nil
 }
 
-func (e *Engine) fastDisagree(c *disagree.Checker, mask, out []bool) error {
+func (e *Engine) fastDisagree(ctx context.Context, c *disagree.Checker, mask, out []bool) error {
 	c.Stats.Static, c.Stats.Batched, c.Stats.FullRuns = 0, 0, 0
 	c.Stats.DeltaRuns, c.Stats.IndexCacheHits, c.Stats.IndexCacheMisses = 0, 0, 0
 	c.Workers = e.parallelWorkers()
 	if e.Opts.Batching {
-		res, err := c.CheckBatch(e.Set.Updates, mask)
+		res, err := c.CheckBatchCtx(ctx, e.Set.Updates, mask)
 		if err != nil {
 			return err
 		}
@@ -242,6 +259,9 @@ func (e *Engine) fastDisagree(c *disagree.Checker, mask, out []bool) error {
 		for i, u := range e.Set.Updates {
 			if !mask[i] {
 				continue
+			}
+			if err := ctx.Err(); err != nil {
+				return err
 			}
 			d, err := c.Check(u)
 			if err != nil {
@@ -263,9 +283,9 @@ func (e *Engine) fastDisagree(c *disagree.Checker, mask, out []bool) error {
 // reduction when eligible and enabled. Elements are evaluated through
 // copy-on-write overlays over the shared (never mutated) database, one
 // overlay per worker; with one worker they run inline in index order.
-func (e *Engine) naiveDisagree(q *exec.Query, mask, out []bool) error {
+func (e *Engine) naiveDisagree(ctx context.Context, q *exec.Query, mask, out []bool) error {
 	if e.Opts.InstanceReduction && e.Set.Updates != nil {
-		if ok, err := e.reducedDisagree(q, mask, out); ok {
+		if ok, err := e.reducedDisagree(ctx, q, mask, out); ok {
 			return err
 		}
 	}
@@ -280,7 +300,7 @@ func (e *Engine) naiveDisagree(q *exec.Query, mask, out []bool) error {
 			n++
 		}
 	}
-	err = e.parallelApply(mask, func(o *storage.Overlay, i int) error {
+	err = e.parallelApplyCtx(ctx, mask, func(o *storage.Overlay, i int) error {
 		el := e.Set.Elements[i]
 		el.ApplyOverlay(o)
 		res, rerr := q.RunOverride(e.DB, o.Overrides())
@@ -317,7 +337,7 @@ type reducedRel struct {
 // Each element's check substitutes its updated tuples into a private copy
 // of the (tiny) reduced relation, so the base database stays read-only and
 // the per-element checks parallelize across workers.
-func (e *Engine) reducedDisagree(q *exec.Query, mask, out []bool) (bool, error) {
+func (e *Engine) reducedDisagree(ctx context.Context, q *exec.Query, mask, out []bool) (bool, error) {
 	s, err := plan.Extract(q.A)
 	if err != nil || s.IsAgg {
 		return false, nil
@@ -370,7 +390,7 @@ func (e *Engine) reducedDisagree(q *exec.Query, mask, out []bool) (bool, error) 
 	}
 	workers := pool.Clamp(e.parallelWorkers(), len(idxs))
 	scratch := make([]map[string][][]value.Value, workers)
-	err = pool.RunWorkers(workers, len(idxs), func(w, k int) error {
+	err = pool.RunWorkersCtx(ctx, workers, len(idxs), func(w, k int) error {
 		i := idxs[k]
 		u := e.Set.Updates[i]
 		rel := ast.LowerName(u.Rel)
@@ -416,6 +436,13 @@ func (e *Engine) reducedDisagree(q *exec.Query, mask, out []bool) (bool, error) 
 // the combined output hash per element plus the hash for D itself. The
 // entropy pricing functions partition S by these hashes.
 func (e *Engine) OutputHashes(qs []*exec.Query) (elems []uint64, base uint64, err error) {
+	return e.OutputHashesCtx(context.Background(), qs)
+}
+
+// OutputHashesCtx is OutputHashes under a context: the per-element sweep
+// polls ctx and aborts mid-sweep with ctx.Err().
+func (e *Engine) OutputHashesCtx(ctx context.Context, qs []*exec.Query) (elems []uint64, base uint64, err error) {
+	defer e.Obs.Timer("stage_entropy")()
 	baseHashes := make([]uint64, len(qs))
 	for j, q := range qs {
 		var res *result.Result
@@ -427,7 +454,7 @@ func (e *Engine) OutputHashes(qs []*exec.Query) (elems []uint64, base uint64, er
 	}
 	base = combine(baseHashes)
 	elems = make([]uint64, e.Set.Size())
-	err = e.parallelApply(nil, func(o *storage.Overlay, i int) error {
+	err = e.parallelApplyCtx(ctx, nil, func(o *storage.Overlay, i int) error {
 		el := e.Set.Elements[i]
 		el.ApplyOverlay(o)
 		defer el.UndoOverlay(o)
@@ -464,19 +491,25 @@ func combine(hs []uint64) uint64 {
 // Price computes the bundle price under the chosen pricing function,
 // scaled so that the bundle retrieving the full database costs Total.
 func (e *Engine) Price(fn Func, qs ...*exec.Query) (float64, error) {
+	return e.PriceCtx(context.Background(), fn, qs...)
+}
+
+// PriceCtx is Price under a context; see DisagreementsCtx for the
+// cancellation contract.
+func (e *Engine) PriceCtx(ctx context.Context, fn Func, qs ...*exec.Query) (float64, error) {
 	if len(qs) == 0 {
 		return 0, fmt.Errorf("empty query bundle")
 	}
 	switch fn {
 	case WeightedCoverage, UniformEntropyGain:
-		dis, err := e.Disagreements(qs, nil)
+		dis, err := e.DisagreementsCtx(ctx, qs, nil)
 		if err != nil {
 			return 0, err
 		}
 		return e.PriceFromDisagreements(fn, dis)
 
 	case ShannonEntropy, QEntropy:
-		hashes, _, err := e.OutputHashes(qs)
+		hashes, _, err := e.OutputHashesCtx(ctx, qs)
 		if err != nil {
 			return 0, err
 		}

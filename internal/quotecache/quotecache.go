@@ -14,7 +14,11 @@ package quotecache
 
 import (
 	"container/list"
+	"context"
+	"errors"
 	"sync"
+
+	"qirana/internal/obs"
 )
 
 // Stats are the cache's monotonic counters.
@@ -39,6 +43,22 @@ type Cache struct {
 	entries map[string]*list.Element
 	flights map[string]*flight
 	stats   Stats
+
+	// Pre-resolved obs counters (nil until AttachObs): the hot path pays
+	// one nil check per event, never a registry map lookup.
+	cHits, cMisses, cCoalesced, cEvictions *obs.Counter
+}
+
+// AttachObs mirrors the cache counters into an obs registry under the
+// quotecache_* names, so /metrics reports cache effectiveness without
+// polling Stats. Safe to call with a nil registry (no-op counters).
+func (c *Cache) AttachObs(r *obs.Registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cHits = r.Counter("quotecache_hits")
+	c.cMisses = r.Counter("quotecache_misses")
+	c.cCoalesced = r.Counter("quotecache_coalesced_waits")
+	c.cEvictions = r.Counter("quotecache_evictions")
 }
 
 type entry struct {
@@ -74,9 +94,11 @@ func (c *Cache) Get(key string) (any, bool) {
 	if el, ok := c.entries[key]; ok {
 		c.ll.MoveToFront(el)
 		c.stats.Hits++
+		c.cHits.Inc()
 		return el.Value.(*entry).val, true
 	}
 	c.stats.Misses++
+	c.cMisses.Inc()
 	return nil, false
 }
 
@@ -101,6 +123,7 @@ func (c *Cache) putLocked(key string, val any) {
 		c.ll.Remove(last)
 		delete(c.entries, last.Value.(*entry).key)
 		c.stats.Evictions++
+		c.cEvictions.Inc()
 	}
 }
 
@@ -110,36 +133,70 @@ func (c *Cache) putLocked(key string, val any) {
 // block on the leader's result. A successful result is inserted into the
 // LRU; an error is handed to every waiter of that flight and nothing is
 // cached, so the next caller retries.
-func (c *Cache) Do(key string, fn func() (any, error)) (any, error) {
-	c.mu.Lock()
-	if el, ok := c.entries[key]; ok {
-		c.ll.MoveToFront(el)
-		c.stats.Hits++
-		v := el.Value.(*entry).val
+//
+// ctx governs only THIS caller's participation, never the shared
+// computation: a waiter whose own context is cancelled stops waiting and
+// returns its ctx.Err() (the leader keeps computing for everyone else),
+// and a waiter whose leader was cancelled does NOT inherit that
+// cancellation — it retries the lookup and, being first, becomes the new
+// leader under its own context. Cancelled computations cache nothing, so
+// a cancellation can never poison an entry.
+func (c *Cache) Do(ctx context.Context, key string, fn func() (any, error)) (any, error) {
+	for {
+		c.mu.Lock()
+		if el, ok := c.entries[key]; ok {
+			c.ll.MoveToFront(el)
+			c.stats.Hits++
+			c.cHits.Inc()
+			v := el.Value.(*entry).val
+			c.mu.Unlock()
+			return v, nil
+		}
+		if f, ok := c.flights[key]; ok {
+			c.stats.CoalescedWaits++
+			c.cCoalesced.Inc()
+			c.mu.Unlock()
+			select {
+			case <-ctx.Done():
+				// Abandon the wait; the flight continues without us.
+				return nil, ctx.Err()
+			case <-f.done:
+			}
+			if f.err != nil && isContextErr(f.err) {
+				// The leader died of ITS cancellation, not a pricing
+				// failure. Our context is live (checked above), so take
+				// over: loop back and lead a fresh flight.
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			return f.val, f.err
+		}
+		f := &flight{done: make(chan struct{})}
+		c.flights[key] = f
+		c.stats.Misses++
+		c.cMisses.Inc()
 		c.mu.Unlock()
-		return v, nil
-	}
-	if f, ok := c.flights[key]; ok {
-		c.stats.CoalescedWaits++
+
+		f.val, f.err = fn()
+
+		c.mu.Lock()
+		delete(c.flights, key)
+		if f.err == nil {
+			c.putLocked(key, f.val)
+		}
 		c.mu.Unlock()
-		<-f.done
+		close(f.done)
 		return f.val, f.err
 	}
-	f := &flight{done: make(chan struct{})}
-	c.flights[key] = f
-	c.stats.Misses++
-	c.mu.Unlock()
+}
 
-	f.val, f.err = fn()
-
-	c.mu.Lock()
-	delete(c.flights, key)
-	if f.err == nil {
-		c.putLocked(key, f.val)
-	}
-	c.mu.Unlock()
-	close(f.done)
-	return f.val, f.err
+// isContextErr reports whether err is (or wraps) a context cancellation
+// or deadline error — the errors a flight leader's private context can
+// inject into a shared computation.
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // Len returns the number of cached entries.

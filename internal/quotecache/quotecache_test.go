@@ -1,11 +1,15 @@
 package quotecache
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
+
+	"qirana/internal/obs"
 )
 
 func TestLRUEviction(t *testing.T) {
@@ -36,7 +40,7 @@ func TestDoCachesAndCounts(t *testing.T) {
 	c := New(10)
 	calls := 0
 	for i := 0; i < 3; i++ {
-		v, err := c.Do("k", func() (any, error) { calls++; return 42, nil })
+		v, err := c.Do(context.Background(), "k", func() (any, error) { calls++; return 42, nil })
 		if err != nil || v.(int) != 42 {
 			t.Fatalf("Do = %v, %v", v, err)
 		}
@@ -53,13 +57,13 @@ func TestDoCachesAndCounts(t *testing.T) {
 func TestDoErrorNotCached(t *testing.T) {
 	c := New(10)
 	boom := errors.New("boom")
-	if _, err := c.Do("k", func() (any, error) { return nil, boom }); err != boom {
+	if _, err := c.Do(context.Background(), "k", func() (any, error) { return nil, boom }); err != boom {
 		t.Fatalf("err = %v, want boom", err)
 	}
 	if _, ok := c.Get("k"); ok {
 		t.Fatal("error result must not be cached")
 	}
-	if v, err := c.Do("k", func() (any, error) { return 7, nil }); err != nil || v.(int) != 7 {
+	if v, err := c.Do(context.Background(), "k", func() (any, error) { return 7, nil }); err != nil || v.(int) != 7 {
 		t.Fatalf("retry = %v, %v", v, err)
 	}
 }
@@ -75,7 +79,7 @@ func TestCoalescing(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			v, err := c.Do("k", func() (any, error) {
+			v, err := c.Do(context.Background(), "k", func() (any, error) {
 				calls.Add(1)
 				<-gate // hold the flight open so the others coalesce
 				return "shared", nil
@@ -104,6 +108,107 @@ func TestCoalescing(t *testing.T) {
 	s := c.Stats()
 	if s.CoalescedWaits+s.Hits != n-1 {
 		t.Fatalf("stats = %+v, want coalesced+hits = %d", s, n-1)
+	}
+}
+
+func TestDoWaiterAbandonsOnOwnCancel(t *testing.T) {
+	c := New(10)
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		c.Do(context.Background(), "k", func() (any, error) {
+			close(started)
+			<-gate
+			return "late", nil
+		})
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Do(ctx, "k", func() (any, error) { return "never", nil })
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("waiter err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled waiter did not return promptly")
+	}
+	// The flight itself was unaffected: release the leader and the value
+	// is cached for everyone.
+	close(gate)
+	if v, err := c.Do(context.Background(), "k", nil); err != nil || v.(string) != "late" {
+		t.Fatalf("flight poisoned by waiter cancellation: %v, %v", v, err)
+	}
+}
+
+func TestDoFollowerDoesNotInheritLeaderCancellation(t *testing.T) {
+	c := New(10)
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	inFlight := make(chan struct{})
+	release := make(chan struct{})
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := c.Do(leaderCtx, "k", func() (any, error) {
+			close(inFlight)
+			<-release
+			return nil, leaderCtx.Err() // a cancelled sweep returns ctx.Err()
+		})
+		leaderDone <- err
+	}()
+	<-inFlight
+	followerDone := make(chan error, 1)
+	var followerComputed atomic.Bool
+	go func() {
+		v, err := c.Do(context.Background(), "k", func() (any, error) {
+			followerComputed.Store(true)
+			return "fresh", nil
+		})
+		if err == nil && v.(string) != "fresh" {
+			t.Errorf("follower got %v", v)
+		}
+		followerDone <- err
+	}()
+	// Cancel the leader mid-flight, then let it finish with ctx.Err().
+	cancelLeader()
+	close(release)
+	if err := <-leaderDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader err = %v, want context.Canceled", err)
+	}
+	if err := <-followerDone; err != nil {
+		t.Fatalf("follower inherited leader cancellation: %v", err)
+	}
+	if !followerComputed.Load() {
+		t.Fatal("follower should have taken over as the new leader")
+	}
+	// And the takeover's (successful) result is cached.
+	if v, ok := c.Get("k"); !ok || v.(string) != "fresh" {
+		t.Fatalf("takeover result not cached: %v, %v", v, ok)
+	}
+}
+
+func TestAttachObsMirrorsCounters(t *testing.T) {
+	c := New(2)
+	r := obs.New()
+	c.AttachObs(r)
+	c.Do(context.Background(), "k", func() (any, error) { return 1, nil }) // miss
+	c.Do(context.Background(), "k", nil)                                   // hit
+	c.Put("a", 1)
+	c.Put("b", 2) // evicts k or a
+	s := r.Snapshot()
+	if s.Counters["quotecache_misses"] != 1 || s.Counters["quotecache_hits"] != 1 {
+		t.Fatalf("obs counters: %+v", s.Counters)
+	}
+	if s.Counters["quotecache_evictions"] != 1 {
+		t.Fatalf("obs evictions: %+v", s.Counters)
+	}
+	// Internal stats agree with the mirror.
+	if st := c.Stats(); st.Misses != 1 || st.Hits != 1 || st.Evictions != 1 {
+		t.Fatalf("stats diverged from obs: %+v", st)
 	}
 }
 

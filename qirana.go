@@ -20,12 +20,14 @@
 package qirana
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
 	"sync"
 
 	"qirana/internal/datagen"
+	"qirana/internal/obs"
 	"qirana/internal/pricing"
 	"qirana/internal/quotecache"
 	"qirana/internal/result"
@@ -61,6 +63,9 @@ type (
 	Stats = pricing.Stats
 	// CacheStats reports the broker's quote-cache counters.
 	CacheStats = quotecache.Stats
+	// MetricsSnapshot is a point-in-time copy of the broker's operational
+	// metrics (counters and latency percentiles); see Broker.Metrics.
+	MetricsSnapshot = obs.Snapshot
 )
 
 // Value is a typed SQL value; rows are []Value.
@@ -135,14 +140,42 @@ type Options struct {
 	// GOMAXPROCS). Prices and statistics are bit-identical to Workers=1.
 	Workers int
 	// QuoteCacheSize bounds the broker's cross-query quote cache in
-	// entries. 0 selects the default (1024); a negative value disables
-	// caching and request coalescing entirely.
+	// entries. 0 selects the default (1024); QuoteCacheDisabled (-1)
+	// disables caching and request coalescing entirely. Other negative
+	// values are rejected by Validate.
 	QuoteCacheSize int
 }
 
 // defaultQuoteCacheSize is the quote-cache capacity when Options leaves
 // QuoteCacheSize at zero.
 const defaultQuoteCacheSize = 1024
+
+// QuoteCacheDisabled is the QuoteCacheSize sentinel that turns the quote
+// cache (and request coalescing) off entirely.
+const QuoteCacheDisabled = -1
+
+// Validate checks the options for values that cannot mean anything
+// sensible, returning a descriptive error instead of letting the broker
+// silently reinterpret them. Zero values remain "use the default"
+// (SupportSetSize 1000, SwapFraction 0.5, serial workers, 1024-entry
+// quote cache); Workers beyond GOMAXPROCS is valid and documented to
+// clamp.
+func (o Options) Validate() error {
+	if o.SupportSetSize < 0 {
+		return fmt.Errorf("options: SupportSetSize %d is negative; use 0 for the default (1000)", o.SupportSetSize)
+	}
+	if o.SwapFraction < 0 || o.SwapFraction > 1 {
+		return fmt.Errorf("options: SwapFraction %g is outside [0, 1]; use 0 for the default (0.5)", o.SwapFraction)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("options: Workers %d is negative; use 0 or 1 for serial pricing", o.Workers)
+	}
+	if o.QuoteCacheSize < QuoteCacheDisabled {
+		return fmt.Errorf("options: QuoteCacheSize %d is invalid; use 0 for the default (%d) or %d (QuoteCacheDisabled) to disable caching",
+			o.QuoteCacheSize, defaultQuoteCacheSize, QuoteCacheDisabled)
+	}
+	return nil
+}
 
 // Broker is the pricing middleware between buyers and a database — a
 // concurrent quoting frontend. All methods are safe for concurrent use,
@@ -193,6 +226,11 @@ type Broker struct {
 	qc         *quotecache.Cache
 	supportGen uint64
 
+	// obs is the broker's metrics registry (never nil): request counters,
+	// serving latency histograms and the engine's per-stage timers all
+	// land here; Metrics snapshots it and qiranad serves it.
+	obs *obs.Registry
+
 	buyersMu sync.Mutex
 	buyers   map[string]*buyerState
 
@@ -207,10 +245,15 @@ type buyerState struct {
 	h  *pricing.History
 }
 
-// NewBroker creates a broker selling db for totalPrice.
+// NewBroker creates a broker selling db for totalPrice. Invalid options
+// are rejected with a descriptive error (see Options.Validate) instead of
+// being silently reinterpreted.
 func NewBroker(db *Database, totalPrice float64, opt Options) (*Broker, error) {
 	if totalPrice <= 0 {
 		return nil, fmt.Errorf("total price must be positive, got %g", totalPrice)
+	}
+	if err := opt.Validate(); err != nil {
+		return nil, err
 	}
 	if opt.SupportSetSize == 0 {
 		opt.SupportSetSize = 1000
@@ -219,7 +262,10 @@ func NewBroker(db *Database, totalPrice float64, opt Options) (*Broker, error) {
 		opt.SwapFraction = 0.5
 	}
 	b := &Broker{db: db, fn: opt.Func, buyers: make(map[string]*buyerState),
-		seed: opt.Seed, opts: opt, total: totalPrice, qc: newQuoteCache(opt)}
+		seed: opt.Seed, opts: opt, total: totalPrice, qc: newQuoteCache(opt), obs: obs.New()}
+	if b.qc != nil {
+		b.qc.AttachObs(b.obs)
+	}
 	if err := b.resample(opt.Seed); err != nil {
 		return nil, err
 	}
@@ -256,6 +302,7 @@ func (b *Broker) resample(seed int64) error {
 	b.engine.Opts.FastPath = !b.opts.DisableFastPath
 	b.engine.Opts.Batching = !b.opts.DisableBatching
 	b.engine.Opts.Workers = b.opts.Workers
+	b.engine.Obs = b.obs
 	// A new support set means new prices: bump the generation so every
 	// cached quote key goes dead, and drop the dead entries eagerly.
 	b.supportGen++
@@ -323,12 +370,22 @@ func (b *Broker) maxVersion(qs []*exec.Query) uint64 {
 }
 
 // cached runs compute through the quote cache's singleflight (or directly
-// when caching is disabled).
-func (b *Broker) cached(key string, compute func() (any, error)) (any, error) {
+// when caching is disabled). The second return reports provenance: true
+// when the value came from the cache or another caller's flight, false
+// when THIS call computed it. ctx governs only this caller's wait — a
+// cancelled leader never poisons the cache and never fails a live
+// follower (quotecache.Do's contract).
+func (b *Broker) cached(ctx context.Context, key string, compute func() (any, error)) (any, bool, error) {
 	if b.qc == nil {
-		return compute()
+		v, err := compute()
+		return v, false, err
 	}
-	return b.qc.Do(key, compute)
+	computed := false
+	v, err := b.qc.Do(ctx, key, func() (any, error) {
+		computed = true
+		return compute()
+	})
+	return v, !computed, err
 }
 
 // disEntry is a cached disagreement bitmap plus the Stats of the cold
@@ -346,43 +403,44 @@ type priceEntry struct {
 }
 
 // disagreements returns the bundle's full (history-oblivious)
-// disagreement bitmap, from the cache when possible. Callers hold
-// mu.RLock.
-func (b *Broker) disagreements(qs []*exec.Query) (disEntry, error) {
-	v, err := b.cached(b.disKey(qs), func() (any, error) {
+// disagreement bitmap, from the cache when possible (the bool reports
+// provenance). Callers hold mu.RLock.
+func (b *Broker) disagreements(ctx context.Context, qs []*exec.Query) (disEntry, bool, error) {
+	v, cached, err := b.cached(ctx, b.disKey(qs), func() (any, error) {
 		b.engineMu.Lock()
 		defer b.engineMu.Unlock()
 		b.refreshEngineLocked()
-		dis, err := b.engine.Disagreements(qs, nil)
+		dis, err := b.engine.DisagreementsCtx(ctx, qs, nil)
 		if err != nil {
 			return nil, err
 		}
 		return disEntry{dis: dis, stats: b.engine.LastStats}, nil
 	})
 	if err != nil {
-		return disEntry{}, err
+		return disEntry{}, false, err
 	}
-	return v.(disEntry), nil
+	return v.(disEntry), cached, nil
 }
 
 // entropyPrice returns the bundle's price under an entropy pricing
-// function, from the cache when possible. Callers hold mu.RLock.
-func (b *Broker) entropyPrice(fn PricingFunc, qs []*exec.Query) (priceEntry, error) {
-	v, err := b.cached(b.entropyKey(fn, qs), func() (any, error) {
+// function, from the cache when possible (the bool reports provenance).
+// Callers hold mu.RLock.
+func (b *Broker) entropyPrice(ctx context.Context, fn PricingFunc, qs []*exec.Query) (priceEntry, bool, error) {
+	v, cached, err := b.cached(ctx, b.entropyKey(fn, qs), func() (any, error) {
 		b.engineMu.Lock()
 		defer b.engineMu.Unlock()
 		b.refreshEngineLocked()
 		b.engine.LastStats = pricing.Stats{}
-		p, err := b.engine.Price(fn, qs...)
+		p, err := b.engine.PriceCtx(ctx, fn, qs...)
 		if err != nil {
 			return nil, err
 		}
 		return priceEntry{price: p, stats: b.engine.LastStats}, nil
 	})
 	if err != nil {
-		return priceEntry{}, err
+		return priceEntry{}, false, err
 	}
-	return v.(priceEntry), nil
+	return v.(priceEntry), cached, nil
 }
 
 // refreshEngineLocked rebuilds per-query engine state (disagreement
@@ -406,61 +464,59 @@ func (b *Broker) setLastStats(s pricing.Stats) {
 	b.statsMu.Unlock()
 }
 
-// quoteLocked prices a compiled bundle under fn. Callers hold mu.RLock.
-func (b *Broker) quoteLocked(fn PricingFunc, qs []*exec.Query) (float64, error) {
+// quoteLocked prices a compiled bundle under fn, reporting the stats of
+// the computation and whether it was served from the cache. Callers hold
+// mu.RLock.
+func (b *Broker) quoteLocked(ctx context.Context, fn PricingFunc, qs []*exec.Query) (float64, Stats, bool, error) {
 	switch fn {
 	case WeightedCoverage, UniformEntropyGain:
-		ent, err := b.disagreements(qs)
+		ent, cached, err := b.disagreements(ctx, qs)
 		if err != nil {
-			return 0, err
+			return 0, Stats{}, false, err
 		}
 		b.setLastStats(ent.stats)
 		// Summing the current weights over the cached bitmap is the exact
 		// summation the cold path performs — bit-identical, and correct
 		// across weight refits because the bitmap is weight-independent.
-		return b.engine.PriceFromDisagreements(fn, ent.dis)
+		p, err := b.engine.PriceFromDisagreements(fn, ent.dis)
+		return p, ent.stats, cached, err
 	case ShannonEntropy, QEntropy:
-		ent, err := b.entropyPrice(fn, qs)
+		ent, cached, err := b.entropyPrice(ctx, fn, qs)
 		if err != nil {
-			return 0, err
+			return 0, Stats{}, false, err
 		}
 		b.setLastStats(ent.stats)
-		return ent.price, nil
+		return ent.price, ent.stats, cached, nil
 	}
-	return 0, fmt.Errorf("unknown pricing function %v", fn)
+	return 0, Stats{}, false, fmt.Errorf("unknown pricing function %v", fn)
 }
 
 // Quote prices a query (history-oblivious) with the broker's pricing
 // function without running it for a buyer. With up-front pricing the quote
 // can be disclosed before purchase (paper §2.2, price leakage discussion).
+// It is a wrapper over Price.
 func (b *Broker) Quote(sql string) (float64, error) {
 	return b.QuoteWith(b.fn, sql)
 }
 
-// QuoteWith prices a query under a specific pricing function.
+// QuoteWith prices a query under a specific pricing function. It is a
+// wrapper over Price.
 func (b *Broker) QuoteWith(fn PricingFunc, sql string) (float64, error) {
-	q, err := b.Compile(sql)
+	resp, err := b.Price(context.Background(), PriceRequest{SQLs: []string{sql}, Func: &fn})
 	if err != nil {
 		return 0, err
 	}
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	return b.quoteLocked(fn, []*exec.Query{q})
+	return resp.Total, nil
 }
 
-// QuoteBundle prices a bundle of queries asked together.
+// QuoteBundle prices a bundle of queries asked together. It is a wrapper
+// over Price.
 func (b *Broker) QuoteBundle(sqls ...string) (float64, error) {
-	qs := make([]*exec.Query, len(sqls))
-	for i, s := range sqls {
-		q, err := b.Compile(s)
-		if err != nil {
-			return 0, err
-		}
-		qs[i] = q
+	resp, err := b.Price(context.Background(), PriceRequest{SQLs: sqls, Bundle: true})
+	if err != nil {
+		return 0, err
 	}
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	return b.quoteLocked(b.fn, qs)
+	return resp.Total, nil
 }
 
 // QuoteBatch prices k INDEPENDENT queries (not a bundle) in one shared
@@ -472,84 +528,20 @@ func (b *Broker) QuoteBundle(sqls ...string) (float64, error) {
 //
 // Batch misses insert into the cache without claiming singleflight
 // leadership, so they do not coalesce with concurrent solo quotes of the
-// same query (both may compute; both results are identical).
+// same query (both may compute; both results are identical). It is a
+// wrapper over Price.
 func (b *Broker) QuoteBatch(sqls []string) ([]float64, error) {
 	return b.QuoteBatchWith(b.fn, sqls)
 }
 
-// QuoteBatchWith is QuoteBatch under a specific pricing function.
+// QuoteBatchWith is QuoteBatch under a specific pricing function. It is a
+// wrapper over Price.
 func (b *Broker) QuoteBatchWith(fn PricingFunc, sqls []string) ([]float64, error) {
-	qs := make([]*exec.Query, len(sqls))
-	for i, s := range sqls {
-		q, err := b.Compile(s)
-		if err != nil {
-			return nil, err
-		}
-		qs[i] = q
+	resp, err := b.Price(context.Background(), PriceRequest{SQLs: sqls, Func: &fn})
+	if err != nil {
+		return nil, err
 	}
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-
-	switch fn {
-	case WeightedCoverage, UniformEntropyGain:
-		entries, err := batchEntries(b, qs, b.disKey,
-			func(miss []*exec.Query) ([]disEntry, error) {
-				res, stats, err := b.engine.DisagreementsMulti(miss)
-				if err != nil {
-					return nil, err
-				}
-				out := make([]disEntry, len(miss))
-				for x := range miss {
-					out[x] = disEntry{dis: res[x], stats: stats[x]}
-				}
-				return out, nil
-			})
-		if err != nil {
-			return nil, err
-		}
-		prices := make([]float64, len(qs))
-		var sum pricing.Stats
-		for j := range qs {
-			p, err := b.engine.PriceFromDisagreements(fn, entries[j].dis)
-			if err != nil {
-				return nil, err
-			}
-			prices[j] = p
-			addStats(&sum, entries[j].stats)
-		}
-		b.setLastStats(sum)
-		return prices, nil
-
-	case ShannonEntropy, QEntropy:
-		entries, err := batchEntries(b, qs,
-			func(qs []*exec.Query) string { return b.entropyKey(fn, qs) },
-			func(miss []*exec.Query) ([]priceEntry, error) {
-				elems, bases, err := b.engine.OutputHashesMulti(miss)
-				if err != nil {
-					return nil, err
-				}
-				out := make([]priceEntry, len(miss))
-				for x := range miss {
-					// Identical to the solo path: the price is a function
-					// of the element-hash partition alone.
-					p := b.engine.PricesFromHashes(elems[x], bases[x])[fn]
-					out[x] = priceEntry{price: p, stats: pricing.Stats{Naive: b.engine.Set.Size()}}
-				}
-				return out, nil
-			})
-		if err != nil {
-			return nil, err
-		}
-		prices := make([]float64, len(qs))
-		var sum pricing.Stats
-		for j := range qs {
-			prices[j] = entries[j].price
-			addStats(&sum, entries[j].stats)
-		}
-		b.setLastStats(sum)
-		return prices, nil
-	}
-	return nil, fmt.Errorf("unknown pricing function %v", fn)
+	return resp.Prices, nil
 }
 
 func addStats(sum *pricing.Stats, s pricing.Stats) {
@@ -561,9 +553,13 @@ func addStats(sum *pricing.Stats, s pricing.Stats) {
 
 // batchEntries resolves one cache entry per query: hits from the LRU,
 // in-batch duplicates folded onto one computation, and the remaining
-// misses computed together by the shared sweep and inserted via Put.
-func batchEntries[E any](b *Broker, qs []*exec.Query, keyOf func([]*exec.Query) string, sweep func([]*exec.Query) ([]E, error)) ([]E, error) {
+// misses computed together by the shared ctx-aware sweep and inserted via
+// Put. The returned bool slice aligns with qs and reports per-entry
+// provenance: true when the entry came from the cache (duplicates inherit
+// the provenance of the slot that resolved their key).
+func batchEntries[E any](ctx context.Context, b *Broker, qs []*exec.Query, keyOf func([]*exec.Query) string, sweep func(context.Context, []*exec.Query) ([]E, error)) ([]E, []bool, error) {
 	entries := make([]E, len(qs))
+	cached := make([]bool, len(qs))
 	keys := make([]string, len(qs))
 	slot := make(map[string]int, len(qs)) // key → entries index of its computation
 	var missIdx []int
@@ -575,6 +571,7 @@ func batchEntries[E any](b *Broker, qs []*exec.Query, keyOf func([]*exec.Query) 
 		if b.qc != nil {
 			if v, ok := b.qc.Get(keys[j]); ok {
 				entries[j] = v.(E)
+				cached[j] = true
 				slot[keys[j]] = j
 				continue
 			}
@@ -589,10 +586,10 @@ func batchEntries[E any](b *Broker, qs []*exec.Query, keyOf func([]*exec.Query) 
 		}
 		b.engineMu.Lock()
 		b.refreshEngineLocked()
-		out, err := sweep(miss)
+		out, err := sweep(ctx, miss)
 		b.engineMu.Unlock()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		for x, j := range missIdx {
 			entries[j] = out[x]
@@ -604,9 +601,10 @@ func batchEntries[E any](b *Broker, qs []*exec.Query, keyOf func([]*exec.Query) 
 	for j := range qs {
 		if k := slot[keys[j]]; k != j {
 			entries[j] = entries[k]
+			cached[j] = cached[k]
 		}
 	}
-	return entries, nil
+	return entries, cached, nil
 }
 
 // Buyer returns (creating if needed) the purchase history of a buyer
@@ -639,61 +637,26 @@ func (b *Broker) buyerState(name string) *buyerState {
 // bitmap into the buyer's history: an element's disagreement bit does not
 // depend on who is asking, so one cached bitmap serves every buyer, and
 // the masked cold computation decides every element identically — the
-// charge is bit-identical to pricing against the history directly.
+// charge is bit-identical to pricing against the history directly. It is
+// a wrapper over Purchase.
 func (b *Broker) Ask(buyer, sql string) (*Result, float64, error) {
-	q, err := b.Compile(sql)
+	rec, err := b.Purchase(context.Background(), PurchaseRequest{Buyer: buyer, SQL: sql})
 	if err != nil {
 		return nil, 0, err
 	}
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	res, err := q.Run(b.db)
-	if err != nil {
-		return nil, 0, err
-	}
-	ent, err := b.disagreements([]*exec.Query{q})
-	if err != nil {
-		return nil, 0, err
-	}
-	b.setLastStats(ent.stats)
-	bs := b.buyerState(buyer)
-	bs.mu.Lock()
-	defer bs.mu.Unlock()
-	charge, err := b.engine.ChargeFromDisagreements(bs.h, ent.dis, q.SQL)
-	if err != nil {
-		return nil, 0, err
-	}
-	return res, charge, nil
+	return rec.Result, rec.Net, nil
 }
 
 // AskWithRefund is Ask under the refund settlement model the paper cites
 // from prior work (§2.2): the buyer pays the full history-oblivious price
 // and is reimbursed for information already owned. Net payments equal
-// Ask's; only the cash flow differs.
-func (b *Broker) AskWithRefund(buyer, sql string) (res *Result, gross, refund float64, err error) {
-	q, err := b.Compile(sql)
+// Ask's; only the cash flow differs. It is a wrapper over Purchase.
+func (b *Broker) AskWithRefund(buyer, sql string) (*Result, float64, float64, error) {
+	rec, err := b.Purchase(context.Background(), PurchaseRequest{Buyer: buyer, SQL: sql, Refund: true})
 	if err != nil {
 		return nil, 0, 0, err
 	}
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	res, err = q.Run(b.db)
-	if err != nil {
-		return nil, 0, 0, err
-	}
-	ent, err := b.disagreements([]*exec.Query{q})
-	if err != nil {
-		return nil, 0, 0, err
-	}
-	b.setLastStats(ent.stats)
-	bs := b.buyerState(buyer)
-	bs.mu.Lock()
-	defer bs.mu.Unlock()
-	gross, refund, err = b.engine.RefundFromDisagreements(bs.h, ent.dis, q.SQL)
-	if err != nil {
-		return nil, 0, 0, err
-	}
-	return res, gross, refund, nil
+	return rec.Result, rec.Gross, rec.Refund, nil
 }
 
 // SaveSupportSet persists the broker's support set (the paper stores the
@@ -714,18 +677,36 @@ func NewBrokerFromSupport(db *Database, totalPrice float64, r io.Reader, opt Opt
 	if totalPrice <= 0 {
 		return nil, fmt.Errorf("total price must be positive, got %g", totalPrice)
 	}
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
 	set, err := support.Load(r, db)
 	if err != nil {
 		return nil, err
 	}
 	b := &Broker{db: db, fn: opt.Func, buyers: make(map[string]*buyerState),
-		seed: opt.Seed, opts: opt, total: totalPrice, qc: newQuoteCache(opt)}
+		seed: opt.Seed, opts: opt, total: totalPrice, qc: newQuoteCache(opt), obs: obs.New()}
+	if b.qc != nil {
+		b.qc.AttachObs(b.obs)
+	}
 	b.engine = pricing.NewEngine(db, set, totalPrice)
 	b.engine.Opts.FastPath = !opt.DisableFastPath
 	b.engine.Opts.Batching = !opt.DisableBatching
 	b.engine.Opts.Workers = opt.Workers
+	b.engine.Obs = b.obs
 	return b, nil
 }
+
+// Metrics returns a point-in-time snapshot of the broker's operational
+// metrics: request/outcome counters, cache counters, and latency
+// histograms (p50/p95/p99) for the serving endpoints and the engine's
+// pricing stages.
+func (b *Broker) Metrics() MetricsSnapshot { return b.obs.Snapshot() }
+
+// PublishExpvar exposes the broker's metrics registry as an expvar
+// variable under name (rebinding the name if it is already published), so
+// /debug/vars serves a live JSON snapshot.
+func (b *Broker) PublishExpvar(name string) { b.obs.PublishExpvar(name) }
 
 // PricePoint pins the weighted-coverage price of a query (paper §3.3).
 type PricePoint struct {
