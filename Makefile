@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: all build test race bench json-bench vet fuzz bench-compare throughput serve
+.PHONY: all build test race bench json-bench vet fuzz crash bench-compare throughput serve
 
-all: build test
+all: build vet test
 
 build:
 	$(GO) build ./...
 
-test:
+test: vet
 	$(GO) test ./...
 
 # Race-detector run over the whole module. The parallel differential test
@@ -33,6 +33,16 @@ json-bench:
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test ./internal/sqlengine/parser -fuzz FuzzParse -fuzztime $(FUZZTIME)
+
+# Fault-injection suite under the race detector: the crash matrix
+# kills-and-recovers the durable broker at every ledger/snapshot
+# failpoint and every torn-write offset, asserting the recovered broker
+# is bit-identical to a never-crashed twin (DESIGN.md §9).
+crash:
+	$(GO) test -race -count=1 \
+		-run 'Crash|Torn|Truncat|Durab|Recover|Ledger|Snapshot' \
+		. ./internal/durable ./cmd/qiranad
+	$(GO) test -race -count=1 ./internal/failpoint
 
 # Re-run the pricing benchmarks at a reduced scale and compare against the
 # committed BENCH_pricing.json; exits nonzero on a >20% regression. The

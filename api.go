@@ -202,6 +202,17 @@ func (b *Broker) Purchase(ctx context.Context, req PurchaseRequest) (rec *Receip
 	bs := b.buyerState(req.Buyer)
 	bs.mu.Lock()
 	defer bs.mu.Unlock()
+	// Write-ahead: with durability on, the purchase record (amounts
+	// precomputed through the identical fold) is appended and fsynced
+	// BEFORE buyer state moves. A failed append charges nobody and
+	// surfaces a retryable ErrDurability; after the fsync the charge is
+	// committed unconditionally — recovery replays it even if the
+	// process dies before the next line runs.
+	if b.dur != nil {
+		if err := b.logPurchase(req, q, ent.dis, bs.h); err != nil {
+			return nil, err
+		}
+	}
 	rec = &Receipt{Result: res, Cached: cached}
 	if req.Refund {
 		rec.Gross, rec.Refund, err = b.engine.RefundFromDisagreements(bs.h, ent.dis, q.SQL)

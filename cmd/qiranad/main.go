@@ -16,6 +16,12 @@
 // the broker guarantees a cancelled request charges no buyer and caches
 // nothing. On SIGINT/SIGTERM the daemon stops accepting connections and
 // drains in-flight requests for up to -drain before exiting.
+//
+// With -data the broker is durable: every purchase is write-ahead-logged
+// and fsynced before the buyer is charged, and restarting with the same
+// -data directory recovers identical prices and balances — even after
+// SIGKILL. Clean shutdown checkpoints the ledger into a snapshot so the
+// next start replays nothing.
 package main
 
 import (
@@ -42,30 +48,36 @@ func main() {
 		seed    = flag.Int64("seed", 1, "generator seed")
 		workers = flag.Int("workers", 0, "parallel pricing workers (0 or 1 = serial, capped at GOMAXPROCS)")
 		load    = flag.String("load", "", "load a support set saved by the qirana shell instead of sampling")
+		dataDir = flag.String("data", "", "durable state directory (write-ahead ledger + snapshots); reuse it across restarts to keep buyer balances")
 		timeout = flag.Duration("timeout", 30*time.Second, "per-request pricing timeout (0 = none)")
 		drain   = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
 	)
 	flag.Parse()
-	if err := run(*addr, *dataset, *price, *size, *scale, *seed, *workers, *load, *timeout, *drain); err != nil {
+	if err := run(*addr, *dataset, *price, *size, *scale, *seed, *workers, *load, *dataDir, *timeout, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 }
 
-func run(addr, dataset string, price float64, size int, scale float64, seed int64, workers int, load string, timeout, drain time.Duration) error {
+func run(addr, dataset string, price float64, size int, scale float64, seed int64, workers int, load, dataDir string, timeout, drain time.Duration) error {
 	db, err := qirana.LoadDataset(dataset, seed, scale)
 	if err != nil {
 		return err
 	}
 	var broker *qirana.Broker
-	if load != "" {
+	switch {
+	case dataDir != "" && load != "":
+		return errors.New("-data and -load are mutually exclusive: a durable broker persists its own support set in the data directory")
+	case dataDir != "":
+		broker, err = qirana.OpenBroker(dataDir, db, price, qirana.Options{SupportSetSize: size, Seed: seed, Workers: workers})
+	case load != "":
 		f, ferr := os.Open(load)
 		if ferr != nil {
 			return ferr
 		}
 		broker, err = qirana.NewBrokerFromSupport(db, price, f, qirana.Options{Workers: workers})
 		f.Close()
-	} else {
+	default:
 		broker, err = qirana.NewBroker(db, price, qirana.Options{SupportSetSize: size, Seed: seed, Workers: workers})
 	}
 	if err != nil {
@@ -73,6 +85,14 @@ func run(addr, dataset string, price float64, size int, scale float64, seed int6
 	}
 	fmt.Printf("qiranad: %s (%d tuples), support %d, price %g, serving on http://%s\n",
 		dataset, db.TotalRows(), broker.SupportSetSize(), price, addr)
+	if info := broker.Durability(); info.Enabled {
+		note := ""
+		if info.TruncatedTail {
+			note = fmt.Sprintf(", dropped a torn %d-byte ledger tail", info.TruncatedBytes)
+		}
+		fmt.Printf("qiranad: durable state in %s (snapshot seq %d, replayed %d ledger records%s)\n",
+			info.Dir, info.SnapshotSeq, info.ReplayedRecords, note)
+	}
 
 	srv := &http.Server{Addr: addr, Handler: newMux(broker, timeout)}
 
@@ -96,5 +116,10 @@ func run(addr, dataset string, price float64, size int, scale float64, seed int6
 		return err
 	}
 	<-errc // ListenAndServe's http.ErrServerClosed
+	// Drained: checkpoint the ledger into a snapshot and release the data
+	// directory, so the next start replays nothing.
+	if err := broker.Close(); err != nil {
+		return fmt.Errorf("close broker: %w", err)
+	}
 	return nil
 }

@@ -121,6 +121,30 @@ func (qr *quoteRequest) toPriceRequest() (qirana.PriceRequest, error) {
 	return qirana.PriceRequest{SQLs: sqls, Func: fn, Bundle: qr.Bundle}, nil
 }
 
+// maxBodyBytes bounds JSON request bodies. A megabyte is orders of
+// magnitude beyond any real query text; anything bigger is a mistake or
+// an attack, and MaxBytesReader also closes the connection so the client
+// cannot keep streaming.
+const maxBodyBytes = 1 << 20
+
+// decodeBody decodes a size-capped JSON body into v. On failure it has
+// already written the error response (413 for an oversized body, 400
+// otherwise) and returns false.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", mbe.Limit))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return false
+	}
+	return true
+}
+
 func (s *server) handleQuote(w http.ResponseWriter, r *http.Request) {
 	s.price(w, r, false)
 }
@@ -131,8 +155,7 @@ func (s *server) handleQuoteBatch(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) price(w http.ResponseWriter, r *http.Request, batch bool) {
 	var qr quoteRequest
-	if err := json.NewDecoder(r.Body).Decode(&qr); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+	if !decodeBody(w, r, &qr) {
 		return
 	}
 	req, err := qr.toPriceRequest()
@@ -172,8 +195,7 @@ type askResponse struct {
 
 func (s *server) handleAsk(w http.ResponseWriter, r *http.Request) {
 	var ar askRequest
-	if err := json.NewDecoder(r.Body).Decode(&ar); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+	if !decodeBody(w, r, &ar) {
 		return
 	}
 	if ar.Buyer == "" {
@@ -205,6 +227,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"last_stats":       s.broker.LastStats(),
 		"quote_cache":      s.broker.QuoteCacheStats(),
 		"quote_cache_len":  s.broker.QuoteCacheLen(),
+		"durability":       s.broker.Durability(),
 	})
 }
 
@@ -221,8 +244,9 @@ func writeJSON(w http.ResponseWriter, v any) {
 
 // writeRequestError maps a pricing error onto an HTTP status: an expired
 // deadline is a gateway timeout, a client-side cancellation a client
-// closed request, anything else a bad request (the broker's own errors
-// are all input errors; internal invariants panic).
+// closed request, a ledger-append failure a retryable 503 (the purchase
+// charged nobody), anything else a bad request (the broker's remaining
+// errors are all input errors; internal invariants panic).
 func writeRequestError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
@@ -231,6 +255,9 @@ func writeRequestError(w http.ResponseWriter, err error) {
 		// 499 is nginx's "client closed request"; the client is usually
 		// gone, but write it anyway for proxies and tests.
 		writeError(w, 499, err)
+	case errors.Is(err, qirana.ErrDurability):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err)
 	default:
 		writeError(w, http.StatusBadRequest, err)
 	}

@@ -10,6 +10,8 @@ import (
 	"time"
 
 	"qirana"
+	"qirana/internal/durable"
+	"qirana/internal/failpoint"
 )
 
 // newTestServer builds the daemon's mux over a small world broker.
@@ -263,5 +265,114 @@ func TestRequestTimeoutCancelsSweep(t *testing.T) {
 	}
 	if resp.Total <= 0 {
 		t.Fatalf("follow-up quote priced %v", resp.Total)
+	}
+}
+
+// TestOversizedBodyRejected: request bodies beyond the cap get a 413
+// with a JSON error, on both pricing and purchasing endpoints.
+func TestOversizedBodyRejected(t *testing.T) {
+	ts := newTestServer(t)
+	big := `{"sql": "` + strings.Repeat("x", maxBodyBytes) + `"}`
+	for _, url := range []string{"/quote", "/ask"} {
+		var e map[string]string
+		r := postJSON(t, ts.URL+url, big, &e)
+		if r.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Errorf("POST %s oversized: status %d, want 413", url, r.StatusCode)
+		}
+		if e["error"] == "" {
+			t.Errorf("POST %s oversized: no JSON error message", url)
+		}
+	}
+}
+
+// TestDurableRestartServesSameState is the daemon-level recovery story:
+// a server over a durable broker takes purchases, dies without Close
+// (SIGKILL — the broker is simply abandoned), and a second OpenBroker
+// over the same directory serves identical quotes and balances, with the
+// recovery visible in /stats.
+func TestDurableRestartServesSameState(t *testing.T) {
+	db, err := qirana.LoadDataset("world", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	opts := qirana.Options{SupportSetSize: 150, Seed: 3}
+	b1, err := qirana.OpenBroker(dir, db, 100, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(newMux(b1, 30*time.Second))
+	var rec1 askResponse
+	postJSON(t, ts1.URL+"/ask", `{"buyer": "alice", "sql": "`+testSQL+`"}`, &rec1)
+	var rec2 askResponse
+	postJSON(t, ts1.URL+"/ask", `{"buyer": "bob", "sql": "SELECT * FROM CountryLanguage"}`, &rec2)
+	var q1 qirana.PriceResponse
+	postJSON(t, ts1.URL+"/quote", `{"sql": "SELECT Continent, count(*) FROM Country GROUP BY Continent"}`, &q1)
+	ts1.Close() // SIGKILL: b1 is never Closed, so nothing was checkpointed
+
+	b2, err := qirana.OpenBroker(dir, db, 0, opts)
+	if err != nil {
+		t.Fatalf("reopen after kill: %v", err)
+	}
+	defer b2.Close()
+	ts2 := httptest.NewServer(newMux(b2, 30*time.Second))
+	defer ts2.Close()
+
+	var stats struct {
+		Durability qirana.DurabilityInfo `json:"durability"`
+	}
+	getJSON(t, ts2.URL+"/stats", &stats)
+	if !stats.Durability.Enabled || stats.Durability.ReplayedRecords != 2 || stats.Durability.TruncatedTail {
+		t.Fatalf("/stats durability after restart: %+v, want 2 replayed records", stats.Durability)
+	}
+
+	// Quotes are bit-identical across the restart.
+	var q2 qirana.PriceResponse
+	postJSON(t, ts2.URL+"/quote", `{"sql": "SELECT Continent, count(*) FROM Country GROUP BY Continent"}`, &q2)
+	if q2.Total != q1.Total {
+		t.Fatalf("quote across restart: %v, want %v", q2.Total, q1.Total)
+	}
+	// Alice's history survived: re-buying her query refunds it in full
+	// and her balance is exactly the pre-kill receipt's.
+	var again askResponse
+	postJSON(t, ts2.URL+"/ask", `{"buyer": "alice", "sql": "`+testSQL+`", "refund": true}`, &again)
+	if again.Net != 0 || again.Refund != again.Gross || again.Balance != rec1.Balance {
+		t.Fatalf("alice after restart: %+v, want full refund at balance %v", again.Receipt, rec1.Balance)
+	}
+}
+
+// TestLedgerFailureMapsTo503: a ledger-append failure is retryable — the
+// buyer was not charged — so the daemon answers 503 with Retry-After,
+// and the retried purchase succeeds.
+func TestLedgerFailureMapsTo503(t *testing.T) {
+	db, err := qirana.LoadDataset("world", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := qirana.OpenBroker(t.TempDir(), db, 100, qirana.Options{SupportSetSize: 150, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	ts := httptest.NewServer(newMux(b, 30*time.Second))
+	defer ts.Close()
+
+	failpoint.Enable(durable.FpLedgerAppend, nil)
+	defer failpoint.Reset()
+	body := `{"buyer": "alice", "sql": "` + testSQL + `"}`
+	var e map[string]string
+	r := postJSON(t, ts.URL+"/ask", body, &e)
+	if r.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("faulted purchase: status %d, want 503", r.StatusCode)
+	}
+	if r.Header.Get("Retry-After") == "" {
+		t.Fatal("503 carries no Retry-After header")
+	}
+	if e["error"] == "" {
+		t.Fatal("503 carries no JSON error message")
+	}
+	var rec askResponse
+	if r := postJSON(t, ts.URL+"/ask", body, &rec); r.StatusCode != http.StatusOK || rec.Net <= 0 {
+		t.Fatalf("retry after 503: status %d, receipt %+v — the failed attempt must not have charged", r.StatusCode, rec.Receipt)
 	}
 }

@@ -1,0 +1,394 @@
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"qirana/internal/failpoint"
+)
+
+func testRecords(n int) []Record {
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{
+			Buyer:        fmt.Sprintf("buyer-%d", i%3),
+			SQL:          fmt.Sprintf("SELECT %d FROM t", i),
+			Fingerprint:  fmt.Sprintf("fp-%d", i),
+			Refund:       i%2 == 0,
+			Gross:        float64(i) * 1.25,
+			RefundAmt:    float64(i) * 0.25,
+			Net:          float64(i),
+			WeightsEpoch: 0,
+			Dis:          PackBits([]bool{i%2 == 0, true, false, i%3 == 0, true}),
+		}
+	}
+	return recs
+}
+
+// buildLedger writes n records into dir/ledger.wal and returns the path
+// and the appended records (with assigned sequence numbers).
+func buildLedger(t *testing.T, dir string, n int) (string, []Record) {
+	t.Helper()
+	path := filepath.Join(dir, "ledger.wal")
+	l, recs, rep, err := OpenLedger(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 || rep.Truncated {
+		t.Fatalf("fresh ledger scanned %d records, truncated=%v", len(recs), rep.Truncated)
+	}
+	in := testRecords(n)
+	for i := range in {
+		seq, err := l.Append(in[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		in[i].Seq = seq
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, in
+}
+
+func reopen(t *testing.T, path string) ([]Record, ScanReport, error) {
+	t.Helper()
+	l, recs, rep, err := OpenLedger(path, nil)
+	if l != nil {
+		defer l.Close()
+	}
+	return recs, rep, err
+}
+
+func TestLedgerRoundTrip(t *testing.T) {
+	path, in := buildLedger(t, t.TempDir(), 7)
+	got, rep, err := reopen(t, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Truncated {
+		t.Fatal("clean ledger reported a torn tail")
+	}
+	if len(got) != len(in) {
+		t.Fatalf("scanned %d records, want %d", len(got), len(in))
+	}
+	for i := range in {
+		if got[i].Seq != in[i].Seq || got[i].Buyer != in[i].Buyer || got[i].SQL != in[i].SQL ||
+			got[i].Gross != in[i].Gross || got[i].RefundAmt != in[i].RefundAmt || got[i].Net != in[i].Net ||
+			got[i].Refund != in[i].Refund || string(got[i].Dis) != string(in[i].Dis) {
+			t.Fatalf("record %d round-trip mismatch:\n got %+v\nwant %+v", i, got[i], in[i])
+		}
+	}
+}
+
+// TestLedgerTornWriteMatrix truncates a real ledger at EVERY byte offset
+// and asserts recovery always yields an exact record prefix — never an
+// error, never a panic, never an invented or reordered purchase — and
+// that the truncated file, once reopened (which repairs the tail), scans
+// cleanly a second time and accepts further appends.
+func TestLedgerTornWriteMatrix(t *testing.T) {
+	base := t.TempDir()
+	path, in := buildLedger(t, base, 6)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut <= len(full); cut++ {
+		dir := t.TempDir()
+		p := filepath.Join(dir, "ledger.wal")
+		if err := os.WriteFile(p, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, rep, err := reopen(t, p)
+		if err != nil {
+			t.Fatalf("cut=%d: recovery failed: %v", cut, err)
+		}
+		if len(got) > len(in) {
+			t.Fatalf("cut=%d: recovered %d records from a %d-record ledger", cut, len(got), len(in))
+		}
+		for i := range got {
+			if got[i].Seq != in[i].Seq || got[i].SQL != in[i].SQL {
+				t.Fatalf("cut=%d: record %d is not the original prefix: got seq %d %q, want seq %d %q",
+					cut, i, got[i].Seq, got[i].SQL, in[i].Seq, in[i].SQL)
+			}
+		}
+		if cut == len(full) && (rep.Truncated || len(got) != len(in)) {
+			t.Fatalf("uncut ledger: truncated=%v records=%d", rep.Truncated, len(got))
+		}
+		if rep.Truncated == (len(got) == len(in)) && cut != len(full) {
+			// A cut strictly inside the file either drops records
+			// (truncated) or landed exactly on the final record boundary.
+			if rep.Truncated {
+				t.Fatalf("cut=%d: full prefix but truncated flag set", cut)
+			}
+		}
+		// The repaired ledger must scan cleanly and keep appending with
+		// monotone sequence numbers.
+		again, rep2, err := reopen(t, p)
+		if err != nil || rep2.Truncated {
+			t.Fatalf("cut=%d: second scan after repair: err=%v truncated=%v", cut, err, rep2.Truncated)
+		}
+		if len(again) != len(got) {
+			t.Fatalf("cut=%d: repair changed record count %d -> %d", cut, len(got), len(again))
+		}
+		l, _, _, err := OpenLedger(p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := l.Append(Record{Buyer: "post", SQL: "SELECT 1"})
+		if err != nil {
+			t.Fatalf("cut=%d: append after repair: %v", cut, err)
+		}
+		var wantSeq uint64 = 1
+		if n := len(got); n > 0 {
+			wantSeq = got[n-1].Seq + 1
+		}
+		if seq != wantSeq {
+			t.Fatalf("cut=%d: post-repair append got seq %d, want %d", cut, seq, wantSeq)
+		}
+		l.Close()
+	}
+}
+
+// TestLedgerMidLogCorruption flips one byte inside an early record's
+// payload and asserts recovery fails with the documented ErrCorrupt —
+// mid-log damage must never be silently truncated away.
+func TestLedgerMidLogCorruption(t *testing.T) {
+	path, _ := buildLedger(t, t.TempDir(), 5)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte well inside the first record's payload.
+	data := append([]byte(nil), full...)
+	data[len(ledgerMagic)+recordHeaderLen+4] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = reopen(t, path)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("mid-log corruption: err=%v, want ErrCorrupt", err)
+	}
+	if !strings.Contains(err.Error(), "mid-log") {
+		t.Fatalf("error %q does not name mid-log corruption", err)
+	}
+}
+
+func TestLedgerBadMagic(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "ledger.wal")
+	if err := os.WriteFile(p, []byte("NOTALEDGERFILE"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := reopen(t, p)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad magic: err=%v, want ErrCorrupt", err)
+	}
+}
+
+func TestLedgerInsaneLengthIsCorruption(t *testing.T) {
+	path, _ := buildLedger(t, t.TempDir(), 2)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite the first record's length prefix with garbage while
+	// keeping plenty of file after it.
+	data[len(ledgerMagic)] = 0xFF
+	data[len(ledgerMagic)+1] = 0xFF
+	data[len(ledgerMagic)+2] = 0xFF
+	data[len(ledgerMagic)+3] = 0x7F
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = reopen(t, path)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("insane length: err=%v, want ErrCorrupt", err)
+	}
+}
+
+func TestLedgerReset(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ledger.wal")
+	l, _, _, err := OpenLedger(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append(Record{Buyer: "b", SQL: "SELECT 1"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	// Sequence numbering continues after a reset.
+	seq, err := l.Append(Record{Buyer: "b", SQL: "SELECT 2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 4 {
+		t.Fatalf("post-reset seq = %d, want 4", seq)
+	}
+	l.Close()
+	recs, rep, err := reopen(t, path)
+	if err != nil || rep.Truncated {
+		t.Fatalf("reopen after reset: err=%v truncated=%v", err, rep.Truncated)
+	}
+	if len(recs) != 1 || recs[0].Seq != 4 {
+		t.Fatalf("after reset scanned %d records (first seq %d), want 1 record seq 4", len(recs), recs[0].Seq)
+	}
+}
+
+func TestSnapshotRoundTripAndCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snapshot.qs")
+	snap := &Snapshot{
+		Total:        100,
+		Seq:          12,
+		WeightsEpoch: 3,
+		Weights:      []float64{0.25, 0.5, 0.125, 99.125},
+		Support:      "embedded-support-bytes",
+		Buyers: map[string]BuyerSnap{
+			"alice": {Paid: 12.5, Charged: PackBits([]bool{true, false, true, true}), Queries: []string{"SELECT 1"}},
+		},
+	}
+	if err := WriteSnapshot(path, snap, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Total != snap.Total || got.Seq != snap.Seq || got.WeightsEpoch != snap.WeightsEpoch ||
+		got.Support != snap.Support || len(got.Weights) != len(snap.Weights) ||
+		got.Weights[3] != snap.Weights[3] || got.Buyers["alice"].Paid != 12.5 {
+		t.Fatalf("snapshot round-trip mismatch: %+v", got)
+	}
+	// No temp files left behind.
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 1 {
+		t.Fatalf("directory holds %d entries after snapshot, want 1", len(ents))
+	}
+
+	// Corrupt one payload byte: the checksum must catch it.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), data...)
+	bad[len(bad)-2] ^= 0x01
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSnapshot(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt snapshot: err=%v, want ErrCorrupt", err)
+	}
+
+	// A future version fails descriptively, not with garbage decoding.
+	future := append([]byte(fmt.Sprintf("%s v%d crc32=%08x\n", snapshotMagic, snapshotVersion+5, 0)), []byte("{}")...)
+	if err := os.WriteFile(path, future, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = LoadSnapshot(path)
+	if err == nil || !strings.Contains(err.Error(), "newer than this binary") {
+		t.Fatalf("future snapshot version: err=%v, want newer-format error", err)
+	}
+}
+
+func TestSnapshotWriteFailpointsLeaveOldSnapshot(t *testing.T) {
+	defer failpoint.Reset()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snapshot.qs")
+	old := &Snapshot{Total: 1, Seq: 1}
+	if err := WriteSnapshot(path, old, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, fp := range []string{FpSnapshotWrite, FpSnapshotFsync, FpSnapshotRename} {
+		failpoint.Enable(fp, nil)
+		err := WriteSnapshot(path, &Snapshot{Total: 2, Seq: 9}, nil)
+		if !errors.Is(err, failpoint.ErrInjected) {
+			t.Fatalf("%s: err=%v, want injected fault", fp, err)
+		}
+		got, err := LoadSnapshot(path)
+		if err != nil {
+			t.Fatalf("%s: old snapshot unreadable after failed write: %v", fp, err)
+		}
+		if got.Total != 1 || got.Seq != 1 {
+			t.Fatalf("%s: failed write mutated the installed snapshot: %+v", fp, got)
+		}
+	}
+	failpoint.Reset()
+	// Short write mid-payload: same guarantee.
+	failpoint.EnableShortWrite(FpSnapshotWrite, 10, nil)
+	if err := WriteSnapshot(path, &Snapshot{Total: 3}, nil); err == nil {
+		t.Fatal("short write did not fail")
+	}
+	got, err := LoadSnapshot(path)
+	if err != nil || got.Total != 1 {
+		t.Fatalf("after short write: snap=%+v err=%v, want old snapshot intact", got, err)
+	}
+}
+
+func TestLedgerAppendFailpoints(t *testing.T) {
+	defer failpoint.Reset()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ledger.wal")
+	l, _, _, err := OpenLedger(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(Record{Buyer: "b", SQL: "SELECT 1"}); err != nil {
+		t.Fatal(err)
+	}
+	// A short write persists a torn tail that recovery drops.
+	failpoint.EnableShortWrite(FpLedgerWrite, 5, nil)
+	if _, err := l.Append(Record{Buyer: "b", SQL: "SELECT 2"}); err == nil {
+		t.Fatal("short write did not fail")
+	}
+	l.Close()
+	recs, rep, err := reopen(t, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || !rep.Truncated {
+		t.Fatalf("after torn append: %d records, truncated=%v; want 1 record, truncated tail", len(recs), rep.Truncated)
+	}
+
+	// An ack-stage fault means the record IS durable.
+	l, _, _, err = OpenLedger(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failpoint.Enable(FpLedgerAck, nil)
+	if _, err := l.Append(Record{Buyer: "b", SQL: "SELECT 3"}); err == nil {
+		t.Fatal("ack fault did not surface")
+	}
+	l.Close()
+	recs, _, err = reopen(t, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[1].SQL != "SELECT 3" {
+		t.Fatalf("ack-faulted record not durable: %d records", len(recs))
+	}
+}
+
+func TestPackUnpackBits(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 8, 9, 63, 64, 65} {
+		bits := make([]bool, n)
+		for i := range bits {
+			bits[i] = i%3 == 0 || i%5 == 1
+		}
+		got := UnpackBits(PackBits(bits), n)
+		for i := range bits {
+			if got[i] != bits[i] {
+				t.Fatalf("n=%d: bit %d = %v, want %v", n, i, got[i], bits[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,370 @@
+package durable
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"qirana/internal/failpoint"
+	"qirana/internal/obs"
+)
+
+// ErrCorrupt marks unrecoverable on-disk state: mid-log ledger
+// corruption, a bad magic number, or an undecodable checksummed payload.
+// Torn final records are NOT corruption — they are truncated silently and
+// reported via ScanReport.
+var ErrCorrupt = errors.New("durable: corrupt state")
+
+// ledgerMagic heads every ledger file. The trailing version byte gates
+// future format changes: a newer magic fails descriptively instead of
+// misparsing.
+var ledgerMagic = []byte("QIRWAL1\n")
+
+// maxRecordLen bounds one record's payload. Real records are a few
+// hundred bytes plus |S|/8 bitmap bytes; 16 MiB leaves three orders of
+// magnitude of headroom while still catching garbage length prefixes.
+const maxRecordLen = 16 << 20
+
+// recordHeaderLen is the per-record frame: u32 little-endian payload
+// length, u32 IEEE CRC32 of the payload.
+const recordHeaderLen = 8
+
+// ScanReport describes what opening a ledger found.
+type ScanReport struct {
+	// Records is the number of valid records scanned.
+	Records int
+	// Truncated is true when a torn final record was dropped.
+	Truncated bool
+	// TruncatedBytes is the size of the dropped tail.
+	TruncatedBytes int64
+}
+
+// Ledger is an append-only, fsync-per-append purchase log. Append is
+// safe for concurrent use; the ledger assigns sequence numbers in append
+// order.
+type Ledger struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	seq  uint64 // last assigned sequence number
+	m    metrics
+}
+
+// Failpoint names consulted by the durability layer, one per boundary
+// where a real process could die. Production code never arms them; the
+// crash-matrix tests walk a fault through each.
+const (
+	FpLedgerAppend    = "ledger.append"  // before anything is written
+	FpLedgerWrite     = "ledger.write"   // the record write (short-write capable)
+	FpLedgerFsync     = "ledger.fsync"   // fsync after the write
+	FpLedgerAck       = "ledger.ack"     // after a durable append, before the caller learns of it
+	FpLedgerReset     = "ledger.reset"   // ledger truncation after a snapshot
+	FpSnapshotWrite   = "snapshot.write" // temp-file write (short-write capable)
+	FpSnapshotFsync   = "snapshot.fsync" // temp-file fsync
+	FpSnapshotRename  = "snapshot.rename"
+	FpSnapshotDirSync = "snapshot.dirsync"
+)
+
+// OpenLedger opens (creating if absent) the ledger at path, scans it,
+// truncates a torn final record, and returns the surviving records plus
+// the scan report. The returned ledger is positioned to append with
+// sequence numbers continuing after the last scanned record (callers
+// bump it further via SetSeq when a snapshot folded later records).
+func OpenLedger(path string, reg *obs.Registry) (*Ledger, []Record, ScanReport, error) {
+	l := &Ledger{path: path, m: metrics{reg}}
+	data, err := os.ReadFile(path)
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		if err := l.create(); err != nil {
+			return nil, nil, ScanReport{}, err
+		}
+		return l, nil, ScanReport{}, nil
+	case err != nil:
+		return nil, nil, ScanReport{}, fmt.Errorf("open ledger: %w", err)
+	}
+
+	recs, validEnd, rep, err := scanLedger(data, path)
+	if err != nil {
+		return nil, nil, rep, err
+	}
+	if validEnd < int64(len(ledgerMagic)) {
+		// A crash mid-create left a partial header: rebuild the empty
+		// log from scratch.
+		if err := l.create(); err != nil {
+			return nil, nil, rep, err
+		}
+		return l, nil, rep, nil
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, rep, fmt.Errorf("open ledger: %w", err)
+	}
+	l.f = f
+	if rep.Truncated {
+		// Drop the torn tail so the next append starts at a record
+		// boundary; without this the tail bytes would corrupt the log
+		// mid-stream for the NEXT recovery.
+		if err := f.Truncate(validEnd); err != nil {
+			f.Close()
+			return nil, nil, rep, fmt.Errorf("truncate torn ledger tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, rep, fmt.Errorf("sync truncated ledger: %w", err)
+		}
+	}
+	if _, err := f.Seek(validEnd, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, rep, fmt.Errorf("seek ledger end: %w", err)
+	}
+	if n := len(recs); n > 0 {
+		l.seq = recs[n-1].Seq
+	}
+	return l, recs, rep, nil
+}
+
+// create writes a fresh ledger containing only the magic header and
+// fsyncs it (file and directory), so a subsequent crash cannot lose the
+// log's existence.
+func (l *Ledger) create() error {
+	f, err := os.OpenFile(l.path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("create ledger: %w", err)
+	}
+	if _, err := f.Write(ledgerMagic); err != nil {
+		f.Close()
+		return fmt.Errorf("write ledger header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("sync ledger header: %w", err)
+	}
+	if err := syncDir(filepath.Dir(l.path)); err != nil {
+		f.Close()
+		return err
+	}
+	l.f = f
+	return nil
+}
+
+// scanLedger walks the framed records in data. It returns the valid
+// records, the offset where valid data ends, and whether a torn tail was
+// dropped. Corruption before the final record is an ErrCorrupt error.
+func scanLedger(data []byte, path string) ([]Record, int64, ScanReport, error) {
+	var rep ScanReport
+	var recs []Record
+	// torn drops everything from off onward as an interrupted final
+	// append; the caller truncates the file to the returned end offset.
+	torn := func(off int) ([]Record, int64, ScanReport, error) {
+		rep.Records = len(recs)
+		rep.Truncated = true
+		rep.TruncatedBytes = int64(len(data) - off)
+		return recs, int64(off), rep, nil
+	}
+	if len(data) < len(ledgerMagic) {
+		if bytes.Equal(data, ledgerMagic[:len(data)]) {
+			// A crash mid-create left a partial header: treat the whole
+			// file as a torn (empty) log.
+			return torn(0)
+		}
+		return nil, 0, rep, fmt.Errorf("%w: %s: not a qirana ledger (bad magic)", ErrCorrupt, path)
+	}
+	if !bytes.Equal(data[:len(ledgerMagic)], ledgerMagic) {
+		return nil, 0, rep, fmt.Errorf("%w: %s: not a qirana ledger (bad magic)", ErrCorrupt, path)
+	}
+
+	off := len(ledgerMagic)
+	for off < len(data) {
+		rem := len(data) - off
+		if rem < recordHeaderLen {
+			return torn(off)
+		}
+		length := int(binary.LittleEndian.Uint32(data[off:]))
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if length > maxRecordLen {
+			return nil, 0, rep, fmt.Errorf("%w: %s: record %d at offset %d declares %d-byte payload (max %d) — mid-log corruption",
+				ErrCorrupt, path, len(recs)+1, off, length, maxRecordLen)
+		}
+		if rem-recordHeaderLen < length {
+			return torn(off)
+		}
+		payload := data[off+recordHeaderLen : off+recordHeaderLen+length]
+		recEnd := off + recordHeaderLen + length
+		if crc32.ChecksumIEEE(payload) != sum {
+			if recEnd == len(data) {
+				// Only the final record can be torn by an interrupted
+				// append; drop it.
+				return torn(off)
+			}
+			return nil, 0, rep, fmt.Errorf("%w: %s: record %d at offset %d fails its checksum with %d bytes of ledger after it — mid-log corruption, refusing to guess at purchase history",
+				ErrCorrupt, path, len(recs)+1, off, len(data)-recEnd)
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return nil, 0, rep, fmt.Errorf("%w: %s: record %d at offset %d passes its checksum but does not decode: %v",
+				ErrCorrupt, path, len(recs)+1, off, err)
+		}
+		if n := len(recs); n > 0 && rec.Seq <= recs[n-1].Seq {
+			return nil, 0, rep, fmt.Errorf("%w: %s: record %d has sequence %d after sequence %d — ledger order violated",
+				ErrCorrupt, path, len(recs)+1, rec.Seq, recs[n-1].Seq)
+		}
+		recs = append(recs, rec)
+		off = recEnd
+	}
+	rep.Records = len(recs)
+	return recs, int64(off), rep, nil
+}
+
+// SetSeq raises the next-append sequence floor (used when the snapshot
+// folded records beyond the surviving ledger tail).
+func (l *Ledger) SetSeq(seq uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seq > l.seq {
+		l.seq = seq
+	}
+}
+
+// Seq returns the last assigned sequence number.
+func (l *Ledger) Seq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Append assigns the record the next sequence number, frames it, writes
+// it and fsyncs — all before the caller may apply the purchase to
+// in-memory state. On any error nothing is applied and the record's
+// durability is unknown (exactly like a real fsync failure); the caller
+// surfaces a retryable error and recovery decides from the bytes on
+// disk. The assigned sequence is returned.
+func (l *Ledger) Append(rec Record) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return 0, fmt.Errorf("ledger %s is closed", l.path)
+	}
+	if err := failpoint.Hit(FpLedgerAppend); err != nil {
+		return 0, fmt.Errorf("append purchase record: %w", err)
+	}
+	rec.Seq = l.seq + 1
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return 0, fmt.Errorf("encode purchase record: %w", err)
+	}
+	if len(payload) > maxRecordLen {
+		return 0, fmt.Errorf("purchase record of %d bytes exceeds the %d-byte frame limit", len(payload), maxRecordLen)
+	}
+	frame := make([]byte, recordHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
+	copy(frame[recordHeaderLen:], payload)
+
+	if n, ferr := failpoint.WriteFault(FpLedgerWrite, len(frame)); ferr != nil {
+		// Simulated torn write: persist the prefix a dying kernel could
+		// have flushed, then fail like the write syscall did.
+		if n > 0 {
+			l.f.Write(frame[:n])
+		}
+		return 0, fmt.Errorf("append purchase record: %w", ferr)
+	}
+	if _, err := l.f.Write(frame); err != nil {
+		return 0, fmt.Errorf("append purchase record: %w", err)
+	}
+	l.m.add("ledger_appends", 1)
+	if err := failpoint.Hit(FpLedgerFsync); err != nil {
+		return 0, fmt.Errorf("fsync purchase record: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return 0, fmt.Errorf("fsync purchase record: %w", err)
+	}
+	l.m.add("ledger_fsyncs", 1)
+	l.seq = rec.Seq
+	if err := failpoint.Hit(FpLedgerAck); err != nil {
+		// The record IS durable; the crash happens before the caller
+		// learns of it. Recovery will replay it — the classic ambiguous
+		// outcome of any write-ahead scheme.
+		return 0, fmt.Errorf("acknowledge purchase record: %w", err)
+	}
+	return rec.Seq, nil
+}
+
+// Reset empties the ledger back to a bare header after its records were
+// folded into a snapshot. Sequence numbering continues — it never
+// restarts — so replay can always tell folded records from fresh ones.
+func (l *Ledger) Reset() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return fmt.Errorf("ledger %s is closed", l.path)
+	}
+	if err := failpoint.Hit(FpLedgerReset); err != nil {
+		return fmt.Errorf("reset ledger: %w", err)
+	}
+	if err := l.f.Truncate(int64(len(ledgerMagic))); err != nil {
+		return fmt.Errorf("reset ledger: %w", err)
+	}
+	if _, err := l.f.Seek(int64(len(ledgerMagic)), io.SeekStart); err != nil {
+		return fmt.Errorf("reset ledger: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("reset ledger: %w", err)
+	}
+	l.m.add("ledger_fsyncs", 1)
+	return nil
+}
+
+// Sync flushes the ledger file (drain-time belt and braces; every append
+// already fsyncs).
+func (l *Ledger) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("sync ledger: %w", err)
+	}
+	l.m.add("ledger_fsyncs", 1)
+	return nil
+}
+
+// Close flushes and closes the ledger. Further appends fail.
+func (l *Ledger) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}
+
+// syncDir fsyncs a directory so a just-created or just-renamed entry
+// survives a crash.
+func syncDir(dir string) error {
+	if err := failpoint.Hit(FpSnapshotDirSync); err != nil {
+		return fmt.Errorf("fsync %s: %w", dir, err)
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("fsync %s: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("fsync %s: %w", dir, err)
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+// Package durable is the broker's crash-consistency substrate: a
+// checksummed, length-prefixed write-ahead purchase ledger plus atomic
+// state snapshots (temp file + fsync + rename). The paper persists the
+// support set's UpdateQueries so prices survive restarts (§3.2); this
+// package extends the same guarantee to the half of broker state the
+// paper's arbitrage-freeness silently depends on — buyer purchase
+// histories and the entropy weight vector — because history-aware
+// pricing and refunds are only arbitrage-free while the ledger of past
+// purchases is intact (Deep & Koutris, "The Design of Arbitrage-Free
+// Data Pricing Schemes").
+//
+// Durability protocol (the broker layer drives it):
+//
+//	snapshot.qs   full broker state as of ledger sequence N
+//	ledger.wal    one record per purchase with sequence > N
+//
+// A purchase appends (and fsyncs) its ledger record BEFORE the in-memory
+// buyer state moves; recovery loads the snapshot and replays the ledger
+// tail, skipping records already folded into the snapshot (seq ≤ N, the
+// window left by a crash between snapshot rename and ledger reset). A
+// torn final record — short read or CRC mismatch ending exactly at EOF —
+// is truncated away, because only an interrupted append produces one;
+// anything malformed earlier in the log is real corruption and recovery
+// fails descriptively instead of inventing or dropping purchases.
+package durable
+
+import (
+	"qirana/internal/obs"
+)
+
+// Record is one durable purchase: everything recovery needs to replay
+// the charge bit-identically without re-running the query.
+type Record struct {
+	// Seq is the record's position in the global purchase order,
+	// monotonically increasing from 1. Snapshots store the last folded
+	// Seq; replay skips records at or below it.
+	Seq uint64 `json:"seq"`
+	// Buyer is the purchasing account.
+	Buyer string `json:"buyer"`
+	// SQL is the purchased query text (replayed into the buyer's
+	// History.Queries, exactly as the live path records it).
+	SQL string `json:"sql"`
+	// Fingerprint is the canonical AST fingerprint of SQL, kept for
+	// operators correlating ledger records with quote-cache keys.
+	Fingerprint string `json:"fp"`
+	// Refund marks the charge-then-refund settlement model.
+	Refund bool `json:"refund,omitempty"`
+	// Gross, RefundAmt and Net mirror the Receipt; recovery recomputes
+	// them from Dis and the snapshot weights and refuses to proceed on
+	// any mismatch (weights or support set drifted under the ledger).
+	Gross     float64 `json:"gross"`
+	RefundAmt float64 `json:"refund_amt"`
+	Net       float64 `json:"net"`
+	// WeightsEpoch is the engine's weight-vector epoch at append time.
+	// Every record must carry the snapshot's epoch: weight changes write
+	// a fresh snapshot, so a mismatch means the files were mixed.
+	WeightsEpoch uint64 `json:"weights_epoch"`
+	// Dis is the purchase's full (history-oblivious) disagreement
+	// bitmap over the support set, packed 8 bits per byte (PackBits).
+	// Replaying it through the same fold the live path uses makes the
+	// recovered history bit-identical by construction.
+	Dis []byte `json:"dis"`
+}
+
+// PackBits packs a bool slice 8 bits per byte, LSB first.
+func PackBits(bits []bool) []byte {
+	out := make([]byte, (len(bits)+7)/8)
+	for i, b := range bits {
+		if b {
+			out[i/8] |= 1 << (i % 8)
+		}
+	}
+	return out
+}
+
+// UnpackBits expands packed bits back to n bools. It is the inverse of
+// PackBits for any n ≤ 8·len(packed).
+func UnpackBits(packed []byte, n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		if i/8 < len(packed) && packed[i/8]&(1<<(i%8)) != 0 {
+			out[i] = true
+		}
+	}
+	return out
+}
+
+// metrics is the durability layer's obs wiring; all methods are nil-safe
+// so a broker without a registry pays nothing.
+type metrics struct {
+	reg *obs.Registry
+}
+
+func (m metrics) add(name string, n uint64) { m.reg.Add(name, n) }

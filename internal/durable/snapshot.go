@@ -1,0 +1,151 @@
+package durable
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"qirana/internal/failpoint"
+	"qirana/internal/obs"
+)
+
+// snapshotMagic heads a snapshot file's envelope line:
+//
+//	QIRSNAP v1 crc32=xxxxxxxx\n<json payload>
+//
+// The CRC covers the payload bytes, so a half-written or bit-rotted
+// snapshot is detected before a single field is trusted.
+const snapshotMagic = "QIRSNAP"
+
+// snapshotVersion is the current envelope version. Loading a higher
+// version fails descriptively (a newer binary wrote it).
+const snapshotVersion = 1
+
+// BuyerSnap is one buyer's persisted purchase history.
+type BuyerSnap struct {
+	// Paid is the buyer's cumulative net payment.
+	Paid float64 `json:"paid"`
+	// Charged is the history bitmap packed by PackBits (one bit per
+	// support element).
+	Charged []byte `json:"charged"`
+	// Queries is the buyer's purchased-query log.
+	Queries []string `json:"queries,omitempty"`
+}
+
+// Snapshot is the broker's full durable state as of ledger sequence Seq:
+// the support set (the paper's persisted UpdateQueries), the entropy
+// weight vector, and every buyer history. Ledger records with sequence
+// ≤ Seq are already folded in and skipped at replay.
+type Snapshot struct {
+	// Total is the full-dataset price the broker was opened with.
+	Total float64 `json:"total"`
+	// Seq is the last ledger sequence folded into this snapshot.
+	Seq uint64 `json:"seq"`
+	// WeightsEpoch is the engine's weight-vector epoch; every ledger
+	// record after this snapshot must carry the same epoch.
+	WeightsEpoch uint64 `json:"weights_epoch"`
+	// Weights is the support-set weight vector (JSON float64 round-trips
+	// exactly, so recovered charges are bit-identical).
+	Weights []float64 `json:"weights"`
+	// Support is the support set in the internal/support persistence
+	// format (versioned + checksummed itself), embedded verbatim.
+	Support string `json:"support"`
+	// Buyers maps buyer account names to their histories.
+	Buyers map[string]BuyerSnap `json:"buyers"`
+}
+
+// WriteSnapshot atomically replaces path with snap: encode, write to a
+// temp file in the same directory, fsync, rename over path, fsync the
+// directory. A crash at any point leaves either the old snapshot or the
+// new one — never a mix — which is exactly the guarantee recovery
+// assumes.
+func WriteSnapshot(path string, snap *Snapshot, reg *obs.Registry) (err error) {
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("encode snapshot: %w", err)
+	}
+	header := fmt.Sprintf("%s v%d crc32=%08x\n", snapshotMagic, snapshotVersion, crc32.ChecksumIEEE(payload))
+	data := append([]byte(header), payload...)
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("create snapshot temp file: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if n, ferr := failpoint.WriteFault(FpSnapshotWrite, len(data)); ferr != nil {
+		if n > 0 {
+			tmp.Write(data[:n])
+		}
+		return fmt.Errorf("write snapshot: %w", ferr)
+	}
+	if _, err = tmp.Write(data); err != nil {
+		return fmt.Errorf("write snapshot: %w", err)
+	}
+	if err = failpoint.Hit(FpSnapshotFsync); err != nil {
+		return fmt.Errorf("fsync snapshot: %w", err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("fsync snapshot: %w", err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("close snapshot temp file: %w", err)
+	}
+	if err = failpoint.Hit(FpSnapshotRename); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("install snapshot: %w", err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("install snapshot: %w", err)
+	}
+	if err = syncDir(dir); err != nil {
+		return err
+	}
+	reg.Add("snapshot_writes", 1)
+	return nil
+}
+
+// LoadSnapshot reads and verifies a snapshot written by WriteSnapshot:
+// magic, version and checksum are checked before any field is decoded,
+// so corruption and future formats fail descriptively instead of
+// producing garbage state.
+func LoadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("read snapshot: %w", err)
+	}
+	r := bufio.NewReader(bytes.NewReader(data))
+	header, err := r.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: snapshot header missing or unterminated", ErrCorrupt, path)
+	}
+	var version int
+	var sum uint32
+	if _, err := fmt.Sscanf(header, snapshotMagic+" v%d crc32=%08x\n", &version, &sum); err != nil {
+		return nil, fmt.Errorf("%w: %s: not a qirana snapshot (bad header %q)", ErrCorrupt, path, header)
+	}
+	if version > snapshotVersion {
+		return nil, fmt.Errorf("snapshot %s is format v%d, newer than this binary (supports ≤ v%d); upgrade qirana to read it",
+			path, version, snapshotVersion)
+	}
+	payload := data[len(header):]
+	if got := crc32.ChecksumIEEE(payload); got != sum {
+		return nil, fmt.Errorf("%w: %s: snapshot payload checksum %08x does not match header %08x — the file is damaged",
+			ErrCorrupt, path, got, sum)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(payload, &snap); err != nil {
+		return nil, fmt.Errorf("%w: %s: snapshot passes its checksum but does not decode: %v", ErrCorrupt, path, err)
+	}
+	return &snap, nil
+}

@@ -1,0 +1,174 @@
+// Package failpoint injects faults at the durability boundaries of the
+// broker's write-ahead ledger and snapshot writer, so crash-consistency
+// tests can kill-and-recover at every point where a real process could
+// die. The style follows DBToaster-class incremental systems (and
+// etcd/pingcap's gofail): production code consults a named point at each
+// boundary; the registry is empty unless a test arms it, so the
+// production cost is one mutex-free map lookup guarded by an atomic
+// "anything armed at all?" flag.
+//
+// Three fault shapes cover the durability matrix:
+//
+//   - Error faults (Enable/EnableAfter): Hit returns the armed error.
+//     Production code propagates it exactly like a real syscall failure.
+//   - Short-write faults (EnableShortWrite): WriteFault tells the caller
+//     to persist only the first n bytes before failing — a torn write.
+//   - One-shot countdowns (the `after` parameter): the point stays
+//     silent for the first `after` hits and fires on the next one, so a
+//     matrix test can walk the fault through a request sequence.
+//
+// Every armed point fires exactly once and then disarms itself; a test
+// that wants repeated failures re-arms. Reset clears everything between
+// subtests.
+package failpoint
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrInjected is the default fault error. Tests may arm their own error
+// values instead; production code must treat anything returned by Hit or
+// WriteFault as an ordinary I/O failure.
+var ErrInjected = errors.New("failpoint: injected fault")
+
+type point struct {
+	// after counts hits that pass through before the fault fires.
+	after int
+	// err is returned when the point fires.
+	err error
+	// short is the byte count of a short-write fault; -1 for plain
+	// error faults.
+	short int
+}
+
+var (
+	mu     sync.Mutex
+	points = map[string]*point{}
+	// armed is nonzero while any point is registered: the fast path in
+	// Hit/WriteFault checks it with one atomic load and skips the mutex
+	// entirely, so production binaries (which never arm anything) pay
+	// almost nothing.
+	armed atomic.Int32
+)
+
+// Enable arms name to fail its next hit with err (ErrInjected when err is
+// nil).
+func Enable(name string, err error) { EnableAfter(name, err, 0) }
+
+// EnableAfter arms name to let the first `after` hits pass and fail the
+// next one with err.
+func EnableAfter(name string, err error, after int) {
+	if err == nil {
+		err = ErrInjected
+	}
+	set(name, &point{after: after, err: err, short: -1})
+}
+
+// EnableShortWrite arms name so the next WriteFault reports that only the
+// first n bytes of the buffer must be written before failing with err — a
+// torn write at byte n.
+func EnableShortWrite(name string, n int, err error) {
+	EnableShortWriteAfter(name, n, err, 0)
+}
+
+// EnableShortWriteAfter is EnableShortWrite with a countdown: the first
+// `after` hits pass untouched, the next one tears.
+func EnableShortWriteAfter(name string, n int, err error, after int) {
+	if err == nil {
+		err = ErrInjected
+	}
+	set(name, &point{after: after, err: err, short: n})
+}
+
+func set(name string, p *point) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := points[name]; !ok {
+		armed.Add(1)
+	}
+	points[name] = p
+}
+
+// Disable disarms name (a no-op when it is not armed).
+func Disable(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := points[name]; ok {
+		delete(points, name)
+		armed.Add(-1)
+	}
+}
+
+// Reset disarms every point. Tests call it between subtests (and in
+// t.Cleanup) so a leaked fault never bleeds across cases.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	points = map[string]*point{}
+	armed.Store(0)
+}
+
+// fire consumes one hit of name: (nil, false) when disarmed or still
+// counting down, the armed point (removed from the registry) when it
+// fires.
+func fire(name string) (*point, bool) {
+	if armed.Load() == 0 {
+		return nil, false
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	p, ok := points[name]
+	if !ok {
+		return nil, false
+	}
+	if p.after > 0 {
+		p.after--
+		return nil, false
+	}
+	delete(points, name)
+	armed.Add(-1)
+	return p, true
+}
+
+// Hit consults the named point: nil when disarmed, the armed error when
+// it fires. Production code calls it immediately before (or after) a
+// durability side effect and returns the error as if the side effect
+// failed.
+func Hit(name string) error {
+	p, ok := fire(name)
+	if !ok {
+		return nil
+	}
+	return p.err
+}
+
+// WriteFault consults the named point for a write of size bytes. When
+// disarmed it returns (size, nil): write everything. When it fires it
+// returns (n, err): persist only the first n bytes (clamped to size),
+// then fail with err — the torn-write shape. A point armed with
+// Enable/EnableAfter fires here too, with n = 0 (nothing written).
+func WriteFault(name string, size int) (int, error) {
+	p, ok := fire(name)
+	if !ok {
+		return size, nil
+	}
+	n := p.short
+	if n < 0 {
+		n = 0
+	}
+	if n > size {
+		n = size
+	}
+	return n, p.err
+}
+
+// Armed reports whether name is currently armed (for test assertions
+// that a scenario actually consumed its fault).
+func Armed(name string) bool {
+	mu.Lock()
+	defer mu.Unlock()
+	_, ok := points[name]
+	return ok
+}

@@ -1,0 +1,96 @@
+package failpoint
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestDisarmedIsNoop(t *testing.T) {
+	Reset()
+	if err := Hit("never.armed"); err != nil {
+		t.Fatalf("disarmed Hit returned %v", err)
+	}
+	n, err := WriteFault("never.armed", 42)
+	if n != 42 || err != nil {
+		t.Fatalf("disarmed WriteFault = (%d, %v), want (42, nil)", n, err)
+	}
+}
+
+func TestEnableFiresOnceThenDisarms(t *testing.T) {
+	Reset()
+	boom := errors.New("boom")
+	Enable("p", boom)
+	if !Armed("p") {
+		t.Fatal("point not armed")
+	}
+	if err := Hit("p"); !errors.Is(err, boom) {
+		t.Fatalf("armed Hit = %v, want boom", err)
+	}
+	if Armed("p") {
+		t.Fatal("point still armed after firing")
+	}
+	if err := Hit("p"); err != nil {
+		t.Fatalf("second Hit = %v, want nil", err)
+	}
+}
+
+func TestEnableNilErrUsesErrInjected(t *testing.T) {
+	Reset()
+	Enable("p", nil)
+	if err := Hit("p"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Hit = %v, want ErrInjected", err)
+	}
+}
+
+func TestEnableAfterCountsDown(t *testing.T) {
+	Reset()
+	Enable("p", nil)
+	defer Reset()
+	EnableAfter("q", nil, 2)
+	for i := 0; i < 2; i++ {
+		if err := Hit("q"); err != nil {
+			t.Fatalf("hit %d fired early: %v", i, err)
+		}
+	}
+	if err := Hit("q"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("third hit = %v, want ErrInjected", err)
+	}
+}
+
+func TestShortWriteClampsAndFails(t *testing.T) {
+	Reset()
+	EnableShortWrite("w", 5, nil)
+	n, err := WriteFault("w", 10)
+	if n != 5 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("WriteFault = (%d, %v), want (5, ErrInjected)", n, err)
+	}
+	// Clamp to the buffer when the armed length exceeds it.
+	EnableShortWrite("w", 100, nil)
+	n, err = WriteFault("w", 10)
+	if n != 10 || err == nil {
+		t.Fatalf("WriteFault = (%d, %v), want (10, fault)", n, err)
+	}
+	// A plain error fault at a write site writes nothing.
+	Enable("w", nil)
+	n, err = WriteFault("w", 10)
+	if n != 0 || err == nil {
+		t.Fatalf("WriteFault = (%d, %v), want (0, fault)", n, err)
+	}
+}
+
+func TestDisableAndReset(t *testing.T) {
+	Reset()
+	Enable("a", nil)
+	Enable("b", nil)
+	Disable("a")
+	if Armed("a") {
+		t.Fatal("a still armed after Disable")
+	}
+	if err := Hit("a"); err != nil {
+		t.Fatalf("disabled Hit = %v", err)
+	}
+	Reset()
+	if Armed("b") {
+		t.Fatal("b still armed after Reset")
+	}
+}

@@ -164,6 +164,18 @@ func (e *Engine) SetWeights(w []float64) error {
 // different epochs may price differently.
 func (e *Engine) WeightsEpoch() uint64 { return e.weightsEpoch }
 
+// RestoreWeights reinstalls a persisted weight vector together with its
+// epoch counter (the broker's crash-recovery path). Validation matches
+// SetWeights, but the epoch is restored instead of bumped so ledger
+// records appended after the snapshot still match the recovered state.
+func (e *Engine) RestoreWeights(w []float64, epoch uint64) error {
+	if err := e.SetWeights(w); err != nil {
+		return err
+	}
+	e.weightsEpoch = epoch
+	return nil
+}
+
 // maxCheckers bounds the per-query checker map: a long-lived broker fed a
 // stream of unique queries would otherwise grow it without limit. Beyond
 // the bound the maps reset wholesale — checkers are cheap to rebuild and

@@ -1,8 +1,10 @@
 package support
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"qirana/internal/storage"
@@ -14,6 +16,23 @@ import (
 // UndoUpdateQueries, §3.2) so the support set survives across sessions;
 // here the updates serialize to JSON. A reloaded set must be paired with
 // the same database instance — Load verifies the old values still match.
+//
+// On-disk framing (v2): a magic header line carrying the format version
+// and a CRC32 of the JSON payload —
+//
+//	QIRSUP v2 crc32=xxxxxxxx\n{...json...}
+//
+// so a truncated, bit-rotted or future-format file fails with a
+// descriptive error instead of garbage-decoding into wrong prices. Load
+// still reads the legacy unversioned bare-JSON form (v1, no header) for
+// one release; Save always writes v2.
+
+// supportMagic heads the versioned envelope. The first byte of a legacy
+// file is '{', so the two formats are unambiguous.
+const supportMagic = "QIRSUP"
+
+// supportVersion is the current envelope version.
+const supportVersion = 2
 
 // jsonValue is the wire form of a value.Value.
 type jsonValue struct {
@@ -98,8 +117,15 @@ func (s *Set) Save(w io.Writer) error {
 		}
 		out.Updates[i] = ju
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(out)
+	payload, err := json.Marshal(out)
+	if err != nil {
+		return fmt.Errorf("encode support set: %w", err)
+	}
+	if _, err := fmt.Fprintf(w, "%s v%d crc32=%08x\n", supportMagic, supportVersion, crc32.ChecksumIEEE(payload)); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
 }
 
 // Load reads a support set saved by Save and validates it against db:
@@ -107,8 +133,16 @@ func (s *Set) Save(w io.Writer) error {
 // different (or since-modified) database is rejected rather than silently
 // producing wrong prices.
 func Load(r io.Reader, db *storage.Database) (*Set, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("read support set: %w", err)
+	}
+	payload, err := unwrapEnvelope(data)
+	if err != nil {
+		return nil, err
+	}
 	var in jsonSet
-	if err := json.NewDecoder(r).Decode(&in); err != nil {
+	if err := json.Unmarshal(payload, &in); err != nil {
 		return nil, fmt.Errorf("decode support set: %w", err)
 	}
 	if in.Version != 1 {
@@ -165,4 +199,37 @@ func Load(r io.Reader, db *storage.Database) (*Set, error) {
 		set.Elements = append(set.Elements, u)
 	}
 	return set, nil
+}
+
+// unwrapEnvelope strips (and verifies) the versioned header, or passes a
+// legacy bare-JSON file through unchanged.
+func unwrapEnvelope(data []byte) ([]byte, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("support set file is empty")
+	}
+	if data[0] == '{' {
+		// Legacy v1: bare JSON, no header, no checksum. Still readable
+		// for one release; Save rewrites it in the v2 envelope.
+		return data, nil
+	}
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 || !bytes.HasPrefix(data, []byte(supportMagic+" ")) {
+		return nil, fmt.Errorf("not a qirana support set (bad header; want %q or legacy JSON)", supportMagic)
+	}
+	header := string(data[:nl+1])
+	var version int
+	var sum uint32
+	if _, err := fmt.Sscanf(header, supportMagic+" v%d crc32=%08x\n", &version, &sum); err != nil {
+		return nil, fmt.Errorf("not a qirana support set (malformed header %q)", header)
+	}
+	if version > supportVersion {
+		return nil, fmt.Errorf("support set is format v%d, newer than this binary (supports ≤ v%d); upgrade qirana to read it",
+			version, supportVersion)
+	}
+	payload := data[nl+1:]
+	if got := crc32.ChecksumIEEE(payload); got != sum {
+		return nil, fmt.Errorf("support set payload checksum %08x does not match header %08x — the file is truncated or damaged",
+			got, sum)
+	}
+	return payload, nil
 }

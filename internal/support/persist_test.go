@@ -100,3 +100,67 @@ func TestLoadRejectsGarbage(t *testing.T) {
 		t.Fatal("unknown relation accepted")
 	}
 }
+
+// TestLoadLegacyUnversionedFormat: a pre-envelope file (bare JSON, the
+// v1 on-disk form) still loads — stripping the v2 header off a fresh
+// Save yields exactly the legacy layout.
+func TestLoadLegacyUnversionedFormat(t *testing.T) {
+	db := testDB(t, 30, 3)
+	set, err := GenerateNeighborhood(db, DefaultConfig(60, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := set.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 || data[0] == '{' {
+		t.Fatalf("Save no longer writes the versioned envelope: %q", data[:min(len(data), 40)])
+	}
+	legacy := data[nl+1:]
+	loaded, err := Load(bytes.NewReader(legacy), db)
+	if err != nil {
+		t.Fatalf("legacy unversioned file rejected: %v", err)
+	}
+	if loaded.Size() != set.Size() {
+		t.Fatalf("legacy load size %d, want %d", loaded.Size(), set.Size())
+	}
+}
+
+// TestLoadDetectsEnvelopeCorruption: a flipped payload byte or truncated
+// file fails the checksum with a descriptive error instead of decoding
+// garbage; a future envelope version names the upgrade path.
+func TestLoadDetectsEnvelopeCorruption(t *testing.T) {
+	db := testDB(t, 30, 3)
+	set, err := GenerateNeighborhood(db, DefaultConfig(60, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := set.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)-3] ^= 0x20
+	if _, err := Load(bytes.NewReader(flipped), db); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("flipped byte: err=%v, want checksum error", err)
+	}
+
+	truncated := good[:len(good)-10]
+	if _, err := Load(bytes.NewReader(truncated), db); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("truncated file: err=%v, want checksum error", err)
+	}
+
+	future := []byte("QIRSUP v9 crc32=00000000\n{}")
+	if _, err := Load(bytes.NewReader(future), db); err == nil || !strings.Contains(err.Error(), "newer than this binary") {
+		t.Fatalf("future version: err=%v, want newer-format error", err)
+	}
+
+	if _, err := Load(bytes.NewReader(nil), db); err == nil {
+		t.Fatal("empty file accepted")
+	}
+}

@@ -144,6 +144,14 @@ type Options struct {
 	// disables caching and request coalescing entirely. Other negative
 	// values are rejected by Validate.
 	QuoteCacheSize int
+	// DataDir, when non-empty, makes broker state durable: every
+	// purchase is write-ahead-logged (and fsynced) to a checksummed
+	// ledger in this directory BEFORE the buyer is charged, and atomic
+	// snapshots bundle the support set, entropy weights and buyer
+	// histories. OpenBroker recovers the directory after a crash to
+	// bit-identical prices and balances. Empty (the default) keeps the
+	// broker purely in memory with zero durability overhead.
+	DataDir string
 }
 
 // defaultQuoteCacheSize is the quote-cache capacity when Options leaves
@@ -173,6 +181,9 @@ func (o Options) Validate() error {
 	if o.QuoteCacheSize < QuoteCacheDisabled {
 		return fmt.Errorf("options: QuoteCacheSize %d is invalid; use 0 for the default (%d) or %d (QuoteCacheDisabled) to disable caching",
 			o.QuoteCacheSize, defaultQuoteCacheSize, QuoteCacheDisabled)
+	}
+	if o.DataDir != "" && o.UniformSupport {
+		return fmt.Errorf("options: DataDir requires a neighborhood support set; uniform support sets (materialized instances) are not persistable")
 	}
 	return nil
 }
@@ -234,6 +245,11 @@ type Broker struct {
 	buyersMu sync.Mutex
 	buyers   map[string]*buyerState
 
+	// dur is the durability layer (nil for in-memory brokers): the
+	// write-ahead purchase ledger plus snapshot bookkeeping under
+	// Options.DataDir. See durability.go.
+	dur *durableState
+
 	statsMu   sync.Mutex
 	lastStats pricing.Stats
 }
@@ -268,6 +284,11 @@ func NewBroker(db *Database, totalPrice float64, opt Options) (*Broker, error) {
 	}
 	if err := b.resample(opt.Seed); err != nil {
 		return nil, err
+	}
+	if opt.DataDir != "" {
+		if err := b.initDurability(opt.DataDir); err != nil {
+			return nil, err
+		}
 	}
 	return b, nil
 }
@@ -694,6 +715,11 @@ func NewBrokerFromSupport(db *Database, totalPrice float64, r io.Reader, opt Opt
 	b.engine.Opts.Batching = !opt.DisableBatching
 	b.engine.Opts.Workers = opt.Workers
 	b.engine.Obs = b.obs
+	if opt.DataDir != "" {
+		if err := b.initDurability(opt.DataDir); err != nil {
+			return nil, err
+		}
+	}
 	return b, nil
 }
 
@@ -731,6 +757,11 @@ func (b *Broker) SetPricePoints(points []PricePoint) error {
 	var lastErr error
 	for attempt := 0; attempt < 3; attempt++ {
 		if lastErr = b.engine.FitWeights(pts); lastErr == nil {
+			// Fitted weights (and a possibly-resampled support set) must
+			// be durable before purchases are logged against them.
+			if b.dur != nil {
+				return b.checkpointLocked()
+			}
 			return nil
 		}
 		// Resample, then grow: a larger support set can separate the
@@ -776,7 +807,16 @@ func (b *Broker) Run(sql string) (*Result, error) {
 func (b *Broker) SetWeights(w []float64) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return b.engine.SetWeights(w)
+	if err := b.engine.SetWeights(w); err != nil {
+		return err
+	}
+	// Weight changes must reach disk before any purchase is logged under
+	// the new epoch: the ledger's records only replay against the epoch
+	// their snapshot holds.
+	if b.dur != nil {
+		return b.checkpointLocked()
+	}
+	return nil
 }
 
 // LastStats reports how the last pricing call was computed. A quote
