@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench json-bench vet fuzz crash bench-compare throughput serve
+.PHONY: all build test race bench json-bench vet lint-dup fuzz crash bench-compare throughput serve
 
 all: build vet test
 
@@ -17,8 +17,15 @@ test: vet
 race:
 	$(GO) test -race ./...
 
-vet:
+vet: lint-dup
 	$(GO) vet ./...
+
+# The lowercase-name helper lives in internal/sqlengine/ast (LowerName);
+# private copies used to accumulate in the checker/exec/plan layers and
+# drift. Fail if a new one appears.
+lint-dup:
+	@if grep -rn 'func lower(' internal/disagree internal/sqlengine/exec internal/sqlengine/plan --include='*.go'; then \
+		echo 'duplicate lower() helper: use ast.LowerName'; exit 1; fi
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
@@ -28,11 +35,14 @@ bench:
 json-bench:
 	$(GO) run ./cmd/bench
 
-# Quick fuzz pass over the SQL lexer+parser, seeded from the workload
-# query corpus (plus the committed regression corpus in testdata/fuzz).
+# Quick fuzz passes: the SQL lexer+parser (seeded from the workload query
+# corpus) and the tiered delta checker (random ± updates differenced
+# against full re-runs), plus the committed regression corpora in
+# testdata/fuzz.
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test ./internal/sqlengine/parser -fuzz FuzzParse -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/disagree -fuzz FuzzDeltaTiers -fuzztime $(FUZZTIME)
 
 # Fault-injection suite under the race detector: the crash matrix
 # kills-and-recovers the durable broker at every ledger/snapshot

@@ -106,7 +106,7 @@ func (r *runner) measure(group, name string, workers int, op func() error) {
 func main() {
 	var (
 		out      = flag.String("out", "BENCH_pricing.json", "output JSON path")
-		groups   = flag.String("groups", "fig4d,fig5a,fig5b,quote", "comma-separated benchmark groups")
+		groups   = flag.String("groups", "fig4d,fig5a,fig5b,quote,delta-tiers", "comma-separated benchmark groups")
 		workersF = flag.String("workers", "1,numcpu", "comma-separated worker counts ('numcpu' allowed)")
 		supportN = flag.Int("support", 500, "support set size for the Fig 5 fixtures")
 		ssbSF    = flag.Float64("ssb-sf", 0.002, "SSB scale factor")
@@ -124,9 +124,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	known := []string{"fig4d", "fig5a", "fig5b", "quote", "delta-tiers"}
 	want := map[string]bool{}
 	for _, g := range strings.Split(*groups, ",") {
-		want[strings.TrimSpace(g)] = true
+		g = strings.TrimSpace(g)
+		ok := false
+		for _, k := range known {
+			if g == k {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown benchmark group %q (valid: %s)\n", g, strings.Join(known, ", "))
+			os.Exit(1)
+		}
+		want[g] = true
 	}
 
 	r := &runner{minTime: *minTime, maxIter: *maxIter, reps: *reps}
@@ -167,6 +180,9 @@ func main() {
 	}
 	if want["quote"] {
 		quoteThroughput(r, *seed, *supportN)
+	}
+	if want["delta-tiers"] {
+		deltaTiers(r, *seed, *supportN, workers)
 	}
 
 	rep := report{
@@ -311,6 +327,69 @@ func scalability(r *runner, group string, db *storage.Database, supportN int, se
 				return err
 			})
 		}
+	}
+}
+
+// deltaTiers isolates the query shapes whose residual database checks the
+// incremental-view tiers rescue from full re-execution: MIN/MAX aggregates
+// (candidate views), DISTINCT with and without a join (multiplicity views),
+// and a self-join (higher-order delta expansion). Each query prices with
+// the tiered engine and with the legacy untiered engine — where DISTINCT
+// and self-joins fall back to naive per-element re-execution and extremum
+// removals re-run the full query — and the group prints the tiered-vs-
+// untiered geometric-mean speedup at workers=1.
+func deltaTiers(r *runner, seed int64, supportN int, workers []int) {
+	db := datagen.World(seed)
+	set, err := support.GenerateNeighborhood(db, support.DefaultConfig(supportN, seed))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	queries := []struct{ name, sql string }{
+		{"minmax-group", "SELECT Continent, max(Population), min(Population) FROM Country GROUP BY Continent"},
+		{"minmax-global", "SELECT min(Population), max(Population) FROM Country"},
+		{"distinct", "SELECT DISTINCT Continent FROM Country"},
+		{"distinct-join", "SELECT DISTINCT C.Continent FROM Country C, CountryLanguage CL WHERE C.Code = CL.CountryCode AND CL.Percentage > 10"},
+		{"self-join", "SELECT a.Name FROM Country a, Country b WHERE a.Continent = b.Continent AND b.Population > 100000000"},
+	}
+	for _, wq := range queries {
+		q := exec.MustCompile(wq.sql, db.Schema)
+		for _, w := range workers {
+			tiered := pricing.NewEngine(db, set, 100)
+			tiered.Opts.Workers = w
+			r.measure("delta-tiers", wq.name+"/tiered", w, func() error {
+				_, err := tiered.Price(pricing.WeightedCoverage, q)
+				return err
+			})
+		}
+		for _, w := range workers {
+			untiered := pricing.NewEngine(db, set, 100)
+			untiered.Opts.Workers = w
+			untiered.Opts.DisableDeltaTiers = true
+			r.measure("delta-tiers", wq.name+"/untiered", w, func() error {
+				_, err := untiered.Price(pricing.WeightedCoverage, q)
+				return err
+			})
+		}
+	}
+	// Tiered-vs-untiered speedup at workers=1 (the acceptance figure).
+	ns := map[string]float64{}
+	for _, res := range r.out {
+		if res.Group == "delta-tiers" && res.Workers == workers[0] {
+			ns[res.Name] = res.NsPerOp
+		}
+	}
+	logSum, n := 0.0, 0
+	for _, wq := range queries {
+		t, u := ns[wq.name+"/tiered"], ns[wq.name+"/untiered"]
+		if t > 0 && u > 0 {
+			fmt.Printf("delta-tiers: %-14s %6.2fx faster tiered (%.0f ns vs %.0f ns)\n", wq.name, u/t, t, u)
+			logSum += math.Log(u / t)
+			n++
+		}
+	}
+	if n > 0 {
+		fmt.Printf("delta-tiers: geomean %.2fx faster than untiered at workers=%d\n", math.Exp(logSum/float64(n)), workers[0])
 	}
 }
 

@@ -172,6 +172,49 @@ func TestStatsAndMetricsEndpoints(t *testing.T) {
 	}
 }
 
+// TestTierCountersExported drives a workload through the delta tiers (a
+// MIN/MAX group-by resolves extremum removals against candidate views, a
+// DISTINCT query against a multiplicity view) and asserts the per-tier hit
+// counts surface in both /stats (last_stats) and /metrics and move.
+func TestTierCountersExported(t *testing.T) {
+	ts := newTestServer(t)
+	postJSON(t, ts.URL+"/quote", `{"sql": "SELECT Continent, max(Population) FROM Country GROUP BY Continent"}`, nil)
+
+	var stats struct {
+		LastStats map[string]int `json:"last_stats"`
+	}
+	getJSON(t, ts.URL+"/stats", &stats)
+	for _, k := range []string{"DeltaFull", "DeltaPartial", "FullRuns"} {
+		if _, ok := stats.LastStats[k]; !ok {
+			t.Fatalf("last_stats missing %q: %v", k, stats.LastStats)
+		}
+	}
+	if stats.LastStats["DeltaFull"]+stats.LastStats["DeltaPartial"] == 0 {
+		t.Fatalf("MIN/MAX workload never used the delta tiers: %v", stats.LastStats)
+	}
+
+	var m qirana.MetricsSnapshot
+	getJSON(t, ts.URL+"/metrics", &m)
+	for _, k := range []string{"checker_delta_full", "checker_delta_partial", "checker_delta_fallback"} {
+		if _, ok := m.Counters[k]; !ok {
+			t.Fatalf("metrics missing %q: %+v", k, m.Counters)
+		}
+	}
+	before := m.Counters["checker_delta_partial"]
+
+	// A DISTINCT query routes its residual checks through the multiplicity
+	// view: the partial-tier counter must move.
+	postJSON(t, ts.URL+"/quote", `{"sql": "SELECT DISTINCT Continent FROM Country"}`, nil)
+	getJSON(t, ts.URL+"/metrics", &m)
+	if m.Counters["checker_delta_partial"] <= before {
+		t.Fatalf("partial-tier counter did not move: %d -> %d", before, m.Counters["checker_delta_partial"])
+	}
+	getJSON(t, ts.URL+"/stats", &stats)
+	if stats.LastStats["DeltaPartial"] == 0 {
+		t.Fatalf("DISTINCT workload reported no partial-tier checks: %v", stats.LastStats)
+	}
+}
+
 func TestDebugEndpoints(t *testing.T) {
 	ts := newTestServer(t)
 	var vars map[string]json.RawMessage

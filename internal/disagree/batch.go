@@ -5,6 +5,8 @@ import (
 	"sort"
 
 	"qirana/internal/pool"
+	"qirana/internal/sqlengine/ast"
+	"qirana/internal/sqlengine/exec"
 	"qirana/internal/storage"
 	"qirana/internal/support"
 	"qirana/internal/value"
@@ -34,20 +36,31 @@ type batchJob struct {
 	compare bool
 }
 
+// deltaCheck is one per-update delta task: updates of a relation with
+// multiple occurrences cannot share a tagged query (the upid substitution
+// is per-slot-unsound for self-joins), so each resolves individually
+// through the higher-order expansion of Checker.decide.
+type deltaCheck struct {
+	i       int
+	compare bool
+}
+
 // CheckBatch decides all updates, batching the database checks per
-// relation (paper §4.2): for every relation at most one tagged query
-// answers the NeedPlus checks and two tagged queries answer the
-// NeedCompare checks, independent of how many updates are in the batch.
-// The live mask (nil = all live) lets history-aware pricing skip elements
-// that already contributed to the price.
+// relation (paper §4.2): for every single-occurrence relation at most one
+// tagged query answers the NeedPlus checks and two tagged queries answer
+// the NeedCompare checks, independent of how many updates are in the
+// batch; multi-occurrence (self-join) relations resolve per update
+// through the delta expansion. The live mask (nil = all live) lets
+// history-aware pricing skip elements that already contributed.
 //
 // With Workers > 1 the batch runs concurrently over the shared read-only
 // database: the static classification shards across workers, the
 // per-relation tagged queries run in parallel (oversized batches split
-// into chunks), and the residual full checks fan out over per-worker
-// overlays. Every (element, query) decision is independent and lands in
-// its own res slot, and Stats are aggregated by counting, so results and
-// Stats are bit-identical to the serial (Workers ≤ 1) run.
+// into chunks), the per-update delta checks fan out, and the residual
+// full checks run over per-worker overlays. Every (element, query)
+// decision is independent and lands in its own res slot, and Stats are
+// aggregated by counting, so results and Stats are bit-identical to the
+// serial (Workers ≤ 1) run.
 func (c *Checker) CheckBatch(us []*support.Update, live []bool) ([]bool, error) {
 	return c.CheckBatchCtx(context.Background(), us, live)
 }
@@ -89,6 +102,7 @@ func (c *Checker) CheckBatchCtx(ctx context.Context, us []*support.Update, live 
 
 	plusPending := make(map[string][]int)
 	comparePending := make(map[string][]int)
+	var deltaPending []deltaCheck
 	var fullPending []int
 	for i := range us {
 		switch outcomes[i] {
@@ -99,9 +113,17 @@ func (c *Checker) CheckBatchCtx(ctx context.Context, us []*support.Update, live 
 			c.Stats.Static++
 			res[i] = true
 		case NeedPlus:
-			plusPending[lower(us[i].Rel)] = append(plusPending[lower(us[i].Rel)], i)
+			if rel := ast.LowerName(us[i].Rel); c.multi[rel] {
+				deltaPending = append(deltaPending, deltaCheck{i: i, compare: false})
+			} else {
+				plusPending[rel] = append(plusPending[rel], i)
+			}
 		case NeedCompare:
-			comparePending[lower(us[i].Rel)] = append(comparePending[lower(us[i].Rel)], i)
+			if rel := ast.LowerName(us[i].Rel); c.multi[rel] {
+				deltaPending = append(deltaPending, deltaCheck{i: i, compare: true})
+			} else {
+				comparePending[rel] = append(comparePending[rel], i)
+			}
 		case NeedFull:
 			fullPending = append(fullPending, i)
 		}
@@ -117,21 +139,55 @@ func (c *Checker) CheckBatchCtx(ctx context.Context, us []*support.Update, live 
 	plusOf := func(i int) [][]value.Value { return us[i].PlusRows(c.db) }
 	minusOf := func(i int) [][]value.Value { return us[i].MinusRows(c.db) }
 	extraFull := make([][]int, len(jobs))
+	tallies := make([][2]int, len(jobs)) // per job: decided at (full, partial) tier
 	stopTagged := c.Obs.Timer("stage_tagged_batch")
 	if err := pool.RunCtx(ctx, workers, len(jobs), func(k int) error {
-		ef, err := c.runBatchJob(us, jobs[k], res, plusOf, minusOf)
+		ef, nFull, nPartial, err := c.runBatchJob(us, jobs[k], res, plusOf, minusOf)
 		extraFull[k] = ef
+		tallies[k] = [2]int{nFull, nPartial}
 		return err
 	}); err != nil {
 		return nil, err
 	}
 	stopTagged()
 	c.Stats.Batched += batched
-	for _, ef := range extraFull {
+	for k, ef := range extraFull {
 		fullPending = append(fullPending, ef...)
+		c.Stats.DeltaFullRuns += tallies[k][0]
+		c.Stats.DeltaPartialRuns += tallies[k][1]
 	}
 
-	// Residual full runs (rare: MIN/MAX removals and float borderlines),
+	// Per-update delta checks of multi-occurrence relations (self-joins):
+	// each runs the higher-order expansion against the cached indexes and
+	// views, escalating to the residual stage when inexact.
+	if len(deltaPending) > 0 {
+		type deltaRes struct{ dis, esc, partial bool }
+		dres := make([]deltaRes, len(deltaPending))
+		stopDelta := c.Obs.Timer("stage_delta")
+		if err := pool.RunCtx(ctx, workers, len(deltaPending), func(x int) error {
+			dc := deltaPending[x]
+			dis, esc, partial, err := c.decide(us[dc.i], dc.compare)
+			dres[x] = deltaRes{dis: dis, esc: esc, partial: partial}
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		stopDelta()
+		for x, dc := range deltaPending {
+			switch {
+			case dres[x].esc:
+				fullPending = append(fullPending, dc.i)
+			case dres[x].partial:
+				res[dc.i] = dres[x].dis
+				c.Stats.DeltaPartialRuns++
+			default:
+				res[dc.i] = dres[x].dis
+				c.Stats.DeltaFullRuns++
+			}
+		}
+	}
+
+	// Residual full runs (rare: float borderlines and view overshoot),
 	// fanned out over per-worker overlays of the shared instance.
 	if len(fullPending) > 0 {
 		defer c.Obs.Timer("stage_residual")()
@@ -207,55 +263,73 @@ func shard(idxs []int, workers int) [][]int {
 
 // runBatchJob answers one job's checks with the §4.2 tagged queries,
 // writing the decided bits into res (disjoint indexes per job) and
-// returning the updates escalated to a residual full run. plusOf/minusOf
+// returning the updates escalated to a residual full run plus the counts
+// of checks decided at the full and partial delta tiers. plusOf/minusOf
 // supply the u⁺/u⁻ tuples per update index — built on demand by
 // CheckBatch, materialized once and shared by the multi-query sweep.
-func (c *Checker) runBatchJob(us []*support.Update, j batchJob, res []bool, plusOf, minusOf func(int) [][]value.Value) ([]int, error) {
-	q := c.Q
+func (c *Checker) runBatchJob(us []*support.Update, j batchJob, res []bool, plusOf, minusOf func(int) [][]value.Value) (fullPending []int, nFull, nPartial int, err error) {
+	q := c.checkQuery()
+	var gv *exec.GroupView
+	var mv *exec.MultiplicityView
 	if c.SPJ.IsAgg {
-		q = c.unrolledQ
+		if gv, err = c.groupView(); err != nil {
+			return nil, 0, 0, err
+		}
+	} else if c.SPJ.Distinct {
+		if mv, err = c.Q.MultiplicityView(c.db); err != nil {
+			return nil, 0, 0, err
+		}
 	}
-	var fullPending []int
+	// settle records one decided check; consulting the multiplicity view
+	// or a candidate multiset is the partial tier, a bare first-order
+	// answer the full tier (tagged jobs never cover self-joins).
+	settle := func(i int, dis, usedView bool) {
+		res[i] = dis
+		if usedView {
+			nPartial++
+		} else {
+			nFull++
+		}
+	}
+	decide := func(i int, m, p [][]value.Value) {
+		switch {
+		case c.SPJ.IsAgg:
+			o, usedCand := c.aggDelta(gv, m, p)
+			if o == NeedFull {
+				fullPending = append(fullPending, i)
+			} else {
+				settle(i, o == Disagree, usedCand)
+			}
+		case c.SPJ.Distinct:
+			settle(i, distinctFlips(mv, m, p), true)
+		case m == nil:
+			settle(i, len(p) > 0, false)
+		default:
+			settle(i, !equalMultiset(m, p), false)
+		}
+	}
 	if !j.compare {
-		out, err := q.RunTagged(c.db, j.rel, tagRows(plusOf, j.idxs))
-		if err != nil {
-			return nil, err
+		out, rerr := q.RunTagged(c.db, j.rel, tagRows(plusOf, j.idxs))
+		if rerr != nil {
+			return nil, 0, 0, rerr
 		}
 		for _, i := range j.idxs {
-			if c.SPJ.IsAgg {
-				switch c.aggDelta(nil, out[int64(i)]) {
-				case Disagree:
-					res[i] = true
-				case NeedFull:
-					fullPending = append(fullPending, i)
-				}
-			} else {
-				res[i] = len(out[int64(i)]) > 0
-			}
+			decide(i, nil, out[int64(i)])
 		}
-		return fullPending, nil
+		return fullPending, nFull, nPartial, nil
 	}
 	outMinus, err := q.RunTagged(c.db, j.rel, tagRows(minusOf, j.idxs))
 	if err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
 	outPlus, err := q.RunTagged(c.db, j.rel, tagRows(plusOf, j.idxs))
 	if err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
 	for _, i := range j.idxs {
-		if c.SPJ.IsAgg {
-			switch c.aggDelta(outMinus[int64(i)], outPlus[int64(i)]) {
-			case Disagree:
-				res[i] = true
-			case NeedFull:
-				fullPending = append(fullPending, i)
-			}
-		} else {
-			res[i] = !equalMultiset(outMinus[int64(i)], outPlus[int64(i)])
-		}
+		decide(i, outMinus[int64(i)], outPlus[int64(i)])
 	}
-	return fullPending, nil
+	return fullPending, nFull, nPartial, nil
 }
 
 // tagRows builds the tagged replacement relation R⁺ (or R⁻) of §4.2: each

@@ -34,7 +34,7 @@ func TestCacheAndDeltaStats(t *testing.T) {
 	if checks == 0 {
 		t.Fatal("empty support set")
 	}
-	if c.Stats.DeltaRuns == 0 {
+	if c.Stats.DeltaFullRuns == 0 {
 		t.Fatalf("no checks went through the delta path: %+v", c.Stats)
 	}
 	if c.Stats.IndexCacheHits == 0 {
@@ -75,7 +75,7 @@ func TestCacheAndDeltaStats(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if ca.Stats.DeltaRuns == 0 {
+	if ca.Stats.DeltaFullRuns == 0 {
 		t.Fatalf("aggregate checks never used the delta path: %+v", ca.Stats)
 	}
 	if ca.Stats.IndexCacheHits == 0 {

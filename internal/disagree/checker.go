@@ -3,20 +3,38 @@
 // decide whether Q(D) ≠ Q(up↑(D)) without re-running Q on the full
 // database.
 //
-// The checker covers SPJ queries without self-joins under bag semantics
-// (Algorithm 4 for row updates, Algorithm 6 for swap updates) and their
-// aggregation extensions γ_{G, COUNT/SUM/AVG/MIN/MAX} (Algorithm 5, §4.3),
-// including the batching optimization of §4.2 that answers the residual
-// database checks for a whole batch of updates with a constant number of
-// tagged queries per relation.
+// The checker covers SPJ queries under bag semantics (Algorithm 4 for row
+// updates, Algorithm 6 for swap updates), their DISTINCT forms, self-joins,
+// and the aggregation extensions γ_{G, COUNT/SUM/AVG/MIN/MAX} (Algorithm 5,
+// §4.3), including the batching optimization of §4.2 that answers the
+// residual database checks for a whole batch of updates with a constant
+// number of tagged queries per relation.
+//
+// Residual database checks route through a tier matrix (analyze.DeltaTier)
+// rather than a boolean fallback:
+//
+//   - DeltaFull: the relation occurs once and the query is a plain bag SPJ
+//     — the two first-order delta terms decide the check outright.
+//   - DeltaPartial: DISTINCT queries and self-joins. The delta terms (for
+//     self-joins, the higher-order 3^k−1 expansion of exec.RunDelta) are
+//     resolved against materialized intermediates in the version-stamped
+//     execution cache (exec/ivm.go): a core-row multiplicity view for
+//     DISTINCT, per-group aggregate state with MIN/MAX candidate multisets
+//     for aggregation — so extremum removals, previously an unconditional
+//     full re-run, resolve incrementally.
+//   - Fallback (full re-run) remains only for floating-point borderline
+//     cases and view inconsistencies.
+//
+// Stats counts each residual check under exactly one of these tiers.
 //
 // Two of the paper's static shortcuts (line 8/10 "B ∩ A ≠ ∅ ⇒ changed")
 // are not exact in corner cases — a swap of two projected values can leave
 // the output multiset unchanged, and a value change buried in a computed
 // expression can be absorbed — so this implementation applies them only
-// where they are provably exact (row updates on bare projected columns)
-// and otherwise falls through to the compare check, keeping the fast path
-// equivalent to brute-force re-execution (differentially tested).
+// where they are provably exact (row updates on bare projected columns of
+// single-occurrence non-DISTINCT queries) and otherwise falls through to
+// the compare check, keeping the fast path equivalent to brute-force
+// re-execution (differentially tested).
 package disagree
 
 import (
@@ -25,6 +43,7 @@ import (
 
 	"qirana/internal/obs"
 	"qirana/internal/result"
+	"qirana/internal/sqlengine/analyze"
 	"qirana/internal/sqlengine/ast"
 	"qirana/internal/sqlengine/exec"
 	"qirana/internal/sqlengine/plan"
@@ -48,19 +67,29 @@ const (
 	// aggregation queries. Batchable.
 	NeedCompare
 	// NeedFull requires re-running the full query on the updated database
-	// (MIN/MAX removals and floating-point borderline cases).
+	// (floating-point borderline cases, candidate-view inconsistencies,
+	// and — for untiered checkers — MIN/MAX removals).
 	NeedFull
 )
 
-// groupState is the per-group bookkeeping for aggregation queries: the
-// contributing row count and, per aggregate, the non-null input count,
-// input sum and current extremum (paper §4.3's "aggregate values of each
-// group in the output").
-type groupState struct {
-	rowCount int64
-	n        []int64
-	sum      []float64
-	min, max []value.Value
+// CheckStats counts how each update was decided (reported by experiments)
+// and how the execution layer served the database checks.
+type CheckStats struct {
+	Static, Batched, FullRuns int
+	// DeltaFullRuns counts residual checks decided by the first-order
+	// delta terms alone (tier DeltaFull); DeltaPartialRuns counts checks
+	// that additionally consulted a materialized intermediate or the
+	// higher-order self-join expansion (tier DeltaPartial). Together with
+	// FullRuns they partition the residual checks: every check lands in
+	// exactly one of the three.
+	DeltaFullRuns, DeltaPartialRuns int
+	// IndexCacheHits/Misses aggregate the executor's index-cache counters
+	// (filtered sources, join build sides, probe partitions, materialized
+	// views) across the queries this checker drives, accumulated per
+	// Check/CheckBatch call. Hit counts depend on Workers (job sharding),
+	// so they are informational, not part of the bit-identical result
+	// contract.
+	IndexCacheHits, IndexCacheMisses int
 }
 
 // Checker decides disagreements for one query over one database. It is
@@ -75,10 +104,15 @@ type Checker struct {
 	unrolledQ *exec.Query
 
 	contrib []map[string]bool // per source: contributing PK set
-	srcOf   map[string]int    // lower(rel) -> source index
-	deltaOK map[string]bool   // lower(rel) -> residual checks may use RunDelta
+	srcsOf  map[string][]int  // lower(rel) -> source indexes, FROM order
+	multi   map[string]bool   // lower(rel) -> occurs more than once
 
-	groups map[string]*groupState
+	// tiered selects the full tier matrix. An untiered checker (NewUntiered)
+	// reproduces the legacy fallback behaviour for A/B comparison: DISTINCT
+	// and self-joins are rejected at construction and extremum removals
+	// escalate to a full re-run instead of resolving against candidates.
+	tiered   bool
+	viewSpec exec.GroupViewSpec
 
 	baseHash    uint64
 	baseHashSet bool
@@ -90,25 +124,11 @@ type Checker struct {
 	Workers int
 
 	// Obs, when non-nil, receives per-stage latency observations
-	// (stage_classify, stage_tagged_batch, stage_residual) from every
-	// CheckBatch. Set by the pricing engine; nil costs one branch.
+	// (stage_classify, stage_tagged_batch, stage_delta, stage_residual)
+	// from every CheckBatch. Set by the pricing engine; nil costs a branch.
 	Obs *obs.Registry
 
-	// Stats counts how each update was decided (reported by experiments)
-	// and how the execution layer served the database checks.
-	Stats struct {
-		Static, Batched, FullRuns int
-		// DeltaRuns counts database checks answered through the delta
-		// evaluation path (Query.RunDelta) instead of a full re-execution.
-		DeltaRuns int
-		// IndexCacheHits/Misses aggregate the executor's index-cache
-		// counters (filtered sources, join build sides, probe partitions)
-		// across the queries this checker drives, accumulated per
-		// Check/CheckBatch call. Hit counts depend on Workers (job
-		// sharding), so they are informational, not part of the
-		// bit-identical result contract.
-		IndexCacheHits, IndexCacheMisses int
-	}
+	Stats CheckStats
 }
 
 // cacheSnapshot sums the execution-cache counters of every compiled query
@@ -140,13 +160,44 @@ func (c *Checker) accountCache(before exec.CacheStats) {
 // New builds a checker, or returns an error when the query is outside the
 // fast path (the caller then prices naively, as the paper's system does).
 func New(q *exec.Query, db *storage.Database) (*Checker, error) {
+	return newChecker(q, db, true)
+}
+
+// NewUntiered builds a checker restricted to the legacy fallback matrix:
+// no DISTINCT, no self-joins, no incremental extremum resolution. It
+// exists for A/B measurement of the tier machinery
+// (pricing.Options.DisableDeltaTiers) and accepts strictly fewer queries
+// than New.
+func NewUntiered(q *exec.Query, db *storage.Database) (*Checker, error) {
+	return newChecker(q, db, false)
+}
+
+func newChecker(q *exec.Query, db *storage.Database, tiered bool) (*Checker, error) {
 	s, err := plan.Extract(q.A)
 	if err != nil {
 		return nil, err
 	}
-	c := &Checker{Q: q, SPJ: s, db: db, srcOf: make(map[string]int)}
+	if !tiered {
+		if s.Distinct {
+			return nil, fmt.Errorf("DISTINCT is outside the SPJ fast path")
+		}
+		seen := make(map[string]bool, len(s.RelOfSource))
+		for _, rel := range s.RelOfSource {
+			l := ast.LowerName(rel)
+			if seen[l] {
+				return nil, fmt.Errorf("self-join on %s is outside the SPJ fast path", rel)
+			}
+			seen[l] = true
+		}
+	}
+	c := &Checker{Q: q, SPJ: s, db: db, tiered: tiered,
+		srcsOf: make(map[string][]int), multi: make(map[string]bool)}
 	for i, rel := range s.RelOfSource {
-		c.srcOf[lower(rel)] = i
+		l := ast.LowerName(rel)
+		c.srcsOf[l] = append(c.srcsOf[l], i)
+		if len(c.srcsOf[l]) > 1 {
+			c.multi[l] = true
+		}
 	}
 	c.contribQ, err = exec.CompileStmt(s.ContribStmt, db.Schema)
 	if err != nil {
@@ -171,68 +222,24 @@ func New(q *exec.Query, db *storage.Database) (*Checker, error) {
 		if err != nil {
 			return nil, fmt.Errorf("compile unrolled query: %w", err)
 		}
-		ur, err := c.unrolledQ.Run(db)
-		if err != nil {
+		c.viewSpec = exec.GroupViewSpec{NumGroups: s.NumGroups, Candidates: tiered}
+		for _, ag := range s.Aggs {
+			c.viewSpec.Aggs = append(c.viewSpec.Aggs, exec.ViewAgg{Fn: ag.Fn.Name, ArgCol: ag.ArgCol})
+		}
+		// Build (and cache) the group view now so construction surfaces
+		// execution errors, exactly as the legacy eager bookkeeping did.
+		if _, err := c.groupView(); err != nil {
 			return nil, fmt.Errorf("run unrolled query: %w", err)
-		}
-		c.groups = make(map[string]*groupState)
-		for _, row := range ur.Rows {
-			c.addToGroup(row)
-		}
-	}
-	// Precompute, once, which relations' residual checks may take the
-	// delta path: the SPJ contract (s.DeltaRels) narrowed by the check
-	// query's own capability guard.
-	c.deltaOK = make(map[string]bool, len(s.RelOfSource))
-	cq := c.checkQuery()
-	for rel := range s.DeltaRels() {
-		if cq.DeltaCapable(rel) {
-			c.deltaOK[rel] = true
 		}
 	}
 	return c, nil
 }
 
-// lower is the shared identifier normalization (see ast.LowerName).
-func lower(x string) string { return ast.LowerName(x) }
-
-func (c *Checker) addToGroup(row []value.Value) {
-	s := c.SPJ
-	k := value.Key(row[:s.NumGroups])
-	st := c.groups[k]
-	if st == nil {
-		na := len(s.Aggs)
-		st = &groupState{n: make([]int64, na), sum: make([]float64, na),
-			min: make([]value.Value, na), max: make([]value.Value, na)}
-		for j := range st.min {
-			st.min[j], st.max[j] = value.Null, value.Null
-		}
-		c.groups[k] = st
-	}
-	st.rowCount++
-	for j, ag := range s.Aggs {
-		v := row[ag.ArgCol]
-		if v.IsNull() {
-			continue
-		}
-		st.n[j]++
-		switch ag.Fn.Name {
-		case "SUM", "AVG":
-			st.sum[j] += v.AsFloat()
-		case "MIN":
-			if st.min[j].IsNull() {
-				st.min[j] = v
-			} else if cmp, ok := value.Compare(v, st.min[j]); ok && cmp < 0 {
-				st.min[j] = v
-			}
-		case "MAX":
-			if st.max[j].IsNull() {
-				st.max[j] = v
-			} else if cmp, ok := value.Compare(v, st.max[j]); ok && cmp > 0 {
-				st.max[j] = v
-			}
-		}
-	}
+// groupView returns the maintained per-group aggregate state, serving it
+// from the version-stamped execution cache (rebuilt only when a base
+// relation's version moved).
+func (c *Checker) groupView() (*exec.GroupView, error) {
+	return c.unrolledQ.GroupView(c.db, c.viewSpec)
 }
 
 // Classify makes the static decision of Algorithms 4/5/6 for one update,
@@ -246,42 +253,61 @@ func (c *Checker) Classify(u *support.Update) Outcome {
 // materializes them once and classifies the same update against every
 // checker in the batch.
 func (c *Checker) classifyWith(u *support.Update, plus [][]value.Value) Outcome {
-	src, ok := c.srcOf[lower(u.Rel)]
+	srcs, ok := c.srcsOf[ast.LowerName(u.Rel)]
 	if !ok {
 		return Agree // the update does not modify any relation of Q
 	}
-	contributing := c.contrib[src][c.db.Table(u.Rel).KeyOfRow(u.Row1)]
-	if u.Swap && !contributing {
-		contributing = c.contrib[src][c.db.Table(u.Rel).KeyOfRow(u.Row2)]
+	t := c.db.Table(u.Rel)
+	k1 := t.KeyOfRow(u.Row1)
+	var k2 string
+	if u.Swap {
+		k2 = t.KeyOfRow(u.Row2)
+	}
+	// Contributing at ANY occurrence: for self-joins the same tuple feeds
+	// every slot the relation occupies.
+	contributing := false
+	for _, si := range srcs {
+		if c.contrib[si][k1] || (u.Swap && c.contrib[si][k2]) {
+			contributing = true
+			break
+		}
 	}
 
 	if !contributing {
 		// u⁻ contributed nothing; the output changes iff u⁺ contributes.
-		// If every new tuple already fails a single-relation conjunct, it
-		// cannot contribute: agree without a database check.
-		if c.allPlusUnsat(u, src, plus) {
+		// If every new tuple already fails a single-relation conjunct at
+		// EVERY occurrence, it cannot contribute: agree without a check.
+		if c.allPlusUnsat(u, srcs, plus) {
 			return Agree
 		}
 		return NeedPlus
 	}
 
+	single := len(srcs) == 1
 	if !c.SPJ.IsAgg {
 		if !u.Swap {
-			// Row update, contributing. Exact shortcuts of Algorithm 4:
-			// a changed attribute that is itself an output column forces a
-			// multiset change; an unsatisfiable C[u⁺] removes output rows.
-			for _, a := range u.Attrs {
-				if c.SPJ.BareProj[src][a] {
-					return Disagree
+			// Row update, contributing. Exact shortcuts of Algorithm 4,
+			// applied only where they remain exact: a changed attribute
+			// that is itself an output column forces a multiset change —
+			// but only for a single occurrence (another occurrence can
+			// re-produce the row) and without DISTINCT (the set can absorb
+			// it). An unsatisfiable C[u⁺] removes output rows — exact for
+			// any occurrence count, but again only under bag semantics.
+			if single && !c.SPJ.Distinct {
+				for j, a := range u.Attrs {
+					if c.SPJ.BareProj[srcs[0]][a] && changedAt(u, j) {
+						return Disagree
+					}
 				}
 			}
-			if c.plusRowUnsat(u, src, 0, plus) {
+			if !c.SPJ.Distinct && c.plusRowUnsatAll(u, srcs, 0, plus) {
 				return Disagree
 			}
 		} else {
 			// Swap update, contributing (Algorithm 6): if both new tuples
-			// fail C, all contributed rows vanish.
-			if c.plusRowUnsat(u, src, 0, plus) && c.plusRowUnsat(u, src, 1, plus) {
+			// fail C at every occurrence, all contributed rows vanish.
+			if !c.SPJ.Distinct &&
+				c.plusRowUnsatAll(u, srcs, 0, plus) && c.plusRowUnsatAll(u, srcs, 1, plus) {
 				return Disagree
 			}
 		}
@@ -290,10 +316,12 @@ func (c *Checker) classifyWith(u *support.Update, plus [][]value.Value) Outcome 
 
 	// Aggregation. Exact shortcut: a contributing row update that changes
 	// a bare grouping column moves its contributions to different groups;
-	// if COUNT(*) is displayed, the old groups' counts provably drop.
-	if !u.Swap && c.SPJ.HasCountStar {
-		for _, a := range u.Attrs {
-			if c.SPJ.BareGroup[src][a] {
+	// if COUNT(*) is displayed, the old groups' counts provably drop. Only
+	// exact for a single occurrence (a self-join's other slots may keep
+	// the old group populated at the same count).
+	if !u.Swap && c.SPJ.HasCountStar && single {
+		for j, a := range u.Attrs {
+			if c.SPJ.BareGroup[srcs[0]][a] && changedAt(u, j) {
 				return Disagree
 			}
 		}
@@ -301,34 +329,56 @@ func (c *Checker) classifyWith(u *support.Update, plus [][]value.Value) Outcome 
 	return NeedCompare
 }
 
+// changedAt reports whether the j-th touched attribute actually takes a
+// different value. Generated support sets never contain no-op writes, but
+// hand-built updates (and the fuzzer) can, and the Disagree shortcuts above
+// are only exact for real changes.
+func changedAt(u *support.Update, j int) bool {
+	old := value.Key([]value.Value{u.Old1[j]})
+	return old != value.Key([]value.Value{u.New1[j]})
+}
+
 // allPlusUnsat reports whether every u⁺ tuple fails some single-relation
-// conjunct (the conservative C[u⁺] satisfiability check of §4.1).
-func (c *Checker) allPlusUnsat(u *support.Update, src int, plus [][]value.Value) bool {
-	if !c.plusRowUnsat(u, src, 0, plus) {
+// conjunct at every occurrence of the updated relation (the conservative
+// C[u⁺] satisfiability check of §4.1).
+func (c *Checker) allPlusUnsat(u *support.Update, srcs []int, plus [][]value.Value) bool {
+	if !c.plusRowUnsatAll(u, srcs, 0, plus) {
 		return false
 	}
-	if u.Swap && !c.plusRowUnsat(u, src, 1, plus) {
+	if u.Swap && !c.plusRowUnsatAll(u, srcs, 1, plus) {
 		return false
 	}
 	return true
 }
 
-// plusRowUnsat evaluates the single-relation conjuncts on the idx-th new
-// tuple; any non-true conjunct proves the tuple cannot contribute. rows
-// may carry the pre-materialized u⁺ tuples (nil = build them here).
-func (c *Checker) plusRowUnsat(u *support.Update, src int, idx int, rows [][]value.Value) bool {
-	conjs := c.SPJ.SingleRel[src]
-	if len(conjs) == 0 {
-		return false
-	}
+// plusRowUnsatAll reports whether the idx-th new tuple provably cannot
+// contribute at ANY occurrence of the updated relation: each occurrence
+// must fail one of its single-relation conjuncts. rows may carry the
+// pre-materialized u⁺ tuples (nil = build them here).
+func (c *Checker) plusRowUnsatAll(u *support.Update, srcs []int, idx int, rows [][]value.Value) bool {
 	if rows == nil {
 		rows = u.PlusRows(c.db)
 	}
 	if idx >= len(rows) {
 		return false
 	}
+	for _, si := range srcs {
+		if !c.rowUnsatAt(si, rows[idx]) {
+			return false
+		}
+	}
+	return true
+}
+
+// rowUnsatAt evaluates source si's single-relation conjuncts on row; any
+// non-true conjunct proves the row cannot contribute at that occurrence.
+func (c *Checker) rowUnsatAt(si int, row []value.Value) bool {
+	conjs := c.SPJ.SingleRel[si]
+	if len(conjs) == 0 {
+		return false
+	}
 	for _, cj := range conjs {
-		v, err := c.Q.EvalSingleSource(c.db, src, rows[idx], cj)
+		v, err := c.Q.EvalSingleSource(c.db, si, row, cj)
 		if err != nil {
 			return false // be conservative
 		}
@@ -352,9 +402,9 @@ func (c *Checker) Check(u *support.Update) (bool, error) {
 		c.Stats.Static++
 		return true, nil
 	case NeedPlus:
-		return c.checkPlus(u)
+		return c.resolve(u, false)
 	case NeedCompare:
-		return c.checkCompare(u)
+		return c.resolve(u, true)
 	}
 	return c.fullRun(u)
 }
@@ -369,72 +419,101 @@ func (c *Checker) checkQuery() *exec.Query {
 	return c.Q
 }
 
-func (c *Checker) checkPlus(u *support.Update) (bool, error) {
-	q := c.checkQuery()
-	if c.deltaOK[lower(u.Rel)] {
-		// Delta path: only the u⁺ rows flow through the join pipeline,
-		// probing the cached indexes of the untouched relations.
-		c.Stats.DeltaRuns++
-		_, outPlus, err := q.RunDelta(c.db, u.Rel, nil, u.PlusRows(c.db))
-		if err != nil {
-			return false, err
-		}
-		if !c.SPJ.IsAgg {
-			return len(outPlus) > 0, nil
-		}
-		return c.resolveDelta(u, nil, outPlus)
-	}
-	ov := exec.Overrides{lower(u.Rel): u.PlusRows(c.db)}
-	res, err := q.RunOverride(c.db, ov)
+// resolve answers one residual check through the delta tiers, escalating
+// to a full re-run when decide cannot give an exact answer, and accounts
+// the check under exactly one Stats tier.
+func (c *Checker) resolve(u *support.Update, compare bool) (bool, error) {
+	dis, esc, partial, err := c.decide(u, compare)
 	if err != nil {
 		return false, err
 	}
-	if !c.SPJ.IsAgg {
-		return !res.IsEmpty(), nil
+	if esc {
+		return c.fullRun(u)
 	}
-	return c.resolveDelta(u, nil, res.Rows)
+	if partial {
+		c.Stats.DeltaPartialRuns++
+	} else {
+		c.Stats.DeltaFullRuns++
+	}
+	return dis, nil
 }
 
-func (c *Checker) checkCompare(u *support.Update) (bool, error) {
+// decide resolves one residual database check through delta evaluation:
+// only the update's ± tuples flow through the join pipeline, probing the
+// cached indexes of the untouched relations, and the correction terms are
+// interpreted per tier — directly for plain bag SPJ, against the
+// multiplicity view for DISTINCT, through the group-delta analysis (with
+// candidate multisets) for aggregates. compare selects the NeedCompare
+// form (both sides) over the NeedPlus form (u⁺ only).
+//
+// Returns the disagreement bit, esc=true when only a full re-run can
+// answer exactly, and partial=true when a materialized intermediate or
+// the higher-order self-join expansion was consulted (tier accounting).
+func (c *Checker) decide(u *support.Update, compare bool) (dis, esc, partial bool, err error) {
 	q := c.checkQuery()
-	if c.deltaOK[lower(u.Rel)] {
-		// Delta path: Q(up(D)) = Q(D) − outMinus + outPlus as multisets,
-		// so the outputs differ iff the two correction terms differ.
-		c.Stats.DeltaRuns++
-		outMinus, outPlus, err := q.RunDelta(c.db, u.Rel, u.MinusRows(c.db), u.PlusRows(c.db))
-		if err != nil {
-			return false, err
-		}
-		if !c.SPJ.IsAgg {
-			return !equalMultiset(outMinus, outPlus), nil
-		}
-		return c.resolveDelta(u, outMinus, outPlus)
+	if q.DeltaTier(u.Rel) == analyze.DeltaNone {
+		return false, true, false, nil
 	}
-	name := lower(u.Rel)
-	minus, err := q.RunOverride(c.db, exec.Overrides{name: u.MinusRows(c.db)})
+	var minus [][]value.Value
+	if compare {
+		minus = u.MinusRows(c.db)
+	}
+	outMinus, outPlus, err := q.RunDelta(c.db, u.Rel, minus, u.PlusRows(c.db))
 	if err != nil {
-		return false, err
+		return false, false, false, err
 	}
-	plus, err := q.RunOverride(c.db, exec.Overrides{name: u.PlusRows(c.db)})
-	if err != nil {
-		return false, err
-	}
+	multi := c.multi[ast.LowerName(u.Rel)]
 	if !c.SPJ.IsAgg {
-		return !minus.Equal(plus), nil
+		if c.SPJ.Distinct {
+			mv, err := c.Q.MultiplicityView(c.db)
+			if err != nil {
+				return false, false, false, err
+			}
+			return distinctFlips(mv, outMinus, outPlus), false, true, nil
+		}
+		if !compare {
+			return len(outPlus) > 0 || len(outMinus) > 0, false, multi, nil
+		}
+		// Q(up(D)) = Q(D) − outMinus + outPlus as signed multisets, so the
+		// outputs differ iff the two correction terms differ.
+		return !equalMultiset(outMinus, outPlus), false, multi, nil
 	}
-	return c.resolveDelta(u, minus.Rows, plus.Rows)
-}
-
-// resolveDelta applies the group-delta analysis and falls back to a full
-// run when the outcome is uncertain.
-func (c *Checker) resolveDelta(u *support.Update, minus, plus [][]value.Value) (bool, error) {
-	switch c.aggDelta(minus, plus) {
+	gv, err := c.groupView()
+	if err != nil {
+		return false, false, false, err
+	}
+	out, usedCand := c.aggDelta(gv, outMinus, outPlus)
+	switch out {
 	case Agree:
-		return false, nil
+		return false, false, multi || usedCand, nil
 	case Disagree:
-		return true, nil
+		return true, false, multi || usedCand, nil
 	}
-	return c.fullRun(u)
+	return false, true, false, nil
+}
+
+// distinctFlips nets the core-row correction terms against the base
+// multiplicity view and reports whether any projected row's multiplicity
+// crosses zero — the exact condition for the DISTINCT output (a set) to
+// change. Order-independent, hence deterministic under any worker count.
+func distinctFlips(mv *exec.MultiplicityView, outMinus, outPlus [][]value.Value) bool {
+	net := make(map[string]int, len(outPlus)+len(outMinus))
+	for _, r := range outPlus {
+		net[value.Key(r)]++
+	}
+	for _, r := range outMinus {
+		net[value.Key(r)]--
+	}
+	for k, d := range net {
+		if d == 0 {
+			continue
+		}
+		old := mv.Counts[k]
+		if (old > 0) != (old+d > 0) {
+			return true
+		}
+	}
+	return false
 }
 
 // ensureBaseHash computes and caches h(Q(D)). It must be called before
@@ -486,6 +565,9 @@ func equalMultiset(a, b [][]value.Value) bool {
 const floatEps = 1e-9
 
 // deltaAcc accumulates the per-group contribution deltas of one update.
+// For self-joins the higher-order expansion produces SIGNED terms — either
+// side may overshoot, only the net per-row count is meaningful — so every
+// decision below is made on add−rem nets, never on one side alone.
 type deltaAcc struct {
 	addRows, remRows int64
 	addN, remN       []int64
@@ -496,10 +578,14 @@ type deltaAcc struct {
 
 // aggDelta decides whether applying an update whose removed contributions
 // are minus and added contributions are plus (rows of the unrolled query)
-// changes the aggregation output. It is exact except for floating-point
-// borderline cases and MIN/MAX removals of the current extremum, which
-// return NeedFull.
-func (c *Checker) aggDelta(minus, plus [][]value.Value) Outcome {
+// changes the aggregation output, given the maintained group view of the
+// base state. It is exact except for floating-point borderline cases,
+// inconsistencies between the correction terms and the view (possible
+// only through overshooting self-join terms), and — without candidate
+// multisets — extremum removals; those return NeedFull. usedCand reports
+// whether a candidate multiset resolved an extremum removal (the partial
+// tier).
+func (c *Checker) aggDelta(gv *exec.GroupView, minus, plus [][]value.Value) (out Outcome, usedCand bool) {
 	s := c.SPJ
 	na := len(s.Aggs)
 	deltas := make(map[string]*deltaAcc)
@@ -553,111 +639,302 @@ func (c *Checker) aggDelta(minus, plus [][]value.Value) Outcome {
 	uncertain := false
 	for _, k := range order {
 		d := deltas[k]
-		st := c.groups[k]
+		st := gv.Groups[k]
 		if st == nil {
-			// Group absent from the current bookkeeping. Removals cannot
-			// occur here (removed rows come from existing groups).
-			if d.addRows == 0 {
-				continue
-			}
-			if s.NumGroups > 0 {
-				return Disagree // a brand-new output row appears
-			}
-			// Global group over empty input: the output row already exists
-			// as (COUNT 0, SUM NULL, …). It only changes if some aggregate
-			// gains a non-NULL input (COUNT(*)'s input is the constant 1,
-			// so any contributing row counts there).
-			for j := range s.Aggs {
-				if d.addN[j] > 0 {
-					return Disagree
-				}
+			switch c.phantomGroupDelta(d) {
+			case Disagree:
+				return Disagree, usedCand
+			case NeedFull:
+				uncertain = true
 			}
 			continue
 		}
-		if s.NumGroups > 0 && st.rowCount-d.remRows+d.addRows == 0 {
-			return Disagree // the group's output row disappears
+		newRows := st.Rows - d.remRows + d.addRows
+		if newRows < 0 {
+			// More net removals than the group holds: an overshoot
+			// artefact; only a full run can tell.
+			uncertain = true
+			continue
+		}
+		if s.NumGroups > 0 && newRows == 0 {
+			return Disagree, usedCand // the group's output row disappears
 		}
 		for j, ag := range s.Aggs {
 			dn := d.addN[j] - d.remN[j]
-			nNew := st.n[j] + dn
+			nNew := st.N[j] + dn
+			if nNew < 0 {
+				uncertain = true
+				continue
+			}
 			switch ag.Fn.Name {
 			case "COUNT":
 				if dn != 0 {
-					return Disagree
+					return Disagree, usedCand
 				}
 			case "SUM":
-				if (st.n[j] == 0) != (nNew == 0) {
-					return Disagree // SUM flips between NULL and a value
+				if (st.N[j] == 0) != (nNew == 0) {
+					return Disagree, usedCand // SUM flips between NULL and a value
 				}
 				ds := d.addSum[j] - d.remSum[j]
 				if ds == 0 {
 					continue
 				}
-				scale := math.Abs(st.sum[j]) + math.Abs(d.addSum[j]) + math.Abs(d.remSum[j]) + 1
+				scale := math.Abs(st.Sum[j]) + math.Abs(d.addSum[j]) + math.Abs(d.remSum[j]) + 1
 				if math.Abs(ds) > floatEps*scale {
-					return Disagree
+					return Disagree, usedCand
 				}
 				uncertain = true
 			case "AVG":
-				if (st.n[j] == 0) != (nNew == 0) {
-					return Disagree
+				if (st.N[j] == 0) != (nNew == 0) {
+					return Disagree, usedCand
 				}
 				if nNew == 0 {
 					continue // NULL stays NULL
 				}
-				oldAvg := st.sum[j] / float64(st.n[j])
-				newAvg := (st.sum[j] + d.addSum[j] - d.remSum[j]) / float64(nNew)
+				oldAvg := st.Sum[j] / float64(st.N[j])
+				newAvg := (st.Sum[j] + d.addSum[j] - d.remSum[j]) / float64(nNew)
 				if math.Abs(newAvg-oldAvg) > floatEps*(1+math.Abs(oldAvg)) {
-					return Disagree
+					return Disagree, usedCand
 				}
 				if dn != 0 || d.addSum[j]-d.remSum[j] != 0 {
 					uncertain = true // count/sum moved but mean may be equal
 				}
 			case "MIN":
-				out := extremumDelta(st.min[j], d.addVals[j], d.remVals[j], -1)
-				if out == Disagree {
-					return Disagree
+				o, uc := extremumDelta(st.Min[j], d.addVals[j], d.remVals[j], -1, candOf(st, j))
+				usedCand = usedCand || uc
+				if o == Disagree {
+					return Disagree, usedCand
 				}
-				if out == NeedFull {
+				if o == NeedFull {
 					uncertain = true
 				}
 			case "MAX":
-				out := extremumDelta(st.max[j], d.addVals[j], d.remVals[j], +1)
-				if out == Disagree {
-					return Disagree
+				o, uc := extremumDelta(st.Max[j], d.addVals[j], d.remVals[j], +1, candOf(st, j))
+				usedCand = usedCand || uc
+				if o == Disagree {
+					return Disagree, usedCand
 				}
-				if out == NeedFull {
+				if o == NeedFull {
 					uncertain = true
 				}
 			}
 		}
 	}
 	if uncertain {
-		return NeedFull
+		return NeedFull, usedCand
+	}
+	return Agree, usedCand
+}
+
+// candOf returns the candidate multiset of aggregate j, nil when the view
+// does not maintain one (untiered checkers, non-extremum aggregates).
+func candOf(st *exec.GroupAgg, j int) map[string]exec.CandCount {
+	if st.Cand == nil {
+		return nil
+	}
+	return st.Cand[j]
+}
+
+// phantomGroupDelta decides the contribution delta of a group ABSENT from
+// the base view. Net additions create a new output row (or, for the
+// global group, flip aggregates off NULL); exact cancellations are a
+// no-op; anything else — possible only through overshooting self-join
+// terms — escalates.
+func (c *Checker) phantomGroupDelta(d *deltaAcc) Outcome {
+	s := c.SPJ
+	netRows := d.addRows - d.remRows
+	if netRows < 0 {
+		return NeedFull // net removal from a group that does not exist
+	}
+	if netRows > 0 {
+		if s.NumGroups > 0 {
+			return Disagree // a brand-new output row appears
+		}
+		// Global group over empty input: the output row already exists as
+		// (COUNT 0, SUM NULL, …). It only changes if some aggregate gains
+		// a non-NULL input (COUNT(*)'s input is the constant 1, so any
+		// contributing row counts there).
+		for j := range s.Aggs {
+			dn := d.addN[j] - d.remN[j]
+			if dn > 0 {
+				return Disagree
+			}
+			if dn < 0 {
+				return NeedFull
+			}
+		}
+		return Agree
+	}
+	// Row counts cancel. The group stays absent only if every aggregate's
+	// contribution cancels too.
+	if d.addRows == 0 {
+		return Agree
+	}
+	for j, ag := range s.Aggs {
+		if d.addN[j] != d.remN[j] {
+			return NeedFull
+		}
+		switch ag.Fn.Name {
+		case "SUM", "AVG":
+			if d.addSum[j] != d.remSum[j] {
+				return NeedFull
+			}
+		case "MIN", "MAX":
+			if !valuesCancel(d.addVals[j], d.remVals[j]) {
+				return NeedFull
+			}
+		}
 	}
 	return Agree
 }
 
-// extremumDelta decides a MIN (dir=-1) or MAX (dir=+1) change given the
-// current extremum and the added/removed input values of the group.
-func extremumDelta(cur value.Value, added, removed []value.Value, dir int) Outcome {
-	if cur.IsNull() {
-		if len(added) > 0 {
-			return Disagree // NULL -> some value
-		}
-		return Agree
+// valuesCancel reports whether added and removed form identical multisets.
+func valuesCancel(added, removed []value.Value) bool {
+	if len(added) != len(removed) {
+		return false
 	}
+	net := make(map[string]int, len(added))
 	for _, v := range added {
-		if cmp, ok := value.Compare(v, cur); ok && cmp*dir > 0 {
-			return Disagree // a new value beats the extremum
-		}
+		net[value.Key([]value.Value{v})]++
 	}
 	for _, v := range removed {
-		if cmp, ok := value.Compare(v, cur); ok && cmp == 0 {
-			// Removing (an occurrence of) the extremum: the new extremum
-			// depends on the remaining multiset.
-			return NeedFull
+		net[value.Key([]value.Value{v})]--
+	}
+	for _, n := range net {
+		if n != 0 {
+			return false
 		}
 	}
-	return Agree
+	return true
+}
+
+// extremumDelta decides a MIN (dir=-1) or MAX (dir=+1) change given the
+// current extremum, the signed added/removed input values of the group,
+// and (optionally) the group's maintained candidate multiset. The raw
+// sides are netted by value first — the higher-order expansion can place
+// identical values on both sides — and every scan walks the insertion
+// order of the nets (added slice, then removed), never a map, so the
+// outcome is worker-invariant. usedCand reports whether the candidate
+// multiset was needed (extremum-removal resolution, the partial tier).
+func extremumDelta(cur value.Value, added, removed []value.Value, dir int, cand map[string]exec.CandCount) (out Outcome, usedCand bool) {
+	net := make(map[string]int, len(added)+len(removed))
+	vals := make(map[string]value.Value, len(added)+len(removed))
+	order := make([]string, 0, len(added)+len(removed))
+	note := func(v value.Value, d int) {
+		k := value.Key([]value.Value{v})
+		if _, seen := vals[k]; !seen {
+			vals[k] = v
+			order = append(order, k)
+		}
+		net[k] += d
+	}
+	for _, v := range added {
+		note(v, +1)
+	}
+	for _, v := range removed {
+		note(v, -1)
+	}
+
+	if cur.IsNull() {
+		for _, k := range order {
+			if net[k] > 0 {
+				return Disagree, false // NULL -> some value
+			}
+			if net[k] < 0 {
+				return NeedFull, false // removal from an empty aggregate
+			}
+		}
+		return Agree, false
+	}
+	removedExt := false
+	for _, k := range order {
+		n := net[k]
+		if n == 0 {
+			continue
+		}
+		cmp, ok := value.Compare(vals[k], cur)
+		if !ok {
+			return NeedFull, false
+		}
+		if n > 0 && cmp*dir > 0 {
+			return Disagree, false // a net-new value beats the extremum
+		}
+		if n < 0 && cmp == 0 {
+			removedExt = true
+		}
+	}
+	if !removedExt {
+		return Agree, false
+	}
+	// Occurrences of the current extremum are (net) removed: the new
+	// extremum depends on the remaining multiset. Without candidates only
+	// a full run can tell; with them, rebuild remaining = candidates + net
+	// and take its extremum.
+	if cand == nil {
+		return NeedFull, false
+	}
+	rem := make(map[string]exec.CandCount, len(cand)+len(order))
+	for k, e := range cand {
+		rem[k] = e
+	}
+	for _, k := range order {
+		n := net[k]
+		if n == 0 {
+			continue
+		}
+		e, exists := rem[k]
+		if !exists {
+			if n < 0 {
+				return NeedFull, true // removing a value the view never saw
+			}
+			rem[k] = exec.CandCount{Val: vals[k], N: n}
+			continue
+		}
+		e.N += n
+		switch {
+		case e.N < 0:
+			return NeedFull, true
+		case e.N == 0:
+			delete(rem, k)
+		default:
+			rem[k] = e
+		}
+	}
+	if len(rem) == 0 {
+		return Disagree, true // the aggregate becomes NULL
+	}
+	// Scan for the remaining extremum. Map order does not matter: the
+	// winning value set is a property of the multiset, and a tie between
+	// DISTINCT keys comparing equal resolves to NeedFull either way.
+	var best value.Value
+	var bestKey string
+	first, tie := true, false
+	for k, e := range rem {
+		if first {
+			best, bestKey, first = e.Val, k, false
+			continue
+		}
+		cmp, ok := value.Compare(e.Val, best)
+		if !ok {
+			return NeedFull, true
+		}
+		if cmp*dir > 0 {
+			best, bestKey, tie = e.Val, k, false
+		} else if cmp == 0 {
+			tie = true
+		}
+	}
+	cmp, ok := value.Compare(best, cur)
+	if !ok {
+		return NeedFull, true
+	}
+	if cmp != 0 {
+		return Disagree, true // the extremum moves to a different value
+	}
+	if tie || bestKey != value.Key([]value.Value{cur}) {
+		// A value comparing equal but with a different representation
+		// could still flip the output hash; stay exact.
+		return NeedFull, true
+	}
+	return Agree, true
 }

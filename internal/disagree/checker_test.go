@@ -23,6 +23,7 @@ func TestExtremumDelta(t *testing.T) {
 		{"max: extremum removed", v(10), nil, []value.Value{v(10)}, +1, NeedFull},
 		{"max: non-extremum removed", v(10), nil, []value.Value{v(3)}, +1, Agree},
 		{"max: beat wins over removal", v(10), []value.Value{v(11)}, []value.Value{v(10)}, +1, Disagree},
+		{"max: signed terms cancel", v(10), []value.Value{v(10)}, []value.Value{v(10)}, +1, Agree},
 		{"min: smaller value arrives", v(10), []value.Value{v(2)}, nil, -1, Disagree},
 		{"min: larger value arrives", v(10), []value.Value{v(20)}, nil, -1, Agree},
 		{"min: extremum removed", v(10), nil, []value.Value{v(10)}, -1, NeedFull},
@@ -30,8 +31,62 @@ func TestExtremumDelta(t *testing.T) {
 		{"null extremum stays null", value.Null, nil, nil, +1, Agree},
 	}
 	for _, c := range cases {
-		if got := extremumDelta(c.cur, c.added, c.removed, c.dir); got != c.want {
+		got, usedCand := extremumDelta(c.cur, c.added, c.removed, c.dir, nil)
+		if got != c.want {
 			t.Errorf("%s: got %v want %v", c.name, got, c.want)
+		}
+		if usedCand {
+			t.Errorf("%s: candidate resolution reported without a candidate view", c.name)
+		}
+	}
+}
+
+// TestExtremumDeltaCandidates covers the incremental resolution of
+// extremum removals against a maintained candidate multiset — the checks
+// that, untiered, escalate to a full re-run.
+func TestExtremumDeltaCandidates(t *testing.T) {
+	v := func(i int64) value.Value { return value.NewInt(i) }
+	mkCand := func(pairs ...int64) map[string]exec.CandCount {
+		m := make(map[string]exec.CandCount)
+		for i := 0; i+1 < len(pairs); i += 2 {
+			val := v(pairs[i])
+			m[value.Key([]value.Value{val})] = exec.CandCount{Val: val, N: int(pairs[i+1])}
+		}
+		return m
+	}
+	cases := []struct {
+		name           string
+		cur            value.Value
+		added, removed []value.Value
+		dir            int
+		cand           map[string]exec.CandCount
+		want           Outcome
+		wantCand       bool
+	}{
+		{"max: duplicate survives", v(10), nil, []value.Value{v(10)}, +1,
+			mkCand(10, 2, 3, 1), Agree, true},
+		{"max: runner-up takes over", v(10), nil, []value.Value{v(10)}, +1,
+			mkCand(10, 1, 7, 2), Disagree, true},
+		{"max: last value removed", v(10), nil, []value.Value{v(10)}, +1,
+			mkCand(10, 1), Disagree, true},
+		{"max: replacement lands equal", v(10), []value.Value{v(10)}, []value.Value{v(10)}, +1,
+			mkCand(10, 1, 3, 1), Agree, false}, // nets cancel before candidates are consulted
+		{"max: removal plus worse add", v(10), []value.Value{v(4)}, []value.Value{v(10)}, +1,
+			mkCand(10, 1, 3, 1), Disagree, true},
+		{"min: duplicate survives", v(2), nil, []value.Value{v(2)}, -1,
+			mkCand(2, 3, 9, 1), Agree, true},
+		{"min: runner-up takes over", v(2), nil, []value.Value{v(2)}, -1,
+			mkCand(2, 1, 9, 1), Disagree, true},
+		{"overshoot: removal the view never saw", v(10), nil, []value.Value{v(10), v(6)}, +1,
+			mkCand(10, 2), NeedFull, true},
+	}
+	for _, c := range cases {
+		got, usedCand := extremumDelta(c.cur, c.added, c.removed, c.dir, c.cand)
+		if got != c.want {
+			t.Errorf("%s: got %v want %v", c.name, got, c.want)
+		}
+		if usedCand != c.wantCand {
+			t.Errorf("%s: usedCand %v want %v", c.name, usedCand, c.wantCand)
 		}
 	}
 }

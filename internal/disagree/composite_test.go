@@ -100,7 +100,7 @@ func TestCompositeContribKeys(t *testing.T) {
 	// Every line contributes (price always > 0): the contribution set's
 	// size must equal the table's cardinality, which collapses if keys
 	// collide on a prefix.
-	if got := len(c.contrib[c.srcOf["line"]]); got != db.Table("line").Len() {
+	if got := len(c.contrib[c.srcsOf["line"][0]]); got != db.Table("line").Len() {
 		t.Fatalf("contribution set has %d keys for %d rows", got, db.Table("line").Len())
 	}
 }

@@ -3,6 +3,7 @@ package disagree
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"qirana/internal/schema"
@@ -51,8 +52,9 @@ func testDB(seed int64, nCust, nOrd int) *storage.Database {
 }
 
 // fastPathQueries is a catalog spanning the checker's cases: plain SPJ,
-// joins, selective filters, projections, and every aggregate kind with and
-// without grouping.
+// joins, selective filters, projections, every aggregate kind with and
+// without grouping, DISTINCT, and self-joins (the latter two route through
+// the partial delta tier).
 var fastPathQueries = []string{
 	"SELECT * FROM Cust",
 	"SELECT city FROM Cust",
@@ -77,6 +79,14 @@ var fastPathQueries = []string{
 	"SELECT C.city, count(*) FROM Cust C, Ord O WHERE C.cid = O.cid AND O.status = 'open' GROUP BY C.city",
 	"SELECT status, avg(amount), min(amount) FROM Ord GROUP BY status",
 	"SELECT sum(amount + tier) FROM Cust C, Ord O WHERE C.cid = O.cid",
+	"SELECT DISTINCT city FROM Cust",
+	"SELECT DISTINCT city, tier FROM Cust WHERE score > 20",
+	"SELECT DISTINCT O.status FROM Cust C, Ord O WHERE C.cid = O.cid",
+	"SELECT a.cid FROM Cust a, Cust b WHERE a.score = b.score",
+	"SELECT DISTINCT a.city FROM Cust a, Cust b WHERE a.tier = b.tier AND b.score > 40",
+	"SELECT a.city, count(*) FROM Cust a, Cust b WHERE a.tier = b.tier GROUP BY a.city",
+	"SELECT a.city, max(b.score) FROM Cust a, Cust b WHERE a.tier = b.tier GROUP BY a.city",
+	"SELECT min(a.score) FROM Cust a, Cust b WHERE a.city = b.city AND b.tier = 1",
 }
 
 // naiveDisagree is the ground truth: apply the update, re-run, compare.
@@ -180,12 +190,10 @@ func TestBatchRespectsLiveMask(t *testing.T) {
 func TestIneligibleQueries(t *testing.T) {
 	db := testDB(1, 10, 20)
 	for _, sql := range []string{
-		"SELECT DISTINCT city FROM Cust",
 		"SELECT city FROM Cust ORDER BY city",
 		"SELECT city FROM Cust LIMIT 3",
 		"SELECT city, count(*) FROM Cust GROUP BY city HAVING count(*) > 2",
 		"SELECT count(DISTINCT city) FROM Cust",
-		"SELECT a.cid FROM Cust a, Cust b WHERE a.score = b.score",
 		"SELECT cid FROM Cust WHERE score > (SELECT avg(score) FROM Cust)",
 		"SELECT avg(x) FROM (SELECT score AS x FROM Cust) AS t",
 	} {
@@ -193,6 +201,61 @@ func TestIneligibleQueries(t *testing.T) {
 		if _, err := New(q, db); err == nil {
 			t.Errorf("query %q should be outside the fast path", sql)
 		}
+	}
+}
+
+// TestUntieredRejects pins the legacy construction path: without the tiered
+// delta layer, DISTINCT and self-joins stay outside the SPJ fast path.
+func TestUntieredRejects(t *testing.T) {
+	db := testDB(1, 10, 20)
+	for sql, frag := range map[string]string{
+		"SELECT DISTINCT city FROM Cust":                       "DISTINCT",
+		"SELECT a.cid FROM Cust a, Cust b WHERE a.score = b.score": "self-join",
+	} {
+		q := exec.MustCompile(sql, db.Schema)
+		if _, err := New(q, db); err != nil {
+			t.Errorf("tiered checker must accept %q: %v", sql, err)
+		}
+		_, err := NewUntiered(q, db)
+		if err == nil {
+			t.Errorf("untiered checker accepted %q", sql)
+		} else if !strings.Contains(err.Error(), frag) {
+			t.Errorf("untiered rejection of %q: got %v, want %q", sql, err, frag)
+		}
+	}
+}
+
+// TestDifferentialUntiered runs the untiered (legacy) checkers over the
+// subset of the catalog they accept, pinning that the A/B baseline stays
+// correct and never uses the partial tier.
+func TestDifferentialUntiered(t *testing.T) {
+	db := testDB(61, 30, 90)
+	set, err := support.GenerateNeighborhood(db, support.DefaultConfig(250, 43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sql := range fastPathQueries {
+		sql := sql
+		q := exec.MustCompile(sql, db.Schema)
+		c, err := NewUntiered(q, db)
+		if err != nil {
+			continue // DISTINCT / self-join: untiered opts out
+		}
+		t.Run(sql, func(t *testing.T) {
+			got, err := c.CheckBatch(set.Updates, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, u := range set.Updates {
+				want := naiveDisagree(t, q, db, u)
+				if got[i] != want {
+					t.Fatalf("update %d (%+v): untiered says %v, naive says %v", u.ID, u, got[i], want)
+				}
+			}
+			if c.Stats.DeltaPartialRuns != 0 {
+				t.Fatalf("untiered checker used the partial tier: %+v", c.Stats)
+			}
+		})
 	}
 }
 

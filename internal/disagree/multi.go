@@ -6,6 +6,7 @@ import (
 
 	"qirana/internal/obs"
 	"qirana/internal/pool"
+	"qirana/internal/sqlengine/ast"
 	"qirana/internal/sqlengine/exec"
 	"qirana/internal/storage"
 	"qirana/internal/support"
@@ -17,9 +18,9 @@ import (
 // (the cross-query extension of the paper's §4.2 batching): the u⁺/u⁻
 // tuple materialization happens once per update instead of once per
 // (update, query), the static classification sweep touches each update's
-// cache lines once for all k queries, the per-relation tagged batches of
-// every checker run in one worker pool, and the residual full runs of
-// all checkers share per-worker overlays.
+// cache lines once for all k queries, the per-relation tagged batches and
+// per-update delta checks of every checker run in one worker pool, and
+// the residual full runs of all checkers share per-worker overlays.
 //
 // Every (update, query) decision is computed by exactly the same code
 // path as a solo CheckBatch, lands in its own result slot, and Stats
@@ -30,8 +31,9 @@ func CheckBatchMulti(cs []*Checker, us []*support.Update, live []bool) ([][]bool
 }
 
 // CheckBatchMultiCtx is CheckBatchMulti under a context: every shared
-// stage (classification, merged tagged-job pool, residual overlays) polls
-// ctx between items and aborts with ctx.Err() on cancellation.
+// stage (classification, merged tagged-job pool, delta checks, residual
+// overlays) polls ctx between items and aborts with ctx.Err() on
+// cancellation.
 func CheckBatchMultiCtx(ctx context.Context, cs []*Checker, us []*support.Update, live []bool) ([][]bool, error) {
 	if len(cs) == 0 {
 		return nil, nil
@@ -112,14 +114,20 @@ func CheckBatchMultiCtx(ctx context.Context, cs []*Checker, us []*support.Update
 	minusOf := func(i int) [][]value.Value { return minus[i] }
 
 	// Per checker: fold the static decisions, then collect every tagged
-	// job of every checker into one pool.
+	// job and every per-update delta check of every checker into shared
+	// pools.
 	type multiJob struct {
 		k int
 		j batchJob
 	}
+	type multiDelta struct {
+		k  int
+		dc deltaCheck
+	}
 	results := make([][]bool, len(cs))
 	fullPending := make([][]int, len(cs))
 	var jobs []multiJob
+	var mds []multiDelta
 	for k, c := range cs {
 		results[k] = make([]bool, len(us))
 		plusPending := make(map[string][]int)
@@ -133,9 +141,17 @@ func CheckBatchMultiCtx(ctx context.Context, cs []*Checker, us []*support.Update
 				c.Stats.Static++
 				results[k][i] = true
 			case NeedPlus:
-				plusPending[lower(us[i].Rel)] = append(plusPending[lower(us[i].Rel)], i)
+				if rel := ast.LowerName(us[i].Rel); c.multi[rel] {
+					mds = append(mds, multiDelta{k: k, dc: deltaCheck{i: i, compare: false}})
+				} else {
+					plusPending[rel] = append(plusPending[rel], i)
+				}
 			case NeedCompare:
-				comparePending[lower(us[i].Rel)] = append(comparePending[lower(us[i].Rel)], i)
+				if rel := ast.LowerName(us[i].Rel); c.multi[rel] {
+					mds = append(mds, multiDelta{k: k, dc: deltaCheck{i: i, compare: true}})
+				} else {
+					comparePending[rel] = append(comparePending[rel], i)
+				}
 			case NeedFull:
 				fullPending[k] = append(fullPending[k], i)
 			}
@@ -146,11 +162,13 @@ func CheckBatchMultiCtx(ctx context.Context, cs []*Checker, us []*support.Update
 		}
 	}
 	extraFull := make([][]int, len(jobs))
+	tallies := make([][2]int, len(jobs))
 	stopTagged := reg.Timer("stage_tagged_batch")
 	if err := pool.RunCtx(ctx, workers, len(jobs), func(x int) error {
 		mj := jobs[x]
-		ef, err := cs[mj.k].runBatchJob(us, mj.j, results[mj.k], plusOf, minusOf)
+		ef, nFull, nPartial, err := cs[mj.k].runBatchJob(us, mj.j, results[mj.k], plusOf, minusOf)
 		extraFull[x] = ef
+		tallies[x] = [2]int{nFull, nPartial}
 		return err
 	}); err != nil {
 		return nil, err
@@ -158,6 +176,38 @@ func CheckBatchMultiCtx(ctx context.Context, cs []*Checker, us []*support.Update
 	stopTagged()
 	for x, ef := range extraFull {
 		fullPending[jobs[x].k] = append(fullPending[jobs[x].k], ef...)
+		cs[jobs[x].k].Stats.DeltaFullRuns += tallies[x][0]
+		cs[jobs[x].k].Stats.DeltaPartialRuns += tallies[x][1]
+	}
+
+	// Per-update delta checks of multi-occurrence relations, merged across
+	// checkers into one pool.
+	if len(mds) > 0 {
+		type deltaRes struct{ dis, esc, partial bool }
+		dres := make([]deltaRes, len(mds))
+		stopDelta := reg.Timer("stage_delta")
+		if err := pool.RunCtx(ctx, workers, len(mds), func(x int) error {
+			md := mds[x]
+			dis, esc, partial, err := cs[md.k].decide(us[md.dc.i], md.dc.compare)
+			dres[x] = deltaRes{dis: dis, esc: esc, partial: partial}
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		stopDelta()
+		for x, md := range mds {
+			c := cs[md.k]
+			switch {
+			case dres[x].esc:
+				fullPending[md.k] = append(fullPending[md.k], md.dc.i)
+			case dres[x].partial:
+				results[md.k][md.dc.i] = dres[x].dis
+				c.Stats.DeltaPartialRuns++
+			default:
+				results[md.k][md.dc.i] = dres[x].dis
+				c.Stats.DeltaFullRuns++
+			}
+		}
 	}
 
 	// Residual full runs of every checker fan out over one pool of

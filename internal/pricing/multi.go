@@ -62,8 +62,7 @@ func (e *Engine) DisagreementsMultiCtx(ctx context.Context, qs []*exec.Query) ([
 	// Shared §4.2 sweep across all batched fast-path queries.
 	if len(checkers) > 0 {
 		for _, c := range checkers {
-			c.Stats.Static, c.Stats.Batched, c.Stats.FullRuns = 0, 0, 0
-			c.Stats.DeltaRuns, c.Stats.IndexCacheHits, c.Stats.IndexCacheMisses = 0, 0, 0
+			c.Stats = disagree.CheckStats{}
 			c.Workers = e.parallelWorkers()
 		}
 		res, err := disagree.CheckBatchMultiCtx(ctx, checkers, e.Set.Updates, nil)
@@ -73,10 +72,15 @@ func (e *Engine) DisagreementsMultiCtx(ctx context.Context, qs []*exec.Query) ([
 		for k, j := range fastIdx {
 			results[j] = res[k]
 			stats[j] = Stats{
-				Static:   checkers[k].Stats.Static,
-				Batched:  checkers[k].Stats.Batched,
-				FullRuns: checkers[k].Stats.FullRuns,
+				Static:       checkers[k].Stats.Static,
+				Batched:      checkers[k].Stats.Batched,
+				FullRuns:     checkers[k].Stats.FullRuns,
+				DeltaFull:    checkers[k].Stats.DeltaFullRuns,
+				DeltaPartial: checkers[k].Stats.DeltaPartialRuns,
 			}
+			// The solo paths below export their tier counters inside
+			// fastDisagree; the shared sweep exports per checker here.
+			e.addTierObs(&checkers[k].Stats)
 		}
 	}
 
@@ -137,6 +141,8 @@ func (e *Engine) DisagreementsMultiCtx(ctx context.Context, qs []*exec.Query) ([
 		sum.Batched += s.Batched
 		sum.FullRuns += s.FullRuns
 		sum.Naive += s.Naive
+		sum.DeltaFull += s.DeltaFull
+		sum.DeltaPartial += s.DeltaPartial
 	}
 	e.LastStats = sum
 	return results, stats, nil

@@ -86,6 +86,12 @@ type Options struct {
 	// bit-identical to the serial run. An engineering extension beyond the
 	// paper.
 	Workers int
+	// DisableDeltaTiers builds legacy (untiered) checkers: DISTINCT and
+	// self-join queries fall back to naive pricing and MIN/MAX removals
+	// re-run the full query instead of resolving against materialized
+	// candidate views. Exists for A/B measurement of the incremental-view
+	// tier machinery; leave false in production.
+	DisableDeltaTiers bool
 }
 
 // DefaultOptions enables every optimization.
@@ -100,6 +106,12 @@ type Stats struct {
 	Batched  int // decided by a batched tagged query
 	FullRuns int // decided by full query re-execution in the fast path
 	Naive    int // decided by the naive per-element re-execution
+	// DeltaFull / DeltaPartial split the fast path's residual database
+	// checks by delta tier: decided by first-order delta terms alone vs.
+	// additionally consulting a materialized intermediate (multiplicity or
+	// candidate view) or the higher-order self-join expansion. Together
+	// with FullRuns they partition the residual checks.
+	DeltaFull, DeltaPartial int
 }
 
 // Engine prices query bundles over one database and support set.
@@ -197,7 +209,11 @@ func (e *Engine) checker(q *exec.Query) *disagree.Checker {
 	if len(e.checkers) >= maxCheckers || len(e.uncheckable) >= maxCheckers {
 		e.InvalidateCache()
 	}
-	c, err := disagree.New(q, e.DB)
+	build := disagree.New
+	if e.Opts.DisableDeltaTiers {
+		build = disagree.NewUntiered
+	}
+	c, err := build(q, e.DB)
 	if err != nil {
 		e.uncheckable[q] = true
 		return nil
@@ -254,8 +270,7 @@ func (e *Engine) DisagreementsCtx(ctx context.Context, qs []*exec.Query, live []
 }
 
 func (e *Engine) fastDisagree(ctx context.Context, c *disagree.Checker, mask, out []bool) error {
-	c.Stats.Static, c.Stats.Batched, c.Stats.FullRuns = 0, 0, 0
-	c.Stats.DeltaRuns, c.Stats.IndexCacheHits, c.Stats.IndexCacheMisses = 0, 0, 0
+	c.Stats = disagree.CheckStats{}
 	c.Workers = e.parallelWorkers()
 	if e.Opts.Batching {
 		res, err := c.CheckBatchCtx(ctx, e.Set.Updates, mask)
@@ -287,7 +302,19 @@ func (e *Engine) fastDisagree(ctx context.Context, c *disagree.Checker, mask, ou
 	e.LastStats.Static += c.Stats.Static
 	e.LastStats.Batched += c.Stats.Batched
 	e.LastStats.FullRuns += c.Stats.FullRuns
+	e.LastStats.DeltaFull += c.Stats.DeltaFullRuns
+	e.LastStats.DeltaPartial += c.Stats.DeltaPartialRuns
+	e.addTierObs(&c.Stats)
 	return nil
+}
+
+// addTierObs exports one sweep's per-tier residual-check counts to the
+// observability registry (nil-safe). The counters feed the broker's
+// /metrics endpoint.
+func (e *Engine) addTierObs(s *disagree.CheckStats) {
+	e.Obs.Add("checker_delta_full", uint64(s.DeltaFullRuns))
+	e.Obs.Add("checker_delta_partial", uint64(s.DeltaPartialRuns))
+	e.Obs.Add("checker_delta_fallback", uint64(s.FullRuns))
 }
 
 // naiveDisagree is Algorithm 1's loop: run Q on every (live) neighboring
@@ -351,12 +378,21 @@ type reducedRel struct {
 // the per-element checks parallelize across workers.
 func (e *Engine) reducedDisagree(ctx context.Context, q *exec.Query, mask, out []bool) (bool, error) {
 	s, err := plan.Extract(q.A)
-	if err != nil || s.IsAgg {
+	if err != nil || s.IsAgg || s.Distinct {
+		// The reduction lemma is a multiset-locality argument: DISTINCT
+		// breaks it because an untouched duplicate outside the reduced
+		// instance can absorb a removal that looks visible inside it.
 		return false, nil
 	}
 	inQuery := make(map[string]bool)
 	for _, rel := range s.RelOfSource {
-		inQuery[ast.LowerName(rel)] = true
+		rel = ast.LowerName(rel)
+		if inQuery[rel] {
+			// Self-join: reducing the relation shrinks BOTH occurrences, so
+			// an update loses its untouched join partners — ineligible.
+			return false, nil
+		}
+		inQuery[rel] = true
 	}
 	// Collect the touched row set per relation and the elements to check.
 	touched := make(map[string]map[int]bool)

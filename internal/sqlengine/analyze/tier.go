@@ -1,0 +1,69 @@
+package analyze
+
+import "strings"
+
+// DeltaTier grades how incremental (delta) evaluation may answer a
+// residual database check for updates of one relation of a query. The
+// tiers replace the old boolean DeltaCapable predicate: instead of
+// falling back to a full re-execution whenever the first-order rewrite
+// does not apply, the executor and the disagreement checker route each
+// (query, relation) pair through the highest tier available.
+type DeltaTier int
+
+const (
+	// DeltaNone: no delta evaluation; the caller must re-execute the
+	// query (aggregation at this level, ORDER BY, LIMIT, HAVING, derived
+	// tables, subqueries, or a relation the query does not reference).
+	DeltaNone DeltaTier = iota
+	// DeltaPartial: delta evaluation applies but needs materialized
+	// intermediates or higher-order terms — DISTINCT queries (multiplicity
+	// maps decide set-level changes) and self-joins (a relation occurring
+	// k times expands into 3^k−1 inclusion–exclusion terms).
+	DeltaPartial
+	// DeltaFull: the plain first-order rewrite
+	// Q(up(D)) = Q(D) − Q(D[rel←minus]) + Q(D[rel←plus]) is exact on its
+	// own: non-DISTINCT plain SPJ with a single occurrence of rel.
+	DeltaFull
+)
+
+// String names the tier for stats and logs.
+func (t DeltaTier) String() string {
+	switch t {
+	case DeltaFull:
+		return "full"
+	case DeltaPartial:
+		return "partial"
+	}
+	return "none"
+}
+
+// DeltaTierOf computes the delta capability tier of this query for
+// updates of base relation rel.
+func (a *Analyzed) DeltaTierOf(rel string) DeltaTier {
+	occ := a.RelOccurrences(rel)
+	if occ == 0 {
+		return DeltaNone
+	}
+	if a.IsAgg || a.Stmt.Having != nil || len(a.Stmt.OrderBy) > 0 || a.Stmt.Limit >= 0 {
+		return DeltaNone
+	}
+	if a.HasDerivedTables() || len(a.Subs) > 0 {
+		return DeltaNone
+	}
+	if a.Stmt.Distinct || occ > 1 {
+		return DeltaPartial
+	}
+	return DeltaFull
+}
+
+// SourcesOf returns the indexes of every top-level FROM source bound to
+// base relation rel, in FROM order.
+func (a *Analyzed) SourcesOf(rel string) []int {
+	var out []int
+	for i, s := range a.Sources {
+		if s.Rel != nil && strings.EqualFold(s.Rel.Name, rel) {
+			out = append(out, i)
+		}
+	}
+	return out
+}

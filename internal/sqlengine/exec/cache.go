@@ -59,6 +59,7 @@ type execCache struct {
 
 	sources map[int]*cachedSource      // top-level source index -> entry
 	parts   map[string]*cachedPartition // "rel#col" -> probe partition
+	views   map[string]*cachedView      // view key -> materialized intermediate
 
 	hits, misses uint64
 
@@ -80,6 +81,15 @@ type cachedSource struct {
 type cachedPartition struct {
 	version uint64
 	part    map[string][][]value.Value
+}
+
+// cachedView is one materialized per-query intermediate (ivm.go): a group
+// aggregate view or a DISTINCT multiplicity map, stamped with the version
+// of every top-level base source at build time. A mutation of any of them
+// moves a version and the next fetch rebuilds.
+type cachedView struct {
+	versions []uint64
+	val      any
 }
 
 // Stats returns a snapshot of the cache counters. Counters only increase;
@@ -144,12 +154,16 @@ func (c *execCache) resetLocked(db *storage.Database) {
 		c.db = db
 		c.sources = nil
 		c.parts = nil
+		c.views = nil
 	}
 	if c.sources == nil {
 		c.sources = make(map[int]*cachedSource)
 	}
 	if c.parts == nil {
 		c.parts = make(map[string]*cachedPartition)
+	}
+	if c.views == nil {
+		c.views = make(map[string]*cachedView)
 	}
 }
 
@@ -167,7 +181,12 @@ func (r *runner) cachedSourceRows(a *analyze.Analyzed, si int, conjs []*conjunct
 	if src.Rel == nil {
 		return nil, false, nil
 	}
-	name := strings.ToLower(src.Rel.Name)
+	if r.sov != nil {
+		if _, overridden := r.sov[si]; overridden {
+			return nil, false, nil
+		}
+	}
+	name := ast.LowerName(src.Rel.Name)
 	if r.ov != nil {
 		if _, overridden := r.ov[name]; overridden {
 			return nil, false, nil

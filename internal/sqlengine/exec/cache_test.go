@@ -3,6 +3,7 @@ package exec
 import (
 	"testing"
 
+	"qirana/internal/sqlengine/analyze"
 	"qirana/internal/value"
 )
 
@@ -113,29 +114,30 @@ func TestCacheDatabaseSwitch(t *testing.T) {
 	}
 }
 
-// TestDeltaCapable pins the fallback matrix of the delta path.
-func TestDeltaCapable(t *testing.T) {
+// TestDeltaTier pins the tier matrix of the delta path.
+func TestDeltaTier(t *testing.T) {
 	db := twitterDB(t)
 	cases := []struct {
 		sql  string
 		rel  string
-		want bool
+		want analyze.DeltaTier
 	}{
-		{"SELECT name FROM User u, Tweet t WHERE u.uid = t.uid", "Tweet", true},
-		{"SELECT name FROM User u, Tweet t WHERE u.uid = t.uid", "User", true},
-		{"SELECT count(*) FROM Tweet", "Tweet", false},                                  // aggregate
-		{"SELECT DISTINCT location FROM Tweet", "Tweet", false},                         // DISTINCT
-		{"SELECT name FROM User ORDER BY name", "User", false},                          // ORDER BY
-		{"SELECT name FROM User LIMIT 2", "User", false},                                // LIMIT
-		{"SELECT a.name FROM User a, User b WHERE a.uid = b.uid", "User", false},        // self-join
-		{"SELECT name FROM User u, Tweet t WHERE u.uid = t.uid", "Nope", false},         // absent
-		{"SELECT name FROM User WHERE uid IN (SELECT uid FROM Tweet)", "User", false},   // subquery
-		{"SELECT name FROM User WHERE uid IN (SELECT uid FROM Tweet)", "Tweet", false},  // rel inside subquery
+		{"SELECT name FROM User u, Tweet t WHERE u.uid = t.uid", "Tweet", analyze.DeltaFull},
+		{"SELECT name FROM User u, Tweet t WHERE u.uid = t.uid", "User", analyze.DeltaFull},
+		{"SELECT count(*) FROM Tweet", "Tweet", analyze.DeltaNone},                                 // aggregate
+		{"SELECT DISTINCT location FROM Tweet", "Tweet", analyze.DeltaPartial},                     // DISTINCT
+		{"SELECT name FROM User ORDER BY name", "User", analyze.DeltaNone},                         // ORDER BY
+		{"SELECT name FROM User LIMIT 2", "User", analyze.DeltaNone},                               // LIMIT
+		{"SELECT a.name FROM User a, User b WHERE a.uid = b.uid", "User", analyze.DeltaPartial},    // self-join
+		{"SELECT a.name FROM User a, User b, Tweet t WHERE a.uid = b.uid AND a.uid = t.uid", "Tweet", analyze.DeltaFull}, // other rel of a self-join query
+		{"SELECT name FROM User u, Tweet t WHERE u.uid = t.uid", "Nope", analyze.DeltaNone},        // absent
+		{"SELECT name FROM User WHERE uid IN (SELECT uid FROM Tweet)", "User", analyze.DeltaNone},  // subquery
+		{"SELECT name FROM User WHERE uid IN (SELECT uid FROM Tweet)", "Tweet", analyze.DeltaNone}, // rel inside subquery
 	}
 	for _, c := range cases {
 		q := MustCompile(c.sql, db.Schema)
-		if got := q.DeltaCapable(c.rel); got != c.want {
-			t.Errorf("DeltaCapable(%q, %s) = %v, want %v", c.sql, c.rel, got, c.want)
+		if got := q.DeltaTier(c.rel); got != c.want {
+			t.Errorf("DeltaTier(%q, %s) = %v, want %v", c.sql, c.rel, got, c.want)
 		}
 	}
 }

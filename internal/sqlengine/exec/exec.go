@@ -20,7 +20,6 @@ package exec
 import (
 	"fmt"
 	"sort"
-	"strings"
 
 	"qirana/internal/result"
 	"qirana/internal/schema"
@@ -89,20 +88,30 @@ func (q *Query) RunOverride(db *storage.Database, ov Overrides) (*result.Result,
 	return r.exec(q.A, nil)
 }
 
-// RunTagged executes an SPJ (non-aggregating, non-distinct) query with
-// relation rel replaced by tagged rows. Each tagged row must be the
-// relation's row extended by one trailing INT value, the upid. The result
-// groups output rows by the upid of the rel-tuple that produced them.
+// RunTagged executes a non-aggregating SPJ query with relation rel
+// replaced by tagged rows. Each tagged row must be the relation's row
+// extended by one trailing INT value, the upid. The result groups output
+// rows by the upid of the rel-tuple that produced them.
+//
+// DISTINCT queries are admitted, but the deduplication step is NOT
+// applied: the grouped rows are the pre-DISTINCT core rows, which is what
+// the disagreement checker needs to net against its multiplicity view.
+// The relation must occur exactly once (the override is name-keyed and
+// the upid is read from one source position, both unsound for
+// self-joins — those route through RunDelta's higher-order expansion).
 func (q *Query) RunTagged(db *storage.Database, rel string, tagged [][]value.Value) (map[int64][][]value.Value, error) {
-	if q.A.IsAgg || q.Stmt.Distinct || len(q.Stmt.OrderBy) > 0 || q.Stmt.Limit >= 0 {
+	if q.A.IsAgg || len(q.Stmt.OrderBy) > 0 || q.Stmt.Limit >= 0 {
 		return nil, fmt.Errorf("tagged execution requires a plain SPJ query, got %q", q.SQL)
+	}
+	if q.A.RelOccurrences(rel) > 1 {
+		return nil, fmt.Errorf("tagged execution requires a single occurrence of %q in %q", rel, q.SQL)
 	}
 	srcIdx := q.A.SourceIndex(rel)
 	if srcIdx < 0 {
 		return nil, fmt.Errorf("relation %q not in query %q", rel, q.SQL)
 	}
 	arity := q.A.Sources[srcIdx].Rel.Arity()
-	ov := Overrides{strings.ToLower(rel): tagged}
+	ov := Overrides{ast.LowerName(rel): tagged}
 	r := &runner{q: q, db: db, ov: ov}
 	tuples, err := r.joinPhase(q.A, nil)
 	if err != nil {
@@ -146,9 +155,15 @@ type subResult struct {
 type runner struct {
 	// q is the compiled query this runner executes; nil-safe (a nil q
 	// disables the shared execution cache, as in ad-hoc evaluation).
-	q        *Query
-	db       *storage.Database
-	ov       Overrides
+	q  *Query
+	db *storage.Database
+	ov Overrides
+	// sov overrides single top-level FROM sources by index. Unlike ov,
+	// which replaces every occurrence of a relation name, sov replaces
+	// exactly one occurrence — the per-slot substitution the higher-order
+	// delta expansion needs for self-joins. sov wins over ov for its
+	// source.
+	sov      map[int][][]value.Value
 	subCache map[*analyze.Analyzed]*subResult // lazily allocated by runSub
 	// partitions caches, per runner, pointers to the hash partitions of
 	// base tables by (rel, column) used for correlated equality filters.
@@ -342,7 +357,12 @@ func (r *runner) sourceRows(a *analyze.Analyzed, si int, outer *env) ([][]value.
 		}
 		return res.Rows, nil
 	}
-	name := strings.ToLower(src.Rel.Name)
+	if r.sov != nil {
+		if rows, ok := r.sov[si]; ok {
+			return rows, nil
+		}
+	}
+	name := ast.LowerName(src.Rel.Name)
 	if r.ov != nil {
 		if rows, ok := r.ov[name]; ok {
 			return rows, nil

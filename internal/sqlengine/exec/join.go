@@ -1,8 +1,6 @@
 package exec
 
 import (
-	"strings"
-
 	"qirana/internal/sqlengine/analyze"
 	"qirana/internal/sqlengine/ast"
 	"qirana/internal/value"
@@ -523,7 +521,12 @@ func (r *runner) partitionLookup(a *analyze.Analyzed, si, col int, rhs ast.Expr,
 	if src.Rel == nil {
 		return nil, false, nil
 	}
-	name := strings.ToLower(src.Rel.Name)
+	if r.sov != nil {
+		if _, overridden := r.sov[si]; overridden {
+			return nil, false, nil
+		}
+	}
+	name := ast.LowerName(src.Rel.Name)
 	if r.ov != nil {
 		if _, overridden := r.ov[name]; overridden {
 			return nil, false, nil

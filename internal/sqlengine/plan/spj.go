@@ -55,6 +55,11 @@ type SPJ struct {
 	// HasCountStar reports whether some displayed aggregate is COUNT(*).
 	HasCountStar bool
 
+	// Distinct marks a (non-aggregating) SELECT DISTINCT query. The SPJ
+	// core is extracted over bag semantics; set-level equality is decided
+	// by the checker against a multiplicity view of the core rows.
+	Distinct bool
+
 	IsAgg     bool
 	Aggs      []AggSpec
 	NumGroups int // number of grouping expressions
@@ -73,8 +78,8 @@ type SPJ struct {
 // query must take the naive pricing path.
 func Extract(a *analyze.Analyzed) (*SPJ, error) {
 	stmt := a.Stmt
-	if stmt.Distinct {
-		return nil, fmt.Errorf("DISTINCT is outside the SPJ fast path")
+	if stmt.Distinct && a.IsAgg {
+		return nil, fmt.Errorf("DISTINCT over aggregation is outside the SPJ fast path")
 	}
 	if stmt.Limit >= 0 {
 		return nil, fmt.Errorf("LIMIT is outside the SPJ fast path")
@@ -91,17 +96,14 @@ func Extract(a *analyze.Analyzed) (*SPJ, error) {
 	if len(a.Sources) == 0 {
 		return nil, fmt.Errorf("FROM-less query")
 	}
-	s := &SPJ{A: a}
-	seen := make(map[string]bool)
+	s := &SPJ{A: a, Distinct: stmt.Distinct}
 	for _, src := range a.Sources {
 		if src.Rel == nil {
 			return nil, fmt.Errorf("derived tables are outside the SPJ fast path")
 		}
-		ln := lower(src.Rel.Name)
-		if seen[ln] {
-			return nil, fmt.Errorf("self-join on %s is outside the SPJ fast path", src.Rel.Name)
-		}
-		seen[ln] = true
+		// Self-joins (the same relation appearing several times) are
+		// admitted: residual checks run higher-order deltas over every
+		// occurrence (exec.Query.RunDelta, tier DeltaPartial).
 		s.RelOfSource = append(s.RelOfSource, src.Rel.Name)
 	}
 	for _, f := range a.Aggs {
@@ -180,29 +182,6 @@ func Extract(a *analyze.Analyzed) (*SPJ, error) {
 		s.buildUnrolled()
 	}
 	return s, nil
-}
-
-// DeltaRels returns the lower-cased base relations whose residual database
-// checks may be answered by delta evaluation over the check query
-// (exec.Query.RunDelta): the SPJ form already guarantees no self-joins,
-// derived tables or subqueries, so every relation of the query qualifies —
-// for aggregates through the unrolled (plain SPJ) form.
-func (s *SPJ) DeltaRels() map[string]bool {
-	out := make(map[string]bool, len(s.RelOfSource))
-	for _, rel := range s.RelOfSource {
-		out[lower(rel)] = true
-	}
-	return out
-}
-
-func lower(x string) string {
-	b := []byte(x)
-	for i, c := range b {
-		if 'A' <= c && c <= 'Z' {
-			b[i] = c + 'a' - 'A'
-		}
-	}
-	return string(b)
 }
 
 // exprSources returns the level-0 sources referenced by e and whether the

@@ -123,12 +123,11 @@ func TestAggregateExtraction(t *testing.T) {
 
 func TestIneligible(t *testing.T) {
 	cases := map[string]string{
-		"SELECT DISTINCT status FROM orders":                                      "DISTINCT",
 		"SELECT status FROM orders LIMIT 5":                                       "LIMIT",
 		"SELECT status FROM orders ORDER BY status":                               "ORDER BY",
 		"SELECT status, count(*) FROM orders GROUP BY status HAVING count(*) > 1": "HAVING",
 		"SELECT cust FROM orders WHERE total > (SELECT avg(total) FROM orders)":   "subquer",
-		"SELECT a.oid FROM orders a, orders b WHERE a.cust = b.cust":              "self-join",
+		"SELECT DISTINCT status, count(*) FROM orders GROUP BY status":            "DISTINCT over aggregation",
 		"SELECT count(DISTINCT status) FROM orders":                               "DISTINCT aggregate",
 		"SELECT x FROM (SELECT cust AS x FROM orders) AS d":                       "derived",
 		"SELECT 1": "FROM-less",
@@ -140,6 +139,34 @@ func TestIneligible(t *testing.T) {
 		if err == nil || !strings.Contains(err.Error(), frag) {
 			t.Errorf("%q: got %v, want %q", sql, err, frag)
 		}
+	}
+}
+
+func TestDistinctAccepted(t *testing.T) {
+	s := mustExtract(t, "SELECT DISTINCT status FROM orders")
+	if !s.Distinct {
+		t.Fatal("Distinct flag not set")
+	}
+	if s.IsAgg {
+		t.Fatal("plain DISTINCT is not an aggregate")
+	}
+	if mustExtract(t, "SELECT status FROM orders").Distinct {
+		t.Fatal("Distinct flag set on a non-DISTINCT query")
+	}
+}
+
+func TestSelfJoinAccepted(t *testing.T) {
+	s := mustExtract(t, "SELECT a.oid FROM orders a, orders b WHERE a.cust = b.cust")
+	if len(s.RelOfSource) != 2 || s.RelOfSource[0] != "orders" || s.RelOfSource[1] != "orders" {
+		t.Fatalf("rels: %v", s.RelOfSource)
+	}
+	// The contribution query tracks each occurrence separately: two PK
+	// column blocks, one per slot.
+	if s.ContribOff[0] == s.ContribOff[1] {
+		t.Fatalf("per-occurrence contribution offsets collide: %v", s.ContribOff)
+	}
+	if s.ContribPKW[0] != 1 || s.ContribPKW[1] != 1 {
+		t.Fatalf("widths: %v", s.ContribPKW)
 	}
 }
 

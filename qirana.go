@@ -570,6 +570,8 @@ func addStats(sum *pricing.Stats, s pricing.Stats) {
 	sum.Batched += s.Batched
 	sum.FullRuns += s.FullRuns
 	sum.Naive += s.Naive
+	sum.DeltaFull += s.DeltaFull
+	sum.DeltaPartial += s.DeltaPartial
 }
 
 // batchEntries resolves one cache entry per query: hits from the LRU,
