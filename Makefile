@@ -42,6 +42,7 @@ json-bench:
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test ./internal/sqlengine/parser -fuzz FuzzParse -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/sqlengine/parser -fuzz FuzzPrepare -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/disagree -fuzz FuzzDeltaTiers -fuzztime $(FUZZTIME)
 
 # Fault-injection suite under the race detector: the crash matrix

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"qirana/internal/pricing"
+	"qirana/internal/sqlengine/ast"
 	"qirana/internal/sqlengine/exec"
 )
 
@@ -183,11 +184,20 @@ func (b *Broker) Purchase(ctx context.Context, req PurchaseRequest) (rec *Receip
 	}
 	b.mu.RLock()
 	defer b.mu.RUnlock()
+	return b.purchaseLocked(ctx, req, q, b.disKey([]*exec.Query{q}))
+}
+
+// purchaseLocked runs the compiled query, prices it under the given
+// disagreement-bitmap cache key, and commits the history-aware charge.
+// It is the shared back half of Purchase and Stmt.Purchase (which enters
+// with a bound query and a precomputed template key). Callers hold
+// mu.RLock; q must be placeholder-free.
+func (b *Broker) purchaseLocked(ctx context.Context, req PurchaseRequest, q *exec.Query, disK string) (rec *Receipt, err error) {
 	res, err := q.Run(b.db)
 	if err != nil {
 		return nil, err
 	}
-	ent, cached, err := b.disagreements(ctx, []*exec.Query{q})
+	ent, cached, err := b.disagreements(ctx, []*exec.Query{q}, disK)
 	if err != nil {
 		return nil, err
 	}
@@ -235,6 +245,9 @@ func (b *Broker) compileAll(sqls []string) ([]*exec.Query, error) {
 		q, err := exec.Compile(s, b.db.Schema)
 		if err != nil {
 			return nil, fmt.Errorf("query %d: %w", i, err)
+		}
+		if n := ast.MaxPlaceholder(q.Stmt); n > 0 {
+			return nil, fmt.Errorf("query %d: contains placeholder $%d; prepare it with Broker.Prepare and bind parameters with Stmt.Price", i, n)
 		}
 		qs[i] = q
 	}

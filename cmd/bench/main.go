@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -106,7 +107,7 @@ func (r *runner) measure(group, name string, workers int, op func() error) {
 func main() {
 	var (
 		out      = flag.String("out", "BENCH_pricing.json", "output JSON path")
-		groups   = flag.String("groups", "fig4d,fig5a,fig5b,quote,delta-tiers", "comma-separated benchmark groups")
+		groups   = flag.String("groups", "fig4d,fig5a,fig5b,quote,delta-tiers,templates", "comma-separated benchmark groups")
 		workersF = flag.String("workers", "1,numcpu", "comma-separated worker counts ('numcpu' allowed)")
 		supportN = flag.Int("support", 500, "support set size for the Fig 5 fixtures")
 		ssbSF    = flag.Float64("ssb-sf", 0.002, "SSB scale factor")
@@ -124,7 +125,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	known := []string{"fig4d", "fig5a", "fig5b", "quote", "delta-tiers"}
+	known := []string{"fig4d", "fig5a", "fig5b", "quote", "delta-tiers", "templates"}
 	want := map[string]bool{}
 	for _, g := range strings.Split(*groups, ",") {
 		g = strings.TrimSpace(g)
@@ -183,6 +184,9 @@ func main() {
 	}
 	if want["delta-tiers"] {
 		deltaTiers(r, *seed, *supportN, workers)
+	}
+	if want["templates"] {
+		templatesGroup(r, *seed, *supportN)
 	}
 
 	rep := report{
@@ -490,6 +494,121 @@ func quoteThroughput(r *runner, seed int64, supportN int) {
 	if coldNs > 0 && warmNs > 0 {
 		fmt.Printf("quote: warm repeated path %.0fx faster than cold (%.0f ns vs %.0f ns per %d quotes)\n",
 			coldNs/warmNs, warmNs, coldNs, quotesPerClient)
+	}
+}
+
+// templatesGroup measures the prepared-template serving paths at
+// workers=1 (one op = quotesPerOp quotes, comparable across variants):
+//
+//	cold-prepare        Broker.Prepare per call: parse + canonicalize +
+//	                    template extraction, the one-time template cost
+//	warm-parameterized  Stmt.Price over parameter vectors whose entries
+//	                    are warm: render the param signature, assemble
+//	                    the precomputed key, serve the shared entry
+//	quote-hit           ad-hoc Quote of one fixed constant, warm: the
+//	                    classic quote-cache hit (parse + canon + hit)
+//	adhoc-cold          ad-hoc Quote with a fresh constant per call: the
+//	                    pre-template worst case — every distinct constant
+//	                    re-parses, re-canonicalizes and re-sweeps
+//
+// The printed summary reports warm-parameterized against quote-hit
+// (template serving must stay within 2× of a same-constant hit: it does
+// strictly less string work) and against adhoc-cold (the payoff: the
+// sweep is shared across constants, so ≥10× is expected even at small
+// support sizes).
+func templatesGroup(r *runner, seed int64, supportN int) {
+	db := datagen.World(seed)
+	ctx := context.Background()
+	const tmplSQL = "SELECT Name FROM Country WHERE Population > $1"
+	newBroker := func() *qirana.Broker {
+		b, err := qirana.NewBroker(db, 100, qirana.Options{
+			SupportSetSize: supportN, Seed: seed, Workers: 1,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return b
+	}
+	const quotesPerOp = 4
+	const paramSpace = 16 // distinct warm parameter vectors to cycle
+
+	// cold-prepare: the full one-time cost, repeated.
+	bp := newBroker()
+	r.measure("templates", "cold-prepare", 1, func() error {
+		for i := 0; i < quotesPerOp; i++ {
+			if _, err := bp.Prepare(ctx, tmplSQL); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+
+	// warm-parameterized: one Stmt, parameter vectors primed once.
+	bw := newBroker()
+	stmt, err := bw.Prepare(ctx, tmplSQL)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for i := 0; i < paramSpace; i++ {
+		if _, err := stmt.Price(ctx, qirana.NewInt(int64(i)*100000)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	var warmN atomic.Int64
+	r.measure("templates", "warm-parameterized", 1, func() error {
+		for i := 0; i < quotesPerOp; i++ {
+			v := warmN.Add(1) % paramSpace
+			if _, err := stmt.Price(ctx, qirana.NewInt(v*100000)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+
+	// quote-hit: the same broker and template, one fixed constant ad hoc.
+	hitSQL := "SELECT Name FROM Country WHERE Population > 0"
+	if _, err := bw.Quote(hitSQL); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	r.measure("templates", "quote-hit", 1, func() error {
+		for i := 0; i < quotesPerOp; i++ {
+			if _, err := bw.Quote(hitSQL); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+
+	// adhoc-cold: a fresh constant per quote; every call is a cold miss.
+	bc := newBroker()
+	var uniqueN atomic.Int64
+	r.measure("templates", "adhoc-cold", 1, func() error {
+		for i := 0; i < quotesPerOp; i++ {
+			sql := fmt.Sprintf("SELECT Name FROM Country WHERE Population > %d", uniqueN.Add(1)*1000+7)
+			if _, err := bc.Quote(sql); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+
+	ns := map[string]float64{}
+	for _, res := range r.out {
+		if res.Group == "templates" {
+			ns[res.Name] = res.NsPerOp
+		}
+	}
+	if ns["warm-parameterized"] > 0 && ns["quote-hit"] > 0 {
+		fmt.Printf("templates: warm parameterized quote %.2fx a same-constant cache hit (%.0f ns vs %.0f ns, want ≤2x)\n",
+			ns["warm-parameterized"]/ns["quote-hit"], ns["warm-parameterized"], ns["quote-hit"])
+	}
+	if ns["adhoc-cold"] > 0 && ns["warm-parameterized"] > 0 {
+		fmt.Printf("templates: warm parameterized quote %.0fx faster than cold ad-hoc (%.0f ns vs %.0f ns, want ≥10x)\n",
+			ns["adhoc-cold"]/ns["warm-parameterized"], ns["warm-parameterized"], ns["adhoc-cold"])
 	}
 }
 

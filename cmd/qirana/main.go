@@ -12,6 +12,9 @@
 //
 //	quote <sql>           price a query (up-front, history-oblivious)
 //	ask <sql>             buy a query: print answer and incremental charge
+//	prepare <sql>         prepare a $1-style template; prints its handle
+//	exec <n> <params...>  buy an instance of prepared statement #n
+//	                      (params: integers, floats, or 'quoted strings')
 //	buyer <name>          switch buyer account (default "buyer1")
 //	func <name>           switch pricing function (coverage, shannon, qentropy, gain)
 //	point <price> <sql>   add a seller price point and refit weights
@@ -25,6 +28,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -33,6 +37,28 @@ import (
 
 	"qirana"
 )
+
+// parseParams turns whitespace-separated REPL tokens into typed SQL
+// values: integers, floats, 'quoted strings' (single quotes optional —
+// a bare non-numeric token is a string).
+func parseParams(rest string) []qirana.Value {
+	var out []qirana.Value
+	for _, tok := range strings.Fields(rest) {
+		switch {
+		case strings.HasPrefix(tok, "'"):
+			out = append(out, qirana.NewString(strings.Trim(tok, "'")))
+		default:
+			if i, err := strconv.ParseInt(tok, 10, 64); err == nil {
+				out = append(out, qirana.NewInt(i))
+			} else if f, err := strconv.ParseFloat(tok, 64); err == nil {
+				out = append(out, qirana.NewFloat(f))
+			} else {
+				out = append(out, qirana.NewString(tok))
+			}
+		}
+	}
+	return out
+}
 
 func main() {
 	var (
@@ -74,7 +100,9 @@ func main() {
 
 	buyer := "buyer1"
 	fn := qirana.WeightedCoverage
+	ctx := context.Background()
 	var points []qirana.PricePoint
+	var prepared []*qirana.Stmt
 
 	var scripted []string
 	if *script != "" {
@@ -108,7 +136,7 @@ func main() {
 		case "quit", "exit":
 			return
 		case "help":
-			fmt.Println("quote <sql> | ask <sql> | buyer <name> | func <name> | point <price> <sql> | paid | stats | schema | quit")
+			fmt.Println("quote <sql> | ask <sql> | prepare <sql> | exec <n> <params...> | buyer <name> | func <name> | point <price> <sql> | paid | stats | schema | quit")
 		case "buyer":
 			if rest == "" {
 				fmt.Println("usage: buyer <name>")
@@ -145,6 +173,40 @@ func main() {
 			}
 			fmt.Print(res.String())
 			fmt.Printf("(%d rows) charged $%.2f, total paid $%.2f\n", res.Len(), charge, broker.TotalPaid(buyer))
+		case "prepare":
+			s, err := broker.Prepare(ctx, rest)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			prepared = append(prepared, s)
+			fmt.Printf("prepared #%d (%d params): %s\n", len(prepared), s.NumParams(), s.Template())
+		case "exec":
+			idxStr, paramStr, _ := strings.Cut(rest, " ")
+			n, err := strconv.Atoi(idxStr)
+			if err != nil || n < 1 || n > len(prepared) {
+				fmt.Printf("usage: exec <n> <params...> (have %d prepared statements)\n", len(prepared))
+				continue
+			}
+			s := prepared[n-1]
+			params := parseParams(paramStr)
+			price, err := s.PriceWith(ctx, fn, params...)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			rec, err := s.Purchase(ctx, buyer, params...)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Print(rec.Result.String())
+			cachedMark := ""
+			if price.PerQuery[0].Cached {
+				cachedMark = " (cached quote)"
+			}
+			fmt.Printf("(%d rows) price $%.2f%s, charged $%.2f, total paid $%.2f\n",
+				rec.Result.Len(), price.Total, cachedMark, rec.Net, broker.TotalPaid(buyer))
 		case "point":
 			parts := strings.SplitN(rest, " ", 2)
 			if len(parts) != 2 {
@@ -201,6 +263,8 @@ func main() {
 			c := broker.QuoteCacheStats()
 			fmt.Printf("quote cache: %d hits, %d misses, %d coalesced waits, %d evictions (%d entries)\n",
 				c.Hits, c.Misses, c.CoalescedWaits, c.Evictions, broker.QuoteCacheLen())
+			fmt.Printf("  by kind: template %d/%d, bitmap %d/%d, price %d/%d (hits/misses)\n",
+				c.TemplateHits, c.TemplateMisses, c.BitmapHits, c.BitmapMisses, c.PriceHits, c.PriceMisses)
 		case "schema":
 			for _, rel := range db.Schema.Relations {
 				cols := make([]string, len(rel.Attributes))

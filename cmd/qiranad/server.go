@@ -10,6 +10,7 @@ import (
 	"net/http/pprof"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"qirana"
@@ -25,24 +26,39 @@ type server struct {
 	// timeout bounds each pricing request (0 = no bound beyond the
 	// client's connection). Overridable per request with ?timeout_ms=.
 	timeout time.Duration
+
+	// Prepared-statement registry: POST /prepare returns a handle that
+	// /quote and /ask accept as "stmt". Handles live for the process
+	// lifetime (a Stmt is a few cached pointers, not a server resource);
+	// the count is capped so a client loop cannot grow memory unboundedly.
+	mu     sync.Mutex
+	stmts  map[int64]*qirana.Stmt
+	nextID int64
 }
+
+// maxPreparedStmts caps the registry; real template workloads have tens
+// of templates, not thousands.
+const maxPreparedStmts = 4096
 
 // newMux routes the serving API:
 //
-//	POST /quote        price one query (or a bundle)
+//	POST /quote        price one query (or a bundle), or a prepared
+//	                   statement instance ({"stmt": id, "params": [...]})
 //	POST /quote/batch  price k independent queries in one shared sweep
-//	POST /ask          buy a query for a buyer account
+//	POST /ask          buy a query (or prepared instance) for a buyer
+//	POST /prepare      prepare a $1-style template; returns a stmt handle
 //	GET  /stats        broker counters (last pricing stats, quote cache)
 //	GET  /metrics      obs snapshot: counters + latency percentiles
 //	GET  /debug/vars   expvar (includes the live metrics registry)
 //	GET  /debug/pprof  runtime profiling
 func newMux(b *qirana.Broker, timeout time.Duration) *http.ServeMux {
-	s := &server{broker: b, timeout: timeout}
+	s := &server{broker: b, timeout: timeout, stmts: make(map[int64]*qirana.Stmt)}
 	b.PublishExpvar("qirana")
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /quote", s.handleQuote)
 	mux.HandleFunc("POST /quote/batch", s.handleQuoteBatch)
 	mux.HandleFunc("POST /ask", s.handleAsk)
+	mux.HandleFunc("POST /prepare", s.handlePrepare)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.Handle("GET /debug/vars", expvar.Handler())
@@ -92,15 +108,57 @@ func funcByName(name string) (*qirana.PricingFunc, error) {
 }
 
 type quoteRequest struct {
-	// SQL prices a single query; SQLs prices several. Exactly one of the
-	// two must be set.
+	// SQL prices a single query; SQLs prices several. Exactly one of
+	// SQL, SQLs or Stmt must be set.
 	SQL  string   `json:"sql,omitempty"`
 	SQLs []string `json:"sqls,omitempty"`
+	// Stmt prices an instance of a statement prepared via /prepare,
+	// bound to Params.
+	Stmt int64 `json:"stmt,omitempty"`
+	// Params are the $1..$N bindings for Stmt: JSON numbers (integral →
+	// SQL integer, otherwise float), strings and booleans.
+	Params []any `json:"params,omitempty"`
 	// Func selects the pricing function (coverage, gain, shannon,
 	// qentropy); empty uses the broker default.
 	Func string `json:"func,omitempty"`
 	// Bundle prices SQLs as one bundle bought together.
 	Bundle bool `json:"bundle,omitempty"`
+}
+
+// toValues converts JSON-decoded params into typed SQL values. decodeBody
+// decodes numbers as json.Number, so integer exactness survives the trip.
+func toValues(params []any) ([]qirana.Value, error) {
+	out := make([]qirana.Value, len(params))
+	for i, p := range params {
+		switch v := p.(type) {
+		case json.Number:
+			if n, err := strconv.ParseInt(v.String(), 10, 64); err == nil {
+				out[i] = qirana.NewInt(n)
+			} else if f, err := v.Float64(); err == nil {
+				out[i] = qirana.NewFloat(f)
+			} else {
+				return nil, fmt.Errorf("param %d: unrepresentable number %q", i+1, v.String())
+			}
+		case string:
+			out[i] = qirana.NewString(v)
+		case bool:
+			out[i] = qirana.NewBool(v)
+		default:
+			return nil, fmt.Errorf("param %d: unsupported JSON type %T (want number, string or bool)", i+1, p)
+		}
+	}
+	return out, nil
+}
+
+// lookupStmt resolves a /prepare handle.
+func (s *server) lookupStmt(id int64) (*qirana.Stmt, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.stmts[id]
+	if !ok {
+		return nil, fmt.Errorf("unknown prepared statement %d (prepare it first via POST /prepare)", id)
+	}
+	return st, nil
 }
 
 func (qr *quoteRequest) toPriceRequest() (qirana.PriceRequest, error) {
@@ -132,7 +190,9 @@ const maxBodyBytes = 1 << 20
 // otherwise) and returns false.
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
-	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+	dec := json.NewDecoder(r.Body)
+	dec.UseNumber() // prepared-statement params need exact integers
+	if err := dec.Decode(v); err != nil {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
 			writeError(w, http.StatusRequestEntityTooLarge,
@@ -158,6 +218,22 @@ func (s *server) price(w http.ResponseWriter, r *http.Request, batch bool) {
 	if !decodeBody(w, r, &qr) {
 		return
 	}
+	if qr.Stmt != 0 {
+		if batch {
+			writeError(w, http.StatusBadRequest, errors.New("prepared statements are priced on /quote, not /quote/batch"))
+			return
+		}
+		if qr.SQL != "" || len(qr.SQLs) > 0 || qr.Bundle {
+			writeError(w, http.StatusBadRequest, errors.New(`"stmt" excludes "sql", "sqls" and "bundle"`))
+			return
+		}
+		s.priceStmt(w, r, qr)
+		return
+	}
+	if len(qr.Params) > 0 {
+		writeError(w, http.StatusBadRequest, errors.New(`"params" requires "stmt" (prepare the template via POST /prepare)`))
+		return
+	}
 	req, err := qr.toPriceRequest()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -178,9 +254,85 @@ func (s *server) price(w http.ResponseWriter, r *http.Request, batch bool) {
 	writeJSON(w, resp)
 }
 
+// priceStmt prices one prepared-statement instance.
+func (s *server) priceStmt(w http.ResponseWriter, r *http.Request, qr quoteRequest) {
+	st, err := s.lookupStmt(qr.Stmt)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	fn, err := funcByName(qr.Func)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	params, err := toValues(qr.Params)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	var resp *qirana.PriceResponse
+	if fn != nil {
+		resp, err = st.PriceWith(ctx, *fn, params...)
+	} else {
+		resp, err = st.Price(ctx, params...)
+	}
+	if err != nil {
+		writeRequestError(w, err)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+type prepareRequest struct {
+	SQL string `json:"sql"`
+}
+
+type prepareResponse struct {
+	// Stmt is the handle /quote and /ask accept.
+	Stmt int64 `json:"stmt"`
+	// NumParams is the number of $N parameters the template takes.
+	NumParams int `json:"num_params"`
+	// Template is the literal-stripped canonical form — the fingerprint
+	// under which all instances share quote-cache entries.
+	Template string `json:"template"`
+}
+
+func (s *server) handlePrepare(w http.ResponseWriter, r *http.Request) {
+	var pr prepareRequest
+	if !decodeBody(w, r, &pr) {
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	st, err := s.broker.Prepare(ctx, pr.SQL)
+	if err != nil {
+		writeRequestError(w, err)
+		return
+	}
+	s.mu.Lock()
+	if len(s.stmts) >= maxPreparedStmts {
+		s.mu.Unlock()
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Errorf("prepared statement limit reached (%d)", maxPreparedStmts))
+		return
+	}
+	s.nextID++
+	id := s.nextID
+	s.stmts[id] = st
+	s.mu.Unlock()
+	writeJSON(w, prepareResponse{Stmt: id, NumParams: st.NumParams(), Template: st.Template()})
+}
+
 type askRequest struct {
 	Buyer string `json:"buyer"`
 	SQL   string `json:"sql"`
+	// Stmt buys an instance of a statement prepared via /prepare, bound
+	// to Params; excludes SQL.
+	Stmt   int64 `json:"stmt,omitempty"`
+	Params []any `json:"params,omitempty"`
 	// Refund selects the charge-then-refund settlement model.
 	Refund bool `json:"refund,omitempty"`
 }
@@ -204,7 +356,35 @@ func (s *server) handleAsk(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
-	rec, err := s.broker.Purchase(ctx, qirana.PurchaseRequest{Buyer: ar.Buyer, SQL: ar.SQL, Refund: ar.Refund})
+	var rec *qirana.Receipt
+	var err error
+	if ar.Stmt != 0 {
+		if ar.SQL != "" {
+			writeError(w, http.StatusBadRequest, errors.New(`"stmt" excludes "sql"`))
+			return
+		}
+		st, lerr := s.lookupStmt(ar.Stmt)
+		if lerr != nil {
+			writeError(w, http.StatusBadRequest, lerr)
+			return
+		}
+		params, perr := toValues(ar.Params)
+		if perr != nil {
+			writeError(w, http.StatusBadRequest, perr)
+			return
+		}
+		if ar.Refund {
+			rec, err = st.PurchaseWithRefund(ctx, ar.Buyer, params...)
+		} else {
+			rec, err = st.Purchase(ctx, ar.Buyer, params...)
+		}
+	} else {
+		if len(ar.Params) > 0 {
+			writeError(w, http.StatusBadRequest, errors.New(`"params" requires "stmt" (prepare the template via POST /prepare)`))
+			return
+		}
+		rec, err = s.broker.Purchase(ctx, qirana.PurchaseRequest{Buyer: ar.Buyer, SQL: ar.SQL, Refund: ar.Refund})
+	}
 	if err != nil {
 		writeRequestError(w, err)
 		return

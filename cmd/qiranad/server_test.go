@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -417,5 +418,101 @@ func TestLedgerFailureMapsTo503(t *testing.T) {
 	var rec askResponse
 	if r := postJSON(t, ts.URL+"/ask", body, &rec); r.StatusCode != http.StatusOK || rec.Net <= 0 {
 		t.Fatalf("retry after 503: status %d, receipt %+v — the failed attempt must not have charged", r.StatusCode, rec.Receipt)
+	}
+}
+
+// TestPrepareEndpoint drives the prepared-statement flow over the wire:
+// prepare a template, price instances (bit-identical to the equivalent
+// ad-hoc quote, sharing its cache entries), buy an instance, and check
+// the kind-split cache counters surface in /stats and /metrics.
+func TestPrepareEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+
+	var prep prepareResponse
+	r := postJSON(t, ts.URL+"/prepare", `{"sql": "SELECT Name FROM Country WHERE Population > $1"}`, &prep)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("prepare status = %d", r.StatusCode)
+	}
+	if prep.Stmt == 0 || prep.NumParams != 1 || !strings.Contains(prep.Template, "?") {
+		t.Fatalf("bad prepare response: %+v", prep)
+	}
+
+	// Ad-hoc quote of the substituted SQL, then the prepared instance:
+	// identical price, served from the shared template entry.
+	var adhoc, inst qirana.PriceResponse
+	postJSON(t, ts.URL+"/quote", `{"sql": "SELECT Name FROM Country WHERE Population > 5000000"}`, &adhoc)
+	body := `{"stmt": ` + strconv.FormatInt(prep.Stmt, 10) + `, "params": [5000000]}`
+	if r := postJSON(t, ts.URL+"/quote", body, &inst); r.StatusCode != http.StatusOK {
+		t.Fatalf("stmt quote status = %d", r.StatusCode)
+	}
+	if inst.Total != adhoc.Total || !inst.PerQuery[0].Cached {
+		t.Fatalf("prepared instance (%v, cached=%v) != ad-hoc (%v)",
+			inst.Total, inst.PerQuery[0].Cached, adhoc.Total)
+	}
+
+	// Buying an instance works and is free to repeat.
+	askBody := `{"buyer": "alice", "stmt": ` + strconv.FormatInt(prep.Stmt, 10) + `, "params": [5000000]}`
+	var rec askResponse
+	if r := postJSON(t, ts.URL+"/ask", askBody, &rec); r.StatusCode != http.StatusOK {
+		t.Fatalf("stmt ask status = %d", r.StatusCode)
+	}
+	if rec.Net <= 0 || len(rec.Rows) == 0 {
+		t.Fatalf("stmt purchase: %+v (%d rows)", rec.Receipt, len(rec.Rows))
+	}
+	var again askResponse
+	postJSON(t, ts.URL+"/ask", askBody, &again)
+	if again.Net != 0 {
+		t.Fatalf("repeat stmt purchase charged %v", again.Net)
+	}
+
+	// The kind-split counters are on the wire.
+	var stats struct {
+		QuoteCache qirana.CacheStats `json:"quote_cache"`
+	}
+	getJSON(t, ts.URL+"/stats", &stats)
+	if stats.QuoteCache.TemplateHits == 0 || stats.QuoteCache.TemplateMisses == 0 {
+		t.Fatalf("template counters missing from /stats: %+v", stats.QuoteCache)
+	}
+	var m qirana.MetricsSnapshot
+	getJSON(t, ts.URL+"/metrics", &m)
+	if m.Counters["quotecache_template_hits"] == 0 {
+		t.Fatalf("metrics missing quotecache_template_hits: %+v", m.Counters)
+	}
+	if m.Counters["broker_prepare_requests"] == 0 {
+		t.Fatalf("metrics missing broker_prepare_requests: %+v", m.Counters)
+	}
+}
+
+// TestPrepareBadRequests covers the prepared-path input errors.
+func TestPrepareBadRequests(t *testing.T) {
+	ts := newTestServer(t)
+	cases := []struct {
+		url, body string
+	}{
+		{"/prepare", `{"sql": "SELECT Name FROM Country WHERE Population > $3"}`}, // non-contiguous
+		{"/prepare", `{"sql": "SELEC nonsense"}`},
+		{"/quote", `{"stmt": 999, "params": [1]}`},              // unknown handle
+		{"/quote", `{"sql": "SELECT 1", "stmt": 1}`},            // stmt excludes sql
+		{"/quote", `{"sql": "` + testSQL + `", "params": [1]}`}, // params need stmt
+		{"/quote", `{"sql": "SELECT Name FROM Country WHERE Population > $1"}`}, // placeholder ad hoc
+		{"/quote/batch", `{"stmt": 1, "params": [1]}`},
+		{"/ask", `{"buyer": "a", "stmt": 999, "params": [1]}`},
+		{"/ask", `{"buyer": "a", "sql": "SELECT 1", "stmt": 1}`},
+	}
+	for _, tc := range cases {
+		if r := postJSON(t, ts.URL+tc.url, tc.body, nil); r.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %s %s: status %d, want 400", tc.url, tc.body, r.StatusCode)
+		}
+	}
+
+	// Arity and type errors surface per request.
+	var prep prepareResponse
+	postJSON(t, ts.URL+"/prepare", `{"sql": "SELECT Name FROM Country WHERE Population > $1"}`, &prep)
+	id := strconv.FormatInt(prep.Stmt, 10)
+	if r := postJSON(t, ts.URL+"/quote", `{"stmt": `+id+`, "params": []}`, nil); r.StatusCode != http.StatusBadRequest {
+		t.Errorf("arity mismatch: status %d, want 400", r.StatusCode)
+	}
+	if r := postJSON(t, ts.URL+"/quote", `{"stmt": `+id+`, "params": [[1]]}`, nil); r.StatusCode != http.StatusBadRequest {
+		t.Errorf("array param: status %d, want 400", r.StatusCode)
 	}
 }

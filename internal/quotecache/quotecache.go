@@ -16,12 +16,14 @@ import (
 	"container/list"
 	"context"
 	"errors"
+	"strings"
 	"sync"
 
 	"qirana/internal/obs"
 )
 
-// Stats are the cache's monotonic counters.
+// Stats are the cache's monotonic counters. Hits and Misses are totals;
+// the Bitmap/Price/Template triples split them by entry kind (see Kind).
 type Stats struct {
 	// Hits counts lookups served from the LRU.
 	Hits uint64
@@ -32,6 +34,44 @@ type Stats struct {
 	CoalescedWaits uint64
 	// Evictions counts entries dropped by the LRU capacity bound.
 	Evictions uint64
+
+	// Per-kind splits of Hits/Misses. Bitmap counts full-constant
+	// disagreement bitmaps ("d|" keys), Price full-constant entropy prices
+	// ("e|" keys), Template the template-keyed entries shared between
+	// prepared statements and auto-detected ad-hoc templates ("td|"/"te|"
+	// keys). Keys with any other shape land in Bitmap+Price = 0 buckets
+	// (OtherHits/OtherMisses are not tracked separately; the broker only
+	// writes the four prefixes above).
+	BitmapHits     uint64
+	BitmapMisses   uint64
+	PriceHits      uint64
+	PriceMisses    uint64
+	TemplateHits   uint64
+	TemplateMisses uint64
+}
+
+// Kind classifies a cache key by the prefix discipline the broker uses.
+type Kind int
+
+// The entry kinds.
+const (
+	KindOther    Kind = iota
+	KindBitmap        // "d|" full-constant disagreement bitmap
+	KindPrice         // "e|" full-constant entropy price
+	KindTemplate      // "td|" / "te|" template-keyed entry
+)
+
+// KindOf derives the entry kind from the key prefix.
+func KindOf(key string) Kind {
+	switch {
+	case strings.HasPrefix(key, "td|"), strings.HasPrefix(key, "te|"):
+		return KindTemplate
+	case strings.HasPrefix(key, "d|"):
+		return KindBitmap
+	case strings.HasPrefix(key, "e|"):
+		return KindPrice
+	}
+	return KindOther
 }
 
 // Cache is a concurrency-safe LRU with request coalescing. The zero
@@ -45,8 +85,42 @@ type Cache struct {
 	stats   Stats
 
 	// Pre-resolved obs counters (nil until AttachObs): the hot path pays
-	// one nil check per event, never a registry map lookup.
+	// one nil check per event, never a registry map lookup. The kind
+	// arrays are indexed by Kind.
 	cHits, cMisses, cCoalesced, cEvictions *obs.Counter
+	cKindHits, cKindMisses                 [4]*obs.Counter
+}
+
+// hit records a lookup served from the LRU, split by key kind.
+func (c *Cache) hit(key string) {
+	c.stats.Hits++
+	c.cHits.Inc()
+	k := KindOf(key)
+	switch k {
+	case KindBitmap:
+		c.stats.BitmapHits++
+	case KindPrice:
+		c.stats.PriceHits++
+	case KindTemplate:
+		c.stats.TemplateHits++
+	}
+	c.cKindHits[k].Inc()
+}
+
+// miss records a lookup that must compute, split by key kind.
+func (c *Cache) miss(key string) {
+	c.stats.Misses++
+	c.cMisses.Inc()
+	k := KindOf(key)
+	switch k {
+	case KindBitmap:
+		c.stats.BitmapMisses++
+	case KindPrice:
+		c.stats.PriceMisses++
+	case KindTemplate:
+		c.stats.TemplateMisses++
+	}
+	c.cKindMisses[k].Inc()
 }
 
 // AttachObs mirrors the cache counters into an obs registry under the
@@ -59,6 +133,12 @@ func (c *Cache) AttachObs(r *obs.Registry) {
 	c.cMisses = r.Counter("quotecache_misses")
 	c.cCoalesced = r.Counter("quotecache_coalesced_waits")
 	c.cEvictions = r.Counter("quotecache_evictions")
+	for k, name := range map[Kind]string{
+		KindBitmap: "bitmap", KindPrice: "price", KindTemplate: "template",
+	} {
+		c.cKindHits[k] = r.Counter("quotecache_" + name + "_hits")
+		c.cKindMisses[k] = r.Counter("quotecache_" + name + "_misses")
+	}
 }
 
 type entry struct {
@@ -93,12 +173,10 @@ func (c *Cache) Get(key string) (any, bool) {
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
 		c.ll.MoveToFront(el)
-		c.stats.Hits++
-		c.cHits.Inc()
+		c.hit(key)
 		return el.Value.(*entry).val, true
 	}
-	c.stats.Misses++
-	c.cMisses.Inc()
+	c.miss(key)
 	return nil, false
 }
 
@@ -146,8 +224,7 @@ func (c *Cache) Do(ctx context.Context, key string, fn func() (any, error)) (any
 		c.mu.Lock()
 		if el, ok := c.entries[key]; ok {
 			c.ll.MoveToFront(el)
-			c.stats.Hits++
-			c.cHits.Inc()
+			c.hit(key)
 			v := el.Value.(*entry).val
 			c.mu.Unlock()
 			return v, nil
@@ -175,8 +252,7 @@ func (c *Cache) Do(ctx context.Context, key string, fn func() (any, error)) (any
 		}
 		f := &flight{done: make(chan struct{})}
 		c.flights[key] = f
-		c.stats.Misses++
-		c.cMisses.Inc()
+		c.miss(key)
 		c.mu.Unlock()
 
 		f.val, f.err = fn()

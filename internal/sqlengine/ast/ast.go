@@ -107,6 +107,14 @@ type Literal struct{ Val value.Value }
 func (e *Literal) exprNode()      {}
 func (e *Literal) String() string { return e.Val.SQL() }
 
+// Placeholder is a $N positional parameter in a prepared-statement template.
+// Idx is 1-based (the N in $N). Placeholders are valid anywhere a literal is;
+// they must be bound (see Bind) before a statement can be executed.
+type Placeholder struct{ Idx int }
+
+func (e *Placeholder) exprNode()      {}
+func (e *Placeholder) String() string { return fmt.Sprintf("$%d", e.Idx) }
+
 // Interval is an INTERVAL 'n' UNIT literal used in date arithmetic.
 type Interval struct {
 	N    int64
@@ -463,7 +471,7 @@ func Walk(e Expr, fn func(Expr)) {
 		}
 	case *IsNullExpr:
 		Walk(x.X, fn)
-	case *SubqueryExpr, *ExistsExpr, *ColumnRef, *Literal, *Interval:
+	case *SubqueryExpr, *ExistsExpr, *ColumnRef, *Literal, *Interval, *Placeholder:
 	case *CaseExpr:
 		Walk(x.Operand, fn)
 		for _, w := range x.Whens {

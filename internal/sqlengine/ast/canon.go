@@ -2,6 +2,7 @@ package ast
 
 import (
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -18,6 +19,11 @@ import (
 // equivalent queries only cost a cache miss; equal fingerprints for
 // inequivalent queries would serve a wrong price, so when in doubt the
 // printer does not normalize.
+//
+// The same printer also runs in "strip" mode for template fingerprints
+// (see template.go): constants (Literal and Placeholder nodes) render as
+// numbered markers that survive the canonical sorts, so a post-pass can
+// recover the constant positions of the sorted output in textual order.
 
 // LowerName lower-cases ASCII letters of an identifier without touching
 // other bytes — the one identifier normalization the whole system shares
@@ -54,11 +60,97 @@ func LowerName(s string) string {
 //     result multiset the pricing hash compares).
 func Fingerprint(s *SelectStmt) string {
 	var sb strings.Builder
-	canonStmt(&sb, s)
+	(&canoner{}).stmt(&sb, s)
 	return sb.String()
 }
 
-func canonStmt(sb *strings.Builder, s *SelectStmt) {
+// canoner carries the printing mode through the recursive canonical
+// renderer. In strip mode every constant renders as
+// markerStart+<visit-index>+markerEnd and the node is recorded in sites;
+// the marker bytes cannot be produced by any non-constant token except a
+// pathological quoted identifier, which the template post-pass detects.
+type canoner struct {
+	strip bool
+	sites []Expr // *Literal / *Placeholder nodes in visit order
+}
+
+const (
+	markerStart = '\x00'
+	markerEnd   = '\x01'
+)
+
+// markerTable pre-builds the markers for the first sites; templates
+// beyond it fall back to allocating (a query with 64+ constants is
+// already far off the hot path).
+var markerTable = func() (t [64]string) {
+	for i := range t {
+		t[i] = string(markerStart) + strconv.Itoa(i) + string(markerEnd)
+	}
+	return t
+}()
+
+func (c *canoner) marker(e Expr) string {
+	idx := len(c.sites)
+	c.sites = append(c.sites, e)
+	if idx < len(markerTable) {
+		return markerTable[idx]
+	}
+	return string(markerStart) + strconv.Itoa(idx) + string(markerEnd)
+}
+
+// maskedCompare compares two rendered fragments with strip-marker
+// indices masked out: every `\x00<digits>\x01` run compares as if it
+// were `\x00\x01`, so the visit index of a constant never influences
+// the canonical operand order — `a = 5 AND b = 3` and `b = 3 AND a = 5`
+// must sort to one template. Allocation-free; non-marker bytes compare
+// verbatim.
+func maskedCompare(a, b string) int {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		ca, cb := a[i], b[j]
+		if ca != cb {
+			if ca < cb {
+				return -1
+			}
+			return 1
+		}
+		i++
+		j++
+		if ca == markerStart {
+			i = skipDigits(a, i)
+			j = skipDigits(b, j)
+		}
+	}
+	switch {
+	case i < len(a):
+		return 1
+	case j < len(b):
+		return -1
+	}
+	return 0
+}
+
+func skipDigits(s string, i int) int {
+	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+		i++
+	}
+	return i
+}
+
+// sortStrings orders rendered fragments canonically. In strip mode the
+// order masks marker indices (see maskedCompare) with stable ties:
+// identically-rendered operands keep render order, which is
+// deterministic and — because sorting only ever happens under
+// commutative operators — any tie order denotes the same query.
+func (c *canoner) sortStrings(parts []string) {
+	if !c.strip {
+		sort.Strings(parts)
+		return
+	}
+	sort.SliceStable(parts, func(i, j int) bool { return maskedCompare(parts[i], parts[j]) < 0 })
+}
+
+func (c *canoner) stmt(sb *strings.Builder, s *SelectStmt) {
 	sb.WriteString("SELECT ")
 	if s.Distinct {
 		sb.WriteString("DISTINCT ")
@@ -67,7 +159,7 @@ func canonStmt(sb *strings.Builder, s *SelectStmt) {
 		if i > 0 {
 			sb.WriteString(", ")
 		}
-		canonItem(sb, it)
+		c.item(sb, it)
 	}
 	if len(s.From) > 0 {
 		sb.WriteString(" FROM ")
@@ -75,25 +167,25 @@ func canonStmt(sb *strings.Builder, s *SelectStmt) {
 			if i > 0 {
 				sb.WriteString(", ")
 			}
-			canonTableRef(sb, t)
+			c.tableRef(sb, t)
 		}
 	}
 	if s.Where != nil {
 		sb.WriteString(" WHERE ")
-		sb.WriteString(canonExpr(s.Where))
+		sb.WriteString(c.expr(s.Where))
 	}
 	if len(s.GroupBy) > 0 {
 		keys := make([]string, len(s.GroupBy))
 		for i, g := range s.GroupBy {
-			keys[i] = canonExpr(g)
+			keys[i] = c.expr(g)
 		}
-		sort.Strings(keys)
+		c.sortStrings(keys)
 		sb.WriteString(" GROUP BY ")
 		sb.WriteString(strings.Join(keys, ", "))
 	}
 	if s.Having != nil {
 		sb.WriteString(" HAVING ")
-		sb.WriteString(canonExpr(s.Having))
+		sb.WriteString(c.expr(s.Having))
 	}
 	if len(s.OrderBy) > 0 {
 		sb.WriteString(" ORDER BY ")
@@ -101,7 +193,7 @@ func canonStmt(sb *strings.Builder, s *SelectStmt) {
 			if i > 0 {
 				sb.WriteString(", ")
 			}
-			sb.WriteString(canonExpr(o.Expr))
+			sb.WriteString(c.expr(o.Expr))
 			if o.Desc {
 				sb.WriteString(" DESC")
 			}
@@ -132,7 +224,7 @@ func writeInt(sb *strings.Builder, n int64) {
 	sb.Write(d[i:])
 }
 
-func canonItem(sb *strings.Builder, it SelectItem) {
+func (c *canoner) item(sb *strings.Builder, it SelectItem) {
 	if it.Star {
 		if it.StarTable != "" {
 			sb.WriteString(canonIdent(it.StarTable))
@@ -142,13 +234,13 @@ func canonItem(sb *strings.Builder, it SelectItem) {
 		sb.WriteByte('*')
 		return
 	}
-	sb.WriteString(canonExpr(it.Expr))
+	sb.WriteString(c.expr(it.Expr))
 }
 
-func canonTableRef(sb *strings.Builder, t TableRef) {
+func (c *canoner) tableRef(sb *strings.Builder, t TableRef) {
 	if t.Sub != nil {
 		sb.WriteByte('(')
-		canonStmt(sb, t.Sub)
+		c.stmt(sb, t.Sub)
 		sb.WriteByte(')')
 		if t.Alias != "" {
 			sb.WriteString(" AS ")
@@ -165,8 +257,8 @@ func canonTableRef(sb *strings.Builder, t TableRef) {
 
 func canonIdent(name string) string { return Ident(LowerName(name)) }
 
-// canonExpr renders one expression canonically.
-func canonExpr(e Expr) string {
+// expr renders one expression canonically.
+func (c *canoner) expr(e Expr) string {
 	switch x := e.(type) {
 	case *ColumnRef:
 		if x.Table != "" {
@@ -174,23 +266,31 @@ func canonExpr(e Expr) string {
 		}
 		return canonIdent(x.Name)
 	case *Literal:
+		if c.strip {
+			return c.marker(x)
+		}
 		return x.Val.SQL()
+	case *Placeholder:
+		if c.strip {
+			return c.marker(x)
+		}
+		return x.String()
 	case *Interval:
 		return x.String()
 	case *BinaryExpr:
-		return canonBinary(x)
+		return c.binary(x)
 	case *UnaryExpr:
 		if x.Op == "NOT" {
-			return "(NOT " + canonExpr(x.X) + ")"
+			return "(NOT " + c.expr(x.X) + ")"
 		}
-		return "(" + x.Op + canonExpr(x.X) + ")"
+		return "(" + x.Op + c.expr(x.X) + ")"
 	case *FuncCall:
 		if x.Star {
 			return x.Name + "(*)"
 		}
 		args := make([]string, len(x.Args))
 		for i, a := range x.Args {
-			args[i] = canonExpr(a)
+			args[i] = c.expr(a)
 		}
 		d := ""
 		if x.Distinct {
@@ -198,26 +298,26 @@ func canonExpr(e Expr) string {
 		}
 		return x.Name + "(" + d + strings.Join(args, ", ") + ")"
 	case *LikeExpr:
-		return "(" + canonExpr(x.X) + not(x.Not) + " LIKE " + canonExpr(x.Pattern) + ")"
+		return "(" + c.expr(x.X) + not(x.Not) + " LIKE " + c.expr(x.Pattern) + ")"
 	case *BetweenExpr:
-		return "(" + canonExpr(x.X) + not(x.Not) + " BETWEEN " + canonExpr(x.Lo) + " AND " + canonExpr(x.Hi) + ")"
+		return "(" + c.expr(x.X) + not(x.Not) + " BETWEEN " + c.expr(x.Lo) + " AND " + c.expr(x.Hi) + ")"
 	case *InExpr:
 		if x.Sub != nil {
 			var sb strings.Builder
 			sb.WriteByte('(')
-			sb.WriteString(canonExpr(x.X))
+			sb.WriteString(c.expr(x.X))
 			sb.WriteString(not(x.Not))
 			sb.WriteString(" IN (")
-			canonStmt(&sb, x.Sub)
+			c.stmt(&sb, x.Sub)
 			sb.WriteString("))")
 			return sb.String()
 		}
 		items := make([]string, len(x.List))
 		for i, a := range x.List {
-			items[i] = canonExpr(a)
+			items[i] = c.expr(a)
 		}
-		sort.Strings(items)
-		return "(" + canonExpr(x.X) + not(x.Not) + " IN (" + strings.Join(items, ", ") + "))"
+		c.sortStrings(items)
+		return "(" + c.expr(x.X) + not(x.Not) + " IN (" + strings.Join(items, ", ") + "))"
 	case *ExistsExpr:
 		var sb strings.Builder
 		sb.WriteByte('(')
@@ -225,29 +325,29 @@ func canonExpr(e Expr) string {
 			sb.WriteString("NOT ")
 		}
 		sb.WriteString("EXISTS (")
-		canonStmt(&sb, x.Sub)
+		c.stmt(&sb, x.Sub)
 		sb.WriteString("))")
 		return sb.String()
 	case *SubqueryExpr:
 		var sb strings.Builder
 		sb.WriteByte('(')
-		canonStmt(&sb, x.Sub)
+		c.stmt(&sb, x.Sub)
 		sb.WriteByte(')')
 		return sb.String()
 	case *IsNullExpr:
-		return "(" + canonExpr(x.X) + " IS" + not(x.Not) + " NULL)"
+		return "(" + c.expr(x.X) + " IS" + not(x.Not) + " NULL)"
 	case *CaseExpr:
 		var sb strings.Builder
 		sb.WriteString("CASE")
 		if x.Operand != nil {
 			sb.WriteByte(' ')
-			sb.WriteString(canonExpr(x.Operand))
+			sb.WriteString(c.expr(x.Operand))
 		}
 		for _, w := range x.Whens {
-			sb.WriteString(" WHEN " + canonExpr(w.Cond) + " THEN " + canonExpr(w.Result))
+			sb.WriteString(" WHEN " + c.expr(w.Cond) + " THEN " + c.expr(w.Result))
 		}
 		if x.Else != nil {
-			sb.WriteString(" ELSE " + canonExpr(x.Else))
+			sb.WriteString(" ELSE " + c.expr(x.Else))
 		}
 		sb.WriteString(" END")
 		return sb.String()
@@ -262,36 +362,40 @@ func not(n bool) string {
 	return ""
 }
 
-func canonBinary(x *BinaryExpr) string {
+func (c *canoner) binary(x *BinaryExpr) string {
 	switch x.Op {
 	case OpAnd, OpOr:
 		var parts []string
-		flattenCanon(x, x.Op, &parts)
-		sort.Strings(parts)
+		c.flatten(x, x.Op, &parts)
+		c.sortStrings(parts)
 		return "(" + strings.Join(parts, " "+x.Op.String()+" ") + ")"
 	case OpEq, OpNeq, OpAdd, OpMul:
-		l, r := canonExpr(x.L), canonExpr(x.R)
-		if r < l {
+		l, r := c.expr(x.L), c.expr(x.R)
+		if c.strip {
+			if maskedCompare(r, l) < 0 {
+				l, r = r, l
+			}
+		} else if r < l {
 			l, r = r, l
 		}
 		return "(" + l + " " + x.Op.String() + " " + r + ")"
 	case OpGt:
-		return "(" + canonExpr(x.R) + " < " + canonExpr(x.L) + ")"
+		return "(" + c.expr(x.R) + " < " + c.expr(x.L) + ")"
 	case OpGe:
-		return "(" + canonExpr(x.R) + " <= " + canonExpr(x.L) + ")"
+		return "(" + c.expr(x.R) + " <= " + c.expr(x.L) + ")"
 	}
-	return "(" + canonExpr(x.L) + " " + x.Op.String() + " " + canonExpr(x.R) + ")"
+	return "(" + c.expr(x.L) + " " + x.Op.String() + " " + c.expr(x.R) + ")"
 }
 
-// flattenCanon collects the canonical renderings of a same-operator
+// flatten collects the canonical renderings of a same-operator
 // AND/OR chain (associative, so the tree shape is normalized away).
-func flattenCanon(e Expr, op BinOp, out *[]string) {
+func (c *canoner) flatten(e Expr, op BinOp, out *[]string) {
 	if b, ok := e.(*BinaryExpr); ok && b.Op == op {
-		flattenCanon(b.L, op, out)
-		flattenCanon(b.R, op, out)
+		c.flatten(b.L, op, out)
+		c.flatten(b.R, op, out)
 		return
 	}
-	*out = append(*out, canonExpr(e))
+	*out = append(*out, c.expr(e))
 }
 
 // ReferencedTables returns the lower-cased names of every base table the

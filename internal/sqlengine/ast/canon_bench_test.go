@@ -1,0 +1,59 @@
+package ast_test
+
+import (
+	"testing"
+
+	"qirana/internal/sqlengine/ast"
+	"qirana/internal/sqlengine/parser"
+	"qirana/internal/value"
+)
+
+// The broker computes one of these per single-query cache key; the warm
+// ad-hoc quote path is directly gated on their cost.
+var benchSQL = "SELECT Name, Region FROM Country WHERE Continent = 'Europe' AND Population > 1000000 OR ID IN (1, 2, 3)"
+
+func BenchmarkFingerprint(b *testing.B) {
+	stmt, err := parser.Parse(benchSQL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = ast.Fingerprint(stmt)
+	}
+}
+
+func BenchmarkNewTemplateAndParamKey(b *testing.B) {
+	stmt, err := parser.Parse(benchSQL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tm, err := ast.NewTemplate(stmt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tm.ParamKey(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParamKey(b *testing.B) {
+	stmt, err := parser.Parse("SELECT Name FROM Country WHERE Population > $1 AND Continent = $2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tm, err := ast.NewTemplate(stmt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	args := []value.Value{value.NewInt(5), value.NewString("Asia")}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := tm.ParamKey(args); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -15,6 +15,9 @@ func (r *runner) eval(e ast.Expr, env *env) (value.Value, error) {
 	case *ast.Literal:
 		return x.Val, nil
 
+	case *ast.Placeholder:
+		return value.Null, fmt.Errorf("unbound placeholder $%d: bind parameters before executing", x.Idx)
+
 	case *ast.ColumnRef:
 		if itemIdx, ok := env.a.AliasRefs[x]; ok {
 			outIdx := env.a.ItemOutIdx[itemIdx]

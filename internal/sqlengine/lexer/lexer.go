@@ -48,6 +48,8 @@ func (l *Lexer) Next() (token.Token, error) {
 		return l.stringLit(start)
 	case c == '"' || c == '`':
 		return l.quotedIdent(start, c)
+	case c == '$':
+		return l.param(start)
 	}
 	l.pos++
 	mk := func(tt token.Type, lit string) (token.Token, error) {
@@ -188,6 +190,25 @@ func (l *Lexer) stringLit(start int) (token.Token, error) {
 		l.pos++
 	}
 	return token.Token{}, token.ErrorAt(start, "unterminated string literal")
+}
+
+// param scans a $N positional placeholder. The digits after '$' are kept in
+// Lit; "$" without digits (or "$0") is a lex error so prepared-statement typos
+// surface at parse time instead of binding time.
+func (l *Lexer) param(start int) (token.Token, error) {
+	l.pos++ // '$'
+	ds := l.pos
+	for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+		l.pos++
+	}
+	lit := l.src[ds:l.pos]
+	if lit == "" {
+		return token.Token{}, token.ErrorAt(start, "expected digits after '$' in placeholder")
+	}
+	if strings.TrimLeft(lit, "0") == "" {
+		return token.Token{}, token.ErrorAt(start, "placeholder $%s: parameters are numbered from $1", lit)
+	}
+	return token.Token{Type: token.PARAM, Lit: lit, Pos: start}, nil
 }
 
 func (l *Lexer) quotedIdent(start int, quote byte) (token.Token, error) {

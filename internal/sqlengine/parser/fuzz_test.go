@@ -1,8 +1,11 @@
 package parser
 
 import (
+	"strings"
 	"testing"
 
+	"qirana/internal/sqlengine/ast"
+	"qirana/internal/value"
 	"qirana/internal/workload"
 )
 
@@ -30,6 +33,16 @@ func FuzzParse(f *testing.F) {
 	f.Add("select a from t where b is not null and c like '%\\_%' having sum(d) > 0")
 	f.Add("select 'it''s', \"quoted col\", 1.5e-3, x'ff' from t")
 	f.Add("select ((1)) from (select a from u) v where exists (select 1 from w)")
+	// Placeholder corners: prepared-statement templates flow through the
+	// same parser, and a printed placeholder must re-parse ($N is part of
+	// the printing fixpoint).
+	f.Add("select a from t where b > $1")
+	f.Add("select a from t where b = $1 and c = $2 or d in ($1, $3, 5)")
+	f.Add("select a from t where b between $1 and $2 and c like $3")
+	f.Add("select $1, a from t group by a having count(*) > $2")
+	f.Add("select a from t where b > $01 and c > $10")
+	f.Add("select a from t where b > $")  // missing digits: reject, no panic
+	f.Add("select a from t where b > $0") // $0: parameters start at $1
 
 	f.Fuzz(func(t *testing.T, sql string) {
 		stmt, err := Parse(sql)
@@ -45,4 +58,87 @@ func FuzzParse(f *testing.F) {
 			t.Fatalf("printing is not a fixpoint: %q -> %q -> %q", sql, printed, p2)
 		}
 	})
+}
+
+// FuzzPrepare is the prepared-template ground truth, checked at the
+// syntax layer where no database is needed: for any statement that
+// parses, binding parameter values into its placeholders (the prepared
+// path) and parsing the textually substituted SQL (the ad-hoc path) must
+// agree on the canonical fingerprint, the template fingerprint AND the
+// parameter key — the three identities the broker's template-keyed quote
+// cache relies on for bit-identical prepared prices.
+func FuzzPrepare(f *testing.F) {
+	f.Add("select a from t where b > $1 and c = $2", int64(5), "x")
+	f.Add("select a from t where b in ($1, $2, 9) or c like $2", int64(0), "pat%")
+	f.Add("select a from t where b between $1 and $2", int64(3), "")
+	f.Add("select a, count(*) from t where b = $1 group by a having min(c) > $2", int64(7), "g")
+	f.Add("select a from t where b > 5", int64(1), "no placeholders at all")
+
+	f.Fuzz(func(t *testing.T, sql string, n int64, s string) {
+		stmt, err := Parse(sql)
+		if err != nil {
+			return
+		}
+		tmpl, err := ast.NewTemplate(stmt)
+		if err != nil {
+			return // not templatable (marker-colliding identifiers): fails closed
+		}
+		// Bind non-negative ints and tame strings: a negative literal
+		// parses as unary minus (a different AST than Bind produces) and
+		// exotic strings may not survive SQL quoting — both are documented
+		// no-sharing cases, not bugs.
+		if n < 0 {
+			n = -(n + 1)
+		}
+		s = sanitize(s)
+		args := make([]value.Value, tmpl.NumParams)
+		for i := range args {
+			if i%2 == 0 {
+				args[i] = value.NewInt(n)
+			} else {
+				args[i] = value.NewString(s)
+			}
+		}
+		bound, err := ast.Bind(stmt, args)
+		if err != nil {
+			t.Fatalf("Bind with exact arity failed: %v", err)
+		}
+		substituted, err := Parse(bound.String())
+		if err != nil {
+			t.Fatalf("substituted SQL %q does not parse: %v", bound.String(), err)
+		}
+		if got, want := ast.Fingerprint(substituted), ast.Fingerprint(bound); got != want {
+			t.Fatalf("fingerprint mismatch:\nbound:       %q\nsubstituted: %q", want, got)
+		}
+		reTmpl, err := ast.NewTemplate(substituted)
+		if err != nil {
+			t.Fatalf("substituted SQL lost templatability: %v", err)
+		}
+		if reTmpl.Canon != tmpl.Canon {
+			t.Fatalf("template canon mismatch:\nprepared: %q\nad-hoc:   %q", tmpl.Canon, reTmpl.Canon)
+		}
+		kp, err := tmpl.ParamKey(args)
+		if err != nil {
+			t.Fatalf("prepared ParamKey: %v", err)
+		}
+		ka, err := reTmpl.ParamKey(nil)
+		if err != nil {
+			t.Fatalf("ad-hoc ParamKey: %v", err)
+		}
+		if kp != ka {
+			t.Fatalf("param key mismatch: prepared %q vs ad-hoc %q", kp, ka)
+		}
+	})
+}
+
+// sanitize maps a fuzzed string onto the printable single-quote-free
+// subset that survives SQL string quoting untouched.
+func sanitize(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		if r >= ' ' && r < 0x7f && r != '\'' && r != '\\' {
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
 }

@@ -630,6 +630,13 @@ func (p *parser) parsePrimary() (ast.Expr, error) {
 	case token.STRING:
 		p.next()
 		return &ast.Literal{Val: value.NewString(t.Lit)}, nil
+	case token.PARAM:
+		p.next()
+		idx, err := strconv.Atoi(t.Lit)
+		if err != nil || idx < 1 {
+			return nil, token.ErrorAt(t.Pos, "invalid placeholder $%s", t.Lit)
+		}
+		return &ast.Placeholder{Idx: idx}, nil
 	case token.LPAREN:
 		p.next()
 		if p.isKw("SELECT") {

@@ -31,6 +31,7 @@ const (
 	GT      // >
 	GE      // >=
 	SEMI    // ;
+	PARAM   // $1, $2, ... positional placeholder; Lit holds the digits
 )
 
 // Token is a single lexical token. Pos is the byte offset in the input.
@@ -48,6 +49,8 @@ func (t Token) String() string {
 		return t.Lit
 	case STRING:
 		return "'" + t.Lit + "'"
+	case PARAM:
+		return "$" + t.Lit
 	}
 	return t.Lit
 }

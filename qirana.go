@@ -344,16 +344,53 @@ func (b *Broker) resample(seed int64) error {
 }
 
 // Compile parses and validates a query against the broker's schema.
+// Statements with $N placeholders are rejected: they are templates, not
+// runnable queries — prepare them with Prepare and bind parameters per
+// call.
 func (b *Broker) Compile(sql string) (*exec.Query, error) {
-	return exec.Compile(sql, b.db.Schema)
+	q, err := exec.Compile(sql, b.db.Schema)
+	if err != nil {
+		return nil, err
+	}
+	if n := ast.MaxPlaceholder(q.Stmt); n > 0 {
+		return nil, fmt.Errorf("query contains placeholder $%d; prepare it with Broker.Prepare and bind parameters with Stmt.Price", n)
+	}
+	return q, nil
+}
+
+// templateSuffix renders the template-keyed identity of a single
+// constant query: the literal-stripped canonical form plus the exact
+// constant vector in site order. Prepared statements compute the same
+// suffix from their cached template, so an ad-hoc quote of a template
+// instance and a prepared quote of the same instance share one cache
+// entry (and coalesce). The bool reports whether templating succeeded;
+// on the (pathological) fallback the full-constant Fingerprint is
+// returned instead.
+func templateSuffix(stmt *ast.SelectStmt) (string, bool) {
+	if tm, err := ast.NewTemplate(stmt); err == nil {
+		if pk, err2 := tm.ParamKey(nil); err2 == nil {
+			return tm.Canon + "\x02" + pk, true
+		}
+	}
+	return ast.Fingerprint(stmt), false
 }
 
 // disKey keys a bundle's disagreement bitmap: the bitmap depends on the
 // queries, the support set and the database contents — NOT on the pricing
 // function or the weight vector, so one cached bitmap serves coverage
 // quotes, uniform-gain quotes and every buyer's history-aware purchase,
-// across weight refits.
+// across weight refits. Single queries are keyed by template ("td|",
+// canonical-form-with-'?' plus constant vector) so ad-hoc and prepared
+// paths share entries; bundles keep full-constant fingerprints ("d|").
 func (b *Broker) disKey(qs []*exec.Query) string {
+	if len(qs) == 1 {
+		suffix, templated := templateSuffix(qs[0].Stmt)
+		p := "d"
+		if templated {
+			p = "td"
+		}
+		return fmt.Sprintf("%s|%d|%d|%s", p, b.supportGen, b.maxVersion(qs), suffix)
+	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "d|%d|%d", b.supportGen, b.maxVersion(qs))
 	for _, q := range qs {
@@ -364,8 +401,17 @@ func (b *Broker) disKey(qs []*exec.Query) string {
 }
 
 // entropyKey keys a final entropy price, which additionally depends on
-// the pricing function and the weight vector (via its epoch).
+// the pricing function and the weight vector (via its epoch). Single
+// queries use template keys ("te|") like disKey.
 func (b *Broker) entropyKey(fn PricingFunc, qs []*exec.Query) string {
+	if len(qs) == 1 {
+		suffix, templated := templateSuffix(qs[0].Stmt)
+		p := "e"
+		if templated {
+			p = "te"
+		}
+		return fmt.Sprintf("%s|%d|%d|%d|%d|%s", p, int(fn), b.engine.WeightsEpoch(), b.supportGen, b.maxVersion(qs), suffix)
+	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "e|%d|%d|%d|%d", int(fn), b.engine.WeightsEpoch(), b.supportGen, b.maxVersion(qs))
 	for _, q := range qs {
@@ -381,10 +427,21 @@ func (b *Broker) entropyKey(fn PricingFunc, qs []*exec.Query) string {
 func (b *Broker) maxVersion(qs []*exec.Query) uint64 {
 	var v uint64
 	for _, q := range qs {
-		for _, rel := range ast.ReferencedTables(q.Stmt) {
-			if t := b.db.Table(rel); t != nil && t.Version() > v {
-				v = t.Version()
-			}
+		if w := b.maxVersionTables(ast.ReferencedTables(q.Stmt)); w > v {
+			v = w
+		}
+	}
+	return v
+}
+
+// maxVersionTables is maxVersion over a precomputed relation list — the
+// prepared-statement fast path, whose referenced tables never change
+// across bindings.
+func (b *Broker) maxVersionTables(tables []string) uint64 {
+	var v uint64
+	for _, rel := range tables {
+		if t := b.db.Table(rel); t != nil && t.Version() > v {
+			v = t.Version()
 		}
 	}
 	return v
@@ -424,10 +481,12 @@ type priceEntry struct {
 }
 
 // disagreements returns the bundle's full (history-oblivious)
-// disagreement bitmap, from the cache when possible (the bool reports
-// provenance). Callers hold mu.RLock.
-func (b *Broker) disagreements(ctx context.Context, qs []*exec.Query) (disEntry, bool, error) {
-	v, cached, err := b.cached(ctx, b.disKey(qs), func() (any, error) {
+// disagreement bitmap under the given cache key, from the cache when
+// possible (the bool reports provenance). Callers hold mu.RLock and
+// compute key with disKey (or a prepared statement's precomputed
+// template key, which is identical by construction).
+func (b *Broker) disagreements(ctx context.Context, qs []*exec.Query, key string) (disEntry, bool, error) {
+	v, cached, err := b.cached(ctx, key, func() (any, error) {
 		b.engineMu.Lock()
 		defer b.engineMu.Unlock()
 		b.refreshEngineLocked()
@@ -445,9 +504,10 @@ func (b *Broker) disagreements(ctx context.Context, qs []*exec.Query) (disEntry,
 
 // entropyPrice returns the bundle's price under an entropy pricing
 // function, from the cache when possible (the bool reports provenance).
-// Callers hold mu.RLock.
-func (b *Broker) entropyPrice(ctx context.Context, fn PricingFunc, qs []*exec.Query) (priceEntry, bool, error) {
-	v, cached, err := b.cached(ctx, b.entropyKey(fn, qs), func() (any, error) {
+// Callers hold mu.RLock; key comes from entropyKey or a prepared
+// statement's precomputed equivalent.
+func (b *Broker) entropyPrice(ctx context.Context, fn PricingFunc, qs []*exec.Query, key string) (priceEntry, bool, error) {
+	v, cached, err := b.cached(ctx, key, func() (any, error) {
 		b.engineMu.Lock()
 		defer b.engineMu.Unlock()
 		b.refreshEngineLocked()
@@ -489,9 +549,22 @@ func (b *Broker) setLastStats(s pricing.Stats) {
 // the computation and whether it was served from the cache. Callers hold
 // mu.RLock.
 func (b *Broker) quoteLocked(ctx context.Context, fn PricingFunc, qs []*exec.Query) (float64, Stats, bool, error) {
+	return b.quoteKeyedLocked(ctx, fn, qs, func() string {
+		if fn == WeightedCoverage || fn == UniformEntropyGain {
+			return b.disKey(qs)
+		}
+		return b.entropyKey(fn, qs)
+	})
+}
+
+// quoteKeyedLocked is quoteLocked with the cache key supplied by the
+// caller (computed lazily — only the branch that needs it pays for it).
+// The prepared-statement fast path enters here with precomputed template
+// keys, skipping every per-call canonical render. Callers hold mu.RLock.
+func (b *Broker) quoteKeyedLocked(ctx context.Context, fn PricingFunc, qs []*exec.Query, key func() string) (float64, Stats, bool, error) {
 	switch fn {
 	case WeightedCoverage, UniformEntropyGain:
-		ent, cached, err := b.disagreements(ctx, qs)
+		ent, cached, err := b.disagreements(ctx, qs, key())
 		if err != nil {
 			return 0, Stats{}, false, err
 		}
@@ -502,7 +575,7 @@ func (b *Broker) quoteLocked(ctx context.Context, fn PricingFunc, qs []*exec.Que
 		p, err := b.engine.PriceFromDisagreements(fn, ent.dis)
 		return p, ent.stats, cached, err
 	case ShannonEntropy, QEntropy:
-		ent, cached, err := b.entropyPrice(ctx, fn, qs)
+		ent, cached, err := b.entropyPrice(ctx, fn, qs, key())
 		if err != nil {
 			return 0, Stats{}, false, err
 		}
