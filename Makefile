@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench json-bench vet lint-dup fuzz crash bench-compare throughput serve
+.PHONY: all build test race bench json-bench vet lint-dup fuzz crash bench-compare throughput serve cluster
 
 all: build vet test
 
@@ -48,11 +48,13 @@ fuzz:
 # Fault-injection suite under the race detector: the crash matrix
 # kills-and-recovers the durable broker at every ledger/snapshot
 # failpoint and every torn-write offset, asserting the recovered broker
-# is bit-identical to a never-crashed twin (DESIGN.md §9).
+# is bit-identical to a never-crashed twin (DESIGN.md §9), and the
+# cluster torture kills the leader mid-purchase at every ledger
+# failpoint and fails over to the WAL-tailing standby (DESIGN.md §12).
 crash:
 	$(GO) test -race -count=1 \
-		-run 'Crash|Torn|Truncat|Durab|Recover|Ledger|Snapshot' \
-		. ./internal/durable ./cmd/qiranad
+		-run 'Crash|Torn|Truncat|Durab|Recover|Ledger|Snapshot|Cluster' \
+		. ./internal/durable ./internal/httpapi
 	$(GO) test -race -count=1 ./internal/failpoint
 
 # Re-run the pricing benchmarks at a reduced scale and compare against the
@@ -74,3 +76,11 @@ throughput:
 # See README "Running qiranad" for the endpoint surface and curl examples.
 serve:
 	$(GO) run ./cmd/qiranad -dataset world -price 100 -support 1000 -addr localhost:8080
+
+# Start a demo cluster in one process: a durable fan-out router on :8090
+# over 3 in-process shard workers, plus a read-only standby mirror on
+# :8091 tailing the router's ledger. See README "Running a cluster".
+CLUSTER_DATA ?= /tmp/qirana-cluster
+cluster:
+	$(GO) run ./cmd/qirouter -cluster 3 -dataset world -price 100 -support 1000 \
+		-data $(CLUSTER_DATA) -addr localhost:8090 -standby-addr localhost:8091

@@ -193,6 +193,9 @@ func (b *Broker) Purchase(ctx context.Context, req PurchaseRequest) (rec *Receip
 // with a bound query and a precomputed template key). Callers hold
 // mu.RLock; q must be placeholder-free.
 func (b *Broker) purchaseLocked(ctx context.Context, req PurchaseRequest, q *exec.Query, disK string) (rec *Receipt, err error) {
+	if b.readOnly {
+		return nil, ErrReadOnly
+	}
 	res, err := q.Run(b.db)
 	if err != nil {
 		return nil, err
@@ -261,7 +264,17 @@ func (b *Broker) priceBatchLocked(ctx context.Context, fn PricingFunc, qs []*exe
 	case WeightedCoverage, UniformEntropyGain:
 		entries, cached, err := batchEntries(ctx, b, qs, b.disKey,
 			func(ctx context.Context, miss []*exec.Query) ([]disEntry, error) {
-				res, stats, err := b.engine.DisagreementsMultiCtx(ctx, miss)
+				var res [][]bool
+				var stats []Stats
+				var err error
+				if rs := b.sweeper; rs != nil {
+					res, stats, err = rs.SweepBits(ctx, sqlsOf(miss), false, b.supportGen)
+				} else {
+					b.engineMu.Lock()
+					b.refreshEngineLocked()
+					res, stats, err = b.engine.DisagreementsMultiCtx(ctx, miss)
+					b.engineMu.Unlock()
+				}
 				if err != nil {
 					return nil, err
 				}
@@ -293,7 +306,25 @@ func (b *Broker) priceBatchLocked(ctx context.Context, fn PricingFunc, qs []*exe
 		entries, cached, err := batchEntries(ctx, b, qs,
 			func(qs []*exec.Query) string { return b.entropyKey(fn, qs) },
 			func(ctx context.Context, miss []*exec.Query) ([]priceEntry, error) {
+				if rs := b.sweeper; rs != nil {
+					elems, stats, err := rs.SweepHashes(ctx, sqlsOf(miss), false, b.supportGen)
+					if err != nil {
+						return nil, err
+					}
+					out := make([]priceEntry, len(miss))
+					for x := range miss {
+						p, err := b.engine.EntropyPriceFromHashes(fn, elems[x])
+						if err != nil {
+							return nil, err
+						}
+						out[x] = priceEntry{price: p, stats: stats[x]}
+					}
+					return out, nil
+				}
+				b.engineMu.Lock()
+				b.refreshEngineLocked()
 				elems, bases, err := b.engine.OutputHashesMultiCtx(ctx, miss)
+				b.engineMu.Unlock()
 				if err != nil {
 					return nil, err
 				}

@@ -1,0 +1,315 @@
+package qirana
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"qirana/internal/durable"
+	"qirana/internal/obs"
+	"qirana/internal/pricing"
+	"qirana/internal/sqlengine/exec"
+)
+
+// This file is the broker's cluster surface: the shard-side sweep slice
+// protocol plus the router-side RemoteSweeper hook.
+//
+// Sharded pricing splits ONE support-set sweep across N workers, each
+// walking a contiguous slice [Lo, Hi) of the global element index. The
+// design invariant is bit-identity: shards never sum floats. They return
+// per-element raw material — disagreement bits or output hashes — for
+// their slice only, and the router concatenates the slices in shard
+// order (which IS global index order) and runs the exact single-node
+// fold (PriceFromDisagreements / EntropyPriceFromHashes) over the
+// reassembled vector. Every per-element decision is mask-independent
+// (the same property history-aware pricing already relies on), so the
+// concatenation is bit-for-bit the vector a local sweep would produce,
+// and the price, the charge and the Stats follow.
+//
+// Stats fold by addition: every counter is per-element and masked
+// elements contribute nothing, so disjoint covering slices sum exactly
+// to one full sweep's Stats.
+
+// ErrShardUnavailable marks a sweep that failed because a shard was
+// unreachable, timed out, or answered 5xx. It is retryable: the HTTP
+// layer maps it to 503 + Retry-After, same as ErrDurability.
+var ErrShardUnavailable = errors.New("shard unavailable")
+
+// ErrReadOnly is returned by state mutations (purchases, weight refits,
+// checkpoints) on a read-only broker — the serving mode of shard workers
+// and un-promoted standbys, which must never fork the cluster's buyer
+// ledger. It is retryable against the cluster (the router or promoted
+// leader accepts the write), so the HTTP layer maps it to 503.
+var ErrReadOnly = errors.New("broker is read-only")
+
+// ErrSupportMismatch marks a sweep request whose support-set generation
+// or content checksum disagrees with the shard's. Prices folded across
+// mismatched sets would be garbage, so the shard refuses; the operator
+// rebuilds the cluster from one saved support set.
+var ErrSupportMismatch = errors.New("support set mismatch")
+
+// RemoteSweeper replaces the broker's local cold sweep with a remote
+// fan-out. Implementations (internal/shard.Fanout) partition [0, |S|)
+// across shards, collect SweepSliceResponses, and reassemble the
+// per-element vectors in global index order.
+//
+// Both methods take the bundle flag: true prices sqls as ONE bundle
+// (one output vector), false sweeps each query independently (one
+// vector per query, still in one shared pass). supportGen is the
+// caller's support-set generation, forwarded so a stale router and a
+// resampled shard can never silently mix sets.
+type RemoteSweeper interface {
+	// SweepBits returns the full-length disagreement bitmap(s): one per
+	// query, or exactly one in bundle mode. Stats align with the outer
+	// slice.
+	SweepBits(ctx context.Context, sqls []string, bundle bool, supportGen uint64) ([][]bool, []Stats, error)
+	// SweepHashes returns the full-length per-element output-hash
+	// vector(s) for the entropy pricing functions, shaped like SweepBits.
+	SweepHashes(ctx context.Context, sqls []string, bundle bool, supportGen uint64) ([][]uint64, []Stats, error)
+}
+
+// SetRemoteSweeper installs (or, with nil, removes) the broker's remote
+// sweep fan-out. With a sweeper installed the broker becomes a router:
+// cold quotes and purchase sweeps fan out to shards while cache keys,
+// purchase folds, the ledger and served prices are unchanged. If the
+// sweeper can carry metrics (AttachObs), it is wired into the broker's
+// registry so fan-out counters and latencies surface in Metrics().
+func (b *Broker) SetRemoteSweeper(rs RemoteSweeper) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.sweeper = rs
+	if a, ok := rs.(interface{ AttachObs(*obs.Registry) }); ok && rs != nil {
+		a.AttachObs(b.obs)
+	}
+}
+
+// SetReadOnly flips the broker's read-only mode (see ErrReadOnly).
+func (b *Broker) SetReadOnly(on bool) {
+	b.mu.Lock()
+	b.readOnly = on
+	b.mu.Unlock()
+}
+
+// SupportGen returns the support set's generation counter (bumped by
+// every resample). Cluster nodes compare it before folding sweeps.
+func (b *Broker) SupportGen() uint64 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.supportGen
+}
+
+// SupportChecksum returns the support set's content checksum. Two
+// brokers with equal checksums price against element-for-element
+// identical support sets.
+func (b *Broker) SupportChecksum() uint64 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.supportSum
+}
+
+// SweepSliceRequest asks a shard to sweep its slice [Lo, Hi) of the
+// support set for one bundle or batch of queries.
+type SweepSliceRequest struct {
+	// SQLs are the queries to sweep. At least one is required.
+	SQLs []string `json:"sqls"`
+	// Bundle sweeps all SQLs as one bundle (one output vector); false
+	// sweeps each independently.
+	Bundle bool `json:"bundle"`
+	// Hashes selects output-hash vectors (entropy pricing) instead of
+	// disagreement bitmaps.
+	Hashes bool `json:"hashes"`
+	// Lo and Hi bound the slice in global element indexes: [Lo, Hi).
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+	// SupportGen and SupportSum identify the support set the caller
+	// prices against; the shard refuses on any mismatch.
+	SupportGen uint64 `json:"support_gen"`
+	SupportSum uint64 `json:"support_sum"`
+}
+
+// SweepSliceResponse carries one shard's slice of the sweep. Bits and
+// Hashes cover ONLY [Lo, Hi), in global index order; the router drops
+// them into the full vector at offset Lo.
+type SweepSliceResponse struct {
+	SupportGen uint64 `json:"support_gen"`
+	Lo         int    `json:"lo"`
+	Hi         int    `json:"hi"`
+	// Bits holds Hi-Lo disagreement bits per entry, packed LSB-first
+	// (durable.PackBits layout); one entry per query, or one for the
+	// bundle. Empty when Hashes was requested.
+	Bits [][]byte `json:"bits,omitempty"`
+	// Hashes holds Hi-Lo per-element output hashes per entry. uint64
+	// survives the JSON round-trip exactly: encoding/json emits the
+	// integer digits and decodes them straight into the uint64 field.
+	Hashes [][]uint64 `json:"hashes,omitempty"`
+	// Stats aligns with Bits/Hashes: this slice's share of the sweep
+	// stats (summing all shards' reproduces the single-node Stats).
+	Stats []Stats `json:"stats"`
+	// Rows is how many support elements this call actually swept. Warm
+	// slices (shard-local cache hits) report 0.
+	Rows int `json:"rows"`
+}
+
+// sliceBitsEntry is one query's cached slice sweep: the packed bits of
+// [lo, hi) plus that slice's share of the Stats.
+type sliceBitsEntry struct {
+	packed []byte
+	stats  pricing.Stats
+}
+
+// sliceHashEntry is the entropy-side equivalent of sliceBitsEntry.
+type sliceHashEntry struct {
+	hashes []uint64
+	stats  pricing.Stats
+}
+
+// SweepSlice serves one shard sweep: it walks ONLY the elements in
+// [req.Lo, req.Hi) (the rest are masked out exactly like history-aware
+// pricing masks owned elements) and returns the slice's bits or hashes.
+// Slices are cached in the shard's quote cache under keys that embed
+// the slice bounds and the same generation/version discipline as local
+// quote keys, so repeated router misses for the same query cost zero
+// rows (Rows reports the true number swept).
+func (b *Broker) SweepSlice(ctx context.Context, req SweepSliceRequest) (*SweepSliceResponse, error) {
+	b.obs.Add("shard_sweep_requests", 1)
+	defer b.obs.Timer("shard_sweep")()
+	if len(req.SQLs) == 0 {
+		return nil, fmt.Errorf("sweep request carries no queries")
+	}
+	qs, err := b.compileAll(req.SQLs)
+	if err != nil {
+		return nil, err
+	}
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if req.SupportGen != b.supportGen || req.SupportSum != b.supportSum {
+		return nil, fmt.Errorf("%w: request prices gen=%d sum=%016x, shard holds gen=%d sum=%016x",
+			ErrSupportMismatch, req.SupportGen, req.SupportSum, b.supportGen, b.supportSum)
+	}
+	size := b.engine.Set.Size()
+	if req.Lo < 0 || req.Hi < req.Lo || req.Hi > size {
+		return nil, fmt.Errorf("sweep slice [%d, %d) out of range for support set of size %d", req.Lo, req.Hi, size)
+	}
+	live := make([]bool, size)
+	for i := req.Lo; i < req.Hi; i++ {
+		live[i] = true
+	}
+	resp := &SweepSliceResponse{SupportGen: b.supportGen, Lo: req.Lo, Hi: req.Hi}
+	width := req.Hi - req.Lo
+	// rows counts elements swept by THIS call: the counters live inside
+	// the compute closures, which cache hits and coalesced flights skip.
+	rows := 0
+	switch {
+	case req.Hashes && req.Bundle:
+		key := fmt.Sprintf("sh|b|%d,%d|%s", req.Lo, req.Hi, b.disKey(qs))
+		v, _, err := b.cached(ctx, key, func() (any, error) {
+			b.engineMu.Lock()
+			defer b.engineMu.Unlock()
+			b.refreshEngineLocked()
+			b.engine.LastStats = pricing.Stats{}
+			elems, _, err := b.engine.OutputHashesLiveCtx(ctx, qs, live)
+			if err != nil {
+				return nil, err
+			}
+			rows += width
+			b.obs.Add("shard_rows_swept", uint64(width))
+			return sliceHashEntry{hashes: append([]uint64(nil), elems[req.Lo:req.Hi]...), stats: b.engine.LastStats}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		ent := v.(sliceHashEntry)
+		resp.Hashes = [][]uint64{ent.hashes}
+		resp.Stats = []Stats{ent.stats}
+
+	case req.Hashes:
+		entries, _, err := batchEntries(ctx, b, qs,
+			func(qs []*exec.Query) string {
+				return fmt.Sprintf("sh|m|%d,%d|%s", req.Lo, req.Hi, b.disKey(qs))
+			},
+			func(ctx context.Context, miss []*exec.Query) ([]sliceHashEntry, error) {
+				b.engineMu.Lock()
+				b.refreshEngineLocked()
+				elems, _, err := b.engine.OutputHashesMultiLiveCtx(ctx, miss, live)
+				b.engineMu.Unlock()
+				if err != nil {
+					return nil, err
+				}
+				rows += width * len(miss)
+				b.obs.Add("shard_rows_swept", uint64(width*len(miss)))
+				out := make([]sliceHashEntry, len(miss))
+				for x := range miss {
+					out[x] = sliceHashEntry{
+						hashes: append([]uint64(nil), elems[x][req.Lo:req.Hi]...),
+						// The single-node batch path reports Naive=|S| per
+						// query; this slice's share is its width.
+						stats: pricing.Stats{Naive: width},
+					}
+				}
+				return out, nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		resp.Hashes = make([][]uint64, len(qs))
+		resp.Stats = make([]Stats, len(qs))
+		for j, ent := range entries {
+			resp.Hashes[j] = ent.hashes
+			resp.Stats[j] = ent.stats
+		}
+
+	case req.Bundle:
+		key := fmt.Sprintf("ss|b|%d,%d|%s", req.Lo, req.Hi, b.disKey(qs))
+		v, _, err := b.cached(ctx, key, func() (any, error) {
+			b.engineMu.Lock()
+			defer b.engineMu.Unlock()
+			b.refreshEngineLocked()
+			dis, err := b.engine.DisagreementsCtx(ctx, qs, live)
+			if err != nil {
+				return nil, err
+			}
+			rows += width
+			b.obs.Add("shard_rows_swept", uint64(width))
+			return sliceBitsEntry{packed: durable.PackBits(dis[req.Lo:req.Hi]), stats: b.engine.LastStats}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		ent := v.(sliceBitsEntry)
+		resp.Bits = [][]byte{ent.packed}
+		resp.Stats = []Stats{ent.stats}
+
+	default:
+		entries, _, err := batchEntries(ctx, b, qs,
+			func(qs []*exec.Query) string {
+				return fmt.Sprintf("ss|m|%d,%d|%s", req.Lo, req.Hi, b.disKey(qs))
+			},
+			func(ctx context.Context, miss []*exec.Query) ([]sliceBitsEntry, error) {
+				b.engineMu.Lock()
+				b.refreshEngineLocked()
+				res, stats, err := b.engine.DisagreementsMultiLiveCtx(ctx, miss, live)
+				b.engineMu.Unlock()
+				if err != nil {
+					return nil, err
+				}
+				rows += width * len(miss)
+				b.obs.Add("shard_rows_swept", uint64(width*len(miss)))
+				out := make([]sliceBitsEntry, len(miss))
+				for x := range miss {
+					out[x] = sliceBitsEntry{packed: durable.PackBits(res[x][req.Lo:req.Hi]), stats: stats[x]}
+				}
+				return out, nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		resp.Bits = make([][]byte, len(qs))
+		resp.Stats = make([]Stats, len(qs))
+		for j, ent := range entries {
+			resp.Bits[j] = ent.packed
+			resp.Stats[j] = ent.stats
+		}
+	}
+	resp.Rows = rows
+	return resp, nil
+}

@@ -35,6 +35,7 @@ import (
 	"qirana"
 	"qirana/internal/datagen"
 	"qirana/internal/pricing"
+	"qirana/internal/shard"
 	"qirana/internal/sqlengine/exec"
 	"qirana/internal/storage"
 	"qirana/internal/support"
@@ -107,7 +108,7 @@ func (r *runner) measure(group, name string, workers int, op func() error) {
 func main() {
 	var (
 		out      = flag.String("out", "BENCH_pricing.json", "output JSON path")
-		groups   = flag.String("groups", "fig4d,fig5a,fig5b,quote,delta-tiers,templates", "comma-separated benchmark groups")
+		groups   = flag.String("groups", "fig4d,fig5a,fig5b,quote,delta-tiers,templates,cluster", "comma-separated benchmark groups")
 		workersF = flag.String("workers", "1,numcpu", "comma-separated worker counts ('numcpu' allowed)")
 		supportN = flag.Int("support", 500, "support set size for the Fig 5 fixtures")
 		ssbSF    = flag.Float64("ssb-sf", 0.002, "SSB scale factor")
@@ -125,7 +126,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	known := []string{"fig4d", "fig5a", "fig5b", "quote", "delta-tiers", "templates"}
+	known := []string{"fig4d", "fig5a", "fig5b", "quote", "delta-tiers", "templates", "cluster"}
 	want := map[string]bool{}
 	for _, g := range strings.Split(*groups, ",") {
 		g = strings.TrimSpace(g)
@@ -187,6 +188,9 @@ func main() {
 	}
 	if want["templates"] {
 		templatesGroup(r, *seed, *supportN)
+	}
+	if want["cluster"] {
+		clusterGroup(r, *seed, *supportN)
 	}
 
 	rep := report{
@@ -635,4 +639,41 @@ func parseWorkers(s string) ([]int, error) {
 	}
 	sort.Ints(out)
 	return out, nil
+}
+
+// clusterGroup measures cold-quote throughput against an in-process
+// shard cluster at 1, 2 and 3 shards: every quote is a fresh SQL, so
+// each op is a full fan-out + sweep + merge. The "workers" column
+// reports the shard count. After each size the per-shard rows-swept
+// counters are printed — with N shards each worker sweeps |S|/N of
+// every cold quote, which is the whole point.
+func clusterGroup(r *runner, seed int64, supportN int) {
+	db := datagen.World(seed)
+	var uniqueN atomic.Int64
+	unique := func() string {
+		return fmt.Sprintf("SELECT Name FROM Country WHERE Population > %d", uniqueN.Add(1)*1000)
+	}
+	for _, n := range []int{1, 2, 3} {
+		opt := qirana.Options{SupportSetSize: supportN, Seed: seed}
+		routed, err := qirana.NewBroker(db, 100, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cl, err := shard.AttachLocal(routed, db, n, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		r.measure("cluster", fmt.Sprintf("cold-quote/shards=%d", n), n, func() error {
+			_, err := routed.Quote(unique())
+			return err
+		})
+		for i, b := range cl.Brokers {
+			m := b.Metrics()
+			fmt.Printf("         shard %d/%d: %d rows swept over %d sweep RPCs\n",
+				i+1, n, m.Counters["shard_rows_swept"], m.Counters["shard_sweep_requests"])
+		}
+		cl.Close()
+	}
 }

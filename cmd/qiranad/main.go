@@ -7,6 +7,7 @@
 //	POST /ask          {"buyer": "alice", "sql": "..."}       buy: answer + charge
 //	GET  /stats        broker counters (pricing stats, quote cache)
 //	GET  /metrics      request counters + latency percentiles (p50/p95/p99)
+//	GET  /healthz      liveness + support-set identity
 //	GET  /debug/vars   expvar, including the live metrics registry
 //	GET  /debug/pprof  runtime profiling
 //
@@ -22,6 +23,19 @@
 // -data directory recovers identical prices and balances — even after
 // SIGKILL. Clean shutdown checkpoints the ledger into a snapshot so the
 // next start replays nothing.
+//
+// Cluster modes (see qirouter for the fan-out front):
+//
+//	-shard      serve as a read-only shard worker: mounts POST
+//	            /shard/sweep and GET /shard/info next to the quoting
+//	            endpoints; purchases are refused (503) — they belong on
+//	            the router, which owns the ledger.
+//	-standby -data DIR
+//	            hot standby: tail the leader's state directory (snapshot
+//	            + write-ahead ledger) into a read-only twin, probe the
+//	            leader's /healthz (-leader), and after -failover-after
+//	            consecutive probe failures promote — re-open the
+//	            directory through crash recovery and serve writable.
 package main
 
 import (
@@ -32,10 +46,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"qirana"
+	"qirana/internal/httpapi"
+	"qirana/internal/shard"
 )
 
 func main() {
@@ -51,40 +68,79 @@ func main() {
 		dataDir = flag.String("data", "", "durable state directory (write-ahead ledger + snapshots); reuse it across restarts to keep buyer balances")
 		timeout = flag.Duration("timeout", 30*time.Second, "per-request pricing timeout (0 = none)")
 		drain   = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+
+		shardMode = flag.Bool("shard", false, "serve as a read-only shard worker (/shard/sweep, /shard/info)")
+		standby   = flag.Bool("standby", false, "serve as a hot standby tailing -data; requires -leader")
+		leaderURL = flag.String("leader", "", "leader base URL the standby probes (e.g. http://localhost:8080)")
+		probeIv   = flag.Duration("probe-interval", time.Second, "standby: leader probe and WAL tail interval")
+		failAfter = flag.Int("failover-after", 3, "standby: consecutive failed probes before promoting")
 	)
 	flag.Parse()
-	if err := run(*addr, *dataset, *price, *size, *scale, *seed, *workers, *load, *dataDir, *timeout, *drain); err != nil {
+	cfg := config{
+		addr: *addr, dataset: *dataset, price: *price, size: *size, scale: *scale,
+		seed: *seed, workers: *workers, load: *load, dataDir: *dataDir,
+		timeout: *timeout, drain: *drain,
+		shard: *shardMode, standby: *standby, leaderURL: *leaderURL,
+		probeInterval: *probeIv, failoverAfter: *failAfter,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 }
 
-func run(addr, dataset string, price float64, size int, scale float64, seed int64, workers int, load, dataDir string, timeout, drain time.Duration) error {
-	db, err := qirana.LoadDataset(dataset, seed, scale)
+type config struct {
+	addr, dataset  string
+	price          float64
+	size           int
+	scale          float64
+	seed           int64
+	workers        int
+	load, dataDir  string
+	timeout, drain time.Duration
+	shard, standby bool
+	leaderURL      string
+	probeInterval  time.Duration
+	failoverAfter  int
+}
+
+func run(cfg config) error {
+	db, err := qirana.LoadDataset(cfg.dataset, cfg.seed, cfg.scale)
 	if err != nil {
 		return err
 	}
+	if cfg.standby {
+		return runStandby(cfg, db)
+	}
 	var broker *qirana.Broker
+	opts := qirana.Options{SupportSetSize: cfg.size, Seed: cfg.seed, Workers: cfg.workers}
 	switch {
-	case dataDir != "" && load != "":
+	case cfg.dataDir != "" && cfg.load != "":
 		return errors.New("-data and -load are mutually exclusive: a durable broker persists its own support set in the data directory")
-	case dataDir != "":
-		broker, err = qirana.OpenBroker(dataDir, db, price, qirana.Options{SupportSetSize: size, Seed: seed, Workers: workers})
-	case load != "":
-		f, ferr := os.Open(load)
+	case cfg.shard && cfg.dataDir != "":
+		return errors.New("-shard excludes -data: shard workers are read-only; the router owns the purchase ledger")
+	case cfg.dataDir != "":
+		broker, err = qirana.OpenBroker(cfg.dataDir, db, cfg.price, opts)
+	case cfg.load != "":
+		f, ferr := os.Open(cfg.load)
 		if ferr != nil {
 			return ferr
 		}
-		broker, err = qirana.NewBrokerFromSupport(db, price, f, qirana.Options{Workers: workers})
+		broker, err = qirana.NewBrokerFromSupport(db, cfg.price, f, qirana.Options{Workers: cfg.workers})
 		f.Close()
 	default:
-		broker, err = qirana.NewBroker(db, price, qirana.Options{SupportSetSize: size, Seed: seed, Workers: workers})
+		broker, err = qirana.NewBroker(db, cfg.price, opts)
 	}
 	if err != nil {
 		return err
 	}
-	fmt.Printf("qiranad: %s (%d tuples), support %d, price %g, serving on http://%s\n",
-		dataset, db.TotalRows(), broker.SupportSetSize(), price, addr)
+	role := "serving"
+	if cfg.shard {
+		broker.SetReadOnly(true)
+		role = "shard worker"
+	}
+	fmt.Printf("qiranad: %s (%d tuples), support %d, price %g, %s on http://%s\n",
+		cfg.dataset, db.TotalRows(), broker.SupportSetSize(), cfg.price, role, cfg.addr)
 	if info := broker.Durability(); info.Enabled {
 		note := ""
 		if info.TruncatedTail {
@@ -94,7 +150,88 @@ func run(addr, dataset string, price float64, size int, scale float64, seed int6
 			info.Dir, info.SnapshotSeq, info.ReplayedRecords, note)
 	}
 
-	srv := &http.Server{Addr: addr, Handler: newMux(broker, timeout)}
+	api := httpapi.New(broker, cfg.timeout)
+	if cfg.shard {
+		shard.Register(api.Mux(), broker)
+	}
+	return serve(cfg, api, func() error { return broker.Close() })
+}
+
+// runStandby tails the leader's state directory into a read-only twin
+// and promotes after failoverAfter consecutive failed /healthz probes.
+// The serving broker is swapped atomically: requests before promotion
+// see the read-only twin (quotes work, purchases 503), requests after
+// see the recovered writable leader.
+func runStandby(cfg config, db *qirana.Database) error {
+	if cfg.dataDir == "" || cfg.leaderURL == "" {
+		return errors.New("-standby requires -data (the leader's state directory) and -leader (its base URL)")
+	}
+	opts := qirana.Options{SupportSetSize: cfg.size, Seed: cfg.seed, Workers: cfg.workers}
+	follower, err := qirana.OpenFollower(cfg.dataDir, db, opts)
+	if err != nil {
+		return err
+	}
+	var current atomic.Pointer[qirana.Broker]
+	current.Store(follower.Broker())
+	api := httpapi.NewDynamic(func() *qirana.Broker { return current.Load() }, cfg.timeout)
+
+	fmt.Printf("qiranad: standby tailing %s, probing %s every %s (failover after %d misses), serving on http://%s\n",
+		cfg.dataDir, cfg.leaderURL, cfg.probeInterval, cfg.failoverAfter, cfg.addr)
+
+	stopTail := make(chan struct{})
+	go func() {
+		misses := 0
+		ticker := time.NewTicker(cfg.probeInterval)
+		defer ticker.Stop()
+		client := &http.Client{Timeout: cfg.probeInterval}
+		for {
+			select {
+			case <-stopTail:
+				return
+			case <-ticker.C:
+			}
+			if err := follower.Refresh(); err != nil {
+				fmt.Fprintf(os.Stderr, "qiranad: standby refresh: %v\n", err)
+			} else {
+				current.Store(follower.Broker())
+			}
+			resp, err := client.Get(cfg.leaderURL + "/healthz")
+			if err == nil {
+				resp.Body.Close()
+			}
+			if err == nil && resp.StatusCode == http.StatusOK {
+				misses = 0
+				continue
+			}
+			misses++
+			fmt.Fprintf(os.Stderr, "qiranad: leader probe failed (%d/%d)\n", misses, cfg.failoverAfter)
+			if misses < cfg.failoverAfter {
+				continue
+			}
+			b, perr := follower.Promote()
+			if perr != nil {
+				fmt.Fprintf(os.Stderr, "qiranad: promote failed: %v\n", perr)
+				return
+			}
+			current.Store(b)
+			fmt.Println("qiranad: promoted to leader; purchases enabled")
+			return
+		}
+	}()
+	return serve(cfg, api, func() error {
+		close(stopTail)
+		// Only a promoted standby owns durable state worth closing.
+		if follower.Promoted() {
+			return current.Load().Close()
+		}
+		return nil
+	})
+}
+
+// serve runs the HTTP server with the shared graceful-drain protocol,
+// then invokes shutdown (broker close / tail stop).
+func serve(cfg config, handler http.Handler, shutdown func() error) error {
+	srv := &http.Server{Addr: cfg.addr, Handler: handler}
 
 	// Graceful drain: on SIGINT/SIGTERM stop accepting, let in-flight
 	// pricing requests finish (bounded by the drain window — their own
@@ -110,7 +247,7 @@ func run(addr, dataset string, price float64, size int, scale float64, seed int6
 	}
 	stop()
 	fmt.Println("qiranad: draining")
-	dctx, cancel := context.WithTimeout(context.Background(), drain)
+	dctx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 	defer cancel()
 	if err := srv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err
@@ -118,7 +255,7 @@ func run(addr, dataset string, price float64, size int, scale float64, seed int6
 	<-errc // ListenAndServe's http.ErrServerClosed
 	// Drained: checkpoint the ledger into a snapshot and release the data
 	// directory, so the next start replays nothing.
-	if err := broker.Close(); err != nil {
+	if err := shutdown(); err != nil {
 		return fmt.Errorf("close broker: %w", err)
 	}
 	return nil

@@ -1,0 +1,203 @@
+// Command qirouter fronts a shard cluster: it serves the same JSON
+// pricing API as qiranad (/quote, /quote/batch, /ask, /prepare, /stats,
+// /metrics, /healthz) but fans every cold support-set sweep out to N
+// shard workers, each sweeping only its contiguous slice of the support
+// set. Slices are reassembled in global element order and every price
+// folds on the router through the unmodified single-node code, so a
+// clustered price — and its Stats — is bit-identical to a single
+// node's. The router owns all mutable state: the purchase ledger (with
+// -data, durable exactly like qiranad), buyer histories and weights;
+// shards are read-only.
+//
+// Connecting to real workers (started with qiranad -shard):
+//
+//	qiranad -shard -addr :8081 -dataset world -seed 1 -support 999 &
+//	qiranad -shard -addr :8082 -dataset world -seed 1 -support 999 &
+//	qirouter -shards http://localhost:8081,http://localhost:8082 \
+//	         -dataset world -seed 1 -support 999
+//
+// Every node must price the SAME support set: same -dataset, -seed and
+// -support (generation is deterministic), or the same -load file. The
+// handshake verifies the set's generation, checksum and size and
+// refuses to start on any mismatch; a mid-flight mismatch (a restarted,
+// resampled shard) turns into 409s, never a silently wrong price.
+//
+// Demo mode: -cluster N spins N in-process shard workers over the
+// router's own support set — `make cluster` uses it, optionally with an
+// in-process read-only standby mirror (-standby-addr) tailing the
+// router's -data directory.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"qirana"
+	"qirana/internal/httpapi"
+	"qirana/internal/shard"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "localhost:8090", "listen address")
+		shards   = flag.String("shards", "", "comma-separated shard base URLs (e.g. http://host:8081,http://host:8082)")
+		cluster  = flag.Int("cluster", 0, "demo mode: spin N in-process shard workers instead of -shards")
+		dataset  = flag.String("dataset", "world", "dataset: world, carcrash, dblp, tpch, ssb")
+		price    = flag.Float64("price", 100, "price of the full dataset")
+		size     = flag.Int("support", 1000, "support set size")
+		scale    = flag.Float64("scale", 0, "dataset scale (0 = small default)")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		workers  = flag.Int("workers", 0, "parallel pricing workers per shard (demo mode)")
+		load     = flag.String("load", "", "load a saved support set instead of sampling")
+		dataDir  = flag.String("data", "", "durable state directory for the router's purchase ledger")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-request pricing timeout (0 = none)")
+		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+		standbyA = flag.String("standby-addr", "", "demo mode: also serve an in-process read-only standby mirror of -data on this address")
+	)
+	flag.Parse()
+	if err := run(*addr, *shards, *cluster, *dataset, *price, *size, *scale, *seed, *workers, *load, *dataDir, *timeout, *drain, *standbyA); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+}
+
+func run(addr, shards string, cluster int, dataset string, price float64, size int, scale float64, seed int64, workers int, load, dataDir string, timeout, drain time.Duration, standbyAddr string) error {
+	if (shards == "") == (cluster == 0) {
+		return errors.New("set exactly one of -shards (connect to workers) or -cluster N (in-process demo)")
+	}
+	db, err := qirana.LoadDataset(dataset, seed, scale)
+	if err != nil {
+		return err
+	}
+	opts := qirana.Options{SupportSetSize: size, Seed: seed, Workers: workers}
+	var broker *qirana.Broker
+	switch {
+	case dataDir != "" && load != "":
+		return errors.New("-data and -load are mutually exclusive: a durable router persists its own support set in the data directory")
+	case dataDir != "":
+		broker, err = qirana.OpenBroker(dataDir, db, price, opts)
+	case load != "":
+		f, ferr := os.Open(load)
+		if ferr != nil {
+			return ferr
+		}
+		broker, err = qirana.NewBrokerFromSupport(db, price, f, qirana.Options{Workers: workers})
+		f.Close()
+	default:
+		broker, err = qirana.NewBroker(db, price, opts)
+	}
+	if err != nil {
+		return err
+	}
+
+	var nShards int
+	if cluster > 0 {
+		cl, err := shard.AttachLocal(broker, db, cluster, opts)
+		if err != nil {
+			return err
+		}
+		defer cl.Close()
+		nShards = cluster
+		fmt.Printf("qirouter: %d in-process shards over %s (support %d: ~%d elements each)\n",
+			cluster, dataset, broker.SupportSetSize(), (broker.SupportSetSize()+cluster-1)/cluster)
+	} else {
+		urls := strings.Split(shards, ",")
+		f, err := shard.Connect(context.Background(), urls, nil)
+		if err != nil {
+			return fmt.Errorf("shard handshake: %w", err)
+		}
+		info := f.Info()
+		if info.SupportGen != broker.SupportGen() || info.SupportSum != broker.SupportChecksum() || info.Size != broker.SupportSetSize() {
+			return fmt.Errorf("shards price gen=%d sum=%016x size=%d but the router holds gen=%d sum=%016x size=%d — start every node with the same -dataset/-seed/-support (or the same -load file)",
+				info.SupportGen, info.SupportSum, info.Size,
+				broker.SupportGen(), broker.SupportChecksum(), broker.SupportSetSize())
+		}
+		broker.SetRemoteSweeper(f)
+		nShards = len(urls)
+		fmt.Printf("qirouter: %d shards verified (support %d, checksum %016x)\n",
+			nShards, info.Size, info.SupportSum)
+	}
+	fmt.Printf("qirouter: %s (%d tuples), support %d, price %g, routing on http://%s\n",
+		dataset, db.TotalRows(), broker.SupportSetSize(), price, addr)
+	if info := broker.Durability(); info.Enabled {
+		fmt.Printf("qirouter: durable ledger in %s (snapshot seq %d, replayed %d records)\n",
+			info.Dir, info.SnapshotSeq, info.ReplayedRecords)
+	}
+
+	stopMirror := func() {}
+	if standbyAddr != "" {
+		if dataDir == "" {
+			return errors.New("-standby-addr requires -data (the standby mirrors the router's state directory)")
+		}
+		stopMirror, err = startMirror(standbyAddr, dataDir, db, opts, timeout)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("qirouter: standby mirror tailing %s on http://%s\n", dataDir, standbyAddr)
+	}
+
+	srv := &http.Server{Addr: addr, Handler: httpapi.New(broker, timeout)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Println("qirouter: draining")
+	dctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	<-errc
+	stopMirror()
+	if err := broker.Close(); err != nil {
+		return fmt.Errorf("close broker: %w", err)
+	}
+	return nil
+}
+
+// startMirror serves an in-process read-only standby over the router's
+// state directory: it tails the snapshot + ledger once a second, so
+// /stats and quotes on the mirror track the leader with at most a tick
+// of lag. (A real out-of-process standby with automatic promotion is
+// qiranad -standby.)
+func startMirror(addr, dataDir string, db *qirana.Database, opts qirana.Options, timeout time.Duration) (stop func(), err error) {
+	follower, err := qirana.OpenFollower(dataDir, db, opts)
+	if err != nil {
+		return nil, err
+	}
+	var current atomic.Pointer[qirana.Broker]
+	current.Store(follower.Broker())
+	srv := &http.Server{Addr: addr, Handler: httpapi.NewDynamic(func() *qirana.Broker { return current.Load() }, timeout)}
+	done := make(chan struct{})
+	go srv.ListenAndServe()
+	go func() {
+		ticker := time.NewTicker(time.Second)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				if err := follower.Refresh(); err == nil {
+					current.Store(follower.Broker())
+				}
+			}
+		}
+	}()
+	return func() { close(done); srv.Close() }, nil
+}

@@ -239,6 +239,9 @@ func (b *Broker) Checkpoint() error {
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if b.readOnly {
+		return ErrReadOnly
+	}
 	if b.dur.isClosed() {
 		return fmt.Errorf("%w: broker is closed", ErrDurability)
 	}
@@ -360,37 +363,11 @@ func OpenBroker(dir string, db *Database, totalPrice float64, opt Options) (*Bro
 	if totalPrice != 0 && totalPrice != snap.Total {
 		return nil, fmt.Errorf("requested total price %g but %s was priced at %g; pass 0 to adopt the persisted price", totalPrice, dir, snap.Total)
 	}
-	set, err := support.Load(strings.NewReader(snap.Support), db)
+	b, err := brokerFromSnapshot(db, snap, opt)
 	if err != nil {
-		return nil, fmt.Errorf("recover support set from snapshot: %w", err)
+		return nil, err
 	}
-
-	b := &Broker{db: db, fn: opt.Func, buyers: make(map[string]*buyerState),
-		seed: opt.Seed, opts: opt, total: snap.Total, qc: newQuoteCache(opt), obs: obs.New()}
-	if b.qc != nil {
-		b.qc.AttachObs(b.obs)
-	}
-	b.engine = pricing.NewEngine(db, set, snap.Total)
-	b.engine.Opts.FastPath = !opt.DisableFastPath
-	b.engine.Opts.Batching = !opt.DisableBatching
-	b.engine.Opts.Workers = opt.Workers
-	b.engine.Obs = b.obs
-	if len(snap.Weights) > 0 {
-		if err := b.engine.RestoreWeights(snap.Weights, snap.WeightsEpoch); err != nil {
-			return nil, fmt.Errorf("recover weights from snapshot: %w", err)
-		}
-	}
-	size := set.Size()
-	for name, bsn := range snap.Buyers {
-		if want := (size + 7) / 8; len(bsn.Charged) != want {
-			return nil, fmt.Errorf("%w: buyer %q snapshot bitmap is %d bytes, want %d for support set of %d", durable.ErrCorrupt, name, len(bsn.Charged), want, size)
-		}
-		b.buyers[name] = &buyerState{h: &pricing.History{
-			Charged: durable.UnpackBits(bsn.Charged, size),
-			Paid:    bsn.Paid,
-			Queries: append([]string(nil), bsn.Queries...),
-		}}
-	}
+	size := b.engine.Set.Size()
 
 	ledger, recs, rep, err := durable.OpenLedger(filepath.Join(dir, ledgerFileName), b.obs)
 	if err != nil {
@@ -428,6 +405,47 @@ func OpenBroker(dir string, db *Database, totalPrice float64, opt Options) (*Bro
 	b.obs.Add("recovery_replayed", uint64(replayed))
 	if rep.Truncated {
 		b.obs.Add("recovery_truncated", 1)
+	}
+	return b, nil
+}
+
+// brokerFromSnapshot builds the in-memory broker a snapshot describes —
+// support set, engine, restored weights and buyer histories — with no
+// durability attached. Crash recovery (OpenBroker) and the hot standby's
+// tailing path (Follower.Refresh) both build on it; only OpenBroker goes
+// on to claim the WAL.
+func brokerFromSnapshot(db *Database, snap *durable.Snapshot, opt Options) (*Broker, error) {
+	set, err := support.Load(strings.NewReader(snap.Support), db)
+	if err != nil {
+		return nil, fmt.Errorf("recover support set from snapshot: %w", err)
+	}
+	b := &Broker{db: db, fn: opt.Func, buyers: make(map[string]*buyerState),
+		seed: opt.Seed, opts: opt, total: snap.Total, qc: newQuoteCache(opt), obs: obs.New()}
+	if b.qc != nil {
+		b.qc.AttachObs(b.obs)
+	}
+	b.engine = pricing.NewEngine(db, set, snap.Total)
+	b.engine.Opts.FastPath = !opt.DisableFastPath
+	b.engine.Opts.Batching = !opt.DisableBatching
+	b.engine.Opts.Workers = opt.Workers
+	b.engine.Obs = b.obs
+	b.supportSum = set.Checksum()
+	b.supportGen = 1
+	if len(snap.Weights) > 0 {
+		if err := b.engine.RestoreWeights(snap.Weights, snap.WeightsEpoch); err != nil {
+			return nil, fmt.Errorf("recover weights from snapshot: %w", err)
+		}
+	}
+	size := set.Size()
+	for name, bsn := range snap.Buyers {
+		if want := (size + 7) / 8; len(bsn.Charged) != want {
+			return nil, fmt.Errorf("%w: buyer %q snapshot bitmap is %d bytes, want %d for support set of %d", durable.ErrCorrupt, name, len(bsn.Charged), want, size)
+		}
+		b.buyers[name] = &buyerState{h: &pricing.History{
+			Charged: durable.UnpackBits(bsn.Charged, size),
+			Paid:    bsn.Paid,
+			Queries: append([]string(nil), bsn.Queries...),
+		}}
 	}
 	return b, nil
 }

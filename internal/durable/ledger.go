@@ -131,6 +131,25 @@ func OpenLedger(path string, reg *obs.Registry) (*Ledger, []Record, ScanReport, 
 	return l, recs, rep, nil
 }
 
+// ScanLedgerFile reads the ledger at path WITHOUT opening it for append
+// and without truncating a torn tail — the hot-standby's view of a
+// leader's live WAL. A torn final record (an append racing the read) is
+// simply not returned yet; the next scan picks it up once complete.
+// A missing file yields no records and no error (the leader may not have
+// created the ledger yet, or just Reset it into a snapshot). Mid-log
+// corruption still fails with ErrCorrupt.
+func ScanLedgerFile(path string) ([]Record, ScanReport, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, ScanReport{}, nil
+	}
+	if err != nil {
+		return nil, ScanReport{}, fmt.Errorf("scan ledger: %w", err)
+	}
+	recs, _, rep, err := scanLedger(data, path)
+	return recs, rep, err
+}
+
 // create writes a fresh ledger containing only the magic header and
 // fsyncs it (file and directory), so a subsequent crash cannot lose the
 // log's existence.

@@ -1,4 +1,10 @@
-package main
+// Package httpapi is the JSON HTTP serving surface shared by every
+// qirana daemon: the single-node qiranad, the cluster router qirouter,
+// and shard/standby processes (which mount extra routes on the same
+// mux). It wraps a broker — or, for standbys that swap brokers on
+// promotion, a broker *getter* — behind the /quote, /quote/batch, /ask,
+// /prepare, /stats, /metrics and /healthz endpoints.
+package httpapi
 
 import (
 	"context"
@@ -16,13 +22,17 @@ import (
 	"qirana"
 )
 
-// server wraps one broker behind the JSON HTTP API. Every pricing
+// Server wraps one broker behind the JSON HTTP API. Every pricing
 // endpoint derives its context from the request (so a dropped client
 // connection cancels the sweep mid-batch) with the configured per-request
 // timeout layered on top; the broker's cancellation contract guarantees
 // an aborted request charges nobody and poisons no cache entry.
-type server struct {
-	broker *qirana.Broker
+type Server struct {
+	// get returns the broker serving THIS request. Static deployments
+	// return a fixed broker; a standby returns its current twin, which
+	// changes identity on promotion — handlers re-read it per request and
+	// never capture it across requests.
+	get func() *qirana.Broker
 	// timeout bounds each pricing request (0 = no bound beyond the
 	// client's connection). Overridable per request with ?timeout_ms=.
 	timeout time.Duration
@@ -31,16 +41,26 @@ type server struct {
 	// /quote and /ask accept as "stmt". Handles live for the process
 	// lifetime (a Stmt is a few cached pointers, not a server resource);
 	// the count is capped so a client loop cannot grow memory unboundedly.
+	// Each handle remembers the broker it was prepared on: after a
+	// standby promotion the old handles are rejected (the Stmt's cached
+	// pointers reach into the dead broker) and the client re-prepares.
 	mu     sync.Mutex
-	stmts  map[int64]*qirana.Stmt
+	stmts  map[int64]stmtEntry
 	nextID int64
+
+	mux *http.ServeMux
+}
+
+type stmtEntry struct {
+	st *qirana.Stmt
+	b  *qirana.Broker
 }
 
 // maxPreparedStmts caps the registry; real template workloads have tens
 // of templates, not thousands.
 const maxPreparedStmts = 4096
 
-// newMux routes the serving API:
+// New serves a fixed broker. The routes:
 //
 //	POST /quote        price one query (or a bundle), or a prepared
 //	                   statement instance ({"stmt": id, "params": [...]})
@@ -49,11 +69,19 @@ const maxPreparedStmts = 4096
 //	POST /prepare      prepare a $1-style template; returns a stmt handle
 //	GET  /stats        broker counters (last pricing stats, quote cache)
 //	GET  /metrics      obs snapshot: counters + latency percentiles
+//	GET  /healthz      liveness: 200 with the support-set generation
 //	GET  /debug/vars   expvar (includes the live metrics registry)
 //	GET  /debug/pprof  runtime profiling
-func newMux(b *qirana.Broker, timeout time.Duration) *http.ServeMux {
-	s := &server{broker: b, timeout: timeout, stmts: make(map[int64]*qirana.Stmt)}
-	b.PublishExpvar("qirana")
+func New(b *qirana.Broker, timeout time.Duration) *Server {
+	return NewDynamic(func() *qirana.Broker { return b }, timeout)
+}
+
+// NewDynamic serves whatever broker get returns at request time — the
+// standby deployment, where promotion atomically swaps the read-only
+// twin for the recovered writable broker under the same routes.
+func NewDynamic(get func() *qirana.Broker, timeout time.Duration) *Server {
+	s := &Server{get: get, timeout: timeout, stmts: make(map[int64]stmtEntry)}
+	get().PublishExpvar("qirana")
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /quote", s.handleQuote)
 	mux.HandleFunc("POST /quote/batch", s.handleQuoteBatch)
@@ -61,19 +89,28 @@ func newMux(b *qirana.Broker, timeout time.Duration) *http.ServeMux {
 	mux.HandleFunc("POST /prepare", s.handlePrepare)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
-	return mux
+	s.mux = mux
+	return s
 }
+
+// ServeHTTP makes Server an http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Mux exposes the underlying mux so daemons can mount extra routes
+// (shard workers add /shard/sweep and /shard/info) on the same server.
+func (s *Server) Mux() *http.ServeMux { return s.mux }
 
 // requestCtx derives the pricing context: the request's own context
 // (cancelled when the client goes away) bounded by the per-request
 // timeout, which ?timeout_ms= may tighten or loosen per call.
-func (s *server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
 	timeout := s.timeout
 	if ms := r.URL.Query().Get("timeout_ms"); ms != "" {
 		if v, err := strconv.Atoi(ms); err == nil && v > 0 {
@@ -150,15 +187,18 @@ func toValues(params []any) ([]qirana.Value, error) {
 	return out, nil
 }
 
-// lookupStmt resolves a /prepare handle.
-func (s *server) lookupStmt(id int64) (*qirana.Stmt, error) {
+// lookupStmt resolves a /prepare handle against the current broker.
+func (s *Server) lookupStmt(id int64, b *qirana.Broker) (*qirana.Stmt, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	st, ok := s.stmts[id]
+	ent, ok := s.stmts[id]
 	if !ok {
 		return nil, fmt.Errorf("unknown prepared statement %d (prepare it first via POST /prepare)", id)
 	}
-	return st, nil
+	if ent.b != b {
+		return nil, fmt.Errorf("prepared statement %d belongs to a previous leader (the server failed over); prepare it again", id)
+	}
+	return ent.st, nil
 }
 
 func (qr *quoteRequest) toPriceRequest() (qirana.PriceRequest, error) {
@@ -185,90 +225,91 @@ func (qr *quoteRequest) toPriceRequest() (qirana.PriceRequest, error) {
 // cannot keep streaming.
 const maxBodyBytes = 1 << 20
 
-// decodeBody decodes a size-capped JSON body into v. On failure it has
+// DecodeBody decodes a size-capped JSON body into v. On failure it has
 // already written the error response (413 for an oversized body, 400
 // otherwise) and returns false.
-func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+func DecodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	dec := json.NewDecoder(r.Body)
 	dec.UseNumber() // prepared-statement params need exact integers
 	if err := dec.Decode(v); err != nil {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
-			writeError(w, http.StatusRequestEntityTooLarge,
+			WriteError(w, http.StatusRequestEntityTooLarge,
 				fmt.Errorf("request body exceeds %d bytes", mbe.Limit))
 			return false
 		}
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		WriteError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
 		return false
 	}
 	return true
 }
 
-func (s *server) handleQuote(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleQuote(w http.ResponseWriter, r *http.Request) {
 	s.price(w, r, false)
 }
 
-func (s *server) handleQuoteBatch(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleQuoteBatch(w http.ResponseWriter, r *http.Request) {
 	s.price(w, r, true)
 }
 
-func (s *server) price(w http.ResponseWriter, r *http.Request, batch bool) {
+func (s *Server) price(w http.ResponseWriter, r *http.Request, batch bool) {
 	var qr quoteRequest
-	if !decodeBody(w, r, &qr) {
+	if !DecodeBody(w, r, &qr) {
 		return
 	}
+	b := s.get()
 	if qr.Stmt != 0 {
 		if batch {
-			writeError(w, http.StatusBadRequest, errors.New("prepared statements are priced on /quote, not /quote/batch"))
+			WriteError(w, http.StatusBadRequest, errors.New("prepared statements are priced on /quote, not /quote/batch"))
 			return
 		}
 		if qr.SQL != "" || len(qr.SQLs) > 0 || qr.Bundle {
-			writeError(w, http.StatusBadRequest, errors.New(`"stmt" excludes "sql", "sqls" and "bundle"`))
+			WriteError(w, http.StatusBadRequest, errors.New(`"stmt" excludes "sql", "sqls" and "bundle"`))
 			return
 		}
-		s.priceStmt(w, r, qr)
+		s.priceStmt(w, r, qr, b)
 		return
 	}
 	if len(qr.Params) > 0 {
-		writeError(w, http.StatusBadRequest, errors.New(`"params" requires "stmt" (prepare the template via POST /prepare)`))
+		WriteError(w, http.StatusBadRequest, errors.New(`"params" requires "stmt" (prepare the template via POST /prepare)`))
 		return
 	}
 	req, err := qr.toPriceRequest()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		WriteError(w, http.StatusBadRequest, err)
 		return
 	}
 	if !batch && len(req.SQLs) > 1 && !req.Bundle {
-		writeError(w, http.StatusBadRequest,
+		WriteError(w, http.StatusBadRequest,
 			errors.New("independent multi-query pricing belongs on /quote/batch (or set bundle:true)"))
 		return
 	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
-	resp, err := s.broker.Price(ctx, req)
+	resp, err := b.Price(ctx, req)
 	if err != nil {
-		writeRequestError(w, err)
+		WriteRequestError(w, err)
 		return
 	}
-	writeJSON(w, resp)
+	WriteJSON(w, resp)
 }
 
 // priceStmt prices one prepared-statement instance.
-func (s *server) priceStmt(w http.ResponseWriter, r *http.Request, qr quoteRequest) {
-	st, err := s.lookupStmt(qr.Stmt)
+func (s *Server) priceStmt(w http.ResponseWriter, r *http.Request, qr quoteRequest, b *qirana.Broker) {
+	st, err := s.lookupStmt(qr.Stmt, b)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		WriteError(w, http.StatusBadRequest, err)
 		return
 	}
 	fn, err := funcByName(qr.Func)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		WriteError(w, http.StatusBadRequest, err)
 		return
 	}
 	params, err := toValues(qr.Params)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		WriteError(w, http.StatusBadRequest, err)
 		return
 	}
 	ctx, cancel := s.requestCtx(r)
@@ -280,10 +321,10 @@ func (s *server) priceStmt(w http.ResponseWriter, r *http.Request, qr quoteReque
 		resp, err = st.Price(ctx, params...)
 	}
 	if err != nil {
-		writeRequestError(w, err)
+		WriteRequestError(w, err)
 		return
 	}
-	writeJSON(w, resp)
+	WriteJSON(w, resp)
 }
 
 type prepareRequest struct {
@@ -300,30 +341,31 @@ type prepareResponse struct {
 	Template string `json:"template"`
 }
 
-func (s *server) handlePrepare(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 	var pr prepareRequest
-	if !decodeBody(w, r, &pr) {
+	if !DecodeBody(w, r, &pr) {
 		return
 	}
+	b := s.get()
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
-	st, err := s.broker.Prepare(ctx, pr.SQL)
+	st, err := b.Prepare(ctx, pr.SQL)
 	if err != nil {
-		writeRequestError(w, err)
+		WriteRequestError(w, err)
 		return
 	}
 	s.mu.Lock()
 	if len(s.stmts) >= maxPreparedStmts {
 		s.mu.Unlock()
-		writeError(w, http.StatusTooManyRequests,
+		WriteError(w, http.StatusTooManyRequests,
 			fmt.Errorf("prepared statement limit reached (%d)", maxPreparedStmts))
 		return
 	}
 	s.nextID++
 	id := s.nextID
-	s.stmts[id] = st
+	s.stmts[id] = stmtEntry{st: st, b: b}
 	s.mu.Unlock()
-	writeJSON(w, prepareResponse{Stmt: id, NumParams: st.NumParams(), Template: st.Template()})
+	WriteJSON(w, prepareResponse{Stmt: id, NumParams: st.NumParams(), Template: st.Template()})
 }
 
 type askRequest struct {
@@ -345,32 +387,33 @@ type askResponse struct {
 	Rows [][]string `json:"rows"`
 }
 
-func (s *server) handleAsk(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 	var ar askRequest
-	if !decodeBody(w, r, &ar) {
+	if !DecodeBody(w, r, &ar) {
 		return
 	}
 	if ar.Buyer == "" {
-		writeError(w, http.StatusBadRequest, errors.New(`request carries no buyer (set "buyer")`))
+		WriteError(w, http.StatusBadRequest, errors.New(`request carries no buyer (set "buyer")`))
 		return
 	}
+	b := s.get()
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 	var rec *qirana.Receipt
 	var err error
 	if ar.Stmt != 0 {
 		if ar.SQL != "" {
-			writeError(w, http.StatusBadRequest, errors.New(`"stmt" excludes "sql"`))
+			WriteError(w, http.StatusBadRequest, errors.New(`"stmt" excludes "sql"`))
 			return
 		}
-		st, lerr := s.lookupStmt(ar.Stmt)
+		st, lerr := s.lookupStmt(ar.Stmt, b)
 		if lerr != nil {
-			writeError(w, http.StatusBadRequest, lerr)
+			WriteError(w, http.StatusBadRequest, lerr)
 			return
 		}
 		params, perr := toValues(ar.Params)
 		if perr != nil {
-			writeError(w, http.StatusBadRequest, perr)
+			WriteError(w, http.StatusBadRequest, perr)
 			return
 		}
 		if ar.Refund {
@@ -380,13 +423,13 @@ func (s *server) handleAsk(w http.ResponseWriter, r *http.Request) {
 		}
 	} else {
 		if len(ar.Params) > 0 {
-			writeError(w, http.StatusBadRequest, errors.New(`"params" requires "stmt" (prepare the template via POST /prepare)`))
+			WriteError(w, http.StatusBadRequest, errors.New(`"params" requires "stmt" (prepare the template via POST /prepare)`))
 			return
 		}
-		rec, err = s.broker.Purchase(ctx, qirana.PurchaseRequest{Buyer: ar.Buyer, SQL: ar.SQL, Refund: ar.Refund})
+		rec, err = b.Purchase(ctx, qirana.PurchaseRequest{Buyer: ar.Buyer, SQL: ar.SQL, Refund: ar.Refund})
 	}
 	if err != nil {
-		writeRequestError(w, err)
+		WriteRequestError(w, err)
 		return
 	}
 	resp := askResponse{Receipt: rec, Cols: rec.Result.Cols, Rows: make([][]string, rec.Result.Len())}
@@ -397,53 +440,71 @@ func (s *server) handleAsk(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Rows[i] = out
 	}
-	writeJSON(w, resp)
+	WriteJSON(w, resp)
 }
 
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, map[string]any{
-		"support_set_size": s.broker.SupportSetSize(),
-		"total_price":      s.broker.TotalPrice(),
-		"last_stats":       s.broker.LastStats(),
-		"quote_cache":      s.broker.QuoteCacheStats(),
-		"quote_cache_len":  s.broker.QuoteCacheLen(),
-		"durability":       s.broker.Durability(),
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	b := s.get()
+	WriteJSON(w, map[string]any{
+		"support_set_size": b.SupportSetSize(),
+		"total_price":      b.TotalPrice(),
+		"last_stats":       b.LastStats(),
+		"quote_cache":      b.QuoteCacheStats(),
+		"quote_cache_len":  b.QuoteCacheLen(),
+		"durability":       b.Durability(),
 	})
 }
 
-func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.broker.Metrics())
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	WriteJSON(w, s.get().Metrics())
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	b := s.get()
+	WriteJSON(w, map[string]any{
+		"ok":          true,
+		"support_gen": b.SupportGen(),
+		"support_sum": b.SupportChecksum(),
+	})
+}
+
+// WriteJSON writes v as indented JSON with the standard content type.
+func WriteJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(v)
 }
 
-// writeRequestError maps a pricing error onto an HTTP status: an expired
+// WriteRequestError maps a pricing error onto an HTTP status: an expired
 // deadline is a gateway timeout, a client-side cancellation a client
-// closed request, a ledger-append failure a retryable 503 (the purchase
-// charged nobody), anything else a bad request (the broker's remaining
-// errors are all input errors; internal invariants panic).
-func writeRequestError(w http.ResponseWriter, err error) {
+// closed request, a retryable cluster fault (ledger append, shard
+// unreachable, read-only standby) a 503 with Retry-After, a support-set
+// mismatch a 409 (the cluster needs rebuilding — retrying won't help),
+// anything else a bad request (the broker's remaining errors are all
+// input errors; internal invariants panic).
+func WriteRequestError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
-		writeError(w, http.StatusGatewayTimeout, err)
+		WriteError(w, http.StatusGatewayTimeout, err)
 	case errors.Is(err, context.Canceled):
 		// 499 is nginx's "client closed request"; the client is usually
 		// gone, but write it anyway for proxies and tests.
-		writeError(w, 499, err)
-	case errors.Is(err, qirana.ErrDurability):
+		WriteError(w, 499, err)
+	case errors.Is(err, qirana.ErrDurability),
+		errors.Is(err, qirana.ErrShardUnavailable),
+		errors.Is(err, qirana.ErrReadOnly):
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, err)
+		WriteError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, qirana.ErrSupportMismatch):
+		WriteError(w, http.StatusConflict, err)
 	default:
-		writeError(w, http.StatusBadRequest, err)
+		WriteError(w, http.StatusBadRequest, err)
 	}
 }
 
-func writeError(w http.ResponseWriter, code int, err error) {
+// WriteError writes one {"error": ...} JSON response under code.
+func WriteError(w http.ResponseWriter, code int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})

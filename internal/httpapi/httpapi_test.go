@@ -1,4 +1,4 @@
-package main
+package httpapi
 
 import (
 	"context"
@@ -26,7 +26,7 @@ func newTestServer(t *testing.T) *httptest.Server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newMux(b, 30*time.Second))
+	ts := httptest.NewServer(New(b, 30*time.Second))
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -238,10 +238,10 @@ func TestDebugEndpoints(t *testing.T) {
 func TestBadRequests(t *testing.T) {
 	ts := newTestServer(t)
 	cases := []struct{ url, body string }{
-		{"/quote", `{`},                             // malformed JSON
-		{"/quote", `{}`},                            // no queries
-		{"/quote", `{"sql": "SELECT"}`},             // parse error
-		{"/quote", `{"sql": "x", "sqls": ["y"]}`},   // both forms
+		{"/quote", `{`},                           // malformed JSON
+		{"/quote", `{}`},                          // no queries
+		{"/quote", `{"sql": "SELECT"}`},           // parse error
+		{"/quote", `{"sql": "x", "sqls": ["y"]}`}, // both forms
 		{"/quote", `{"sql": "` + testSQL + `", "func": "nope"}`},
 		{"/quote", `{"sqls": ["a", "b"]}`},          // multi belongs on /quote/batch
 		{"/ask", `{"sql": "` + testSQL + `"}`},      // no buyer
@@ -266,11 +266,14 @@ func TestErrorStatusMapping(t *testing.T) {
 	}{
 		{context.DeadlineExceeded, http.StatusGatewayTimeout},
 		{context.Canceled, 499},
+		{qirana.ErrShardUnavailable, http.StatusServiceUnavailable},
+		{qirana.ErrReadOnly, http.StatusServiceUnavailable},
+		{qirana.ErrSupportMismatch, http.StatusConflict},
 	} {
 		rr := httptest.NewRecorder()
-		writeRequestError(rr, c.err)
+		WriteRequestError(rr, c.err)
 		if rr.Code != c.want {
-			t.Errorf("writeRequestError(%v) = %d, want %d", c.err, rr.Code, c.want)
+			t.Errorf("WriteRequestError(%v) = %d, want %d", c.err, rr.Code, c.want)
 		}
 	}
 }
@@ -289,7 +292,7 @@ func TestRequestTimeoutCancelsSweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newMux(b, 0))
+	ts := httptest.NewServer(New(b, 0))
 	defer ts.Close()
 
 	sql := `SELECT Name, Population FROM City WHERE Population > 1000000`
@@ -345,7 +348,7 @@ func TestDurableRestartServesSameState(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts1 := httptest.NewServer(newMux(b1, 30*time.Second))
+	ts1 := httptest.NewServer(New(b1, 30*time.Second))
 	var rec1 askResponse
 	postJSON(t, ts1.URL+"/ask", `{"buyer": "alice", "sql": "`+testSQL+`"}`, &rec1)
 	var rec2 askResponse
@@ -359,7 +362,7 @@ func TestDurableRestartServesSameState(t *testing.T) {
 		t.Fatalf("reopen after kill: %v", err)
 	}
 	defer b2.Close()
-	ts2 := httptest.NewServer(newMux(b2, 30*time.Second))
+	ts2 := httptest.NewServer(New(b2, 30*time.Second))
 	defer ts2.Close()
 
 	var stats struct {
@@ -398,7 +401,7 @@ func TestLedgerFailureMapsTo503(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer b.Close()
-	ts := httptest.NewServer(newMux(b, 30*time.Second))
+	ts := httptest.NewServer(New(b, 30*time.Second))
 	defer ts.Close()
 
 	failpoint.Enable(durable.FpLedgerAppend, nil)
@@ -491,9 +494,9 @@ func TestPrepareBadRequests(t *testing.T) {
 	}{
 		{"/prepare", `{"sql": "SELECT Name FROM Country WHERE Population > $3"}`}, // non-contiguous
 		{"/prepare", `{"sql": "SELEC nonsense"}`},
-		{"/quote", `{"stmt": 999, "params": [1]}`},              // unknown handle
-		{"/quote", `{"sql": "SELECT 1", "stmt": 1}`},            // stmt excludes sql
-		{"/quote", `{"sql": "` + testSQL + `", "params": [1]}`}, // params need stmt
+		{"/quote", `{"stmt": 999, "params": [1]}`},                              // unknown handle
+		{"/quote", `{"sql": "SELECT 1", "stmt": 1}`},                            // stmt excludes sql
+		{"/quote", `{"sql": "` + testSQL + `", "params": [1]}`},                 // params need stmt
 		{"/quote", `{"sql": "SELECT Name FROM Country WHERE Population > $1"}`}, // placeholder ad hoc
 		{"/quote/batch", `{"stmt": 1, "params": [1]}`},
 		{"/ask", `{"buyer": "a", "stmt": 999, "params": [1]}`},

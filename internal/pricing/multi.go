@@ -29,12 +29,32 @@ func (e *Engine) DisagreementsMulti(qs []*exec.Query) ([][]bool, []Stats, error)
 // sweep and every solo fallback poll ctx between elements and abort with
 // ctx.Err().
 func (e *Engine) DisagreementsMultiCtx(ctx context.Context, qs []*exec.Query) ([][]bool, []Stats, error) {
+	return e.DisagreementsMultiLiveCtx(ctx, qs, nil)
+}
+
+// DisagreementsMultiLiveCtx is DisagreementsMultiCtx restricted to the
+// live elements (nil live = all): every evaluation path — the shared
+// batched sweep, solo fallbacks and the naive overlay pass — skips dead
+// elements, and per-query Stats count only live decisions. Because every
+// per-element decision is mask-independent, the bitmaps and Stats of
+// disjoint covering masks sum (bitwise OR / integer add) exactly to the
+// unmasked sweep's — the invariant behind sharded pricing.
+func (e *Engine) DisagreementsMultiLiveCtx(ctx context.Context, qs []*exec.Query, live []bool) ([][]bool, []Stats, error) {
 	if len(qs) == 0 {
 		return nil, nil, nil
 	}
 	results := make([][]bool, len(qs))
 	stats := make([]Stats, len(qs))
 	size := e.Set.Size()
+	liveCount := size
+	if live != nil {
+		liveCount = 0
+		for _, ok := range live {
+			if ok {
+				liveCount++
+			}
+		}
+	}
 
 	// Partition by evaluation path, mirroring the solo dispatch in
 	// Disagreements → fastDisagree/naiveDisagree.
@@ -65,7 +85,7 @@ func (e *Engine) DisagreementsMultiCtx(ctx context.Context, qs []*exec.Query) ([
 			c.Stats = disagree.CheckStats{}
 			c.Workers = e.parallelWorkers()
 		}
-		res, err := disagree.CheckBatchMultiCtx(ctx, checkers, e.Set.Updates, nil)
+		res, err := disagree.CheckBatchMultiCtx(ctx, checkers, e.Set.Updates, live)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -89,7 +109,7 @@ func (e *Engine) DisagreementsMultiCtx(ctx context.Context, qs []*exec.Query) ([
 	// exactly what a solo call would.
 	prev := e.LastStats
 	for _, j := range soloIdx {
-		dis, err := e.DisagreementsCtx(ctx, qs[j:j+1], nil)
+		dis, err := e.DisagreementsCtx(ctx, qs[j:j+1], live)
 		if err != nil {
 			e.LastStats = prev
 			return nil, nil, err
@@ -111,7 +131,7 @@ func (e *Engine) DisagreementsMultiCtx(ctx context.Context, qs []*exec.Query) ([
 			bases[x] = base.Hash()
 			results[j] = make([]bool, size)
 		}
-		err := e.parallelApplyCtx(ctx, nil, func(o *storage.Overlay, i int) error {
+		err := e.parallelApplyCtx(ctx, live, func(o *storage.Overlay, i int) error {
 			el := e.Set.Elements[i]
 			el.ApplyOverlay(o)
 			defer el.UndoOverlay(o)
@@ -131,7 +151,7 @@ func (e *Engine) DisagreementsMultiCtx(ctx context.Context, qs []*exec.Query) ([
 			return nil, nil, err
 		}
 		for _, j := range naiveIdx {
-			stats[j] = Stats{Naive: size}
+			stats[j] = Stats{Naive: liveCount}
 		}
 	}
 
@@ -160,6 +180,13 @@ func (e *Engine) OutputHashesMulti(qs []*exec.Query) ([][]uint64, []uint64, erro
 
 // OutputHashesMultiCtx is OutputHashesMulti under a context.
 func (e *Engine) OutputHashesMultiCtx(ctx context.Context, qs []*exec.Query) ([][]uint64, []uint64, error) {
+	return e.OutputHashesMultiLiveCtx(ctx, qs, nil)
+}
+
+// OutputHashesMultiLiveCtx is OutputHashesMultiCtx restricted to the live
+// elements (nil live = all); see OutputHashesLiveCtx for the fold
+// invariant and stats accounting.
+func (e *Engine) OutputHashesMultiLiveCtx(ctx context.Context, qs []*exec.Query, live []bool) ([][]uint64, []uint64, error) {
 	if len(qs) == 0 {
 		return nil, nil, nil
 	}
@@ -174,11 +201,20 @@ func (e *Engine) OutputHashesMultiCtx(ctx context.Context, qs []*exec.Query) ([]
 		one[0] = res.Hash()
 		bases[j] = combine(one[:])
 	}
+	liveCount := e.Set.Size()
+	if live != nil {
+		liveCount = 0
+		for _, ok := range live {
+			if ok {
+				liveCount++
+			}
+		}
+	}
 	elems := make([][]uint64, len(qs))
 	for j := range elems {
 		elems[j] = make([]uint64, e.Set.Size())
 	}
-	err := e.parallelApplyCtx(ctx, nil, func(o *storage.Overlay, i int) error {
+	err := e.parallelApplyCtx(ctx, live, func(o *storage.Overlay, i int) error {
 		el := e.Set.Elements[i]
 		el.ApplyOverlay(o)
 		defer el.UndoOverlay(o)
@@ -196,6 +232,6 @@ func (e *Engine) OutputHashesMultiCtx(ctx context.Context, qs []*exec.Query) ([]
 	if err != nil {
 		return nil, nil, err
 	}
-	e.LastStats.Naive += e.Set.Size() * len(qs)
+	e.LastStats.Naive += liveCount * len(qs)
 	return elems, bases, nil
 }

@@ -490,6 +490,17 @@ func (e *Engine) OutputHashes(qs []*exec.Query) (elems []uint64, base uint64, er
 // OutputHashesCtx is OutputHashes under a context: the per-element sweep
 // polls ctx and aborts mid-sweep with ctx.Err().
 func (e *Engine) OutputHashesCtx(ctx context.Context, qs []*exec.Query) (elems []uint64, base uint64, err error) {
+	return e.OutputHashesLiveCtx(ctx, qs, nil)
+}
+
+// OutputHashesLiveCtx is OutputHashesCtx restricted to the live elements
+// (nil live = all). Skipped elements keep a zero hash, and only the live
+// ones count toward LastStats.Naive, so the stats of disjoint covering
+// masks sum exactly to one full sweep's — the invariant the sharded
+// cluster's fold relies on. Each live element's hash is computed by the
+// identical code against the identical inputs, so elems[i] is
+// bit-identical to the full sweep's for every live i.
+func (e *Engine) OutputHashesLiveCtx(ctx context.Context, qs []*exec.Query, live []bool) (elems []uint64, base uint64, err error) {
 	defer e.Obs.Timer("stage_entropy")()
 	baseHashes := make([]uint64, len(qs))
 	for j, q := range qs {
@@ -502,7 +513,16 @@ func (e *Engine) OutputHashesCtx(ctx context.Context, qs []*exec.Query) (elems [
 	}
 	base = combine(baseHashes)
 	elems = make([]uint64, e.Set.Size())
-	err = e.parallelApplyCtx(ctx, nil, func(o *storage.Overlay, i int) error {
+	n := e.Set.Size()
+	if live != nil {
+		n = 0
+		for _, ok := range live {
+			if ok {
+				n++
+			}
+		}
+	}
+	err = e.parallelApplyCtx(ctx, live, func(o *storage.Overlay, i int) error {
 		el := e.Set.Elements[i]
 		el.ApplyOverlay(o)
 		defer el.UndoOverlay(o)
@@ -520,7 +540,7 @@ func (e *Engine) OutputHashesCtx(ctx context.Context, qs []*exec.Query) (elems [
 	if err != nil {
 		return nil, 0, err
 	}
-	e.LastStats.Naive += e.Set.Size() * len(qs)
+	e.LastStats.Naive += n * len(qs)
 	return elems, base, nil
 }
 
@@ -614,6 +634,23 @@ func (e *Engine) PricesFromHashes(hashes []uint64, base uint64) map[Func]float64
 	out[ShannonEntropy] = e.entropyPrice(ShannonEntropy, hashes)
 	out[QEntropy] = e.entropyPrice(QEntropy, hashes)
 	return out
+}
+
+// EntropyPriceFromHashes turns a full per-element output-hash vector (as
+// returned by OutputHashes) into a Shannon or Tsallis entropy price,
+// using exactly the block accumulation of Price — first-appearance order,
+// same float additions — so a price folded from per-shard hash slices
+// concatenated in index order is bit-identical to the single-node
+// computation. Only ShannonEntropy and QEntropy partition by hash.
+func (e *Engine) EntropyPriceFromHashes(fn Func, hashes []uint64) (float64, error) {
+	if len(hashes) != e.Set.Size() {
+		return 0, fmt.Errorf("got %d output hashes for support set of size %d", len(hashes), e.Set.Size())
+	}
+	switch fn {
+	case ShannonEntropy, QEntropy:
+		return e.entropyPrice(fn, hashes), nil
+	}
+	return 0, fmt.Errorf("pricing function %v is not derivable from output hashes alone", fn)
 }
 
 func (e *Engine) scaleUEG(d int) float64 {

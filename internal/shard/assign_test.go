@@ -1,0 +1,59 @@
+package shard
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Assign is the cluster's only coordination point: every node computes
+// it independently, so it must be a pure function of (size, n) with
+// exact covering semantics.
+func TestAssignProperties(t *testing.T) {
+	prop := func(size16, n8 uint8) bool {
+		size, n := int(size16), int(n8)%8+1
+		ranges := Assign(size, n)
+		if len(ranges) != n {
+			t.Errorf("Assign(%d, %d): %d ranges", size, n, len(ranges))
+			return false
+		}
+		ceil := (size + n - 1) / n
+		pos := 0
+		for i, r := range ranges {
+			if r.Lo != pos {
+				t.Errorf("Assign(%d, %d): range %d starts at %d, want %d (gap or overlap)", size, n, i, r.Lo, pos)
+				return false
+			}
+			if r.Width() < 0 || r.Width() > ceil {
+				t.Errorf("Assign(%d, %d): range %d has width %d, ceil is %d", size, n, i, r.Width(), ceil)
+				return false
+			}
+			pos = r.Hi
+		}
+		if pos != size {
+			t.Errorf("Assign(%d, %d): ranges cover [0, %d), want [0, %d)", size, n, pos, size)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssignDeterministic(t *testing.T) {
+	a := Assign(1000, 7)
+	b := Assign(1000, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Assign is not deterministic: %+v vs %+v", a[i], b[i])
+		}
+	}
+	// The documented shape: the first size%n shards carry the extra row.
+	got := Assign(10, 3)
+	want := []Range{{0, 4}, {4, 7}, {7, 10}}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Assign(10, 3) = %+v, want %+v", got, want)
+		}
+	}
+}

@@ -1,0 +1,289 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"qirana"
+	"qirana/internal/durable"
+	"qirana/internal/obs"
+)
+
+// Info is a shard's identity, served on GET /shard/info and verified at
+// connect time: a cluster is only usable when every shard prices the
+// same support set.
+type Info struct {
+	SupportGen uint64 `json:"support_gen"`
+	SupportSum uint64 `json:"support_sum"`
+	Size       int    `json:"size"`
+}
+
+// Fanout is the router's RemoteSweeper: it splits every cold sweep
+// across the connected shards (one contiguous slice each, per Assign),
+// runs the slice requests concurrently, and reassembles the per-element
+// vectors in shard order. A single shard failure aborts the whole
+// fan-out — a partially merged price is never returned — and surfaces
+// as qirana.ErrShardUnavailable, which the HTTP layer maps to 503 +
+// Retry-After.
+type Fanout struct {
+	urls   []string
+	ranges []Range
+	info   Info
+	client *http.Client
+	obs    *obs.Registry // nil-safe; installed via AttachObs
+}
+
+// Connect performs the cluster handshake: it fetches /shard/info from
+// every URL, requires all shards to agree on the support set (gen,
+// checksum, size), and fixes the slice assignment. client may be nil
+// (http.DefaultClient).
+func Connect(ctx context.Context, urls []string, client *http.Client) (*Fanout, error) {
+	if len(urls) == 0 {
+		return nil, errors.New("shard fan-out needs at least one shard URL")
+	}
+	if client == nil {
+		client = http.DefaultClient
+	}
+	f := &Fanout{urls: urls, client: client}
+	for i, u := range urls {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u+"/shard/info", nil)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d (%s): %w", i, u, err)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil, fmt.Errorf("%w: shard %d (%s): %v", qirana.ErrShardUnavailable, i, u, err)
+		}
+		var info Info
+		err = json.NewDecoder(resp.Body).Decode(&info)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("%w: shard %d (%s): info returned status %d", qirana.ErrShardUnavailable, i, u, resp.StatusCode)
+		}
+		if i == 0 {
+			f.info = info
+		} else if info != f.info {
+			return nil, fmt.Errorf("%w: shard %d (%s) holds gen=%d sum=%016x size=%d but shard 0 holds gen=%d sum=%016x size=%d",
+				qirana.ErrSupportMismatch, i, u, info.SupportGen, info.SupportSum, info.Size,
+				f.info.SupportGen, f.info.SupportSum, f.info.Size)
+		}
+	}
+	f.ranges = Assign(f.info.Size, len(urls))
+	return f, nil
+}
+
+// Info returns the cluster identity agreed at connect time.
+func (f *Fanout) Info() Info { return f.info }
+
+// Shards returns the number of connected shards.
+func (f *Fanout) Shards() int { return len(f.urls) }
+
+// AttachObs wires the fan-out's counters and latencies into the
+// router's metrics registry (qirana.SetRemoteSweeper calls it):
+//
+//	router_fanout_rpcs     shard RPCs issued
+//	router_shard_errors    failed shard RPCs
+//	router_fanout          whole fan-out latency (slowest shard)
+//	router_merge           slice reassembly latency
+//	router_straggler_gap   slowest minus fastest shard per fan-out
+func (f *Fanout) AttachObs(r *obs.Registry) { f.obs = r }
+
+// SweepBits implements qirana.RemoteSweeper.
+func (f *Fanout) SweepBits(ctx context.Context, sqls []string, bundle bool, supportGen uint64) ([][]bool, []qirana.Stats, error) {
+	resps, err := f.sweep(ctx, sqls, bundle, false, supportGen)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.obs.Timer("router_merge")()
+	nOut := outputs(sqls, bundle)
+	out := make([][]bool, nOut)
+	stats := make([]qirana.Stats, nOut)
+	for j := range out {
+		out[j] = make([]bool, f.info.Size)
+	}
+	for i, resp := range resps {
+		r := f.ranges[i]
+		if len(resp.Bits) != nOut {
+			return nil, nil, fmt.Errorf("%w: shard %d returned %d bit vectors, want %d", qirana.ErrShardUnavailable, i, len(resp.Bits), nOut)
+		}
+		for j := 0; j < nOut; j++ {
+			copy(out[j][r.Lo:r.Hi], durable.UnpackBits(resp.Bits[j], r.Width()))
+			addStats(&stats[j], resp.Stats[j])
+		}
+	}
+	return out, stats, nil
+}
+
+// SweepHashes implements qirana.RemoteSweeper.
+func (f *Fanout) SweepHashes(ctx context.Context, sqls []string, bundle bool, supportGen uint64) ([][]uint64, []qirana.Stats, error) {
+	resps, err := f.sweep(ctx, sqls, bundle, true, supportGen)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.obs.Timer("router_merge")()
+	nOut := outputs(sqls, bundle)
+	out := make([][]uint64, nOut)
+	stats := make([]qirana.Stats, nOut)
+	for j := range out {
+		out[j] = make([]uint64, f.info.Size)
+	}
+	for i, resp := range resps {
+		r := f.ranges[i]
+		if len(resp.Hashes) != nOut {
+			return nil, nil, fmt.Errorf("%w: shard %d returned %d hash vectors, want %d", qirana.ErrShardUnavailable, i, len(resp.Hashes), nOut)
+		}
+		for j := 0; j < nOut; j++ {
+			if len(resp.Hashes[j]) != r.Width() {
+				return nil, nil, fmt.Errorf("%w: shard %d returned %d hashes for slice of width %d", qirana.ErrShardUnavailable, i, len(resp.Hashes[j]), r.Width())
+			}
+			copy(out[j][r.Lo:r.Hi], resp.Hashes[j])
+			addStats(&stats[j], resp.Stats[j])
+		}
+	}
+	return out, stats, nil
+}
+
+func outputs(sqls []string, bundle bool) int {
+	if bundle {
+		return 1
+	}
+	return len(sqls)
+}
+
+// sweep fans one slice request out to every shard concurrently. The
+// first failure cancels the outstanding requests: a sweep either
+// returns every slice or nothing.
+func (f *Fanout) sweep(ctx context.Context, sqls []string, bundle, hashes bool, gen uint64) ([]*qirana.SweepSliceResponse, error) {
+	if gen != f.info.SupportGen {
+		return nil, fmt.Errorf("%w: router prices support gen %d but the cluster was connected at gen %d (a resample requires rebuilding the cluster)",
+			qirana.ErrSupportMismatch, gen, f.info.SupportGen)
+	}
+	f.obs.Add("router_fanout_rpcs", uint64(len(f.urls)))
+	defer f.obs.Timer("router_fanout")()
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	resps := make([]*qirana.SweepSliceResponse, len(f.urls))
+	errs := make([]error, len(f.urls))
+	durs := make([]time.Duration, len(f.urls))
+	var wg sync.WaitGroup
+	for i := range f.urls {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			start := time.Now()
+			resps[i], errs[i] = f.post(ctx, i, sqls, bundle, hashes, gen)
+			durs[i] = time.Since(start)
+			if errs[i] != nil {
+				cancel()
+			}
+		}(i)
+	}
+	wg.Wait()
+	// Prefer a root-cause error over the cancellations it induced in the
+	// sibling requests.
+	var firstErr error
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		f.obs.Add("router_shard_errors", 1)
+		if firstErr == nil || (errors.Is(firstErr, context.Canceled) && !errors.Is(err, context.Canceled)) {
+			firstErr = fmt.Errorf("shard %d (%s): %w", i, f.urls[i], err)
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	min, max := durs[0], durs[0]
+	for _, d := range durs[1:] {
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	f.obs.Observe("router_straggler_gap", max-min)
+	return resps, nil
+}
+
+// post sends one shard its slice request and classifies the outcome:
+// 400 is the shard judging the INPUT bad (forwarded as a plain error →
+// the router answers 400 too), 409 is a support-set mismatch, and
+// everything else — transport errors, timeouts, 5xx — is the SHARD
+// being unavailable (→ 503, retryable).
+func (f *Fanout) post(ctx context.Context, i int, sqls []string, bundle, hashes bool, gen uint64) (*qirana.SweepSliceResponse, error) {
+	r := f.ranges[i]
+	body, err := json.Marshal(qirana.SweepSliceRequest{
+		SQLs: sqls, Bundle: bundle, Hashes: hashes,
+		Lo: r.Lo, Hi: r.Hi,
+		SupportGen: gen, SupportSum: f.info.SupportSum,
+	})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, f.urls[i]+"/shard/sweep", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	httpResp, err := f.client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, fmt.Errorf("%w: %v", qirana.ErrShardUnavailable, err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		msg := readErrorMessage(httpResp.Body)
+		switch {
+		case httpResp.StatusCode == http.StatusBadRequest:
+			return nil, errors.New(msg)
+		case httpResp.StatusCode == http.StatusConflict:
+			return nil, fmt.Errorf("%w: %s", qirana.ErrSupportMismatch, msg)
+		default:
+			return nil, fmt.Errorf("%w: status %d: %s", qirana.ErrShardUnavailable, httpResp.StatusCode, msg)
+		}
+	}
+	var resp qirana.SweepSliceResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, fmt.Errorf("%w: decode sweep response: %v", qirana.ErrShardUnavailable, err)
+	}
+	if resp.Lo != r.Lo || resp.Hi != r.Hi {
+		return nil, fmt.Errorf("%w: asked for slice [%d, %d) but got [%d, %d)", qirana.ErrShardUnavailable, r.Lo, r.Hi, resp.Lo, resp.Hi)
+	}
+	return &resp, nil
+}
+
+// readErrorMessage extracts the {"error": ...} body, falling back to the
+// raw text.
+func readErrorMessage(r io.Reader) string {
+	data, _ := io.ReadAll(io.LimitReader(r, 4096))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return string(bytes.TrimSpace(data))
+}
+
+func addStats(sum *qirana.Stats, s qirana.Stats) {
+	sum.Static += s.Static
+	sum.Batched += s.Batched
+	sum.FullRuns += s.FullRuns
+	sum.Naive += s.Naive
+	sum.DeltaFull += s.DeltaFull
+	sum.DeltaPartial += s.DeltaPartial
+}

@@ -1,0 +1,49 @@
+package shard
+
+import (
+	"net/http"
+
+	"qirana"
+	"qirana/internal/httpapi"
+)
+
+// Register mounts the shard worker routes on an existing mux (qiranad
+// -shard adds them to its httpapi server, so /stats, /metrics and
+// /healthz ride along):
+//
+//	POST /shard/sweep  sweep this shard's slice; body is a
+//	                   qirana.SweepSliceRequest
+//	GET  /shard/info   support-set identity (gen, checksum, size)
+func Register(mux *http.ServeMux, b *qirana.Broker) {
+	mux.HandleFunc("POST /shard/sweep", func(w http.ResponseWriter, r *http.Request) {
+		var req qirana.SweepSliceRequest
+		if !httpapi.DecodeBody(w, r, &req) {
+			return
+		}
+		resp, err := b.SweepSlice(r.Context(), req)
+		if err != nil {
+			httpapi.WriteRequestError(w, err)
+			return
+		}
+		httpapi.WriteJSON(w, resp)
+	})
+	mux.HandleFunc("GET /shard/info", func(w http.ResponseWriter, r *http.Request) {
+		httpapi.WriteJSON(w, Info{
+			SupportGen: b.SupportGen(),
+			SupportSum: b.SupportChecksum(),
+			Size:       b.SupportSetSize(),
+		})
+	})
+}
+
+// Handler serves a standalone shard worker: the shard routes plus a
+// bare /healthz (the in-process cluster harness uses it; qiranad -shard
+// mounts Register on its full httpapi mux instead).
+func Handler(b *qirana.Broker) http.Handler {
+	mux := http.NewServeMux()
+	Register(mux, b)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		httpapi.WriteJSON(w, map[string]any{"ok": true, "support_gen": b.SupportGen()})
+	})
+	return mux
+}

@@ -1,0 +1,121 @@
+package support
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSliceBounds(t *testing.T) {
+	db := testDB(t, 30, 3)
+	set, err := GenerateNeighborhood(db, DefaultConfig(60, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range [][2]int{{-1, 10}, {5, 4}, {0, 61}, {61, 61}} {
+		if _, err := set.Slice(bad[0], bad[1]); err == nil {
+			t.Errorf("Slice(%d, %d) must fail", bad[0], bad[1])
+		}
+	}
+	// Degenerate but legal slices.
+	if s, err := set.Slice(10, 10); err != nil || s.Size() != 0 {
+		t.Fatalf("empty slice: size %d, err %v", s.Size(), err)
+	}
+	if s, err := set.Slice(0, 60); err != nil || s.Size() != 60 {
+		t.Fatalf("full slice: size %d, err %v", s.Size(), err)
+	}
+}
+
+// A shard's slice view is positionally exact: element i of Slice(lo, hi)
+// IS element lo+i of the full set, and disjoint covering slices sum
+// checksums-of-parts back to the whole (concatenation of signatures).
+func TestSlicePositions(t *testing.T) {
+	db := testDB(t, 30, 3)
+	set, err := GenerateNeighborhood(db, DefaultConfig(90, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := 31, 67
+	sl, err := set.Slice(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < sl.Size(); i++ {
+		if sl.Updates[i].signature() != set.Updates[lo+i].signature() {
+			t.Fatalf("slice element %d is not full-set element %d", i, lo+i)
+		}
+	}
+}
+
+// The cluster persistence contract: per-shard slices round-trip through
+// the QIRSUP v2 envelope, and a loaded slice is indistinguishable from
+// slicing the loaded full set — so shards can be provisioned either by
+// shipping the full set or just their own slice.
+func TestSliceSaveLoadRoundTrip(t *testing.T) {
+	db := testDB(t, 40, 3)
+	set, err := GenerateNeighborhood(db, DefaultConfig(120, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range [][2]int{{0, 40}, {40, 80}, {80, 120}} {
+		sl, err := set.Slice(r[0], r[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := sl.Save(&buf); err != nil {
+			t.Fatalf("save slice [%d, %d): %v", r[0], r[1], err)
+		}
+		if !bytes.HasPrefix(buf.Bytes(), []byte(supportMagic)) {
+			t.Fatalf("slice [%d, %d) saved without the versioned envelope", r[0], r[1])
+		}
+		loaded, err := Load(&buf, db)
+		if err != nil {
+			t.Fatalf("load slice [%d, %d): %v", r[0], r[1], err)
+		}
+		if loaded.Size() != r[1]-r[0] {
+			t.Fatalf("slice [%d, %d): loaded %d elements", r[0], r[1], loaded.Size())
+		}
+		for i := range loaded.Updates {
+			if loaded.Updates[i].signature() != set.Updates[r[0]+i].signature() {
+				t.Fatalf("slice [%d, %d) element %d drifted through the round trip", r[0], r[1], i)
+			}
+		}
+		if loaded.Checksum() != sl.Checksum() {
+			t.Fatalf("slice [%d, %d) checksum drifted: %016x vs %016x", r[0], r[1], loaded.Checksum(), sl.Checksum())
+		}
+	}
+}
+
+// Slice assignment input is deterministic across generations: the same
+// (db, config) always generates the same set — same size, same checksum,
+// same element order — so every node of a cluster derives identical
+// slices without coordination, and a regenerated (resampled) set with a
+// different seed is detectably different.
+func TestSliceDeterminismAcrossGenerations(t *testing.T) {
+	db := testDB(t, 30, 3)
+	a, err := GenerateNeighborhood(db, DefaultConfig(80, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateNeighborhood(db, DefaultConfig(80, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Checksum() != b.Checksum() {
+		t.Fatal("same seed generated different sets: slice assignment would diverge across nodes")
+	}
+	for _, r := range [][2]int{{0, 27}, {27, 54}, {54, 80}} {
+		sa, _ := a.Slice(r[0], r[1])
+		sb, _ := b.Slice(r[0], r[1])
+		if sa.Checksum() != sb.Checksum() {
+			t.Fatalf("slice [%d, %d) differs across same-seed generations", r[0], r[1])
+		}
+	}
+	c, err := GenerateNeighborhood(db, DefaultConfig(80, 22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Checksum() == a.Checksum() {
+		t.Fatal("different seeds produced the same checksum: resamples would be undetectable")
+	}
+}

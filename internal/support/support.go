@@ -15,6 +15,8 @@ package support
 
 import (
 	"fmt"
+	"hash/fnv"
+	"io"
 	"math/rand"
 
 	"qirana/internal/storage"
@@ -235,6 +237,39 @@ type Set struct {
 
 // Size returns |S|.
 func (s *Set) Size() int { return len(s.Elements) }
+
+// Checksum fingerprints a neighborhood set's content: FNV-1a over each
+// update's canonical signature in index order, so two nodes that
+// generated (or loaded) the same set agree on the sum and any drift in
+// content OR order moves it. Cluster nodes exchange it to verify they
+// price against the same support set. Uniform sets return 0 — they have
+// no canonical serialization and cannot participate in a cluster.
+func (s *Set) Checksum() uint64 {
+	if s.Updates == nil {
+		return 0
+	}
+	h := fnv.New64a()
+	for _, u := range s.Updates {
+		io.WriteString(h, u.signature())
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+// Slice returns the contiguous sub-set holding elements [lo, hi) — the
+// per-shard view of a partitioned support set. The returned set aliases
+// the receiver's elements (they are immutable after generation); element
+// i of the slice is element lo+i of the full set.
+func (s *Set) Slice(lo, hi int) (*Set, error) {
+	if lo < 0 || hi < lo || hi > s.Size() {
+		return nil, fmt.Errorf("support slice [%d, %d) out of range for set of size %d", lo, hi, s.Size())
+	}
+	out := &Set{Elements: s.Elements[lo:hi:hi]}
+	if s.Updates != nil {
+		out.Updates = s.Updates[lo:hi:hi]
+	}
+	return out, nil
+}
 
 // Config parametrizes the random neighborhood generator.
 type Config struct {

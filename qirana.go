@@ -234,8 +234,23 @@ type Broker struct {
 
 	// qc is the cross-query quote cache (nil when disabled). supportGen
 	// counts resamples; keys embed it so a resample orphans every entry.
+	// supportSum is the support set's content checksum (support.Set
+	// Checksum), recomputed whenever the engine's set changes — cluster
+	// nodes exchange it to prove they price against identical sets.
 	qc         *quotecache.Cache
 	supportGen uint64
+	supportSum uint64
+
+	// sweeper, when non-nil, replaces the local cold support-set sweep
+	// with a remote fan-out (the shard router). Cache keys, purchase
+	// folds and served prices are unchanged — only who walks the support
+	// set differs. See cluster.go.
+	sweeper RemoteSweeper
+
+	// readOnly refuses every state mutation (purchases, weight refits,
+	// checkpoints): the mode of shard workers and un-promoted standbys,
+	// which serve quotes but must never fork the cluster's buyer ledger.
+	readOnly bool
 
 	// obs is the broker's metrics registry (never nil): request counters,
 	// serving latency histograms and the engine's per-stage timers all
@@ -324,6 +339,7 @@ func (b *Broker) resample(seed int64) error {
 	b.engine.Opts.Batching = !b.opts.DisableBatching
 	b.engine.Opts.Workers = b.opts.Workers
 	b.engine.Obs = b.obs
+	b.supportSum = set.Checksum()
 	// A new support set means new prices: bump the generation so every
 	// cached quote key goes dead, and drop the dead entries eagerly.
 	b.supportGen++
@@ -487,6 +503,16 @@ type priceEntry struct {
 // template key, which is identical by construction).
 func (b *Broker) disagreements(ctx context.Context, qs []*exec.Query, key string) (disEntry, bool, error) {
 	v, cached, err := b.cached(ctx, key, func() (any, error) {
+		if rs := b.sweeper; rs != nil {
+			// Remote cold sweep: the shards walk their slices and return
+			// per-element bits; the fold reproduces global index order, so
+			// the cached entry is indistinguishable from a local sweep's.
+			dis, stats, err := rs.SweepBits(ctx, sqlsOf(qs), true, b.supportGen)
+			if err != nil {
+				return nil, err
+			}
+			return disEntry{dis: dis[0], stats: stats[0]}, nil
+		}
 		b.engineMu.Lock()
 		defer b.engineMu.Unlock()
 		b.refreshEngineLocked()
@@ -502,12 +528,36 @@ func (b *Broker) disagreements(ctx context.Context, qs []*exec.Query, key string
 	return v.(disEntry), cached, nil
 }
 
+// sqlsOf extracts the original SQL texts of a compiled bundle (the wire
+// form the shard sweep protocol ships).
+func sqlsOf(qs []*exec.Query) []string {
+	out := make([]string, len(qs))
+	for i, q := range qs {
+		out[i] = q.SQL
+	}
+	return out
+}
+
 // entropyPrice returns the bundle's price under an entropy pricing
 // function, from the cache when possible (the bool reports provenance).
 // Callers hold mu.RLock; key comes from entropyKey or a prepared
 // statement's precomputed equivalent.
 func (b *Broker) entropyPrice(ctx context.Context, fn PricingFunc, qs []*exec.Query, key string) (priceEntry, bool, error) {
 	v, cached, err := b.cached(ctx, key, func() (any, error) {
+		if rs := b.sweeper; rs != nil {
+			// Remote entropy sweep: shards return per-element output-hash
+			// slices; concatenated in shard order they reproduce the full
+			// vector, and the local block fold is the single-node one.
+			elems, stats, err := rs.SweepHashes(ctx, sqlsOf(qs), true, b.supportGen)
+			if err != nil {
+				return nil, err
+			}
+			p, err := b.engine.EntropyPriceFromHashes(fn, elems[0])
+			if err != nil {
+				return nil, err
+			}
+			return priceEntry{price: p, stats: stats[0]}, nil
+		}
 		b.engineMu.Lock()
 		defer b.engineMu.Unlock()
 		b.refreshEngineLocked()
@@ -680,10 +730,7 @@ func batchEntries[E any](ctx context.Context, b *Broker, qs []*exec.Query, keyOf
 		for x, j := range missIdx {
 			miss[x] = qs[j]
 		}
-		b.engineMu.Lock()
-		b.refreshEngineLocked()
 		out, err := sweep(ctx, miss)
-		b.engineMu.Unlock()
 		if err != nil {
 			return nil, nil, err
 		}
@@ -790,6 +837,8 @@ func NewBrokerFromSupport(db *Database, totalPrice float64, r io.Reader, opt Opt
 	b.engine.Opts.Batching = !opt.DisableBatching
 	b.engine.Opts.Workers = opt.Workers
 	b.engine.Obs = b.obs
+	b.supportSum = set.Checksum()
+	b.supportGen = 1
 	if opt.DataDir != "" {
 		if err := b.initDurability(opt.DataDir); err != nil {
 			return nil, err
@@ -829,6 +878,9 @@ func (b *Broker) SetPricePoints(points []PricePoint) error {
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if b.readOnly {
+		return ErrReadOnly
+	}
 	var lastErr error
 	for attempt := 0; attempt < 3; attempt++ {
 		if lastErr = b.engine.FitWeights(pts); lastErr == nil {
@@ -882,6 +934,9 @@ func (b *Broker) Run(sql string) (*Result, error) {
 func (b *Broker) SetWeights(w []float64) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if b.readOnly {
+		return ErrReadOnly
+	}
 	if err := b.engine.SetWeights(w); err != nil {
 		return err
 	}
