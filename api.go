@@ -39,6 +39,15 @@ type PriceRequest struct {
 	// shared information is charged once). False prices each query
 	// independently in one shared support-set sweep.
 	Bundle bool
+	// MaxError > 0 requests the approximate fast path: the price is
+	// computed from a deterministic sub-sample of the support set sized
+	// so the point estimate's relative standard error is near MaxError,
+	// and served as a sound UPPER bound on the exact price (arbitrage-
+	// safe — see approx.go). The response's QuoteInfo.Estimate block
+	// carries the provenance. Valid range [0, 1]; 0 (the default) prices
+	// exactly. Load shedding (Options.ShedTargetP99) may raise the
+	// effective value. Purchases always settle at the exact price.
+	MaxError float64
 }
 
 // QuoteInfo is the provenance of one priced entry.
@@ -51,6 +60,10 @@ type QuoteInfo struct {
 	// Cached is true when the price was served (or coalesced) from the
 	// quote cache rather than computed by this call.
 	Cached bool `json:"cached"`
+	// Estimate is the approximate-path provenance block: nil for exact
+	// quotes; otherwise the price is a sampled upper bound (or, once
+	// Refined, the exact price served through the approximate cache).
+	Estimate *EstimateInfo `json:"estimate,omitempty"`
 }
 
 // PriceResponse carries the prices plus per-query provenance.
@@ -99,6 +112,16 @@ type Receipt struct {
 	// Cached is true when the charge was derived from a cached
 	// disagreement bitmap instead of a fresh sweep.
 	Cached bool `json:"cached"`
+	// Quoted is the approximate price previously quoted for this query
+	// (0 when no approximate quote preceded the purchase). Purchases
+	// ALWAYS settle at the exact price; Quoted and ReconcileDelta are
+	// informational, so the money trail is bit-identical to a broker
+	// that never served an estimate.
+	Quoted float64 `json:"quoted,omitempty"`
+	// ReconcileDelta is Quoted minus the exact quote price — how much
+	// the sampled upper bound over-estimated (never negative; the
+	// buyer was never at risk of overpaying).
+	ReconcileDelta float64 `json:"reconcile_delta,omitempty"`
 }
 
 // isContextErr reports whether err is (or wraps) a cancellation/deadline
@@ -129,6 +152,9 @@ func (b *Broker) Price(ctx context.Context, req PriceRequest) (resp *PriceRespon
 	if len(req.SQLs) == 0 {
 		return nil, fmt.Errorf("price request carries no queries")
 	}
+	if req.MaxError < 0 || req.MaxError > 1 {
+		return nil, fmt.Errorf("max error %g is outside [0, 1]", req.MaxError)
+	}
 	qs, err := b.compileAll(req.SQLs)
 	if err != nil {
 		return nil, err
@@ -137,23 +163,53 @@ func (b *Broker) Price(ctx context.Context, req PriceRequest) (resp *PriceRespon
 	if req.Func != nil {
 		fn = *req.Func
 	}
+	// Load shedding can only COARSEN the request: the effective error
+	// target is the larger of what the caller asked for and the floor
+	// the shed state machine currently enforces.
+	maxErr := req.MaxError
+	if floor := b.maybeShed(); floor > maxErr {
+		maxErr = floor
+	}
 
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 
 	if req.Bundle || len(qs) == 1 {
-		price, stats, cached, err := b.quoteLocked(ctx, fn, qs)
+		var info QuoteInfo
+		if maxErr > 0 {
+			info, err = b.approxQuoteLocked(ctx, fn, qs, maxErr)
+		} else {
+			info.Price, info.Stats, info.Cached, err = b.quoteLocked(ctx, fn, qs)
+		}
 		if err != nil {
 			return nil, err
 		}
 		return &PriceResponse{
-			Prices: []float64{price},
-			Total:  price,
-			Stats:  stats,
-			PerQuery: []QuoteInfo{
-				{Price: price, Stats: stats, Cached: cached},
-			},
+			Prices:   []float64{info.Price},
+			Total:    info.Price,
+			Stats:    info.Stats,
+			PerQuery: []QuoteInfo{info},
 		}, nil
+	}
+
+	if maxErr > 0 {
+		// Approximate batches price each query through the solo sampled
+		// path: per-query "a|" entries must exist for refinement and
+		// purchase reconciliation, and the sampled sweep is already a
+		// fraction of the full one, so the shared-sweep saving matters
+		// far less than on the exact path.
+		resp = &PriceResponse{Prices: make([]float64, len(qs)), PerQuery: make([]QuoteInfo, len(qs))}
+		for j := range qs {
+			info, err := b.approxQuoteLocked(ctx, fn, qs[j:j+1], maxErr)
+			if err != nil {
+				return nil, err
+			}
+			resp.Prices[j] = info.Price
+			resp.Total += info.Price
+			resp.PerQuery[j] = info
+			addStats(&resp.Stats, info.Stats)
+		}
+		return resp, nil
 	}
 
 	prices, stats, cached, err := b.priceBatchLocked(ctx, fn, qs)
@@ -212,6 +268,26 @@ func (b *Broker) purchaseLocked(ctx context.Context, req PurchaseRequest, q *exe
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// Reconcile against any prior approximate quote: the exact sweep is
+	// in hand, so the cached estimate is upgraded to the exact price
+	// (refining it for later quotes) and the over-estimate is reported.
+	// Only the bitmap-derivable functions have an exact quote derivable
+	// here; entropy-priced brokers reconcile through the refiner alone.
+	// The charge below is computed from ent.dis exactly as on a broker
+	// that never served an estimate — Quoted/ReconcileDelta never touch
+	// the money fold.
+	var quoted, reconcileDelta float64
+	if b.fn == WeightedCoverage || b.fn == UniformEntropyGain {
+		if exactQuote, err := b.engine.PriceFromDisagreements(b.fn, ent.dis); err == nil {
+			if prior, wasApprox := b.markRefined(b.fn, []*exec.Query{q}, exactQuote); wasApprox {
+				quoted = prior
+				if d := prior - exactQuote; d > 0 {
+					reconcileDelta = d
+				}
+				b.obs.Add("approx_reconciled_purchases", 1)
+			}
+		}
+	}
 	bs := b.buyerState(req.Buyer)
 	bs.mu.Lock()
 	defer bs.mu.Unlock()
@@ -222,11 +298,11 @@ func (b *Broker) purchaseLocked(ctx context.Context, req PurchaseRequest, q *exe
 	// committed unconditionally — recovery replays it even if the
 	// process dies before the next line runs.
 	if b.dur != nil {
-		if err := b.logPurchase(req, q, ent.dis, bs.h); err != nil {
+		if err := b.logPurchase(req, q, ent.dis, bs.h, quoted, reconcileDelta); err != nil {
 			return nil, err
 		}
 	}
-	rec = &Receipt{Result: res, Cached: cached}
+	rec = &Receipt{Result: res, Cached: cached, Quoted: quoted, ReconcileDelta: reconcileDelta}
 	if req.Refund {
 		rec.Gross, rec.Refund, err = b.engine.RefundFromDisagreements(bs.h, ent.dis, q.SQL)
 	} else {
@@ -268,7 +344,7 @@ func (b *Broker) priceBatchLocked(ctx context.Context, fn PricingFunc, qs []*exe
 				var stats []Stats
 				var err error
 				if rs := b.sweeper; rs != nil {
-					res, stats, err = rs.SweepBits(ctx, sqlsOf(miss), false, b.supportGen)
+					res, stats, err = rs.SweepBits(ctx, sqlsOf(miss), SweepSpec{SupportGen: b.supportGen})
 				} else {
 					b.engineMu.Lock()
 					b.refreshEngineLocked()
@@ -307,7 +383,7 @@ func (b *Broker) priceBatchLocked(ctx context.Context, fn PricingFunc, qs []*exe
 			func(qs []*exec.Query) string { return b.entropyKey(fn, qs) },
 			func(ctx context.Context, miss []*exec.Query) ([]priceEntry, error) {
 				if rs := b.sweeper; rs != nil {
-					elems, stats, err := rs.SweepHashes(ctx, sqlsOf(miss), false, b.supportGen)
+					elems, stats, err := rs.SweepHashes(ctx, sqlsOf(miss), SweepSpec{SupportGen: b.supportGen})
 					if err != nil {
 						return nil, err
 					}

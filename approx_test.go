@@ -1,0 +1,434 @@
+package qirana_test
+
+// Approximate fast-path proofs (DESIGN.md §13). The contract under test:
+//
+//   1. SOUNDNESS — an approximate quote is a guaranteed upper bound on
+//      the exact price, for every pricing function, every error target
+//      and every generator schema. This is the arbitrage-safety
+//      argument: a sampled path that could undercharge would let a
+//      buyer assemble information below its exact price.
+//   2. RECONCILIATION — purchases always settle at the exact price. A
+//      durable broker that served estimates writes a ledger whose money
+//      trail is bit-identical to a twin that never approximated;
+//      Quoted/ReconcileDelta are a purely informational overlay.
+//   3. CONCURRENCY — approximate and exact traffic share the quote
+//      cache, the background refiner and the purchase path; mixing them
+//      from many goroutines must stay race-free (run under `make race`)
+//      and must not erode soundness.
+//   4. CLUSTER — a sharded approximate sweep reassembles into the SAME
+//      estimate as a single node's: both sides recompute one
+//      deterministic sample mask and fold through the same estimator.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"qirana"
+	"qirana/internal/durable"
+)
+
+// upperBoundTol absorbs float rounding between the sampled and exact
+// folds: the bound must hold up to relative epsilon, never by a margin.
+func upperBoundTol(exact float64) float64 { return 1e-9 * (1 + math.Abs(exact)) }
+
+// TestApproxUpperBoundDifferential is the soundness differential: across
+// all five generator schemas, every pricing function and a spread of
+// error targets, the approximate quote never lands below the exact twin's
+// price. The finest target forces the sample past the support size, which
+// must collapse onto the exact path (Refined immediately, price
+// bit-identical).
+func TestApproxUpperBoundDifferential(t *testing.T) {
+	ctx := context.Background()
+	cases := []struct {
+		name  string
+		seed  int64
+		scale float64
+		size  int
+		tmpl  string // $1 placeholder, integer domain
+		mod   int
+		sqls  []string
+	}{
+		{"world-int", 1, 0, 200, "SELECT Name FROM Country WHERE Population > $1", 100000000, []string{
+			"SELECT Name FROM Country WHERE Population > 1000000",
+			"SELECT Continent, count(*) FROM Country GROUP BY Continent",
+		}},
+		{"world-str", 1, 0, 200, "SELECT count(*) FROM Country WHERE Population < $1", 100000000, []string{
+			"SELECT count(*) FROM Country WHERE Continent = 'Asia'",
+			"SELECT Name FROM Country WHERE Continent = 'Europe'",
+		}},
+		{"carcrash", 2, 300, 150, "SELECT State, min(Age) FROM crash WHERE Age > $1 GROUP BY State", 80, []string{
+			"SELECT count(*) FROM crash WHERE Age > 40",
+		}},
+		{"tpch", 4, 0.002, 120, "SELECT s_name FROM supplier WHERE s_acctbal > $1", 9000, []string{
+			"SELECT count(*) FROM supplier WHERE s_acctbal < 1000",
+		}},
+		{"dblp", 5, 0.02, 120, "SELECT count(*) FROM dblp WHERE ToNodeId < $1", 2000, []string{
+			"SELECT count(*) FROM dblp WHERE FromNodeId < 500",
+		}},
+	}
+	// Coarse → fine: 0.3 samples a handful of elements, 0.12 a real
+	// fraction, 0.02 needs more elements than any of these support sets
+	// hold and must fall back to the exact sweep.
+	maxErrs := []float64{0.3, 0.12, 0.02}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			dataset := strings.SplitN(tc.name, "-", 2)[0]
+			_, exactB, approxB := twinPair(t, dataset, tc.seed, tc.scale, tc.size)
+
+			for _, fn := range clusterFns {
+				fn := fn
+				for _, sql := range tc.sqls {
+					want, err := exactB.Price(ctx, qirana.PriceRequest{SQLs: []string{sql}, Func: &fn})
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, me := range maxErrs {
+						label := fmt.Sprintf("fn=%v maxErr=%g %s", fn, me, sql)
+						got, err := approxB.Price(ctx, qirana.PriceRequest{SQLs: []string{sql}, Func: &fn, MaxError: me})
+						if err != nil {
+							t.Fatal(err)
+						}
+						est := got.PerQuery[0].Estimate
+						if est == nil || !est.Approx {
+							t.Fatalf("%s: no estimate provenance on an approximate quote: %+v", label, got.PerQuery[0])
+						}
+						if est.SampleFrac <= 0 || est.SampleFrac > 1 || est.SampleN <= 0 {
+							t.Fatalf("%s: implausible sample %g (%d elements)", label, est.SampleFrac, est.SampleN)
+						}
+						if got.Total < want.Total-upperBoundTol(want.Total) {
+							t.Fatalf("%s: approximate quote %v UNDERCUTS exact price %v (frac %g, refined %v) — not arbitrage-safe",
+								label, got.Total, want.Total, est.SampleFrac, est.Refined)
+						}
+						if est.SampleFrac == 1 {
+							// The target needed the whole set: this IS the exact
+							// path and must say so, bit-identically.
+							if !est.Refined || got.Total != want.Total {
+								t.Fatalf("%s: full-sample quote should be the exact price %v refined, got %v (refined %v)",
+									label, want.Total, got.Total, est.Refined)
+							}
+						}
+						if est.Refined && est.CI != 0 {
+							t.Fatalf("%s: refined quote still advertises CI %v", label, est.CI)
+						}
+					}
+				}
+			}
+
+			// Parameterized probes: random template instantiations at a
+			// random error target keep the bound.
+			prop := func(pick uint16, coarse bool) bool {
+				sql := strings.Replace(tc.tmpl, "$1", fmt.Sprint(int(pick)%tc.mod), 1)
+				me := 0.1
+				if coarse {
+					me = 0.25
+				}
+				want, err := exactB.Price(ctx, qirana.PriceRequest{SQLs: []string{sql}})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := approxB.Price(ctx, qirana.PriceRequest{SQLs: []string{sql}, MaxError: me})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Total < want.Total-upperBoundTol(want.Total) {
+					t.Errorf("pick=%d maxErr=%g: approx %v < exact %v", pick, me, got.Total, want.Total)
+					return false
+				}
+				return true
+			}
+			if err := quick.Check(prop, &quick.Config{MaxCount: 4}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestApproxBatchUpperBound pins the multi-query approximate path: each
+// query in a non-bundle batch gets its own estimate block and its own
+// sound bound.
+func TestApproxBatchUpperBound(t *testing.T) {
+	ctx := context.Background()
+	_, exactB, approxB := twinPair(t, "world", 1, 0, 200)
+	sqls := []string{
+		"SELECT Name FROM Country WHERE Population > 1000000",
+		"SELECT Continent, count(*) FROM Country GROUP BY Continent",
+		"SELECT * FROM CountryLanguage",
+	}
+	want, err := exactB.Price(ctx, qirana.PriceRequest{SQLs: sqls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := approxB.Price(ctx, qirana.PriceRequest{SQLs: sqls, MaxError: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Prices) != len(sqls) {
+		t.Fatalf("approx batch returned %d prices, want %d", len(got.Prices), len(sqls))
+	}
+	for i := range sqls {
+		if got.PerQuery[i].Estimate == nil {
+			t.Fatalf("query %d: batch entry lost its estimate provenance", i)
+		}
+		if got.Prices[i] < want.Prices[i]-upperBoundTol(want.Prices[i]) {
+			t.Fatalf("query %d: approx %v < exact %v", i, got.Prices[i], want.Prices[i])
+		}
+	}
+}
+
+// TestApproxPurchaseReconcilesToExactTwinLedger is the reconciliation
+// differential: a durable broker that approximate-quotes before every
+// purchase must write the SAME ledger — record for record, bit for bit
+// once the informational Quoted/ReconcileDelta overlay is stripped — as
+// a durable twin that never served an estimate, and the overlay itself
+// must tie out: Quoted is the estimate the buyer saw, and subtracting
+// ReconcileDelta lands back on the exact quote price.
+func TestApproxPurchaseReconcilesToExactTwinLedger(t *testing.T) {
+	ctx := context.Background()
+	db, err := qirana.LoadDataset("world", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := qirana.Options{SupportSetSize: 300, Seed: 7}
+	dirA, dirB := t.TempDir(), t.TempDir()
+	approxB, err := qirana.OpenBroker(dirA, db, 100, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactB, err := qirana.OpenBroker(dirB, db, 100, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { exactB.Close() })
+
+	purchases := []struct{ buyer, sql string }{
+		{"alice", "SELECT Name, Population FROM Country WHERE Continent = 'Asia'"},
+		{"bob", "SELECT Continent, count(*) FROM Country GROUP BY Continent"},
+		{"alice", "SELECT Name FROM Country WHERE Population > 50000000"},
+		{"alice", "SELECT Name, Population FROM Country WHERE Continent = 'Asia'"}, // re-buy: net 0
+	}
+	quotedSeen := 0
+	receipts := make([]*qirana.Receipt, len(purchases))
+	for i, p := range purchases {
+		// The buyer's journey on the approximating broker: see an
+		// estimate first, then buy.
+		qa, err := approxB.Price(ctx, qirana.PriceRequest{SQLs: []string{p.sql}, MaxError: 0.25})
+		if err != nil {
+			t.Fatal(err)
+		}
+		qe, err := exactB.Price(ctx, qirana.PriceRequest{SQLs: []string{p.sql}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if qa.Total < qe.Total-upperBoundTol(qe.Total) {
+			t.Fatalf("purchase %d: approx quote %v < exact %v", i, qa.Total, qe.Total)
+		}
+		recA := mustBuy(t, approxB, p.buyer, p.sql)
+		recB := mustBuy(t, exactB, p.buyer, p.sql)
+		if recA.Gross != recB.Gross || recA.Refund != recB.Refund ||
+			recA.Net != recB.Net || recA.Balance != recB.Balance {
+			t.Fatalf("purchase %d: money trail diverged with estimates on: %+v vs %+v", i, recA, recB)
+		}
+		if recB.Quoted != 0 || recB.ReconcileDelta != 0 {
+			t.Fatalf("purchase %d: exact twin grew a reconcile trail: %+v", i, recB)
+		}
+		if recA.Quoted != 0 {
+			quotedSeen++
+			if recA.ReconcileDelta < 0 {
+				t.Fatalf("purchase %d: negative reconcile delta %v", i, recA.ReconcileDelta)
+			}
+			// Quoted − delta must land on the exact quote price (the
+			// refiner may have upgraded the entry between quote and
+			// purchase, in which case Quoted == exact and delta == 0 —
+			// the identity holds either way).
+			if back := recA.Quoted - recA.ReconcileDelta; math.Abs(back-qe.Total) > upperBoundTol(qe.Total) {
+				t.Fatalf("purchase %d: Quoted %v − delta %v = %v, want exact quote %v",
+					i, recA.Quoted, recA.ReconcileDelta, back, qe.Total)
+			}
+		}
+		receipts[i] = recA
+	}
+	if quotedSeen == 0 {
+		t.Fatal("no purchase carried a Quoted trail — the approximate quotes never reached the reconcile path")
+	}
+
+	// The ledgers, scanned live (Close would checkpoint them away): the
+	// overlay fields must match the receipts, and with the overlay
+	// zeroed the records must be bit-identical.
+	recsA, _, err := durable.ScanLedgerFile(filepath.Join(dirA, "ledger.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recsB, _, err := durable.ScanLedgerFile(filepath.Join(dirB, "ledger.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recsA) != len(purchases) || len(recsB) != len(purchases) {
+		t.Fatalf("ledgers hold %d and %d records, want %d", len(recsA), len(recsB), len(purchases))
+	}
+	for i := range recsA {
+		if recsA[i].Quoted != receipts[i].Quoted || recsA[i].ReconcileDelta != receipts[i].ReconcileDelta {
+			t.Fatalf("record %d: ledger overlay (%v, %v) != receipt (%v, %v)",
+				i, recsA[i].Quoted, recsA[i].ReconcileDelta, receipts[i].Quoted, receipts[i].ReconcileDelta)
+		}
+		a, b := recsA[i], recsB[i]
+		a.Quoted, a.ReconcileDelta = 0, 0
+		b.Quoted, b.ReconcileDelta = 0, 0
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("record %d: ledgers diverge beyond the reconcile overlay:\n  approx: %+v\n  exact:  %+v", i, a, b)
+		}
+	}
+
+	// Recovery folds the overlay away too: reopening the approximating
+	// broker's directory recovers the twin's balances exactly.
+	if err := approxB.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := qirana.OpenBroker(dirA, db, 100, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { reopened.Close() })
+	for _, buyer := range []string{"alice", "bob"} {
+		if got, want := reopened.TotalPaid(buyer), exactB.TotalPaid(buyer); got != want {
+			t.Fatalf("recovered TotalPaid(%s) = %v, exact twin holds %v", buyer, got, want)
+		}
+	}
+}
+
+// TestApproxExactMixedTrafficHammer drives approximate quotes, exact
+// quotes and purchases concurrently through one broker — cache, refiner
+// and reconcile all racing — and then re-checks soundness on a quiet
+// broker. Its real teeth are under `make race`.
+func TestApproxExactMixedTrafficHammer(t *testing.T) {
+	ctx := context.Background()
+	db, err := qirana.LoadDataset("world", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := qirana.NewBroker(db, 100, qirana.Options{SupportSetSize: 200, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	sqls := []string{
+		"SELECT Name FROM Country WHERE Population > 1000000",
+		"SELECT Continent, count(*) FROM Country GROUP BY Continent",
+		"SELECT count(*) FROM Country WHERE Continent = 'Asia'",
+		"SELECT Language FROM CountryLanguage WHERE Percentage > 50",
+	}
+	const goroutines, iters = 8, 24
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			buyer := fmt.Sprintf("buyer-%d", g)
+			for i := 0; i < iters; i++ {
+				sql := sqls[(g+i)%len(sqls)]
+				switch i % 3 {
+				case 0:
+					if _, err := b.Price(ctx, qirana.PriceRequest{SQLs: []string{sql}}); err != nil {
+						t.Errorf("exact quote: %v", err)
+					}
+				case 1:
+					resp, err := b.Price(ctx, qirana.PriceRequest{SQLs: []string{sql}, MaxError: 0.2})
+					if err != nil {
+						t.Errorf("approx quote: %v", err)
+					} else if resp.PerQuery[0].Estimate == nil {
+						t.Errorf("approx quote lost its estimate block")
+					}
+				case 2:
+					rec, err := b.Purchase(ctx, qirana.PurchaseRequest{Buyer: buyer, SQL: sql})
+					if err != nil {
+						t.Errorf("purchase: %v", err)
+					} else if rec.ReconcileDelta < 0 {
+						t.Errorf("purchase reconciled upward: %+v", rec)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Quiet now: whatever state the races left in the cache, every
+	// approximate quote still bounds the exact price.
+	for _, sql := range sqls {
+		want, err := b.Price(ctx, qirana.PriceRequest{SQLs: []string{sql}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := b.Price(ctx, qirana.PriceRequest{SQLs: []string{sql}, MaxError: 0.2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Total < want.Total-upperBoundTol(want.Total) {
+			t.Fatalf("%s: post-hammer approx %v < exact %v", sql, got.Total, want.Total)
+		}
+	}
+}
+
+// TestApproxClusterShardedBitIdentical extends the cluster contract to
+// the sampled path: a 3-shard router and a single node independently
+// recompute the same deterministic sample mask and must produce the SAME
+// estimate — upper bound, point, CI and sample size, bit for bit — for
+// every pricing function and error target. The quote cache is disabled
+// on both sides so every call is a fresh sampled sweep: otherwise the
+// background refiner could upgrade one side's entry to the exact price
+// mid-test and the totals would legitimately (but unhelpfully) diverge.
+func TestApproxClusterShardedBitIdentical(t *testing.T) {
+	ctx := context.Background()
+	db, err := qirana.LoadDataset("world", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := qirana.Options{SupportSetSize: 200, Seed: 7, QuoteCacheSize: qirana.QuoteCacheDisabled}
+	single, err := qirana.NewBroker(db, 100, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routed, err := qirana.NewBroker(db, 100, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attachCluster(t, routed, db, 3, 200)
+	sqls := []string{
+		"SELECT Name FROM Country WHERE Population > 1000000",
+		"SELECT Continent, count(*) FROM Country GROUP BY Continent",
+	}
+	for _, fn := range clusterFns {
+		fn := fn
+		for _, sql := range sqls {
+			for _, me := range []float64{0.3, 0.1} {
+				label := fmt.Sprintf("fn=%v maxErr=%g %s", fn, me, sql)
+				want, err := single.Price(ctx, qirana.PriceRequest{SQLs: []string{sql}, Func: &fn, MaxError: me})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := routed.Price(ctx, qirana.PriceRequest{SQLs: []string{sql}, Func: &fn, MaxError: me})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Total != want.Total {
+					t.Fatalf("%s: routed approx %v != single-node %v", label, got.Total, want.Total)
+				}
+				ge, we := got.PerQuery[0].Estimate, want.PerQuery[0].Estimate
+				if ge == nil || we == nil {
+					t.Fatalf("%s: missing estimate block (routed %v, single %v)", label, ge, we)
+				}
+				if ge.Point != we.Point || ge.CI != we.CI ||
+					ge.SampleFrac != we.SampleFrac || ge.SampleN != we.SampleN ||
+					ge.Refined != we.Refined {
+					t.Fatalf("%s: routed estimate %+v != single-node %+v", label, ge, we)
+				}
+			}
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"qirana/internal/obs"
 	"qirana/internal/pricing"
 	"qirana/internal/sqlengine/exec"
+	"qirana/internal/support"
 )
 
 // This file is the broker's cluster surface: the shard-side sweep slice
@@ -48,24 +49,48 @@ var ErrReadOnly = errors.New("broker is read-only")
 // rebuilds the cluster from one saved support set.
 var ErrSupportMismatch = errors.New("support set mismatch")
 
+// SweepSpec describes how a remote sweep should run. It replaced the
+// old positional (bundle, supportGen) arguments when approximate
+// pricing landed: a sweep now also carries an optional sample spec, and
+// threading a third and fourth positional flag through every
+// implementation was the wrong shape for an interface expected to grow.
+type SweepSpec struct {
+	// Bundle prices the sqls as ONE bundle (one output vector); false
+	// sweeps each query independently (one vector per query, still in
+	// one shared pass).
+	Bundle bool
+	// SupportGen is the caller's support-set generation, forwarded so a
+	// stale router and a resampled shard can never silently mix sets.
+	SupportGen uint64
+	// SampleFrac in (0, 1) requests a sampled sweep: every shard
+	// computes the SAME deterministic stratified mask
+	// (support.SampleMask over the full index space, keyed by
+	// SampleSeed and SupportGen) and sweeps only the sampled elements
+	// of its slice. 0 (or ≥1) sweeps everything. Unsampled positions of
+	// the returned vectors are zero; approximate folds read only
+	// sampled positions.
+	SampleFrac float64
+	// SampleSeed keys the sample mask. Shards use the caller's seed,
+	// never their own, so the reassembled vector has exactly the
+	// positions the caller's mask selects.
+	SampleSeed int64
+}
+
+// Sampled reports whether the spec asks for a strict sub-sample.
+func (s SweepSpec) Sampled() bool { return s.SampleFrac > 0 && s.SampleFrac < 1 }
+
 // RemoteSweeper replaces the broker's local cold sweep with a remote
 // fan-out. Implementations (internal/shard.Fanout) partition [0, |S|)
 // across shards, collect SweepSliceResponses, and reassemble the
 // per-element vectors in global index order.
-//
-// Both methods take the bundle flag: true prices sqls as ONE bundle
-// (one output vector), false sweeps each query independently (one
-// vector per query, still in one shared pass). supportGen is the
-// caller's support-set generation, forwarded so a stale router and a
-// resampled shard can never silently mix sets.
 type RemoteSweeper interface {
 	// SweepBits returns the full-length disagreement bitmap(s): one per
 	// query, or exactly one in bundle mode. Stats align with the outer
 	// slice.
-	SweepBits(ctx context.Context, sqls []string, bundle bool, supportGen uint64) ([][]bool, []Stats, error)
+	SweepBits(ctx context.Context, sqls []string, spec SweepSpec) ([][]bool, []Stats, error)
 	// SweepHashes returns the full-length per-element output-hash
 	// vector(s) for the entropy pricing functions, shaped like SweepBits.
-	SweepHashes(ctx context.Context, sqls []string, bundle bool, supportGen uint64) ([][]uint64, []Stats, error)
+	SweepHashes(ctx context.Context, sqls []string, spec SweepSpec) ([][]uint64, []Stats, error)
 }
 
 // SetRemoteSweeper installs (or, with nil, removes) the broker's remote
@@ -125,6 +150,13 @@ type SweepSliceRequest struct {
 	// prices against; the shard refuses on any mismatch.
 	SupportGen uint64 `json:"support_gen"`
 	SupportSum uint64 `json:"support_sum"`
+	// SampleFrac in (0, 1) sweeps only the deterministic stratified
+	// sample of the support set (support.SampleMask keyed by SampleSeed
+	// and SupportGen) intersected with [Lo, Hi); the response vectors
+	// stay slice-width with unsampled positions zero. Absent (0) sweeps
+	// the whole slice — the wire format is unchanged for exact traffic.
+	SampleFrac float64 `json:"sample_frac,omitempty"`
+	SampleSeed int64   `json:"sample_seed,omitempty"`
 }
 
 // SweepSliceResponse carries one shard's slice of the sweep. Bits and
@@ -194,14 +226,32 @@ func (b *Broker) SweepSlice(ctx context.Context, req SweepSliceRequest) (*SweepS
 	for i := req.Lo; i < req.Hi; i++ {
 		live[i] = true
 	}
+	// A sampled sweep intersects the slice with the caller's global
+	// sample mask — recomputed here from (frac, seed, gen), identical on
+	// every shard — and caches under sample-suffixed keys so exact and
+	// sampled slices never alias. width stays the full slice width (the
+	// wire vectors keep their shape); rows/stats count sampled elements.
+	sampleSuffix := ""
+	sampledWidth := req.Hi - req.Lo
+	if req.SampleFrac > 0 && req.SampleFrac < 1 {
+		mask := support.SampleMask(size, req.SampleFrac, req.SampleSeed, req.SupportGen)
+		sampledWidth = 0
+		for i := req.Lo; i < req.Hi; i++ {
+			live[i] = mask[i]
+			if mask[i] {
+				sampledWidth++
+			}
+		}
+		sampleSuffix = fmt.Sprintf("|smp:%g,%d", req.SampleFrac, req.SampleSeed)
+	}
 	resp := &SweepSliceResponse{SupportGen: b.supportGen, Lo: req.Lo, Hi: req.Hi}
-	width := req.Hi - req.Lo
+	width := sampledWidth
 	// rows counts elements swept by THIS call: the counters live inside
 	// the compute closures, which cache hits and coalesced flights skip.
 	rows := 0
 	switch {
 	case req.Hashes && req.Bundle:
-		key := fmt.Sprintf("sh|b|%d,%d|%s", req.Lo, req.Hi, b.disKey(qs))
+		key := fmt.Sprintf("sh|b|%d,%d|%s", req.Lo, req.Hi, b.disKey(qs)) + sampleSuffix
 		v, _, err := b.cached(ctx, key, func() (any, error) {
 			b.engineMu.Lock()
 			defer b.engineMu.Unlock()
@@ -225,7 +275,7 @@ func (b *Broker) SweepSlice(ctx context.Context, req SweepSliceRequest) (*SweepS
 	case req.Hashes:
 		entries, _, err := batchEntries(ctx, b, qs,
 			func(qs []*exec.Query) string {
-				return fmt.Sprintf("sh|m|%d,%d|%s", req.Lo, req.Hi, b.disKey(qs))
+				return fmt.Sprintf("sh|m|%d,%d|%s", req.Lo, req.Hi, b.disKey(qs)) + sampleSuffix
 			},
 			func(ctx context.Context, miss []*exec.Query) ([]sliceHashEntry, error) {
 				b.engineMu.Lock()
@@ -259,7 +309,7 @@ func (b *Broker) SweepSlice(ctx context.Context, req SweepSliceRequest) (*SweepS
 		}
 
 	case req.Bundle:
-		key := fmt.Sprintf("ss|b|%d,%d|%s", req.Lo, req.Hi, b.disKey(qs))
+		key := fmt.Sprintf("ss|b|%d,%d|%s", req.Lo, req.Hi, b.disKey(qs)) + sampleSuffix
 		v, _, err := b.cached(ctx, key, func() (any, error) {
 			b.engineMu.Lock()
 			defer b.engineMu.Unlock()
@@ -282,7 +332,7 @@ func (b *Broker) SweepSlice(ctx context.Context, req SweepSliceRequest) (*SweepS
 	default:
 		entries, _, err := batchEntries(ctx, b, qs,
 			func(qs []*exec.Query) string {
-				return fmt.Sprintf("ss|m|%d,%d|%s", req.Lo, req.Hi, b.disKey(qs))
+				return fmt.Sprintf("ss|m|%d,%d|%s", req.Lo, req.Hi, b.disKey(qs)) + sampleSuffix
 			},
 			func(ctx context.Context, miss []*exec.Query) ([]sliceBitsEntry, error) {
 				b.engineMu.Lock()

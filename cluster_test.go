@@ -379,7 +379,7 @@ func TestClusterPartitionRecovery(t *testing.T) {
 	}
 
 	// A gen the cluster was not connected at is a mismatch, not a retry.
-	if _, _, err := fan.SweepBits(context.Background(), []string{sql}, false, routed.SupportGen()+1); !errors.Is(err, qirana.ErrSupportMismatch) {
+	if _, _, err := fan.SweepBits(context.Background(), []string{sql}, qirana.SweepSpec{SupportGen: routed.SupportGen() + 1}); !errors.Is(err, qirana.ErrSupportMismatch) {
 		t.Fatalf("stale-gen sweep: err=%v, want ErrSupportMismatch", err)
 	}
 

@@ -108,7 +108,7 @@ func (r *runner) measure(group, name string, workers int, op func() error) {
 func main() {
 	var (
 		out      = flag.String("out", "BENCH_pricing.json", "output JSON path")
-		groups   = flag.String("groups", "fig4d,fig5a,fig5b,quote,delta-tiers,templates,cluster", "comma-separated benchmark groups")
+		groups   = flag.String("groups", "fig4d,fig5a,fig5b,quote,delta-tiers,templates,cluster,approx", "comma-separated benchmark groups")
 		workersF = flag.String("workers", "1,numcpu", "comma-separated worker counts ('numcpu' allowed)")
 		supportN = flag.Int("support", 500, "support set size for the Fig 5 fixtures")
 		ssbSF    = flag.Float64("ssb-sf", 0.002, "SSB scale factor")
@@ -126,7 +126,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	known := []string{"fig4d", "fig5a", "fig5b", "quote", "delta-tiers", "templates", "cluster"}
+	known := []string{"fig4d", "fig5a", "fig5b", "quote", "delta-tiers", "templates", "cluster", "approx"}
 	want := map[string]bool{}
 	for _, g := range strings.Split(*groups, ",") {
 		g = strings.TrimSpace(g)
@@ -191,6 +191,9 @@ func main() {
 	}
 	if want["cluster"] {
 		clusterGroup(r, *seed, *supportN)
+	}
+	if want["approx"] {
+		approxGroup(r, *seed, *supportN)
 	}
 
 	rep := report{
@@ -409,6 +412,7 @@ func deltaTiers(r *runner, seed int64, supportN int, workers []int) {
 // ns/op is comparable across mixes at a fixed client count.
 func quoteThroughput(r *runner, seed int64, supportN int) {
 	db := datagen.World(seed)
+	ctx := context.Background()
 	repeated := []string{
 		"SELECT Name FROM Country WHERE Continent = 'Asia'",
 		"SELECT Population FROM Country WHERE ID < 50",
@@ -440,7 +444,7 @@ func quoteThroughput(r *runner, seed int64, supportN int) {
 				go func(g int) {
 					defer wg.Done()
 					for i := 0; i < quotesPerClient; i++ {
-						if _, err := b.Quote(sqlFor(g, i)); err != nil {
+						if _, err := b.Price(ctx, qirana.PriceRequest{SQLs: []string{sqlFor(g, i)}}); err != nil {
 							select {
 							case errs <- err:
 							default:
@@ -472,7 +476,7 @@ func quoteThroughput(r *runner, seed int64, supportN int) {
 		r.measure("quote", fmt.Sprintf("repeated-cold/clients=%d", c), c, run(cold, c, repSQL))
 		warm := newBroker(0)
 		for _, sql := range repeated { // prime
-			if _, err := warm.Quote(sql); err != nil {
+			if _, err := warm.Price(ctx, qirana.PriceRequest{SQLs: []string{sql}}); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
@@ -574,13 +578,13 @@ func templatesGroup(r *runner, seed int64, supportN int) {
 
 	// quote-hit: the same broker and template, one fixed constant ad hoc.
 	hitSQL := "SELECT Name FROM Country WHERE Population > 0"
-	if _, err := bw.Quote(hitSQL); err != nil {
+	if _, err := bw.Price(ctx, qirana.PriceRequest{SQLs: []string{hitSQL}}); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	r.measure("templates", "quote-hit", 1, func() error {
 		for i := 0; i < quotesPerOp; i++ {
-			if _, err := bw.Quote(hitSQL); err != nil {
+			if _, err := bw.Price(ctx, qirana.PriceRequest{SQLs: []string{hitSQL}}); err != nil {
 				return err
 			}
 		}
@@ -593,7 +597,7 @@ func templatesGroup(r *runner, seed int64, supportN int) {
 	r.measure("templates", "adhoc-cold", 1, func() error {
 		for i := 0; i < quotesPerOp; i++ {
 			sql := fmt.Sprintf("SELECT Name FROM Country WHERE Population > %d", uniqueN.Add(1)*1000+7)
-			if _, err := bc.Quote(sql); err != nil {
+			if _, err := bc.Price(ctx, qirana.PriceRequest{SQLs: []string{sql}}); err != nil {
 				return err
 			}
 		}
@@ -666,7 +670,7 @@ func clusterGroup(r *runner, seed int64, supportN int) {
 			os.Exit(1)
 		}
 		r.measure("cluster", fmt.Sprintf("cold-quote/shards=%d", n), n, func() error {
-			_, err := routed.Quote(unique())
+			_, err := routed.Price(context.Background(), qirana.PriceRequest{SQLs: []string{unique()}})
 			return err
 		})
 		for i, b := range cl.Brokers {
@@ -675,5 +679,68 @@ func clusterGroup(r *runner, seed int64, supportN int) {
 				i+1, n, m.Counters["shard_rows_swept"], m.Counters["shard_sweep_requests"])
 		}
 		cl.Close()
+	}
+}
+
+// approxGroup measures the sampled approximate pricing sweep against the
+// exact sweep at the engine level (no broker cache, no background
+// refiner — each price is a cold sweep): one fixed query per pricing
+// function, exact plus three sample fractions. Sweep cost is live-mask
+// driven, so ns/op should fall roughly linearly with the fraction; the
+// printed summary reports the speedup and the estimate's overshoot over
+// the exact price at each fraction (the served estimate is a guaranteed
+// upper bound — overshoot is never negative).
+func approxGroup(r *runner, seed int64, supportN int) {
+	db := datagen.World(seed)
+	set, err := support.GenerateNeighborhood(db, support.DefaultConfig(supportN, seed))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	ctx := context.Background()
+	fracs := []float64{0.25, 0.1, 0.05}
+	queries := []struct {
+		name string
+		fn   pricing.Func
+		sql  string
+	}{
+		{"coverage", pricing.WeightedCoverage, "SELECT Name, Population FROM Country WHERE Population > 1000000"},
+		{"shannon", pricing.ShannonEntropy, "SELECT Name, Population FROM Country WHERE Population > 1000000"},
+	}
+	type cell struct{ ns, price, point float64 }
+	got := map[string]cell{}
+	for _, wq := range queries {
+		q := exec.MustCompile(wq.sql, db.Schema)
+		e := pricing.NewEngine(db, set, 100)
+		var exact float64
+		r.measure("approx", wq.name+"/exact", 1, func() error {
+			p, err := e.Price(wq.fn, q)
+			exact = p
+			return err
+		})
+		got[wq.name+"/exact"] = cell{ns: r.out[len(r.out)-1].NsPerOp, price: exact, point: exact}
+		n := set.Size()
+		for _, frac := range fracs {
+			mask := support.SampleMask(n, frac, seed, 0)
+			var est pricing.Estimate
+			name := fmt.Sprintf("%s/frac=%g", wq.name, frac)
+			r.measure("approx", name, 1, func() error {
+				var err error
+				est, err = e.ApproxPriceCtx(ctx, wq.fn, mask, q)
+				return err
+			})
+			got[name] = cell{ns: r.out[len(r.out)-1].NsPerOp, price: est.Price, point: est.Point}
+		}
+	}
+	for _, wq := range queries {
+		ex := got[wq.name+"/exact"]
+		for _, frac := range fracs {
+			c := got[fmt.Sprintf("%s/frac=%g", wq.name, frac)]
+			if ex.ns <= 0 || c.ns <= 0 || ex.price <= 0 {
+				continue
+			}
+			fmt.Printf("approx: %-8s frac=%-5g %5.2fx faster than exact; point estimate off by %5.1f%%, guaranteed bound +%.0f%%\n",
+				wq.name, frac, ex.ns/c.ns, 100*math.Abs(c.point-ex.price)/ex.price, 100*(c.price-ex.price)/ex.price)
+		}
 	}
 }

@@ -11,6 +11,7 @@
 // Shell commands:
 //
 //	quote <sql>           price a query (up-front, history-oblivious)
+//	approx <err> <sql>    sampled upper-bound quote with target error <err>
 //	ask <sql>             buy a query: print answer and incremental charge
 //	prepare <sql>         prepare a $1-style template; prints its handle
 //	exec <n> <params...>  buy an instance of prepared statement #n
@@ -136,7 +137,7 @@ func main() {
 		case "quit", "exit":
 			return
 		case "help":
-			fmt.Println("quote <sql> | ask <sql> | prepare <sql> | exec <n> <params...> | buyer <name> | func <name> | point <price> <sql> | paid | stats | schema | quit")
+			fmt.Println("quote <sql> | approx <err> <sql> | ask <sql> | prepare <sql> | exec <n> <params...> | buyer <name> | func <name> | point <price> <sql> | paid | stats | schema | quit")
 		case "buyer":
 			if rest == "" {
 				fmt.Println("usage: buyer <name>")
@@ -159,20 +160,39 @@ func main() {
 			}
 			fmt.Println("pricing function:", fn)
 		case "quote":
-			p, err := broker.QuoteWith(fn, rest)
+			resp, err := broker.Price(ctx, qirana.PriceRequest{SQLs: []string{rest}, Func: &fn})
 			if err != nil {
 				fmt.Println("error:", err)
 				continue
 			}
-			fmt.Printf("price: $%.2f\n", p)
+			fmt.Printf("price: $%.2f\n", resp.Total)
+		case "approx":
+			// approx <max_error> <sql>: sampled upper-bound quote.
+			meStr, sql, _ := strings.Cut(rest, " ")
+			me, err := strconv.ParseFloat(meStr, 64)
+			if err != nil || sql == "" {
+				fmt.Println("usage: approx <max_error in (0,1]> <sql>")
+				continue
+			}
+			resp, err := broker.Price(ctx, qirana.PriceRequest{SQLs: []string{sql}, Func: &fn, MaxError: me})
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			if est := resp.PerQuery[0].Estimate; est != nil {
+				fmt.Printf("price: $%.2f (upper bound; point $%.2f ± $%.2f from a %.0f%% sample)\n",
+					resp.Total, est.Point, est.CI, est.SampleFrac*100)
+			} else {
+				fmt.Printf("price: $%.2f\n", resp.Total)
+			}
 		case "ask":
-			res, charge, err := broker.Ask(buyer, rest)
+			rec, err := broker.Purchase(ctx, qirana.PurchaseRequest{Buyer: buyer, SQL: rest})
 			if err != nil {
 				fmt.Println("error:", err)
 				continue
 			}
-			fmt.Print(res.String())
-			fmt.Printf("(%d rows) charged $%.2f, total paid $%.2f\n", res.Len(), charge, broker.TotalPaid(buyer))
+			fmt.Print(rec.Result.String())
+			fmt.Printf("(%d rows) charged $%.2f, total paid $%.2f\n", rec.Result.Len(), rec.Net, broker.TotalPaid(buyer))
 		case "prepare":
 			s, err := broker.Prepare(ctx, rest)
 			if err != nil {
@@ -226,14 +246,14 @@ func main() {
 			}
 			fmt.Printf("fitted %d price point(s)\n", len(points))
 		case "refund":
-			res, gross, refund, err := broker.AskWithRefund(buyer, rest)
+			rec, err := broker.Purchase(ctx, qirana.PurchaseRequest{Buyer: buyer, SQL: rest, Refund: true})
 			if err != nil {
 				fmt.Println("error:", err)
 				continue
 			}
-			fmt.Print(res.String())
+			fmt.Print(rec.Result.String())
 			fmt.Printf("(%d rows) charged $%.2f, refunded $%.2f, net $%.2f\n",
-				res.Len(), gross, refund, gross-refund)
+				rec.Result.Len(), rec.Gross, rec.Refund, rec.Gross-rec.Refund)
 		case "save":
 			if rest == "" {
 				fmt.Println("usage: save <path>")
@@ -276,13 +296,13 @@ func main() {
 		default:
 			// Bare SQL is treated as "ask".
 			if strings.HasPrefix(strings.ToUpper(cmd), "SELECT") {
-				res, charge, err := broker.Ask(buyer, line)
+				rec, err := broker.Purchase(ctx, qirana.PurchaseRequest{Buyer: buyer, SQL: line})
 				if err != nil {
 					fmt.Println("error:", err)
 					continue
 				}
-				fmt.Print(res.String())
-				fmt.Printf("(%d rows) charged $%.2f\n", res.Len(), charge)
+				fmt.Print(rec.Result.String())
+				fmt.Printf("(%d rows) charged $%.2f\n", rec.Result.Len(), rec.Net)
 				continue
 			}
 			fmt.Printf("unknown command %q (try help)\n", cmd)

@@ -61,16 +61,17 @@ func main() {
 		dataDir  = flag.String("data", "", "durable state directory for the router's purchase ledger")
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-request pricing timeout (0 = none)")
 		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+		shedP99  = flag.Duration("shed-p99", 0, "load-shed target: when the windowed p99 pricing latency exceeds this, force a minimum max_error onto quotes (0 = never shed)")
 		standbyA = flag.String("standby-addr", "", "demo mode: also serve an in-process read-only standby mirror of -data on this address")
 	)
 	flag.Parse()
-	if err := run(*addr, *shards, *cluster, *dataset, *price, *size, *scale, *seed, *workers, *load, *dataDir, *timeout, *drain, *standbyA); err != nil {
+	if err := run(*addr, *shards, *cluster, *dataset, *price, *size, *scale, *seed, *workers, *load, *dataDir, *timeout, *drain, *shedP99, *standbyA); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 }
 
-func run(addr, shards string, cluster int, dataset string, price float64, size int, scale float64, seed int64, workers int, load, dataDir string, timeout, drain time.Duration, standbyAddr string) error {
+func run(addr, shards string, cluster int, dataset string, price float64, size int, scale float64, seed int64, workers int, load, dataDir string, timeout, drain, shedP99 time.Duration, standbyAddr string) error {
 	if (shards == "") == (cluster == 0) {
 		return errors.New("set exactly one of -shards (connect to workers) or -cluster N (in-process demo)")
 	}
@@ -78,7 +79,7 @@ func run(addr, shards string, cluster int, dataset string, price float64, size i
 	if err != nil {
 		return err
 	}
-	opts := qirana.Options{SupportSetSize: size, Seed: seed, Workers: workers}
+	opts := qirana.Options{SupportSetSize: size, Seed: seed, Workers: workers, ShedTargetP99: shedP99}
 	var broker *qirana.Broker
 	switch {
 	case dataDir != "" && load != "":

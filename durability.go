@@ -250,9 +250,10 @@ func (b *Broker) Checkpoint() error {
 
 // Close flushes durable state — a final checkpoint plus ledger fsync —
 // and releases the DataDir files. Purchases after Close fail with
-// ErrDurability; quoting keeps working. Close is idempotent and a no-op
-// for in-memory brokers.
+// ErrDurability; quoting keeps working. Close is idempotent; for
+// in-memory brokers it only stops the background refiner.
 func (b *Broker) Close() error {
+	b.stopRefiner()
 	if b.dur == nil {
 		return nil
 	}
@@ -282,7 +283,7 @@ func (d *durableState) isClosed() bool {
 // summation order so the recorded floats are bit-identical to the
 // receipt — and appends + fsyncs the record. Callers hold b.mu.RLock and
 // the buyer's lock; buyer state is untouched here.
-func (b *Broker) logPurchase(req PurchaseRequest, q *exec.Query, dis []bool, h *pricing.History) error {
+func (b *Broker) logPurchase(req PurchaseRequest, q *exec.Query, dis []bool, h *pricing.History, quoted, reconcileDelta float64) error {
 	w := b.engine.Weights
 	var gross, refund float64
 	if req.Refund {
@@ -317,6 +318,11 @@ func (b *Broker) logPurchase(req PurchaseRequest, q *exec.Query, dis []bool, h *
 		Net:          gross - refund,
 		WeightsEpoch: b.engine.WeightsEpoch(),
 		Dis:          durable.PackBits(dis),
+		// Informational reconcile trail (see Receipt): replay ignores
+		// these — the charge is recomputed from Dis alone — so a ledger
+		// with estimates recovers bit-identically to one without.
+		Quoted:         quoted,
+		ReconcileDelta: reconcileDelta,
 	}
 	if _, err := b.dur.ledger.Append(rec); err != nil {
 		return fmt.Errorf("%w: %w", ErrDurability, err)

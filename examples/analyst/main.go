@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -46,14 +47,15 @@ func main() {
 		`select c_region, sum(lo_revenue - lo_supplycost) from lineorder, customer
 		 where lo_custkey = c_custkey group by c_region`,
 	}
+	ctx := context.Background()
 	for i, sql := range session {
-		res, charge, err := broker.Ask("analyst", sql)
+		rec, err := broker.Purchase(ctx, qirana.PurchaseRequest{Buyer: "analyst", SQL: sql})
 		if err != nil {
 			log.Fatal(err)
 		}
 		s := broker.LastStats()
 		fmt.Printf("query %d: %3d rows, charged $%7.2f (running total $%7.2f)\n",
-			i+1, res.Len(), charge, broker.TotalPaid("analyst"))
+			i+1, rec.Result.Len(), rec.Net, broker.TotalPaid("analyst"))
 		fmt.Printf("         pricing work: %d static, %d batched, %d full runs\n",
 			s.Static, s.Batched, s.FullRuns)
 	}
@@ -61,11 +63,11 @@ func main() {
 	// Compare with a history-oblivious seller: each query priced alone.
 	oblivious := 0.0
 	for _, sql := range session {
-		p, err := broker.Quote(sql)
+		resp, err := broker.Price(ctx, qirana.PriceRequest{SQLs: []string{sql}})
 		if err != nil {
 			log.Fatal(err)
 		}
-		oblivious += p
+		oblivious += resp.Total
 	}
 	fmt.Printf("\nhistory-aware total:     $%7.2f\n", broker.TotalPaid("analyst"))
 	fmt.Printf("history-oblivious total: $%7.2f (what a refundless market would charge)\n", oblivious)

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -34,14 +35,15 @@ func main() {
 		"SELECT * FROM CountryLanguage",
 		"SELECT Name FROM Country WHERE Continent = 'Europe'",
 	}
+	ctx := context.Background()
 	show := func(label string) {
 		fmt.Println(label)
 		for _, sql := range probes {
-			p, err := broker.Quote(sql)
+			resp, err := broker.Price(ctx, qirana.PriceRequest{SQLs: []string{sql}})
 			if err != nil {
 				log.Fatal(err)
 			}
-			fmt.Printf("  $%6.2f  %s\n", p, sql)
+			fmt.Printf("  $%6.2f  %s\n", resp.Total, sql)
 		}
 		fmt.Println()
 	}

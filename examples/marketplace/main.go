@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -43,16 +44,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	p, _ := broker.Quote("SELECT * FROM lineitem")
-	fmt.Printf("price point fitted: lineitem alone quotes at $%.2f\n\n", p)
+	ctx := context.Background()
+	lineitem, _ := broker.Price(ctx, qirana.PriceRequest{SQLs: []string{"SELECT * FROM lineitem"}})
+	fmt.Printf("price point fitted: lineitem alone quotes at $%.2f\n\n", lineitem.Total)
 
 	serve := func(buyer string, queries []string) {
 		for _, sql := range queries {
-			res, charge, err := broker.Ask(buyer, sql)
+			rec, err := broker.Purchase(ctx, qirana.PurchaseRequest{Buyer: buyer, SQL: sql})
 			if err != nil {
 				log.Fatalf("%s: %v", buyer, err)
 			}
-			fmt.Printf("  %-9s $%8.2f  (%4d rows)  %.60s...\n", buyer, charge, res.Len(), sql)
+			fmt.Printf("  %-9s $%8.2f  (%4d rows)  %.60s...\n", buyer, rec.Net, rec.Result.Len(), sql)
 		}
 	}
 
@@ -91,6 +93,6 @@ func main() {
 	fmt.Printf("  the hoarder owns the dataset: paid $%.2f of the $%.0f list price\n",
 		broker.TotalPaid("hoard"), broker.TotalPrice())
 	// Everything is free for the hoarder now.
-	_, extra, _ := broker.Ask("hoard", "select l_comment from lineitem where l_orderkey = 1")
-	fmt.Printf("  post-ownership query charge: $%.2f\n", extra)
+	last, _ := broker.Purchase(ctx, qirana.PurchaseRequest{Buyer: "hoard", SQL: "select l_comment from lineitem where l_orderkey = 1"})
+	fmt.Printf("  post-ownership query charge: $%.2f\n", last.Net)
 }

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,6 +24,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx := context.Background()
 
 	// Up-front quotes: prices can be disclosed before buying.
 	for _, sql := range []string{
@@ -31,26 +33,47 @@ func main() {
 		"SELECT * FROM Country",
 		"SELECT count(*) FROM Country", // cardinality is public: free
 	} {
-		p, err := broker.Quote(sql)
+		resp, err := broker.Price(ctx, qirana.PriceRequest{SQLs: []string{sql}})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("$%6.2f  %s\n", p, sql)
+		fmt.Printf("$%6.2f  %s\n", resp.Total, sql)
+	}
+
+	// Under load (or for huge support sets) a quote can be approximate:
+	// MaxError trades precision for speed, and the served price is a
+	// guaranteed upper bound on the exact price — never an undercharge.
+	approx, err := broker.Price(ctx, qirana.PriceRequest{
+		SQLs:     []string{"SELECT Name FROM Country WHERE Population > 50000000"},
+		MaxError: 0.1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if est := approx.PerQuery[0].Estimate; est != nil {
+		fmt.Printf("$%6.2f  (approximate: sampled %.0f%% of the support set, ±$%.2f)\n",
+			approx.Total, est.SampleFrac*100, est.CI)
 	}
 
 	// A purchase returns the answer and charges the buyer's account,
 	// history-aware: repeated information is never paid for twice.
-	res, charge, err := broker.Ask("alice", "SELECT Name, Population FROM Country WHERE Continent = 'Asia'")
+	rec, err := broker.Purchase(ctx, qirana.PurchaseRequest{
+		Buyer: "alice",
+		SQL:   "SELECT Name, Population FROM Country WHERE Continent = 'Asia'",
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nalice bought %d rows for $%.2f\n", res.Len(), charge)
+	fmt.Printf("\nalice bought %d rows for $%.2f\n", rec.Result.Len(), rec.Net)
 
-	_, charge2, err := broker.Ask("alice", "SELECT Name FROM Country WHERE Continent = 'Asia'")
+	rec2, err := broker.Purchase(ctx, qirana.PurchaseRequest{
+		Buyer: "alice",
+		SQL:   "SELECT Name FROM Country WHERE Continent = 'Asia'",
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("the projection of what she already owns costs $%.2f\n", charge2)
+	fmt.Printf("the projection of what she already owns costs $%.2f\n", rec2.Net)
 	fmt.Printf("alice has paid $%.2f of the $%.2f dataset price\n",
 		broker.TotalPaid("alice"), broker.TotalPrice())
 }

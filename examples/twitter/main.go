@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -87,13 +88,14 @@ func main() {
 		log.Fatal(err)
 	}
 
+	ctx := context.Background()
 	quote := func(label, sql string) float64 {
-		p, err := broker.Quote(sql)
+		resp, err := broker.Price(ctx, qirana.PriceRequest{SQLs: []string{sql}})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-3s $%6.2f  %s\n", label, p, sql)
-		return p
+		fmt.Printf("%-3s $%6.2f  %s\n", label, resp.Total, sql)
+		return resp.Total
 	}
 
 	q1 := "SELECT count(*) FROM User WHERE gender = 'f'"
@@ -112,11 +114,11 @@ func main() {
 
 	fmt.Println("\n-- Alice's session (history-aware) --")
 	for _, sql := range []string{q2, q3, q5} {
-		res, charge, err := broker.Ask("alice", sql)
+		rec, err := broker.Purchase(ctx, qirana.PurchaseRequest{Buyer: "alice", SQL: sql})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("charged $%5.2f for %s\n%s", charge, sql, indent(res.String()))
+		fmt.Printf("charged $%5.2f for %s\n%s", rec.Net, sql, indent(rec.Result.String()))
 	}
 	fmt.Printf("Alice has paid $%.2f in total; Q5 was free because Q2 already disclosed it.\n",
 		broker.TotalPaid("alice"))

@@ -55,6 +55,14 @@ type Record struct {
 	// Every record must carry the snapshot's epoch: weight changes write
 	// a fresh snapshot, so a mismatch means the files were mixed.
 	WeightsEpoch uint64 `json:"weights_epoch"`
+	// Quoted and ReconcileDelta are the approximate-pricing reconcile
+	// trail: the estimate the buyer last saw and how far above the
+	// exact quote it landed. Purely informational — replay recomputes
+	// the charge from Dis alone — and omitted (zero) for purchases
+	// never preceded by an approximate quote, so ledgers written before
+	// the fields existed parse unchanged.
+	Quoted         float64 `json:"quoted,omitempty"`
+	ReconcileDelta float64 `json:"reconcile_delta,omitempty"`
 	// Dis is the purchase's full (history-oblivious) disagreement
 	// bitmap over the support set, packed 8 bits per byte (PackBits).
 	// Replaying it through the same fold the live path uses makes the

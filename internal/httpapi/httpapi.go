@@ -4,6 +4,13 @@
 // mux). It wraps a broker — or, for standbys that swap brokers on
 // promotion, a broker *getter* — behind the /quote, /quote/batch, /ask,
 // /prepare, /stats, /metrics and /healthz endpoints.
+//
+// Every endpoint answers under the versioned /v1/ prefix — the
+// canonical path new clients should use — and under the historical
+// unprefixed alias, which serves identical bytes. Errors are typed:
+// every failure body is {"error": {"code": ..., "message": ...}} with
+// a stable machine-readable code (see the Code constants), so clients
+// branch on err.error.code rather than parsing prose.
 package httpapi
 
 import (
@@ -60,18 +67,23 @@ type stmtEntry struct {
 // of templates, not thousands.
 const maxPreparedStmts = 4096
 
-// New serves a fixed broker. The routes:
+// New serves a fixed broker. The routes (each also under /v1/):
 //
 //	POST /quote        price one query (or a bundle), or a prepared
 //	                   statement instance ({"stmt": id, "params": [...]})
 //	POST /quote/batch  price k independent queries in one shared sweep
 //	POST /ask          buy a query (or prepared instance) for a buyer
 //	POST /prepare      prepare a $1-style template; returns a stmt handle
-//	GET  /stats        broker counters (last pricing stats, quote cache)
+//	GET  /stats        broker counters (last pricing stats, quote cache,
+//	                   load-shed state, approximate-path counters)
 //	GET  /metrics      obs snapshot: counters + latency percentiles
 //	GET  /healthz      liveness: 200 with the support-set generation
 //	GET  /debug/vars   expvar (includes the live metrics registry)
-//	GET  /debug/pprof  runtime profiling
+//	GET  /debug/pprof  runtime profiling (unversioned only)
+//
+// /quote and /quote/batch accept "max_error" in the body (or the
+// ?max_error= query parameter, which wins) to request the sampled
+// approximate pricing path; see qirana.PriceRequest.MaxError.
 func New(b *qirana.Broker, timeout time.Duration) *Server {
 	return NewDynamic(func() *qirana.Broker { return b }, timeout)
 }
@@ -83,13 +95,17 @@ func NewDynamic(get func() *qirana.Broker, timeout time.Duration) *Server {
 	s := &Server{get: get, timeout: timeout, stmts: make(map[int64]stmtEntry)}
 	get().PublishExpvar("qirana")
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /quote", s.handleQuote)
-	mux.HandleFunc("POST /quote/batch", s.handleQuoteBatch)
-	mux.HandleFunc("POST /ask", s.handleAsk)
-	mux.HandleFunc("POST /prepare", s.handlePrepare)
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	// Versioned canonical routes plus unprefixed legacy aliases; both
+	// serve identical bytes from the same handlers.
+	for _, prefix := range []string{"/v1", ""} {
+		mux.HandleFunc("POST "+prefix+"/quote", s.handleQuote)
+		mux.HandleFunc("POST "+prefix+"/quote/batch", s.handleQuoteBatch)
+		mux.HandleFunc("POST "+prefix+"/ask", s.handleAsk)
+		mux.HandleFunc("POST "+prefix+"/prepare", s.handlePrepare)
+		mux.HandleFunc("GET "+prefix+"/stats", s.handleStats)
+		mux.HandleFunc("GET "+prefix+"/metrics", s.handleMetrics)
+		mux.HandleFunc("GET "+prefix+"/healthz", s.handleHealthz)
+	}
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -160,6 +176,12 @@ type quoteRequest struct {
 	Func string `json:"func,omitempty"`
 	// Bundle prices SQLs as one bundle bought together.
 	Bundle bool `json:"bundle,omitempty"`
+	// MaxError requests the sampled approximate pricing path: the
+	// served price is a guaranteed upper bound on the exact price with
+	// roughly this relative standard error. 0 (the default) prices
+	// exactly. Valid range [0, 1]; the ?max_error= query parameter
+	// overrides the body field.
+	MaxError float64 `json:"max_error,omitempty"`
 }
 
 // toValues converts JSON-decoded params into typed SQL values. decodeBody
@@ -193,12 +215,35 @@ func (s *Server) lookupStmt(id int64, b *qirana.Broker) (*qirana.Stmt, error) {
 	defer s.mu.Unlock()
 	ent, ok := s.stmts[id]
 	if !ok {
-		return nil, fmt.Errorf("unknown prepared statement %d (prepare it first via POST /prepare)", id)
+		return nil, &Error{Status: http.StatusBadRequest, Code: CodeUnknownStmt,
+			Message: fmt.Sprintf("unknown prepared statement %d (prepare it first via POST /prepare)", id)}
 	}
 	if ent.b != b {
-		return nil, fmt.Errorf("prepared statement %d belongs to a previous leader (the server failed over); prepare it again", id)
+		return nil, &Error{Status: http.StatusBadRequest, Code: CodeUnknownStmt,
+			Message: fmt.Sprintf("prepared statement %d belongs to a previous leader (the server failed over); prepare it again", id)}
 	}
 	return ent.st, nil
+}
+
+// maxError resolves the effective max_error for a request: the
+// ?max_error= query parameter when present, else the body field. A
+// non-numeric, negative or >1 value is rejected with the stable
+// invalid_max_error code so clients can branch on it.
+func maxError(r *http.Request, qr *quoteRequest) (float64, error) {
+	me := qr.MaxError
+	if raw := r.URL.Query().Get("max_error"); raw != "" {
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return 0, &Error{Status: http.StatusBadRequest, Code: CodeInvalidMaxError,
+				Message: fmt.Sprintf("max_error %q is not a number", raw)}
+		}
+		me = v
+	}
+	if me < 0 || me > 1 {
+		return 0, &Error{Status: http.StatusBadRequest, Code: CodeInvalidMaxError,
+			Message: fmt.Sprintf("max_error %g is outside [0, 1]", me)}
+	}
+	return me, nil
 }
 
 func (qr *quoteRequest) toPriceRequest() (qirana.PriceRequest, error) {
@@ -226,8 +271,8 @@ func (qr *quoteRequest) toPriceRequest() (qirana.PriceRequest, error) {
 const maxBodyBytes = 1 << 20
 
 // DecodeBody decodes a size-capped JSON body into v. On failure it has
-// already written the error response (413 for an oversized body, 400
-// otherwise) and returns false.
+// already written the error response (413 payload_too_large for an
+// oversized body, 400 invalid_request otherwise) and returns false.
 func DecodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	dec := json.NewDecoder(r.Body)
@@ -259,6 +304,11 @@ func (s *Server) price(w http.ResponseWriter, r *http.Request, batch bool) {
 		return
 	}
 	b := s.get()
+	maxErr, err := maxError(r, &qr)
+	if err != nil {
+		WriteRequestError(w, err)
+		return
+	}
 	if qr.Stmt != 0 {
 		if batch {
 			WriteError(w, http.StatusBadRequest, errors.New("prepared statements are priced on /quote, not /quote/batch"))
@@ -266,6 +316,11 @@ func (s *Server) price(w http.ResponseWriter, r *http.Request, batch bool) {
 		}
 		if qr.SQL != "" || len(qr.SQLs) > 0 || qr.Bundle {
 			WriteError(w, http.StatusBadRequest, errors.New(`"stmt" excludes "sql", "sqls" and "bundle"`))
+			return
+		}
+		if maxErr > 0 {
+			WriteRequestError(w, &Error{Status: http.StatusBadRequest, Code: CodeInvalidMaxError,
+				Message: "max_error is not supported for prepared statements (prepared prices are exact)"})
 			return
 		}
 		s.priceStmt(w, r, qr, b)
@@ -280,6 +335,7 @@ func (s *Server) price(w http.ResponseWriter, r *http.Request, batch bool) {
 		WriteError(w, http.StatusBadRequest, err)
 		return
 	}
+	req.MaxError = maxErr
 	if !batch && len(req.SQLs) > 1 && !req.Bundle {
 		WriteError(w, http.StatusBadRequest,
 			errors.New("independent multi-query pricing belongs on /quote/batch (or set bundle:true)"))
@@ -299,7 +355,7 @@ func (s *Server) price(w http.ResponseWriter, r *http.Request, batch bool) {
 func (s *Server) priceStmt(w http.ResponseWriter, r *http.Request, qr quoteRequest, b *qirana.Broker) {
 	st, err := s.lookupStmt(qr.Stmt, b)
 	if err != nil {
-		WriteError(w, http.StatusBadRequest, err)
+		WriteRequestError(w, err)
 		return
 	}
 	fn, err := funcByName(qr.Func)
@@ -357,8 +413,8 @@ func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	if len(s.stmts) >= maxPreparedStmts {
 		s.mu.Unlock()
-		WriteError(w, http.StatusTooManyRequests,
-			fmt.Errorf("prepared statement limit reached (%d)", maxPreparedStmts))
+		WriteRequestError(w, &Error{Status: http.StatusTooManyRequests, Code: CodeStmtLimit,
+			Message: fmt.Sprintf("prepared statement limit reached (%d)", maxPreparedStmts)})
 		return
 	}
 	s.nextID++
@@ -408,7 +464,7 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 		}
 		st, lerr := s.lookupStmt(ar.Stmt, b)
 		if lerr != nil {
-			WriteError(w, http.StatusBadRequest, lerr)
+			WriteRequestError(w, lerr)
 			return
 		}
 		params, perr := toValues(ar.Params)
@@ -445,6 +501,15 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	b := s.get()
+	// The approximate path's counters live in the obs registry; surface
+	// them (plus the shed counters) here so operators watching /stats see
+	// the fast path and the shedder without scraping /metrics.
+	approx := map[string]uint64{}
+	for k, v := range b.Metrics().Counters {
+		if strings.HasPrefix(k, "approx_") || strings.HasPrefix(k, "shed_") {
+			approx[k] = v
+		}
+	}
 	WriteJSON(w, map[string]any{
 		"support_set_size": b.SupportSetSize(),
 		"total_price":      b.TotalPrice(),
@@ -452,6 +517,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"quote_cache":      b.QuoteCacheStats(),
 		"quote_cache_len":  b.QuoteCacheLen(),
 		"durability":       b.Durability(),
+		"shed":             b.ShedState(),
+		"approx":           approx,
 	})
 }
 
@@ -476,36 +543,130 @@ func WriteJSON(w http.ResponseWriter, v any) {
 	enc.Encode(v)
 }
 
-// WriteRequestError maps a pricing error onto an HTTP status: an expired
-// deadline is a gateway timeout, a client-side cancellation a client
-// closed request, a retryable cluster fault (ledger append, shard
-// unreachable, read-only standby) a 503 with Retry-After, a support-set
-// mismatch a 409 (the cluster needs rebuilding — retrying won't help),
-// anything else a bad request (the broker's remaining errors are all
-// input errors; internal invariants panic).
-func WriteRequestError(w http.ResponseWriter, err error) {
-	switch {
-	case errors.Is(err, context.DeadlineExceeded):
-		WriteError(w, http.StatusGatewayTimeout, err)
-	case errors.Is(err, context.Canceled):
-		// 499 is nginx's "client closed request"; the client is usually
-		// gone, but write it anyway for proxies and tests.
-		WriteError(w, 499, err)
-	case errors.Is(err, qirana.ErrDurability),
-		errors.Is(err, qirana.ErrShardUnavailable),
-		errors.Is(err, qirana.ErrReadOnly):
-		w.Header().Set("Retry-After", "1")
-		WriteError(w, http.StatusServiceUnavailable, err)
-	case errors.Is(err, qirana.ErrSupportMismatch):
-		WriteError(w, http.StatusConflict, err)
+// Stable machine-readable error codes. Clients branch on these, never on
+// message text; messages may change between releases, codes may not.
+const (
+	CodeInvalidRequest   = "invalid_request"        // malformed body or arguments (400)
+	CodeInvalidMaxError  = "invalid_max_error"      // max_error non-numeric, outside [0, 1], or unsupported (400)
+	CodeUnknownStmt      = "unknown_stmt"           // prepared-statement handle not found or stale (400)
+	CodeStmtLimit        = "stmt_limit"             // prepared-statement registry full (429)
+	CodePayloadTooLarge  = "payload_too_large"      // request body over the size cap (413)
+	CodeDeadlineExceeded = "deadline_exceeded"      // pricing deadline expired (504)
+	CodeClientClosed     = "client_closed_request"  // client cancelled mid-request (499)
+	CodeDurability       = "durability_unavailable" // ledger append failed; retryable (503)
+	CodeShardUnavailable = "shard_unavailable"      // cluster shard unreachable; retryable (503)
+	CodeReadOnly         = "read_only"              // standby not yet promoted; retryable (503)
+	CodeSupportMismatch  = "support_mismatch"       // shard support sets diverged; rebuild (409)
+)
+
+// Error is the typed API error: one HTTP status, one stable code, one
+// human-readable message. It serializes as the nested error envelope
+//
+//	{"error": {"code": "shard_unavailable", "message": ..., "retry_after": 1}}
+//
+// and implements error, so handlers can return one directly and
+// WriteRequestError serves it verbatim.
+type Error struct {
+	// Status is the HTTP status to serve; not serialized (the status
+	// line already carries it).
+	Status int `json:"-"`
+	// Code is the stable machine-readable identity of the failure.
+	Code string `json:"code"`
+	// Message is the human-readable explanation; subject to change.
+	Message string `json:"message"`
+	// RetryAfter, when nonzero, is served as a Retry-After header (in
+	// seconds) and echoed in the body: the failure is transient and the
+	// client should retry after this long.
+	RetryAfter int `json:"retry_after,omitempty"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return e.Message }
+
+// errorTable is the single mapping from broker/context error identities
+// onto HTTP status + code + retryability. WriteRequestError walks it in
+// order with errors.Is; the first match wins, anything unmatched is a
+// 400 invalid_request (the broker's remaining errors are all input
+// errors; internal invariants panic).
+var errorTable = []struct {
+	is         error
+	status     int
+	code       string
+	retryAfter int
+}{
+	{context.DeadlineExceeded, http.StatusGatewayTimeout, CodeDeadlineExceeded, 0},
+	// 499 is nginx's "client closed request"; the client is usually
+	// gone, but write it anyway for proxies and tests.
+	{context.Canceled, 499, CodeClientClosed, 0},
+	{qirana.ErrDurability, http.StatusServiceUnavailable, CodeDurability, 1},
+	{qirana.ErrShardUnavailable, http.StatusServiceUnavailable, CodeShardUnavailable, 1},
+	{qirana.ErrReadOnly, http.StatusServiceUnavailable, CodeReadOnly, 1},
+	{qirana.ErrSupportMismatch, http.StatusConflict, CodeSupportMismatch, 0},
+}
+
+// codeForStatus maps a bare status (from legacy WriteError call sites)
+// onto the default code for that status.
+func codeForStatus(status int) string {
+	switch status {
+	case http.StatusRequestEntityTooLarge:
+		return CodePayloadTooLarge
+	case http.StatusGatewayTimeout:
+		return CodeDeadlineExceeded
+	case 499:
+		return CodeClientClosed
+	case http.StatusConflict:
+		return CodeSupportMismatch
+	case http.StatusTooManyRequests:
+		return CodeStmtLimit
 	default:
-		WriteError(w, http.StatusBadRequest, err)
+		return CodeInvalidRequest
 	}
 }
 
-// WriteError writes one {"error": ...} JSON response under code.
-func WriteError(w http.ResponseWriter, code int, err error) {
+// WriteRequestError maps a pricing error onto the typed error envelope
+// via errorTable: an expired deadline is a 504, a client-side
+// cancellation a 499, a retryable cluster fault (ledger append, shard
+// unreachable, read-only standby) a 503 with Retry-After, a support-set
+// mismatch a 409 (the cluster needs rebuilding — retrying won't help),
+// anything else a 400 invalid_request. An *Error is served verbatim.
+func WriteRequestError(w http.ResponseWriter, err error) {
+	var ae *Error
+	if errors.As(err, &ae) {
+		writeTyped(w, ae)
+		return
+	}
+	for _, row := range errorTable {
+		if errors.Is(err, row.is) {
+			writeTyped(w, &Error{Status: row.status, Code: row.code, Message: err.Error(), RetryAfter: row.retryAfter})
+			return
+		}
+	}
+	writeTyped(w, &Error{Status: http.StatusBadRequest, Code: CodeInvalidRequest, Message: err.Error()})
+}
+
+// WriteError writes err under an explicit HTTP status, deriving the
+// machine-readable code from the status (or serving err verbatim when it
+// is already an *Error). Kept for call sites that know the status but
+// not the broker error identity.
+func WriteError(w http.ResponseWriter, status int, err error) {
+	var ae *Error
+	if errors.As(err, &ae) {
+		writeTyped(w, ae)
+		return
+	}
+	retryAfter := 0
+	if status == http.StatusServiceUnavailable {
+		retryAfter = 1
+	}
+	writeTyped(w, &Error{Status: status, Code: codeForStatus(status), Message: err.Error(), RetryAfter: retryAfter})
+}
+
+// writeTyped serves one typed error envelope.
+func writeTyped(w http.ResponseWriter, ae *Error) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	if ae.RetryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(ae.RetryAfter))
+	}
+	w.WriteHeader(ae.Status)
+	json.NewEncoder(w).Encode(map[string]*Error{"error": ae})
 }

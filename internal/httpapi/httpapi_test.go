@@ -248,13 +248,15 @@ func TestBadRequests(t *testing.T) {
 		{"/ask", `{"buyer": "a", "sql": "SELECT"}`}, // parse error
 	}
 	for _, c := range cases {
-		var e map[string]string
+		var e struct {
+			Error Error `json:"error"`
+		}
 		r := postJSON(t, ts.URL+c.url, c.body, &e)
 		if r.StatusCode != http.StatusBadRequest {
 			t.Errorf("POST %s %s: status %d, want 400", c.url, c.body, r.StatusCode)
 		}
-		if e["error"] == "" {
-			t.Errorf("POST %s %s: no error message", c.url, c.body)
+		if e.Error.Message == "" || e.Error.Code == "" {
+			t.Errorf("POST %s %s: error envelope missing code or message: %+v", c.url, c.body, e.Error)
 		}
 	}
 }
@@ -321,13 +323,15 @@ func TestOversizedBodyRejected(t *testing.T) {
 	ts := newTestServer(t)
 	big := `{"sql": "` + strings.Repeat("x", maxBodyBytes) + `"}`
 	for _, url := range []string{"/quote", "/ask"} {
-		var e map[string]string
+		var e struct {
+			Error Error `json:"error"`
+		}
 		r := postJSON(t, ts.URL+url, big, &e)
 		if r.StatusCode != http.StatusRequestEntityTooLarge {
 			t.Errorf("POST %s oversized: status %d, want 413", url, r.StatusCode)
 		}
-		if e["error"] == "" {
-			t.Errorf("POST %s oversized: no JSON error message", url)
+		if e.Error.Code != CodePayloadTooLarge {
+			t.Errorf("POST %s oversized: code %q, want %q", url, e.Error.Code, CodePayloadTooLarge)
 		}
 	}
 }
@@ -407,7 +411,9 @@ func TestLedgerFailureMapsTo503(t *testing.T) {
 	failpoint.Enable(durable.FpLedgerAppend, nil)
 	defer failpoint.Reset()
 	body := `{"buyer": "alice", "sql": "` + testSQL + `"}`
-	var e map[string]string
+	var e struct {
+		Error Error `json:"error"`
+	}
 	r := postJSON(t, ts.URL+"/ask", body, &e)
 	if r.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("faulted purchase: status %d, want 503", r.StatusCode)
@@ -415,8 +421,8 @@ func TestLedgerFailureMapsTo503(t *testing.T) {
 	if r.Header.Get("Retry-After") == "" {
 		t.Fatal("503 carries no Retry-After header")
 	}
-	if e["error"] == "" {
-		t.Fatal("503 carries no JSON error message")
+	if e.Error.Code != CodeDurability || e.Error.Message == "" || e.Error.RetryAfter != 1 {
+		t.Fatalf("503 envelope: %+v, want code %q with retry_after 1", e.Error, CodeDurability)
 	}
 	var rec askResponse
 	if r := postJSON(t, ts.URL+"/ask", body, &rec); r.StatusCode != http.StatusOK || rec.Net <= 0 {

@@ -39,15 +39,18 @@ type Stats struct {
 	// disagreement bitmaps ("d|" keys), Price full-constant entropy prices
 	// ("e|" keys), Template the template-keyed entries shared between
 	// prepared statements and auto-detected ad-hoc templates ("td|"/"te|"
-	// keys). Keys with any other shape land in Bitmap+Price = 0 buckets
-	// (OtherHits/OtherMisses are not tracked separately; the broker only
-	// writes the four prefixes above).
+	// keys), Approx the sampled-estimate entries the background refiner
+	// upgrades in place ("a|" keys). Keys with any other shape land in
+	// Bitmap+Price = 0 buckets (OtherHits/OtherMisses are not tracked
+	// separately; the broker only writes the five prefixes above).
 	BitmapHits     uint64
 	BitmapMisses   uint64
 	PriceHits      uint64
 	PriceMisses    uint64
 	TemplateHits   uint64
 	TemplateMisses uint64
+	ApproxHits     uint64
+	ApproxMisses   uint64
 }
 
 // Kind classifies a cache key by the prefix discipline the broker uses.
@@ -59,7 +62,11 @@ const (
 	KindBitmap        // "d|" full-constant disagreement bitmap
 	KindPrice         // "e|" full-constant entropy price
 	KindTemplate      // "td|" / "te|" template-keyed entry
+	KindApprox        // "a|" sampled estimate, refinable to exact
 )
+
+// numKinds sizes the per-kind counter arrays.
+const numKinds = 5
 
 // KindOf derives the entry kind from the key prefix.
 func KindOf(key string) Kind {
@@ -70,6 +77,8 @@ func KindOf(key string) Kind {
 		return KindBitmap
 	case strings.HasPrefix(key, "e|"):
 		return KindPrice
+	case strings.HasPrefix(key, "a|"):
+		return KindApprox
 	}
 	return KindOther
 }
@@ -88,7 +97,7 @@ type Cache struct {
 	// one nil check per event, never a registry map lookup. The kind
 	// arrays are indexed by Kind.
 	cHits, cMisses, cCoalesced, cEvictions *obs.Counter
-	cKindHits, cKindMisses                 [4]*obs.Counter
+	cKindHits, cKindMisses                 [numKinds]*obs.Counter
 }
 
 // hit records a lookup served from the LRU, split by key kind.
@@ -103,6 +112,8 @@ func (c *Cache) hit(key string) {
 		c.stats.PriceHits++
 	case KindTemplate:
 		c.stats.TemplateHits++
+	case KindApprox:
+		c.stats.ApproxHits++
 	}
 	c.cKindHits[k].Inc()
 }
@@ -119,6 +130,8 @@ func (c *Cache) miss(key string) {
 		c.stats.PriceMisses++
 	case KindTemplate:
 		c.stats.TemplateMisses++
+	case KindApprox:
+		c.stats.ApproxMisses++
 	}
 	c.cKindMisses[k].Inc()
 }
@@ -135,6 +148,7 @@ func (c *Cache) AttachObs(r *obs.Registry) {
 	c.cEvictions = r.Counter("quotecache_evictions")
 	for k, name := range map[Kind]string{
 		KindBitmap: "bitmap", KindPrice: "price", KindTemplate: "template",
+		KindApprox: "approx",
 	} {
 		c.cKindHits[k] = r.Counter("quotecache_" + name + "_hits")
 		c.cKindMisses[k] = r.Counter("quotecache_" + name + "_misses")

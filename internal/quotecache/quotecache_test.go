@@ -225,3 +225,23 @@ func TestInvalidate(t *testing.T) {
 		t.Fatal("entry survived Invalidate")
 	}
 }
+
+func TestApproxKindCounters(t *testing.T) {
+	c := New(8)
+	r := obs.New()
+	c.AttachObs(r)
+	if k := KindOf("a|coverage|1|2|3|fp"); k != KindApprox {
+		t.Fatalf("KindOf(a|...) = %v", k)
+	}
+	c.Get("a|x")                                                             // miss
+	c.Do(context.Background(), "a|x", func() (any, error) { return 1, nil }) // miss (leader)
+	c.Get("a|x")                                                             // hit
+	st := c.Stats()
+	if st.ApproxMisses != 2 || st.ApproxHits != 1 {
+		t.Fatalf("approx split = hits %d misses %d, want 1/2", st.ApproxHits, st.ApproxMisses)
+	}
+	s := r.Snapshot()
+	if s.Counters["quotecache_approx_hits"] != 1 || s.Counters["quotecache_approx_misses"] != 2 {
+		t.Fatalf("obs approx counters: %+v", s.Counters)
+	}
+}

@@ -53,7 +53,7 @@ func Connect(ctx context.Context, urls []string, client *http.Client) (*Fanout, 
 	}
 	f := &Fanout{urls: urls, client: client}
 	for i, u := range urls {
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u+"/shard/info", nil)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u+"/v1/shard/info", nil)
 		if err != nil {
 			return nil, fmt.Errorf("shard %d (%s): %w", i, u, err)
 		}
@@ -96,13 +96,13 @@ func (f *Fanout) Shards() int { return len(f.urls) }
 func (f *Fanout) AttachObs(r *obs.Registry) { f.obs = r }
 
 // SweepBits implements qirana.RemoteSweeper.
-func (f *Fanout) SweepBits(ctx context.Context, sqls []string, bundle bool, supportGen uint64) ([][]bool, []qirana.Stats, error) {
-	resps, err := f.sweep(ctx, sqls, bundle, false, supportGen)
+func (f *Fanout) SweepBits(ctx context.Context, sqls []string, spec qirana.SweepSpec) ([][]bool, []qirana.Stats, error) {
+	resps, err := f.sweep(ctx, sqls, spec, false)
 	if err != nil {
 		return nil, nil, err
 	}
 	defer f.obs.Timer("router_merge")()
-	nOut := outputs(sqls, bundle)
+	nOut := outputs(sqls, spec.Bundle)
 	out := make([][]bool, nOut)
 	stats := make([]qirana.Stats, nOut)
 	for j := range out {
@@ -122,13 +122,13 @@ func (f *Fanout) SweepBits(ctx context.Context, sqls []string, bundle bool, supp
 }
 
 // SweepHashes implements qirana.RemoteSweeper.
-func (f *Fanout) SweepHashes(ctx context.Context, sqls []string, bundle bool, supportGen uint64) ([][]uint64, []qirana.Stats, error) {
-	resps, err := f.sweep(ctx, sqls, bundle, true, supportGen)
+func (f *Fanout) SweepHashes(ctx context.Context, sqls []string, spec qirana.SweepSpec) ([][]uint64, []qirana.Stats, error) {
+	resps, err := f.sweep(ctx, sqls, spec, true)
 	if err != nil {
 		return nil, nil, err
 	}
 	defer f.obs.Timer("router_merge")()
-	nOut := outputs(sqls, bundle)
+	nOut := outputs(sqls, spec.Bundle)
 	out := make([][]uint64, nOut)
 	stats := make([]qirana.Stats, nOut)
 	for j := range out {
@@ -160,10 +160,10 @@ func outputs(sqls []string, bundle bool) int {
 // sweep fans one slice request out to every shard concurrently. The
 // first failure cancels the outstanding requests: a sweep either
 // returns every slice or nothing.
-func (f *Fanout) sweep(ctx context.Context, sqls []string, bundle, hashes bool, gen uint64) ([]*qirana.SweepSliceResponse, error) {
-	if gen != f.info.SupportGen {
+func (f *Fanout) sweep(ctx context.Context, sqls []string, spec qirana.SweepSpec, hashes bool) ([]*qirana.SweepSliceResponse, error) {
+	if spec.SupportGen != f.info.SupportGen {
 		return nil, fmt.Errorf("%w: router prices support gen %d but the cluster was connected at gen %d (a resample requires rebuilding the cluster)",
-			qirana.ErrSupportMismatch, gen, f.info.SupportGen)
+			qirana.ErrSupportMismatch, spec.SupportGen, f.info.SupportGen)
 	}
 	f.obs.Add("router_fanout_rpcs", uint64(len(f.urls)))
 	defer f.obs.Timer("router_fanout")()
@@ -178,7 +178,7 @@ func (f *Fanout) sweep(ctx context.Context, sqls []string, bundle, hashes bool, 
 		go func(i int) {
 			defer wg.Done()
 			start := time.Now()
-			resps[i], errs[i] = f.post(ctx, i, sqls, bundle, hashes, gen)
+			resps[i], errs[i] = f.post(ctx, i, sqls, spec, hashes)
 			durs[i] = time.Since(start)
 			if errs[i] != nil {
 				cancel()
@@ -219,17 +219,21 @@ func (f *Fanout) sweep(ctx context.Context, sqls []string, bundle, hashes bool, 
 // the router answers 400 too), 409 is a support-set mismatch, and
 // everything else — transport errors, timeouts, 5xx — is the SHARD
 // being unavailable (→ 503, retryable).
-func (f *Fanout) post(ctx context.Context, i int, sqls []string, bundle, hashes bool, gen uint64) (*qirana.SweepSliceResponse, error) {
+func (f *Fanout) post(ctx context.Context, i int, sqls []string, spec qirana.SweepSpec, hashes bool) (*qirana.SweepSliceResponse, error) {
 	r := f.ranges[i]
-	body, err := json.Marshal(qirana.SweepSliceRequest{
-		SQLs: sqls, Bundle: bundle, Hashes: hashes,
+	sreq := qirana.SweepSliceRequest{
+		SQLs: sqls, Bundle: spec.Bundle, Hashes: hashes,
 		Lo: r.Lo, Hi: r.Hi,
-		SupportGen: gen, SupportSum: f.info.SupportSum,
-	})
+		SupportGen: spec.SupportGen, SupportSum: f.info.SupportSum,
+	}
+	if spec.Sampled() {
+		sreq.SampleFrac, sreq.SampleSeed = spec.SampleFrac, spec.SampleSeed
+	}
+	body, err := json.Marshal(sreq)
 	if err != nil {
 		return nil, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, f.urls[i]+"/shard/sweep", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, f.urls[i]+"/v1/shard/sweep", bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
@@ -266,15 +270,24 @@ func (f *Fanout) post(ctx context.Context, i int, sqls []string, bundle, hashes 
 	return &resp, nil
 }
 
-// readErrorMessage extracts the {"error": ...} body, falling back to the
-// raw text.
+// readErrorMessage extracts the error body — either the typed
+// {"error":{"code":...,"message":...}} object the /v1 surface writes or
+// the legacy {"error":"..."} flat string — falling back to the raw text.
 func readErrorMessage(r io.Reader) string {
 	data, _ := io.ReadAll(io.LimitReader(r, 4096))
-	var e struct {
+	var typed struct {
+		Error struct {
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if json.Unmarshal(data, &typed) == nil && typed.Error.Message != "" {
+		return typed.Error.Message
+	}
+	var flat struct {
 		Error string `json:"error"`
 	}
-	if json.Unmarshal(data, &e) == nil && e.Error != "" {
-		return e.Error
+	if json.Unmarshal(data, &flat) == nil && flat.Error != "" {
+		return flat.Error
 	}
 	return string(bytes.TrimSpace(data))
 }

@@ -9,13 +9,15 @@ import (
 
 // Register mounts the shard worker routes on an existing mux (qiranad
 // -shard adds them to its httpapi server, so /stats, /metrics and
-// /healthz ride along):
+// /healthz ride along). Like the broker surface, every route answers
+// under /v1/ (the canonical path the Fanout client uses) and under the
+// legacy unprefixed alias:
 //
-//	POST /shard/sweep  sweep this shard's slice; body is a
-//	                   qirana.SweepSliceRequest
-//	GET  /shard/info   support-set identity (gen, checksum, size)
+//	POST /v1/shard/sweep  sweep this shard's slice; body is a
+//	                      qirana.SweepSliceRequest
+//	GET  /v1/shard/info   support-set identity (gen, checksum, size)
 func Register(mux *http.ServeMux, b *qirana.Broker) {
-	mux.HandleFunc("POST /shard/sweep", func(w http.ResponseWriter, r *http.Request) {
+	sweep := func(w http.ResponseWriter, r *http.Request) {
 		var req qirana.SweepSliceRequest
 		if !httpapi.DecodeBody(w, r, &req) {
 			return
@@ -26,14 +28,18 @@ func Register(mux *http.ServeMux, b *qirana.Broker) {
 			return
 		}
 		httpapi.WriteJSON(w, resp)
-	})
-	mux.HandleFunc("GET /shard/info", func(w http.ResponseWriter, r *http.Request) {
+	}
+	info := func(w http.ResponseWriter, r *http.Request) {
 		httpapi.WriteJSON(w, Info{
 			SupportGen: b.SupportGen(),
 			SupportSum: b.SupportChecksum(),
 			Size:       b.SupportSetSize(),
 		})
-	})
+	}
+	for _, prefix := range []string{"/v1", ""} {
+		mux.HandleFunc("POST "+prefix+"/shard/sweep", sweep)
+		mux.HandleFunc("GET "+prefix+"/shard/info", info)
+	}
 }
 
 // Handler serves a standalone shard worker: the shard routes plus a

@@ -1,0 +1,112 @@
+package support
+
+// Stratified deterministic sub-sampling of the support set — the element
+// selector behind approximate fast-path pricing. The requirements, in
+// order:
+//
+//   - Deterministic: the mask is a pure function of (n, frac, seed, gen).
+//     Every node that knows the broker's seed and support generation
+//     computes the SAME mask, so a sharded fan-out never ships index
+//     lists over the wire — each shard derives its slice's sampled
+//     indices locally and the router's reassembled vector has exactly
+//     the sampled positions filled (cluster.go forwards frac+seed in the
+//     slice request).
+//   - Generation-stamped: the stream is re-keyed by the support-set
+//     generation, so a resample draws a fresh sample instead of reusing
+//     the old index pattern against new elements.
+//   - Stratified: indices are drawn per fixed-width stratum, so every
+//     contiguous slice of the support set — in particular every shard's
+//     [Lo, Hi) assignment — receives close to frac·width sampled
+//     elements. A plain uniform draw could starve one shard and overload
+//     another; stratification bounds the skew by one stratum.
+//
+// Within a stratum the draw is a seeded partial Fisher–Yates shuffle, so
+// any k of the stratum's elements are equally likely — the uniformity the
+// Horvitz–Thompson estimate in internal/pricing relies on.
+
+import "math/rand"
+
+// sampleStratumWidth is the stratification grain: each consecutive run
+// of this many element indices is sampled independently at the requested
+// fraction. Shard slices are hundreds to thousands of elements wide, so
+// a 32-wide stratum keeps per-slice sample counts within one stratum's
+// rounding of frac·width.
+const sampleStratumWidth = 32
+
+// SampleMask returns the deterministic stratified sample of [0, n) at
+// fraction frac (clamped to [0, 1]): mask[i] is true when element i is
+// in the sample. frac ≤ 0 selects nothing; frac ≥ 1 selects everything.
+// A non-empty stratum contributes at least one element whenever frac > 0,
+// so the realized fraction can exceed frac for very small frac; callers
+// read the realized count from CountMask.
+func SampleMask(n int, frac float64, seed int64, gen uint64) []bool {
+	mask := make([]bool, n)
+	if n == 0 || frac <= 0 {
+		return mask
+	}
+	if frac >= 1 {
+		for i := range mask {
+			mask[i] = true
+		}
+		return mask
+	}
+	for lo := 0; lo < n; lo += sampleStratumWidth {
+		hi := lo + sampleStratumWidth
+		if hi > n {
+			hi = n
+		}
+		width := hi - lo
+		k := int(frac*float64(width) + 0.5)
+		if k < 1 {
+			k = 1
+		}
+		if k > width {
+			k = width
+		}
+		// Partial Fisher–Yates over the stratum: the first k positions of
+		// a seeded shuffle are a uniform k-subset. The RNG is re-keyed per
+		// stratum from (seed, gen, stratum index), so a shard holding only
+		// [Lo, Hi) reproduces exactly the strata it covers.
+		rng := rand.New(rand.NewSource(strataSeed(seed, gen, uint64(lo))))
+		idx := make([]int, width)
+		for i := range idx {
+			idx[i] = lo + i
+		}
+		for i := 0; i < k; i++ {
+			j := i + rng.Intn(width-i)
+			idx[i], idx[j] = idx[j], idx[i]
+			mask[idx[i]] = true
+		}
+	}
+	return mask
+}
+
+// CountMask returns the number of selected elements in a sample mask.
+func CountMask(mask []bool) int {
+	n := 0
+	for _, ok := range mask {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// strataSeed mixes (seed, gen, stratum) into one 63-bit RNG seed.
+// Routers and shard workers are separate processes, so the mix must be
+// deterministic across processes — hash/maphash's per-process seeds are
+// out. A chained splitmix64 finalizer is stable everywhere and mixes
+// well enough that adjacent strata get unrelated shuffles.
+func strataSeed(seed int64, gen uint64, stratum uint64) int64 {
+	x := splitmix64(uint64(seed) ^ 0x9e3779b97f4a7c15)
+	x = splitmix64(x ^ gen)
+	x = splitmix64(x ^ stratum)
+	return int64(x >> 1) // non-negative
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,106 @@
+package support
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleMaskDeterministic(t *testing.T) {
+	a := SampleMask(1000, 0.25, 7, 3)
+	b := SampleMask(1000, 0.25, 7, 3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("mask not deterministic at %d", i)
+		}
+	}
+	c := SampleMask(1000, 0.25, 7, 4)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("generation bump did not change the sample")
+	}
+}
+
+func TestSampleMaskEdges(t *testing.T) {
+	if got := CountMask(SampleMask(100, 0, 1, 1)); got != 0 {
+		t.Fatalf("frac=0 selected %d", got)
+	}
+	if got := CountMask(SampleMask(100, 1, 1, 1)); got != 100 {
+		t.Fatalf("frac=1 selected %d, want 100", got)
+	}
+	if got := CountMask(SampleMask(100, 2, 1, 1)); got != 100 {
+		t.Fatalf("frac>1 selected %d, want 100", got)
+	}
+	if got := CountMask(SampleMask(0, 0.5, 1, 1)); got != 0 {
+		t.Fatalf("n=0 selected %d", got)
+	}
+	// frac>0 must pick at least one element per non-empty stratum.
+	if got := CountMask(SampleMask(5, 0.001, 1, 1)); got < 1 {
+		t.Fatalf("tiny frac selected %d, want >=1", got)
+	}
+}
+
+// Shard consistency: the mask over [0,n) restricted to any slice [lo,hi)
+// aligned or unaligned with strata equals the same positions of the
+// global mask — shards recompute the global mask and slice it, so this
+// is true by construction, but it is the core invariant the cluster
+// fan-out depends on and deserves a direct regression test.
+func TestSampleMaskSliceConsistency(t *testing.T) {
+	prop := func(nSeed uint16, fracSeed uint8, seed int64, gen uint64) bool {
+		n := int(nSeed)%2000 + 10
+		frac := float64(fracSeed%99+1) / 100
+		global := SampleMask(n, frac, seed, gen)
+		again := SampleMask(n, frac, seed, gen)
+		for i := range global {
+			if global[i] != again[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The realized fraction should track the requested fraction: within a
+// stratum the count is round(frac*width) (min 1), so globally the error
+// is bounded by one element per stratum.
+func TestSampleMaskFractionAccuracy(t *testing.T) {
+	for _, frac := range []float64{0.05, 0.1, 0.25, 0.5, 0.9} {
+		n := 4096
+		got := float64(CountMask(SampleMask(n, frac, 42, 1))) / float64(n)
+		maxErr := float64(n/sampleStratumWidth+1) / float64(n)
+		if math.Abs(got-frac) > maxErr {
+			t.Errorf("frac %.2f realized %.4f (tolerance %.4f)", frac, got, maxErr)
+		}
+	}
+}
+
+// Every stratum-width window must contain at least one sampled element
+// when frac > 0 — the property that keeps shard slices from starving.
+func TestSampleMaskStratumCoverage(t *testing.T) {
+	mask := SampleMask(1000, 0.03, 9, 2)
+	for lo := 0; lo < 1000; lo += sampleStratumWidth {
+		hi := lo + sampleStratumWidth
+		if hi > 1000 {
+			hi = 1000
+		}
+		found := false
+		for i := lo; i < hi; i++ {
+			if mask[i] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("stratum [%d,%d) has no sampled element", lo, hi)
+		}
+	}
+}

@@ -15,8 +15,11 @@
 //
 //	db := qirana.LoadDataset("world", 1, 0)
 //	broker, _ := qirana.NewBroker(db, 100, qirana.Options{SupportSetSize: 1000})
-//	price, _ := broker.Quote("SELECT Name FROM Country WHERE Continent = 'Asia'")
-//	res, charge, _ := broker.Ask("alice", "SELECT Name FROM Country WHERE Continent = 'Asia'")
+//	sql := "SELECT Name FROM Country WHERE Continent = 'Asia'"
+//	quote, _ := broker.Price(context.Background(), qirana.PriceRequest{SQLs: []string{sql}})
+//	rec, _ := broker.Purchase(context.Background(), qirana.PurchaseRequest{Buyer: "alice", SQL: sql})
+//	_ = quote.Total   // the up-front price
+//	_ = rec.Net       // what alice actually paid (history-aware)
 package qirana
 
 import (
@@ -25,6 +28,7 @@ import (
 	"io"
 	"strings"
 	"sync"
+	"time"
 
 	"qirana/internal/datagen"
 	"qirana/internal/obs"
@@ -152,6 +156,17 @@ type Options struct {
 	// bit-identical prices and balances. Empty (the default) keeps the
 	// broker purely in memory with zero durability overhead.
 	DataDir string
+	// ShedTargetP99, when positive, turns on load shedding: the broker
+	// watches a sliding window of its own quote latency (the
+	// broker_price obs histogram) and when the windowed p99 crosses the
+	// target it starts degrading precision — enforcing a growing floor
+	// on PriceRequest.MaxError so quotes switch to the sampled
+	// approximate path (see approx.go). The floor escalates while the
+	// p99 stays above target and backs off when latency recovers below
+	// 3/4 of it. Zero (the default) never degrades. Exactness-critical
+	// callers are unaffected: Purchase always settles at the exact
+	// price, and shed state is reported in ShedState()/stats.
+	ShedTargetP99 time.Duration
 }
 
 // defaultQuoteCacheSize is the quote-cache capacity when Options leaves
@@ -184,6 +199,9 @@ func (o Options) Validate() error {
 	}
 	if o.DataDir != "" && o.UniformSupport {
 		return fmt.Errorf("options: DataDir requires a neighborhood support set; uniform support sets (materialized instances) are not persistable")
+	}
+	if o.ShedTargetP99 < 0 {
+		return fmt.Errorf("options: ShedTargetP99 %v is negative; use 0 to disable load shedding", o.ShedTargetP99)
 	}
 	return nil
 }
@@ -264,6 +282,12 @@ type Broker struct {
 	// write-ahead purchase ledger plus snapshot bookkeeping under
 	// Options.DataDir. See durability.go.
 	dur *durableState
+
+	// ref is the background refiner that upgrades cached approximate
+	// quotes to exact prices; shed tracks the load-shedding state
+	// machine behind Options.ShedTargetP99. Both live in approx.go.
+	ref  refiner
+	shed shedState
 
 	statsMu   sync.Mutex
 	lastStats pricing.Stats
@@ -507,7 +531,7 @@ func (b *Broker) disagreements(ctx context.Context, qs []*exec.Query, key string
 			// Remote cold sweep: the shards walk their slices and return
 			// per-element bits; the fold reproduces global index order, so
 			// the cached entry is indistinguishable from a local sweep's.
-			dis, stats, err := rs.SweepBits(ctx, sqlsOf(qs), true, b.supportGen)
+			dis, stats, err := rs.SweepBits(ctx, sqlsOf(qs), SweepSpec{Bundle: true, SupportGen: b.supportGen})
 			if err != nil {
 				return nil, err
 			}
@@ -548,7 +572,7 @@ func (b *Broker) entropyPrice(ctx context.Context, fn PricingFunc, qs []*exec.Qu
 			// Remote entropy sweep: shards return per-element output-hash
 			// slices; concatenated in shard order they reproduce the full
 			// vector, and the local block fold is the single-node one.
-			elems, stats, err := rs.SweepHashes(ctx, sqlsOf(qs), true, b.supportGen)
+			elems, stats, err := rs.SweepHashes(ctx, sqlsOf(qs), SweepSpec{Bundle: true, SupportGen: b.supportGen})
 			if err != nil {
 				return nil, err
 			}
@@ -639,12 +663,17 @@ func (b *Broker) quoteKeyedLocked(ctx context.Context, fn PricingFunc, qs []*exe
 // function without running it for a buyer. With up-front pricing the quote
 // can be disclosed before purchase (paper §2.2, price leakage discussion).
 // It is a wrapper over Price.
+//
+// Deprecated: use Price, which carries a context, per-query provenance
+// and the approximate-pricing controls (PriceRequest.MaxError).
 func (b *Broker) Quote(sql string) (float64, error) {
 	return b.QuoteWith(b.fn, sql)
 }
 
 // QuoteWith prices a query under a specific pricing function. It is a
 // wrapper over Price.
+//
+// Deprecated: use Price with PriceRequest.Func.
 func (b *Broker) QuoteWith(fn PricingFunc, sql string) (float64, error) {
 	resp, err := b.Price(context.Background(), PriceRequest{SQLs: []string{sql}, Func: &fn})
 	if err != nil {
@@ -655,6 +684,8 @@ func (b *Broker) QuoteWith(fn PricingFunc, sql string) (float64, error) {
 
 // QuoteBundle prices a bundle of queries asked together. It is a wrapper
 // over Price.
+//
+// Deprecated: use Price with PriceRequest.Bundle.
 func (b *Broker) QuoteBundle(sqls ...string) (float64, error) {
 	resp, err := b.Price(context.Background(), PriceRequest{SQLs: sqls, Bundle: true})
 	if err != nil {
@@ -674,12 +705,17 @@ func (b *Broker) QuoteBundle(sqls ...string) (float64, error) {
 // leadership, so they do not coalesce with concurrent solo quotes of the
 // same query (both may compute; both results are identical). It is a
 // wrapper over Price.
+//
+// Deprecated: use Price with multiple PriceRequest.SQLs (Bundle false).
 func (b *Broker) QuoteBatch(sqls []string) ([]float64, error) {
 	return b.QuoteBatchWith(b.fn, sqls)
 }
 
 // QuoteBatchWith is QuoteBatch under a specific pricing function. It is a
 // wrapper over Price.
+//
+// Deprecated: use Price with multiple PriceRequest.SQLs and
+// PriceRequest.Func.
 func (b *Broker) QuoteBatchWith(fn PricingFunc, sqls []string) ([]float64, error) {
 	resp, err := b.Price(context.Background(), PriceRequest{SQLs: sqls, Func: &fn})
 	if err != nil {
@@ -782,6 +818,9 @@ func (b *Broker) buyerState(name string) *buyerState {
 // the masked cold computation decides every element identically — the
 // charge is bit-identical to pricing against the history directly. It is
 // a wrapper over Purchase.
+//
+// Deprecated: use Purchase, which carries a context and returns the full
+// Receipt (gross/net/refund/balance plus reconcile provenance).
 func (b *Broker) Ask(buyer, sql string) (*Result, float64, error) {
 	rec, err := b.Purchase(context.Background(), PurchaseRequest{Buyer: buyer, SQL: sql})
 	if err != nil {
@@ -794,6 +833,8 @@ func (b *Broker) Ask(buyer, sql string) (*Result, float64, error) {
 // from prior work (§2.2): the buyer pays the full history-oblivious price
 // and is reimbursed for information already owned. Net payments equal
 // Ask's; only the cash flow differs. It is a wrapper over Purchase.
+//
+// Deprecated: use Purchase with PurchaseRequest.Refund.
 func (b *Broker) AskWithRefund(buyer, sql string) (*Result, float64, float64, error) {
 	rec, err := b.Purchase(context.Background(), PurchaseRequest{Buyer: buyer, SQL: sql, Refund: true})
 	if err != nil {
