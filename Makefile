@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench json-bench vet lint lint-dup fuzz crash bench-compare throughput serve cluster
+.PHONY: all build test race bench json-bench vet lint lint-dup fuzz crash chaos bench-compare throughput serve cluster
 
 all: build vet test
 
@@ -77,6 +77,18 @@ crash:
 		-run 'Crash|Torn|Truncat|Durab|Recover|Ledger|Snapshot|Cluster' \
 		. ./internal/durable ./internal/httpapi
 	$(GO) test -race -count=1 ./internal/failpoint
+
+# Shard chaos suite under the race detector (DESIGN.md §14): every shard
+# behind a fault-injecting proxy (drops, 500s, delays, trickle bodies,
+# flapping, hard-down). Transient faults must leave prices AND Stats
+# bit-identical to a never-faulted twin; a hard outage must serve
+# degraded upper-bound quotes (never a wrong price, never a 503 for a
+# quote), refuse purchases, and reconcile exact after heal. Also covers
+# the breaker/retry/hedge unit layer and the standby promotion gate.
+chaos:
+	$(GO) test -race -count=1 \
+		-run 'Chaos|Degraded|Breaker|Hedge|Retry|Flap|Partition|EWMA|Backoff|ParentCancel|FaultCounters|FailoverGate|ProbeLoop' \
+		. ./internal/shard ./internal/httpapi ./cmd/qiranad
 
 # Re-run the pricing benchmarks at a reduced scale and compare against the
 # committed BENCH_pricing.json; exits nonzero on a >20% regression. The

@@ -182,7 +182,16 @@ func (b *Broker) Price(ctx context.Context, req PriceRequest) (resp *PriceRespon
 			info.Price, info.Stats, info.Cached, err = b.quoteLocked(ctx, fn, qs)
 		}
 		if err != nil {
-			return nil, err
+			// A shard outage past the retry budget degrades instead of
+			// failing: the dead slices are priced at their upper bound
+			// and the quote carries degraded provenance (degraded.go).
+			if !b.canDegrade(ctx, err) {
+				return nil, err
+			}
+			info, err = b.degradedQuoteLocked(ctx, fn, qs, maxErr)
+			if err != nil {
+				return nil, err
+			}
 		}
 		return &PriceResponse{
 			Prices:   []float64{info.Price},
@@ -202,7 +211,13 @@ func (b *Broker) Price(ctx context.Context, req PriceRequest) (resp *PriceRespon
 		for j := range qs {
 			info, err := b.approxQuoteLocked(ctx, fn, qs[j:j+1], maxErr)
 			if err != nil {
-				return nil, err
+				if !b.canDegrade(ctx, err) {
+					return nil, err
+				}
+				info, err = b.degradedQuoteLocked(ctx, fn, qs[j:j+1], maxErr)
+				if err != nil {
+					return nil, err
+				}
 			}
 			resp.Prices[j] = info.Price
 			resp.Total += info.Price
@@ -214,7 +229,24 @@ func (b *Broker) Price(ctx context.Context, req PriceRequest) (resp *PriceRespon
 
 	prices, stats, cached, err := b.priceBatchLocked(ctx, fn, qs)
 	if err != nil {
-		return nil, err
+		if !b.canDegrade(ctx, err) {
+			return nil, err
+		}
+		// Degraded batches fall back to per-query quotes: each query
+		// needs its own "a|" entry so each settles exact independently
+		// at purchase, same as the approximate batch path above.
+		resp = &PriceResponse{Prices: make([]float64, len(qs)), PerQuery: make([]QuoteInfo, len(qs))}
+		for j := range qs {
+			info, derr := b.degradedQuoteLocked(ctx, fn, qs[j:j+1], 0)
+			if derr != nil {
+				return nil, derr
+			}
+			resp.Prices[j] = info.Price
+			resp.Total += info.Price
+			resp.PerQuery[j] = info
+			addStats(&resp.Stats, info.Stats)
+		}
+		return resp, nil
 	}
 	resp = &PriceResponse{Prices: prices, PerQuery: make([]QuoteInfo, len(qs))}
 	for j := range qs {

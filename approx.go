@@ -67,15 +67,27 @@ type EstimateInfo struct {
 	// Refined is true once the entry has been upgraded to the exact
 	// price — the served Price then IS exact and CI is 0.
 	Refined bool `json:"refined"`
+	// Degraded marks a quote priced while part of the shard cluster was
+	// unreachable: the missing slices were charged at their upper bound
+	// (DESIGN.md §14), so the served Price is still ≥ the exact price.
+	// MissingFrac is the fraction of support-set elements whose slice
+	// did not answer. Both clear once the entry refines to exact.
+	Degraded    bool    `json:"degraded,omitempty"`
+	MissingFrac float64 `json:"missing_frac,omitempty"`
 }
 
 // approxEntry is one cached approximate quote ("a|" keys, KindApprox).
 // The refiner upgrades it in place: same key, refined=true, exact set.
+// Degraded entries (degraded.go) share the key space deliberately: the
+// purchase-time reconcile and the refiner treat an outage-priced quote
+// exactly like a sampled one — an upper bound waiting to settle exact.
 type approxEntry struct {
-	est     pricing.Estimate
-	stats   pricing.Stats
-	refined bool
-	exact   float64
+	est      pricing.Estimate
+	stats    pricing.Stats
+	refined  bool
+	exact    float64
+	degraded bool
+	missing  float64 // fraction of elements in unreachable slices
 }
 
 // approxKey keys an approximate quote. Like entropyKey it embeds the
@@ -164,6 +176,19 @@ func (b *Broker) approxQuoteLocked(ctx context.Context, fn PricingFunc, qs []*ex
 	if !cached && !ent.refined {
 		b.enqueueRefine(key, fn, sqlsOf(qs))
 	}
+	if cached && ent.degraded && !ent.refined {
+		// A degraded entry must not outlive the outage: re-arm the
+		// refiner so a hit after the cluster heals upgrades it to exact.
+		b.enqueueRefine(key, fn, sqlsOf(qs))
+	}
+	return b.approxInfo(ent, cached, maxErr), nil
+}
+
+// approxInfo builds the QuoteInfo served from an "a|" entry, counting
+// degraded serves. Refined entries serve the exact price with the
+// degraded provenance cleared: once the exact price is known, the
+// outage it was quoted under no longer taints the answer.
+func (b *Broker) approxInfo(ent approxEntry, cached bool, maxErr float64) QuoteInfo {
 	info := QuoteInfo{Stats: ent.stats, Cached: cached, Estimate: &EstimateInfo{
 		Approx:     true,
 		Point:      ent.est.Point,
@@ -177,10 +202,15 @@ func (b *Broker) approxQuoteLocked(ctx context.Context, fn PricingFunc, qs []*ex
 		info.Price = ent.exact
 		info.Estimate.Point = ent.exact
 		info.Estimate.CI = 0
-	} else {
-		info.Price = ent.est.Price
+		return info
 	}
-	return info, nil
+	info.Price = ent.est.Price
+	if ent.degraded {
+		info.Estimate.Degraded = true
+		info.Estimate.MissingFrac = ent.missing
+		b.obs.Add("router_degraded_quotes", 1)
+	}
+	return info
 }
 
 // approxSweepLocked runs the sampled sweep — remotely through the shard

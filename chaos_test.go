@@ -1,0 +1,307 @@
+package qirana_test
+
+// The chaos suite (make chaos) drives the fault-tolerance layer end to
+// end against the bit-identity contract: under TRANSIENT faults (drops,
+// 500s, delays, slow-trickle bodies) every quote and purchase that
+// succeeds must be bit-identical to a never-faulted single-node twin —
+// retries, hedges and breakers are pure mechanism and may never change
+// a price. Under a HARD outage (a shard down past its retry budget)
+// quotes degrade instead of failing: the missing slices are charged at
+// their upper bound, so the served price is ≥ the exact price —
+// arbitrage-safe — with the provenance marked degraded. Purchases never
+// degrade: they settle exact or refuse, and reconcile against the
+// degraded quote once the cluster heals.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"qirana"
+	"qirana/internal/shard"
+)
+
+// attachChaos fronts every shard of an in-process cluster with a
+// ChaosProxy and installs the fan-out (with the given policy) as
+// routed's remote sweeper. Each shard's proxy gets a distinct failpoint
+// namespace and PRNG seed.
+func attachChaos(t *testing.T, routed *qirana.Broker, db *qirana.Database, n, size int, cfg shard.ChaosConfig, pol shard.FaultPolicy) []*shard.ChaosProxy {
+	t.Helper()
+	brokers, err := shard.NewShardBrokers(routed, db, n, qirana.Options{SupportSetSize: size, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxies := make([]*shard.ChaosProxy, n)
+	urls := make([]string, n)
+	for i, b := range brokers {
+		c := cfg
+		c.Name = fmt.Sprintf("%s/shard%d", t.Name(), i)
+		c.Seed = cfg.Seed + int64(i)
+		proxies[i] = shard.NewChaosProxy(shard.Handler(b), c)
+		proxies[i].Arm(false) // quiet for the fail-fast handshake
+		srv := httptest.NewServer(proxies[i])
+		t.Cleanup(srv.Close)
+		urls[i] = srv.URL
+	}
+	fan, err := shard.Connect(context.Background(), urls, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fan.SetPolicy(pol)
+	routed.SetRemoteSweeper(fan)
+	for _, p := range proxies {
+		p.Arm(true)
+	}
+	return proxies
+}
+
+// transientPolicy gives the retry loop enough budget that the
+// probabilistic fault schedule (~25% fault per attempt) practically
+// never exhausts it: 12 attempts ≈ 6e-8 residual failure per call.
+func transientPolicy() shard.FaultPolicy {
+	p := shard.DefaultFaultPolicy()
+	p.MaxAttempts = 12
+	p.RetryBase = 500 * time.Microsecond
+	p.RetryMax = 4 * time.Millisecond
+	p.BreakerThreshold = 1000 // transient faults must never trip it
+	p.BreakerCooldown = 10 * time.Millisecond
+	p.HedgeMin = time.Millisecond
+	return p
+}
+
+// TestClusterChaosTransientBitIdentical is the transient-fault
+// differential: a 3-shard cluster where every shard drops 20% of
+// requests, 500s 5%, delays 30% and trickles 20% of bodies must still
+// price — and charge — bit-identically to a never-faulted single node,
+// across all five generator schemas and all four pricing functions.
+func TestClusterChaosTransientBitIdentical(t *testing.T) {
+	cfg := shard.ChaosConfig{
+		Seed:        2026,
+		DropProb:    0.20,
+		ErrProb:     0.05,
+		DelayProb:   0.30,
+		MaxDelay:    2 * time.Millisecond,
+		TrickleProb: 0.20,
+	}
+	cases := []struct {
+		dataset string
+		seed    int64
+		scale   float64
+		size    int
+		sqls    []string
+	}{
+		{"world", 1, 0, 150, []string{
+			"SELECT Name FROM Country WHERE Population > 1000000",
+			"SELECT Continent, count(*) FROM Country GROUP BY Continent",
+		}},
+		{"carcrash", 2, 300, 100, []string{
+			"SELECT count(*) FROM crash WHERE Age > 40",
+			"SELECT State FROM crash WHERE Age < 21",
+		}},
+		{"ssb", 3, 0.001, 100, []string{
+			"SELECT count(*) FROM lineorder WHERE lo_revenue > 4000000",
+		}},
+		{"tpch", 4, 0.002, 100, []string{
+			"SELECT count(*) FROM supplier WHERE s_acctbal < 1000",
+		}},
+		{"dblp", 5, 0.02, 100, []string{
+			"SELECT count(*) FROM dblp WHERE FromNodeId < 500",
+		}},
+	}
+	ctx := context.Background()
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.dataset, func(t *testing.T) {
+			db, single, routed := twinPair(t, tc.dataset, tc.seed, tc.scale, tc.size)
+			attachChaos(t, routed, db, 3, tc.size, cfg, transientPolicy())
+
+			for _, fn := range clusterFns {
+				fn := fn
+				label := fmt.Sprintf("fn=%v", fn)
+				want, err := single.Price(ctx, qirana.PriceRequest{SQLs: tc.sqls, Func: &fn})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := routed.Price(ctx, qirana.PriceRequest{SQLs: tc.sqls, Func: &fn})
+				if err != nil {
+					t.Fatalf("%s batch under transient chaos: %v", label, err)
+				}
+				assertSamePrice(t, label+" batch", got, want)
+				// A successful quote under transient faults must be the
+				// EXACT price, never a silently degraded one.
+				for i, q := range got.PerQuery {
+					if q.Estimate != nil {
+						t.Fatalf("%s query %d served an estimate under transient-only faults: %+v", label, i, q.Estimate)
+					}
+				}
+				want, err = single.Price(ctx, qirana.PriceRequest{SQLs: tc.sqls, Func: &fn, Bundle: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err = routed.Price(ctx, qirana.PriceRequest{SQLs: tc.sqls, Func: &fn, Bundle: true})
+				if err != nil {
+					t.Fatalf("%s bundle under transient chaos: %v", label, err)
+				}
+				assertSamePrice(t, label+" bundle", got, want)
+			}
+
+			// The money trail rides the same machinery.
+			want := mustBuy(t, single, "alice", tc.sqls[0])
+			got := mustBuy(t, routed, "alice", tc.sqls[0])
+			if got.Gross != want.Gross || got.Net != want.Net || got.Balance != want.Balance {
+				t.Fatalf("purchase under transient chaos: %+v != twin %+v", got, want)
+			}
+
+			// The fault schedule actually fired, and the breaker never
+			// tripped (transient faults are retried, not amputated).
+			m := routed.Metrics()
+			if m.Counters["router_retries"] == 0 {
+				t.Error("transient chaos produced no retries — the schedule never fired?")
+			}
+			if m.Counters["breaker_open"] != 0 {
+				t.Errorf("breaker_open = %d under transient-only faults, want 0", m.Counters["breaker_open"])
+			}
+			if m.Counters["router_degraded_quotes"] != 0 {
+				t.Errorf("router_degraded_quotes = %d under transient-only faults, want 0", m.Counters["router_degraded_quotes"])
+			}
+		})
+	}
+}
+
+// TestClusterDegradedQuoteUpperBound is the hard-outage contract: with
+// 1 of 3 shards down past its retry budget, /quote-level pricing still
+// answers — marked degraded, missing fraction reported — and the served
+// price is ≥ the exact price for all four pricing functions. Purchases
+// during the outage refuse (no partial merge ever charges a buyer);
+// after the heal they settle exact and reconcile against the degraded
+// quote.
+func TestClusterDegradedQuoteUpperBound(t *testing.T) {
+	const size = 150
+	db, single, routed := twinPair(t, "world", 1, 0, size)
+	pol := shard.DefaultFaultPolicy()
+	pol.MaxAttempts = 2
+	pol.RetryBase, pol.RetryMax = time.Millisecond, 2*time.Millisecond
+	pol.BreakerThreshold = 2
+	pol.BreakerCooldown = 30 * time.Millisecond
+	pol.DisableHedging = true
+	proxies := attachChaos(t, routed, db, 3, size, shard.ChaosConfig{}, pol)
+	proxies[1].SetDown(true)
+
+	ctx := context.Background()
+	const sql = "SELECT Name FROM Country WHERE Population > 2000000"
+	var defaultFn qirana.PricingFunc // the broker's default (what purchases settle under)
+	degTotal := map[qirana.PricingFunc]float64{}
+	for _, fn := range clusterFns {
+		fn := fn
+		exact, err := single.Price(ctx, qirana.PriceRequest{SQLs: []string{sql}, Func: &fn})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := routed.Price(ctx, qirana.PriceRequest{SQLs: []string{sql}, Func: &fn})
+		if err != nil {
+			t.Fatalf("fn=%v: degraded quote failed instead of over-quoting: %v", fn, err)
+		}
+		est := got.PerQuery[0].Estimate
+		if est == nil || !est.Degraded {
+			t.Fatalf("fn=%v: quote during outage is not marked degraded: %+v", fn, got.PerQuery[0])
+		}
+		if est.MissingFrac <= 0 || est.MissingFrac >= 1 {
+			t.Fatalf("fn=%v: missing_frac = %v, want in (0,1) with 1 of 3 shards down", fn, est.MissingFrac)
+		}
+		if est.CI < 0 {
+			t.Fatalf("fn=%v: negative confidence interval %v", fn, est.CI)
+		}
+		if got.Total < exact.Total {
+			t.Fatalf("fn=%v: degraded quote %v undercuts the exact price %v — arbitrage hole", fn, got.Total, exact.Total)
+		}
+		degTotal[fn] = got.Total
+	}
+	if v := routed.Metrics().Counters["router_degraded_quotes"]; v < uint64(len(clusterFns)) {
+		t.Errorf("router_degraded_quotes = %d, want ≥ %d", v, len(clusterFns))
+	}
+	if v := routed.Metrics().Counters["router_degraded_sweeps"]; v == 0 {
+		t.Error("router_degraded_sweeps never moved during the outage")
+	}
+
+	// Purchases NEVER degrade: exact settlement or refusal, and a
+	// refused purchase charges nothing.
+	if _, err := routed.Purchase(ctx, qirana.PurchaseRequest{Buyer: "alice", SQL: sql}); !errors.Is(err, qirana.ErrShardUnavailable) {
+		t.Fatalf("purchase during outage: err=%v, want ErrShardUnavailable", err)
+	}
+	if paid := routed.TotalPaid("alice"); paid != 0 {
+		t.Fatalf("alice was charged %v by a refused degraded-era purchase", paid)
+	}
+
+	// Heal, wait out the breaker cooldown, and settle: the purchase is
+	// exact (bit-identical to the twin) and reconciles against the
+	// degraded quote — the buyer pays the exact price, the receipt shows
+	// how much the outage-priced bound overshot.
+	proxies[1].SetDown(false)
+	time.Sleep(pol.BreakerCooldown + 20*time.Millisecond)
+	want := mustBuy(t, single, "alice", sql)
+	got := mustBuy(t, routed, "alice", sql)
+	if got.Gross != want.Gross || got.Net != want.Net || got.Balance != want.Balance {
+		t.Fatalf("post-heal purchase: %+v != twin %+v", got, want)
+	}
+	if got.Quoted != degTotal[defaultFn] {
+		t.Fatalf("receipt.Quoted = %v, want the degraded quote %v", got.Quoted, degTotal[defaultFn])
+	}
+	if got.ReconcileDelta < 0 || got.ReconcileDelta != degTotal[defaultFn]-got.Net {
+		t.Fatalf("receipt.ReconcileDelta = %v, want quoted-exact = %v ≥ 0", got.ReconcileDelta, degTotal[defaultFn]-got.Net)
+	}
+}
+
+// TestClusterFlappingShardRecovers pins the flapping-shard behaviour:
+// each time the shard goes down, fresh quotes degrade (over-quote with
+// provenance); each time it comes back, fresh quotes are immediately
+// bit-identical to the twin again — no breaker cooldown to wait out,
+// because the threshold is never reached inside one flap.
+func TestClusterFlappingShardRecovers(t *testing.T) {
+	const size = 120
+	db, single, routed := twinPair(t, "world", 1, 0, size)
+	pol := shard.DefaultFaultPolicy()
+	pol.MaxAttempts = 2
+	pol.RetryBase, pol.RetryMax = time.Millisecond, 2*time.Millisecond
+	pol.BreakerThreshold = 1000 // flapping must not amputate the shard
+	pol.DisableHedging = true
+	proxies := attachChaos(t, routed, db, 3, size, shard.ChaosConfig{}, pol)
+
+	ctx := context.Background()
+	for round := 0; round < 3; round++ {
+		downSQL := fmt.Sprintf("SELECT Name FROM Country WHERE Population > %d", 1000000+round)
+		upSQL := fmt.Sprintf("SELECT count(*) FROM Country WHERE Population > %d", 2000000+round)
+
+		proxies[1].SetDown(true)
+		got, err := routed.Price(ctx, qirana.PriceRequest{SQLs: []string{downSQL}})
+		if err != nil {
+			t.Fatalf("round %d: quote during flap-down failed: %v", round, err)
+		}
+		if est := got.PerQuery[0].Estimate; est == nil || !est.Degraded {
+			t.Fatalf("round %d: flap-down quote not marked degraded", round)
+		}
+		exact, err := single.Price(ctx, qirana.PriceRequest{SQLs: []string{downSQL}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Total < exact.Total {
+			t.Fatalf("round %d: degraded %v undercuts exact %v", round, got.Total, exact.Total)
+		}
+
+		proxies[1].SetDown(false)
+		want, err := single.Price(ctx, qirana.PriceRequest{SQLs: []string{upSQL}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err = routed.Price(ctx, qirana.PriceRequest{SQLs: []string{upSQL}})
+		if err != nil {
+			t.Fatalf("round %d: quote after flap-up failed: %v", round, err)
+		}
+		if got.PerQuery[0].Estimate != nil {
+			t.Fatalf("round %d: healthy-cluster quote still served an estimate", round)
+		}
+		assertSamePrice(t, fmt.Sprintf("round %d flap-up", round), got, want)
+	}
+}

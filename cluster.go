@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"qirana/internal/durable"
 	"qirana/internal/obs"
@@ -91,6 +92,40 @@ type RemoteSweeper interface {
 	// SweepHashes returns the full-length per-element output-hash
 	// vector(s) for the entropy pricing functions, shaped like SweepBits.
 	SweepHashes(ctx context.Context, sqls []string, spec SweepSpec) ([][]uint64, []Stats, error)
+}
+
+// DegradedSweeper is the optional fault-tolerant extension of
+// RemoteSweeper (implemented by internal/shard.Fanout). Where the exact
+// sweeps are all-or-nothing, the degraded variants return whatever
+// slices answered within the retry budget plus an element-level live
+// mask; dead slices are zero-filled and excluded from Stats. The broker
+// feeds the mask into the PR 9 estimators as if the dead slices were
+// simply unsampled, which prices the missing weight at its upper bound
+// — a sound, arbitrage-safe over-quote (DESIGN.md §14). Implementations
+// must return an error (never an all-false mask) when no slice at all
+// survived.
+type DegradedSweeper interface {
+	RemoteSweeper
+	SweepBitsDegraded(ctx context.Context, sqls []string, spec SweepSpec) ([][]bool, []Stats, []bool, error)
+	SweepHashesDegraded(ctx context.Context, sqls []string, spec SweepSpec) ([][]uint64, []Stats, []bool, error)
+}
+
+// RetryAfterHinter is implemented by errors that know how long the
+// failing component needs before a retry could succeed — e.g. the
+// fan-out's circuit-breaker rejection carrying its remaining cooldown.
+// The HTTP layer surfaces the hint as the Retry-After header and the
+// error envelope's retry_after field.
+type RetryAfterHinter interface {
+	RetryAfterHint() time.Duration
+}
+
+// RetryAfterHint extracts the retry hint from anywhere in err's chain.
+func RetryAfterHint(err error) (time.Duration, bool) {
+	var h RetryAfterHinter
+	if errors.As(err, &h) {
+		return h.RetryAfterHint(), true
+	}
+	return 0, false
 }
 
 // SetRemoteSweeper installs (or, with nil, removes) the broker's remote

@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"qirana"
 	"qirana/internal/durable"
@@ -327,13 +328,22 @@ func (f *flakyShard) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 // TestClusterPartitionRecovery drives the router error semantics end to
-// end: with one shard partitioned away, a cold quote fails with
-// ErrShardUnavailable (503 + Retry-After over HTTP) and no partial price
-// is ever merged or cached; once the shard heals, the same quote prices
-// bit-identically to a single node.
+// end: with one shard partitioned away — and degraded-mode quotes
+// explicitly disabled — a cold quote fails with ErrShardUnavailable
+// (503 + Retry-After over HTTP) and no partial price is ever merged or
+// cached; the shard's circuit breaker opens under the repeated faults;
+// once the shard heals and the cooldown elapses, the same quote prices
+// bit-identically to a single node. (The degraded-quotes default is
+// covered by TestClusterDegradedQuoteUpperBound in chaos_test.go.)
 func TestClusterPartitionRecovery(t *testing.T) {
 	const size = 150
-	db, single, routed := twinPair(t, "world", 1, 0, size)
+	db, single, _ := twinPair(t, "world", 1, 0, size)
+	// Same dataset, seed and size as the twin — identical support set —
+	// but with the degraded fallback off, so outages surface as errors.
+	routed, err := qirana.NewBroker(db, 100, qirana.Options{SupportSetSize: size, Seed: 7, DisableDegradedQuotes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	brokers, err := shard.NewShardBrokers(routed, db, 3, qirana.Options{SupportSetSize: size, Seed: 7})
 	if err != nil {
@@ -351,6 +361,15 @@ func TestClusterPartitionRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// A tight policy so the breaker's whole lifecycle fits in the test:
+	// 2 attempts per sweep, trip after 4 faults, 50ms cooldown.
+	pol := shard.DefaultFaultPolicy()
+	pol.MaxAttempts = 2
+	pol.RetryBase, pol.RetryMax = time.Millisecond, 4*time.Millisecond
+	pol.BreakerThreshold = 4
+	pol.BreakerCooldown = 50 * time.Millisecond
+	pol.DisableHedging = true
+	fan.SetPolicy(pol)
 	routed.SetRemoteSweeper(fan)
 
 	// Partition shard 1 and quote cold: the whole fan-out must fail.
@@ -383,9 +402,22 @@ func TestClusterPartitionRecovery(t *testing.T) {
 		t.Fatalf("stale-gen sweep: err=%v, want ErrSupportMismatch", err)
 	}
 
-	// Heal the partition: the quote must now be cold-computed (nothing
-	// partial was cached) and bit-identical to the single-node twin.
+	// The repeated faults tripped shard 1's breaker: the next failure is
+	// a fast reject carrying a machine-readable Retry-After hint.
+	if v := routed.Metrics().Counters["breaker_open"]; v == 0 {
+		t.Error("breaker_open never moved under a persistent partition")
+	}
+	if _, err := routed.Quote(sql + " "); err == nil {
+		t.Fatal("open breaker: quote succeeded during the partition")
+	} else if hint, ok := qirana.RetryAfterHint(err); !ok || hint <= 0 {
+		t.Fatalf("open-breaker error carries no Retry-After hint: %v", err)
+	}
+
+	// Heal the partition and wait out the cooldown: the half-open probe
+	// re-admits the shard, and the quote must now be cold-computed
+	// (nothing partial was cached) and bit-identical to the twin.
 	flakies[1].down.Store(false)
+	time.Sleep(pol.BreakerCooldown + 20*time.Millisecond)
 	want, err := single.Price(context.Background(), qirana.PriceRequest{SQLs: []string{sql}})
 	if err != nil {
 		t.Fatal(err)
@@ -400,6 +432,9 @@ func TestClusterPartitionRecovery(t *testing.T) {
 	assertSamePrice(t, "post-partition", got, want)
 	if errs := routed.Metrics().Counters["router_shard_errors"]; errs == 0 {
 		t.Error("router_shard_errors counter never moved")
+	}
+	if v := routed.Metrics().Counters["breaker_close"]; v == 0 {
+		t.Error("breaker never recorded its recovery after the heal")
 	}
 }
 

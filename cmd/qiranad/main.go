@@ -81,8 +81,9 @@ func main() {
 		shardMode = flag.Bool("shard", false, "serve as a read-only shard worker (/shard/sweep, /shard/info)")
 		standby   = flag.Bool("standby", false, "serve as a hot standby tailing -data; requires -leader")
 		leaderURL = flag.String("leader", "", "leader base URL the standby probes (e.g. http://localhost:8080)")
-		probeIv   = flag.Duration("probe-interval", time.Second, "standby: leader probe and WAL tail interval")
-		failAfter = flag.Int("failover-after", 3, "standby: consecutive failed probes before promoting")
+		probeIv   = flag.Duration("probe-interval", time.Second, "standby: nominal leader probe and WAL tail interval (jittered ±20%, backs off while probes miss)")
+		probeTo   = flag.Duration("probe-timeout", 0, "standby: per-probe HTTP timeout (0 = 2× -probe-interval); keep it above the leader's worst-case pause so a slow leader is not mistaken for a dead one")
+		failAfter = flag.Int("failover-after", 3, "standby: CONSECUTIVE failed probes before promoting (any success resets the streak)")
 	)
 	flag.Parse()
 	cfg := config{
@@ -90,7 +91,7 @@ func main() {
 		seed: *seed, workers: *workers, load: *load, dataDir: *dataDir,
 		timeout: *timeout, drain: *drain, shedP99: *shedP99,
 		shard: *shardMode, standby: *standby, leaderURL: *leaderURL,
-		probeInterval: *probeIv, failoverAfter: *failAfter,
+		probeInterval: *probeIv, probeTimeout: *probeTo, failoverAfter: *failAfter,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -111,6 +112,7 @@ type config struct {
 	shard, standby bool
 	leaderURL      string
 	probeInterval  time.Duration
+	probeTimeout   time.Duration
 	failoverAfter  int
 }
 
@@ -185,39 +187,42 @@ func runStandby(cfg config, db *qirana.Database) error {
 	current.Store(follower.Broker())
 	api := httpapi.NewDynamic(func() *qirana.Broker { return current.Load() }, cfg.timeout)
 
-	fmt.Printf("qiranad: standby tailing %s, probing %s every %s (failover after %d misses), serving on http://%s\n",
+	fmt.Printf("qiranad: standby tailing %s, probing %s every ~%s (failover after %d consecutive misses), serving on http://%s\n",
 		cfg.dataDir, cfg.leaderURL, cfg.probeInterval, cfg.failoverAfter, cfg.addr)
 
+	// The probe timeout is decoupled from the interval: a leader paused
+	// for one beat must fail a PROBE, not be declared dead by a client
+	// timeout that races the next tick.
+	probeTimeout := cfg.probeTimeout
+	if probeTimeout <= 0 {
+		probeTimeout = 2 * cfg.probeInterval
+	}
+	client := &http.Client{Timeout: probeTimeout}
+	gate := newFailoverGate(cfg.failoverAfter, cfg.probeInterval, time.Now().UnixNano())
 	stopTail := make(chan struct{})
-	go func() {
-		misses := 0
-		ticker := time.NewTicker(cfg.probeInterval)
-		defer ticker.Stop()
-		client := &http.Client{Timeout: cfg.probeInterval}
-		for {
-			select {
-			case <-stopTail:
-				return
-			case <-ticker.C:
-			}
+	go probeLoop(stopTail, gate,
+		func() {
 			if err := follower.Refresh(); err != nil {
 				fmt.Fprintf(os.Stderr, "qiranad: standby refresh: %v\n", err)
 			} else {
 				current.Store(follower.Broker())
 			}
+		},
+		func() error {
 			resp, err := client.Get(cfg.leaderURL + "/healthz")
-			if err == nil {
-				resp.Body.Close()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "qiranad: leader probe failed (%d/%d): %v\n", gate.misses+1, cfg.failoverAfter, err)
+				return err
 			}
-			if err == nil && resp.StatusCode == http.StatusOK {
-				misses = 0
-				continue
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				err := fmt.Errorf("leader /healthz answered %d", resp.StatusCode)
+				fmt.Fprintf(os.Stderr, "qiranad: leader probe failed (%d/%d): %v\n", gate.misses+1, cfg.failoverAfter, err)
+				return err
 			}
-			misses++
-			fmt.Fprintf(os.Stderr, "qiranad: leader probe failed (%d/%d)\n", misses, cfg.failoverAfter)
-			if misses < cfg.failoverAfter {
-				continue
-			}
+			return nil
+		},
+		func() {
 			b, perr := follower.Promote()
 			if perr != nil {
 				fmt.Fprintf(os.Stderr, "qiranad: promote failed: %v\n", perr)
@@ -225,9 +230,7 @@ func runStandby(cfg config, db *qirana.Database) error {
 			}
 			current.Store(b)
 			fmt.Println("qiranad: promoted to leader; purchases enabled")
-			return
-		}
-	}()
+		})
 	return serve(cfg, api, func() error {
 		close(stopTail)
 		// Only a promoted standby owns durable state worth closing.

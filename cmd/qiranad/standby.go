@@ -1,0 +1,78 @@
+package main
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Standby promotion hardening (DESIGN.md §14). The original probe loop
+// had two shadow-promotion hazards: a fixed ticker meant every standby
+// in a fleet probed in lockstep (one leader GC pause → every standby
+// misses the same beats), and the probe client's timeout equaled the
+// probe interval, so a leader that was merely slow — not dead — was
+// indistinguishable from a crashed one. The gate below fixes both:
+// probes are jittered ±20%, the interval BACKS OFF while a miss streak
+// grows (a slow-but-alive leader gets more time to answer, not less),
+// and only K *consecutive* misses promote — any successful probe resets
+// the streak, so a flapping leader never loses its ledger to an eager
+// standby.
+
+// failoverGate decides when a standby may promote.
+type failoverGate struct {
+	k      int           // consecutive misses required to promote
+	base   time.Duration // nominal probe interval
+	rng    *rand.Rand
+	misses int
+}
+
+func newFailoverGate(k int, base time.Duration, seed int64) *failoverGate {
+	if k < 1 {
+		k = 1
+	}
+	return &failoverGate{k: k, base: base, rng: rand.New(rand.NewSource(seed))}
+}
+
+// success resets the consecutive-miss streak: the leader answered, so
+// whatever was accumulating was a blip, not a death.
+func (g *failoverGate) success() { g.misses = 0 }
+
+// miss records one failed probe; true means the K-consecutive-miss
+// requirement is met and the standby should promote.
+func (g *failoverGate) miss() bool {
+	g.misses++
+	return g.misses >= g.k
+}
+
+// wait is the delay before the next probe: the base interval jittered
+// ±20% (a fleet of standbys must not probe in phase), doubled per
+// consecutive miss up to 4× base.
+func (g *failoverGate) wait() time.Duration {
+	d := g.base
+	for i := 0; i < g.misses && i < 2; i++ {
+		d *= 2
+	}
+	return time.Duration(float64(d) * (0.8 + 0.4*g.rng.Float64()))
+}
+
+// probeLoop drives the standby: every gate-paced wakeup it refreshes
+// the WAL tail, probes the leader, and promotes after the gate's K
+// consecutive misses. Returns when stop closes or after promote runs.
+func probeLoop(stop <-chan struct{}, gate *failoverGate, refresh func(), probe func() error, promote func()) {
+	timer := time.NewTimer(gate.wait())
+	defer timer.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-timer.C:
+		}
+		refresh()
+		if err := probe(); err == nil {
+			gate.success()
+		} else if gate.miss() {
+			promote()
+			return
+		}
+		timer.Reset(gate.wait())
+	}
+}

@@ -46,72 +46,117 @@ import (
 	"qirana/internal/shard"
 )
 
+// config collects the router's flags (run used to take them as 15
+// positional parameters, which had become unreadable and error-prone).
+type config struct {
+	addr, shards     string
+	cluster          int
+	dataset          string
+	price            float64
+	size             int
+	scale            float64
+	seed             int64
+	workers          int
+	load, dataDir    string
+	timeout, drain   time.Duration
+	shedP99          time.Duration
+	standbyAddr      string
+	shardRetries     int
+	breakerThreshold int
+	breakerCooldown  time.Duration
+	hedgeAfter       time.Duration
+	noHedge          bool
+	noDegraded       bool
+}
+
 func main() {
-	var (
-		addr     = flag.String("addr", "localhost:8090", "listen address")
-		shards   = flag.String("shards", "", "comma-separated shard base URLs (e.g. http://host:8081,http://host:8082)")
-		cluster  = flag.Int("cluster", 0, "demo mode: spin N in-process shard workers instead of -shards")
-		dataset  = flag.String("dataset", "world", "dataset: world, carcrash, dblp, tpch, ssb")
-		price    = flag.Float64("price", 100, "price of the full dataset")
-		size     = flag.Int("support", 1000, "support set size")
-		scale    = flag.Float64("scale", 0, "dataset scale (0 = small default)")
-		seed     = flag.Int64("seed", 1, "generator seed")
-		workers  = flag.Int("workers", 0, "parallel pricing workers per shard (demo mode)")
-		load     = flag.String("load", "", "load a saved support set instead of sampling")
-		dataDir  = flag.String("data", "", "durable state directory for the router's purchase ledger")
-		timeout  = flag.Duration("timeout", 30*time.Second, "per-request pricing timeout (0 = none)")
-		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
-		shedP99  = flag.Duration("shed-p99", 0, "load-shed target: when the windowed p99 pricing latency exceeds this, force a minimum max_error onto quotes (0 = never shed)")
-		standbyA = flag.String("standby-addr", "", "demo mode: also serve an in-process read-only standby mirror of -data on this address")
-	)
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", "localhost:8090", "listen address")
+	flag.StringVar(&cfg.shards, "shards", "", "comma-separated shard base URLs (e.g. http://host:8081,http://host:8082)")
+	flag.IntVar(&cfg.cluster, "cluster", 0, "demo mode: spin N in-process shard workers instead of -shards")
+	flag.StringVar(&cfg.dataset, "dataset", "world", "dataset: world, carcrash, dblp, tpch, ssb")
+	flag.Float64Var(&cfg.price, "price", 100, "price of the full dataset")
+	flag.IntVar(&cfg.size, "support", 1000, "support set size")
+	flag.Float64Var(&cfg.scale, "scale", 0, "dataset scale (0 = small default)")
+	flag.Int64Var(&cfg.seed, "seed", 1, "generator seed")
+	flag.IntVar(&cfg.workers, "workers", 0, "parallel pricing workers per shard (demo mode)")
+	flag.StringVar(&cfg.load, "load", "", "load a saved support set instead of sampling")
+	flag.StringVar(&cfg.dataDir, "data", "", "durable state directory for the router's purchase ledger")
+	flag.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "per-request pricing timeout (0 = none)")
+	flag.DurationVar(&cfg.drain, "drain", 10*time.Second, "graceful-shutdown drain window")
+	flag.DurationVar(&cfg.shedP99, "shed-p99", 0, "load-shed target: when the windowed p99 pricing latency exceeds this, force a minimum max_error onto quotes (0 = never shed)")
+	flag.StringVar(&cfg.standbyAddr, "standby-addr", "", "demo mode: also serve an in-process read-only standby mirror of -data on this address")
+	def := shard.DefaultFaultPolicy()
+	flag.IntVar(&cfg.shardRetries, "shard-retries", def.MaxAttempts, "per-shard request attempts per sweep, including the first (retries use jittered exponential backoff)")
+	flag.IntVar(&cfg.breakerThreshold, "breaker-threshold", def.BreakerThreshold, "consecutive shard faults that trip a shard's circuit breaker open")
+	flag.DurationVar(&cfg.breakerCooldown, "breaker-cooldown", def.BreakerCooldown, "how long an open breaker fails fast before probing the shard's health")
+	flag.DurationVar(&cfg.hedgeAfter, "hedge-after", 0, "fixed hedge delay: fire a duplicate shard RPC after this long without an answer (0 = adapt to the fleet's latency signal)")
+	flag.BoolVar(&cfg.noHedge, "no-hedge", false, "disable hedged shard requests")
+	flag.BoolVar(&cfg.noDegraded, "no-degraded", false, "disable degraded-mode quotes: fail 503 instead of serving a sound over-quote while part of the cluster is unreachable")
 	flag.Parse()
-	if err := run(*addr, *shards, *cluster, *dataset, *price, *size, *scale, *seed, *workers, *load, *dataDir, *timeout, *drain, *shedP99, *standbyA); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 }
 
-func run(addr, shards string, cluster int, dataset string, price float64, size int, scale float64, seed int64, workers int, load, dataDir string, timeout, drain, shedP99 time.Duration, standbyAddr string) error {
-	if (shards == "") == (cluster == 0) {
+// faultPolicy translates the fault-tolerance flags onto the fan-out's
+// policy, starting from the defaults.
+func (c config) faultPolicy() shard.FaultPolicy {
+	p := shard.DefaultFaultPolicy()
+	p.MaxAttempts = c.shardRetries
+	p.BreakerThreshold = c.breakerThreshold
+	p.BreakerCooldown = c.breakerCooldown
+	p.HedgeAfter = c.hedgeAfter
+	p.DisableHedging = c.noHedge
+	return p
+}
+
+func run(cfg config) error {
+	if (cfg.shards == "") == (cfg.cluster == 0) {
 		return errors.New("set exactly one of -shards (connect to workers) or -cluster N (in-process demo)")
 	}
-	db, err := qirana.LoadDataset(dataset, seed, scale)
+	db, err := qirana.LoadDataset(cfg.dataset, cfg.seed, cfg.scale)
 	if err != nil {
 		return err
 	}
-	opts := qirana.Options{SupportSetSize: size, Seed: seed, Workers: workers, ShedTargetP99: shedP99}
+	opts := qirana.Options{SupportSetSize: cfg.size, Seed: cfg.seed, Workers: cfg.workers,
+		ShedTargetP99: cfg.shedP99, DisableDegradedQuotes: cfg.noDegraded}
 	var broker *qirana.Broker
 	switch {
-	case dataDir != "" && load != "":
+	case cfg.dataDir != "" && cfg.load != "":
 		return errors.New("-data and -load are mutually exclusive: a durable router persists its own support set in the data directory")
-	case dataDir != "":
-		broker, err = qirana.OpenBroker(dataDir, db, price, opts)
-	case load != "":
-		f, ferr := os.Open(load)
+	case cfg.dataDir != "":
+		broker, err = qirana.OpenBroker(cfg.dataDir, db, cfg.price, opts)
+	case cfg.load != "":
+		f, ferr := os.Open(cfg.load)
 		if ferr != nil {
 			return ferr
 		}
-		broker, err = qirana.NewBrokerFromSupport(db, price, f, qirana.Options{Workers: workers})
+		lopts := opts
+		lopts.SupportSetSize = 0
+		broker, err = qirana.NewBrokerFromSupport(db, cfg.price, f, lopts)
 		f.Close()
 	default:
-		broker, err = qirana.NewBroker(db, price, opts)
+		broker, err = qirana.NewBroker(db, cfg.price, opts)
 	}
 	if err != nil {
 		return err
 	}
 
 	var nShards int
-	if cluster > 0 {
-		cl, err := shard.AttachLocal(broker, db, cluster, opts)
+	if cfg.cluster > 0 {
+		cl, err := shard.AttachLocal(broker, db, cfg.cluster, opts)
 		if err != nil {
 			return err
 		}
 		defer cl.Close()
-		nShards = cluster
+		cl.Fanout.SetPolicy(cfg.faultPolicy())
+		nShards = cfg.cluster
 		fmt.Printf("qirouter: %d in-process shards over %s (support %d: ~%d elements each)\n",
-			cluster, dataset, broker.SupportSetSize(), (broker.SupportSetSize()+cluster-1)/cluster)
+			cfg.cluster, cfg.dataset, broker.SupportSetSize(), (broker.SupportSetSize()+cfg.cluster-1)/cfg.cluster)
 	} else {
-		urls := strings.Split(shards, ",")
+		urls := strings.Split(cfg.shards, ",")
 		f, err := shard.Connect(context.Background(), urls, nil)
 		if err != nil {
 			return fmt.Errorf("shard handshake: %w", err)
@@ -122,31 +167,36 @@ func run(addr, shards string, cluster int, dataset string, price float64, size i
 				info.SupportGen, info.SupportSum, info.Size,
 				broker.SupportGen(), broker.SupportChecksum(), broker.SupportSetSize())
 		}
+		f.SetPolicy(cfg.faultPolicy())
 		broker.SetRemoteSweeper(f)
 		nShards = len(urls)
 		fmt.Printf("qirouter: %d shards verified (support %d, checksum %016x)\n",
 			nShards, info.Size, info.SupportSum)
 	}
+	pol := cfg.faultPolicy()
+	fmt.Printf("qirouter: fault policy: %d attempts/shard, breaker %d faults → %s cooldown, hedging %s, degraded quotes %s\n",
+		pol.MaxAttempts, pol.BreakerThreshold, pol.BreakerCooldown,
+		onOff(!pol.DisableHedging), onOff(!cfg.noDegraded))
 	fmt.Printf("qirouter: %s (%d tuples), support %d, price %g, routing on http://%s\n",
-		dataset, db.TotalRows(), broker.SupportSetSize(), price, addr)
+		cfg.dataset, db.TotalRows(), broker.SupportSetSize(), cfg.price, cfg.addr)
 	if info := broker.Durability(); info.Enabled {
 		fmt.Printf("qirouter: durable ledger in %s (snapshot seq %d, replayed %d records)\n",
 			info.Dir, info.SnapshotSeq, info.ReplayedRecords)
 	}
 
 	stopMirror := func() {}
-	if standbyAddr != "" {
-		if dataDir == "" {
+	if cfg.standbyAddr != "" {
+		if cfg.dataDir == "" {
 			return errors.New("-standby-addr requires -data (the standby mirrors the router's state directory)")
 		}
-		stopMirror, err = startMirror(standbyAddr, dataDir, db, opts, timeout)
+		stopMirror, err = startMirror(cfg.standbyAddr, cfg.dataDir, db, opts, cfg.timeout)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("qirouter: standby mirror tailing %s on http://%s\n", dataDir, standbyAddr)
+		fmt.Printf("qirouter: standby mirror tailing %s on http://%s\n", cfg.dataDir, cfg.standbyAddr)
 	}
 
-	srv := &http.Server{Addr: addr, Handler: httpapi.New(broker, timeout)}
+	srv := &http.Server{Addr: cfg.addr, Handler: httpapi.New(broker, cfg.timeout)}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
@@ -158,7 +208,7 @@ func run(addr, shards string, cluster int, dataset string, price float64, size i
 	}
 	stop()
 	fmt.Println("qirouter: draining")
-	dctx, cancel := context.WithTimeout(context.Background(), drain)
+	dctx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 	defer cancel()
 	if err := srv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err
@@ -169,6 +219,13 @@ func run(addr, shards string, cluster int, dataset string, price float64, size i
 		return fmt.Errorf("close broker: %w", err)
 	}
 	return nil
+}
+
+func onOff(on bool) string {
+	if on {
+		return "on"
+	}
+	return "off"
 }
 
 // startMirror serves an in-process read-only standby over the router's

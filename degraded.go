@@ -1,0 +1,111 @@
+package qirana
+
+// Degraded-mode quotes (DESIGN.md §14). When a shard's slice is
+// unreachable past the fan-out's retry budget, an exact quote cannot be
+// assembled — but a SOUND one can: the dead slices are priced exactly
+// like unsampled weight in the PR 9 approximate machinery, using the
+// live slices as the "sample". The coverage estimator charges every
+// missing element as if it disagreed (its weight in full); the entropy
+// estimators refine every missing element into its own partition
+// (maximum information). Both are the worst case the buyer could have
+// learned from the missing slice, so
+//
+//	degraded price ≥ exact price
+//
+// for all four pricing functions, and the arbitrage-freeness argument
+// for approximate quotes (internal/pricing/approx.go) carries over
+// unchanged. The quote is served with provenance — degraded: true, the
+// missing-slice fraction, point estimate and CI — and cached under the
+// same "a|" key as a sampled quote, so the background refiner and the
+// purchase-time reconcile settle it to the exact price once the cluster
+// heals. Purchases never take this path: charging requires the exact
+// sweep, so a purchase during an outage still fails 503 and no partial
+// merge ever charges a buyer.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"qirana/internal/sqlengine/exec"
+)
+
+// canDegrade reports whether a failed sweep may fall back to a degraded
+// quote: degradation enabled, the caller still waiting, the failure a
+// shard outage (not a bad request), and the installed sweeper able to
+// deliver partial slices. Callers hold mu.RLock.
+func (b *Broker) canDegrade(ctx context.Context, err error) bool {
+	if b.opts.DisableDegradedQuotes || ctx.Err() != nil {
+		return false
+	}
+	if !errors.Is(err, ErrShardUnavailable) {
+		return false
+	}
+	_, ok := b.sweeper.(DegradedSweeper)
+	return ok
+}
+
+// degradedQuoteLocked prices qs as one bundle with part of the cluster
+// unreachable, serving the upper bound described above. An existing
+// "a|" entry (refined or sampled) short-circuits the sweep — a cached
+// sound answer beats re-walking a broken cluster. Callers hold mu.RLock.
+func (b *Broker) degradedQuoteLocked(ctx context.Context, fn PricingFunc, qs []*exec.Query, maxErr float64) (QuoteInfo, error) {
+	ds, ok := b.sweeper.(DegradedSweeper)
+	if !ok {
+		return QuoteInfo{}, ErrShardUnavailable
+	}
+	key := b.approxKey(fn, qs)
+	compute := func() (any, error) {
+		spec := SweepSpec{Bundle: true, SupportGen: b.supportGen}
+		switch fn {
+		case WeightedCoverage, UniformEntropyGain:
+			dis, stats, live, err := ds.SweepBitsDegraded(ctx, sqlsOf(qs), spec)
+			if err != nil {
+				return nil, err
+			}
+			est, err := b.engine.EstimateFromSampledDisagreements(fn, dis[0], live)
+			if err != nil {
+				return nil, err
+			}
+			return approxEntry{est: est, stats: stats[0], degraded: true, missing: missingFrac(live)}, nil
+		case ShannonEntropy, QEntropy:
+			elems, stats, live, err := ds.SweepHashesDegraded(ctx, sqlsOf(qs), spec)
+			if err != nil {
+				return nil, err
+			}
+			est, err := b.engine.EstimateFromSampledHashes(fn, elems[0], live)
+			if err != nil {
+				return nil, err
+			}
+			return approxEntry{est: est, stats: stats[0], degraded: true, missing: missingFrac(live)}, nil
+		}
+		return nil, fmt.Errorf("unknown pricing function %v", fn)
+	}
+	v, cached, err := b.cached(ctx, key, compute)
+	if err != nil {
+		return QuoteInfo{}, err
+	}
+	ent := v.(approxEntry)
+	if !ent.refined {
+		// Fresh or cached, keep the refiner armed: the upgrade to exact
+		// only succeeds once the cluster heals, and each failed attempt
+		// is dropped, not requeued.
+		b.enqueueRefine(key, fn, sqlsOf(qs))
+	}
+	return b.approxInfo(ent, cached, maxErr), nil
+}
+
+// missingFrac is the fraction of support-set elements whose slice did
+// not answer.
+func missingFrac(live []bool) float64 {
+	if len(live) == 0 {
+		return 0
+	}
+	miss := 0
+	for _, ok := range live {
+		if !ok {
+			miss++
+		}
+	}
+	return float64(miss) / float64(len(live))
+}

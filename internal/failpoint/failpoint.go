@@ -16,10 +16,14 @@
 //   - One-shot countdowns (the `after` parameter): the point stays
 //     silent for the first `after` hits and fires on the next one, so a
 //     matrix test can walk the fault through a request sequence.
+//   - Sticky faults (EnableSticky): the point fires on EVERY hit until
+//     explicitly disabled — the hard-down/flapping-component shape used
+//     by the shard chaos harness, where a dead worker stays dead until
+//     the test heals it.
 //
-// Every armed point fires exactly once and then disarms itself; a test
-// that wants repeated failures re-arms. Reset clears everything between
-// subtests.
+// Every armed point except a sticky one fires exactly once and then
+// disarms itself; a test that wants repeated failures re-arms (or arms
+// sticky). Reset clears everything between subtests.
 package failpoint
 
 import (
@@ -41,6 +45,8 @@ type point struct {
 	// short is the byte count of a short-write fault; -1 for plain
 	// error faults.
 	short int
+	// sticky points survive firing: every hit fails until Disable/Reset.
+	sticky bool
 }
 
 var (
@@ -64,6 +70,16 @@ func EnableAfter(name string, err error, after int) {
 		err = ErrInjected
 	}
 	set(name, &point{after: after, err: err, short: -1})
+}
+
+// EnableSticky arms name to fail EVERY hit with err (ErrInjected when
+// err is nil) until Disable or Reset — a component that stays broken
+// until the test heals it, where one-shot points model a single fault.
+func EnableSticky(name string, err error) {
+	if err == nil {
+		err = ErrInjected
+	}
+	set(name, &point{err: err, short: -1, sticky: true})
 }
 
 // EnableShortWrite arms name so the next WriteFault reports that only the
@@ -111,8 +127,8 @@ func Reset() {
 }
 
 // fire consumes one hit of name: (nil, false) when disarmed or still
-// counting down, the armed point (removed from the registry) when it
-// fires.
+// counting down, the armed point when it fires. A firing point is
+// removed from the registry unless it is sticky.
 func fire(name string) (*point, bool) {
 	if armed.Load() == 0 {
 		return nil, false
@@ -127,8 +143,10 @@ func fire(name string) (*point, bool) {
 		p.after--
 		return nil, false
 	}
-	delete(points, name)
-	armed.Add(-1)
+	if !p.sticky {
+		delete(points, name)
+		armed.Add(-1)
+	}
 	return p, true
 }
 

@@ -9,8 +9,10 @@ package httpapi
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -193,6 +195,60 @@ func TestWriteRequestErrorTable(t *testing.T) {
 		}
 		if c.retryAfter > 0 && rr.Header().Get("Retry-After") == "" {
 			t.Errorf("WriteRequestError(%v): missing Retry-After header", c.err)
+		}
+	}
+}
+
+// hintedErr wraps a broker error with a live cooldown hint — the shape
+// the fan-out's open circuit breaker produces when it fast-rejects.
+type hintedErr struct {
+	base error
+	wait time.Duration
+}
+
+func (e *hintedErr) Error() string                 { return "shard 2: " + e.base.Error() }
+func (e *hintedErr) Unwrap() error                 { return e.base }
+func (e *hintedErr) RetryAfterHint() time.Duration { return e.wait }
+
+// TestWriteRequestErrorRetryAfterHint: when the error chain carries a
+// breaker cooldown, retry_after reflects the actual remaining wait
+// (ceiling of the hint, clamped to >= 1s) instead of the table's fixed
+// 1s default; non-retryable rows ignore the hint entirely. These values
+// are API — clients schedule their backoff from them.
+func TestWriteRequestErrorRetryAfterHint(t *testing.T) {
+	for _, c := range []struct {
+		name       string
+		err        error
+		wantStatus int
+		wantCode   string
+		retryAfter int
+	}{
+		{"whole seconds", &hintedErr{qirana.ErrShardUnavailable, 7 * time.Second}, 503, CodeShardUnavailable, 7},
+		{"rounds up", &hintedErr{qirana.ErrShardUnavailable, 2500 * time.Millisecond}, 503, CodeShardUnavailable, 3},
+		{"clamped to one second", &hintedErr{qirana.ErrShardUnavailable, 300 * time.Millisecond}, 503, CodeShardUnavailable, 1},
+		{"survives outer wrapping", fmt.Errorf("price: %w", &hintedErr{qirana.ErrShardUnavailable, 4 * time.Second}), 503, CodeShardUnavailable, 4},
+		{"hinted durability fault", &hintedErr{qirana.ErrDurability, 2 * time.Second}, 503, CodeDurability, 2},
+		{"non-retryable ignores hint", &hintedErr{qirana.ErrSupportMismatch, 9 * time.Second}, 409, CodeSupportMismatch, 0},
+	} {
+		rr := httptest.NewRecorder()
+		WriteRequestError(rr, c.err)
+		if rr.Code != c.wantStatus {
+			t.Errorf("%s: status %d, want %d", c.name, rr.Code, c.wantStatus)
+		}
+		var e errEnvelope
+		if err := json.Unmarshal(rr.Body.Bytes(), &e); err != nil {
+			t.Fatalf("%s: body not the typed envelope: %v", c.name, err)
+		}
+		if e.Error.Code != c.wantCode || e.Error.RetryAfter != c.retryAfter {
+			t.Errorf("%s: code %q retry_after %d, want %q %d",
+				c.name, e.Error.Code, e.Error.RetryAfter, c.wantCode, c.retryAfter)
+		}
+		wantHeader := ""
+		if c.retryAfter > 0 {
+			wantHeader = strconv.Itoa(c.retryAfter)
+		}
+		if got := rr.Header().Get("Retry-After"); got != wantHeader {
+			t.Errorf("%s: Retry-After header %q, want %q", c.name, got, wantHeader)
 		}
 	}
 }

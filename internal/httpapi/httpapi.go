@@ -19,6 +19,7 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
@@ -505,9 +506,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	// them (plus the shed counters) here so operators watching /stats see
 	// the fast path and the shedder without scraping /metrics.
 	approx := map[string]uint64{}
+	// The cluster block groups the fault-tolerance counters — fan-out
+	// retries/hedges, breaker transitions, degraded quotes, shard-side
+	// sweep counts — so an operator can see a partial outage (and the
+	// router riding through it) at a glance.
+	cluster := map[string]uint64{}
 	for k, v := range b.Metrics().Counters {
-		if strings.HasPrefix(k, "approx_") || strings.HasPrefix(k, "shed_") {
+		switch {
+		case strings.HasPrefix(k, "approx_") || strings.HasPrefix(k, "shed_"):
 			approx[k] = v
+		case strings.HasPrefix(k, "router_") || strings.HasPrefix(k, "breaker_") || strings.HasPrefix(k, "shard_"):
+			cluster[k] = v
 		}
 	}
 	WriteJSON(w, map[string]any{
@@ -519,6 +528,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"durability":       b.Durability(),
 		"shed":             b.ShedState(),
 		"approx":           approx,
+		"cluster":          cluster,
 	})
 }
 
@@ -629,6 +639,9 @@ func codeForStatus(status int) string {
 // unreachable, read-only standby) a 503 with Retry-After, a support-set
 // mismatch a 409 (the cluster needs rebuilding — retrying won't help),
 // anything else a 400 invalid_request. An *Error is served verbatim.
+// When the error chain carries a real retry hint — a circuit breaker's
+// remaining cooldown — it overrides the table's fixed 1s default, so
+// clients back off for as long as the shard will actually be refused.
 func WriteRequestError(w http.ResponseWriter, err error) {
 	var ae *Error
 	if errors.As(err, &ae) {
@@ -637,7 +650,14 @@ func WriteRequestError(w http.ResponseWriter, err error) {
 	}
 	for _, row := range errorTable {
 		if errors.Is(err, row.is) {
-			writeTyped(w, &Error{Status: row.status, Code: row.code, Message: err.Error(), RetryAfter: row.retryAfter})
+			retryAfter := row.retryAfter
+			if hint, ok := qirana.RetryAfterHint(err); ok && retryAfter > 0 {
+				retryAfter = int(math.Ceil(hint.Seconds()))
+				if retryAfter < 1 {
+					retryAfter = 1
+				}
+			}
+			writeTyped(w, &Error{Status: row.status, Code: row.code, Message: err.Error(), RetryAfter: retryAfter})
 			return
 		}
 	}

@@ -1,0 +1,149 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"qirana"
+)
+
+// Per-shard circuit breaker (DESIGN.md §14). The fan-out keeps one per
+// shard so a dead worker costs one retry budget ONCE, after which every
+// request fails fast with the remaining cooldown — surfaced to clients
+// as Retry-After — instead of burning the deadline re-discovering the
+// same outage. The state machine:
+//
+//	closed ──(threshold consecutive faults)──────────► open
+//	open ──(cooldown elapses; next request admitted)─► half-open
+//	half-open ──probe (/shard/info) + sweep succeed──► closed
+//	half-open ──probe or sweep fails─────────────────► open (cooldown restarts)
+//
+// Only shard faults count: 400/409 answers and the caller's own
+// cancellation never move the breaker (see Fanout.call).
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	state     breakerState
+	fails     int // consecutive faults while closed
+	openedAt  time.Time
+	probing   bool // a half-open trial is in flight
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// allow gates one request. ok=false rejects fast with the remaining
+// cooldown. probe=true admits the caller as the single half-open trial:
+// it must verify the shard's identity via /shard/info before sweeping
+// and report the outcome through success/failure.
+func (b *breaker) allow(now time.Time) (ok, probe bool, wait time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true, false, 0
+	case breakerOpen:
+		if rem := b.cooldown - now.Sub(b.openedAt); rem > 0 {
+			return false, false, rem
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true, true, 0
+	default: // half-open
+		if b.probing {
+			// One trial at a time; everyone else keeps failing fast.
+			return false, false, b.cooldown
+		}
+		b.probing = true
+		return true, true, 0
+	}
+}
+
+// success reports a completed sweep. Returns true when it closed the
+// breaker (recovery from open/half-open), so the caller can count the
+// transition.
+func (b *breaker) success() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	reopened := b.state != breakerClosed
+	b.state = breakerClosed
+	b.fails = 0
+	b.probing = false
+	return reopened
+}
+
+// failure reports one shard fault. Returns true when it opened the
+// breaker (the closed-state threshold, or a failed half-open trial).
+func (b *breaker) failure(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		b.state = breakerOpen
+		b.openedAt = now
+		b.probing = false
+		return true
+	case breakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = now
+			return true
+		}
+	}
+	// Already open: in-flight requests admitted before the trip may
+	// still report failures; the cooldown clock is not restarted.
+	return false
+}
+
+// releaseProbe abandons a half-open trial without a verdict — the
+// caller was cancelled before the shard could prove anything either
+// way. The next request becomes the new trial. No-op outside half-open.
+func (b *breaker) releaseProbe() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerHalfOpen {
+		b.probing = false
+	}
+}
+
+// current reports the state (tests and /stats snapshots).
+func (b *breaker) current() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// breakerOpenError is the fast-fail served while a shard's breaker is
+// open. It wraps qirana.ErrShardUnavailable (so the HTTP layer answers
+// 503) and carries the remaining cooldown, which WriteRequestError
+// surfaces as Retry-After and in the error envelope's retry_after.
+type breakerOpenError struct {
+	shard int
+	url   string
+	wait  time.Duration
+}
+
+func (e *breakerOpenError) Error() string {
+	return fmt.Sprintf("shard %d (%s): circuit breaker open for another %s",
+		e.shard, e.url, e.wait.Round(time.Millisecond))
+}
+
+func (e *breakerOpenError) Unwrap() error { return qirana.ErrShardUnavailable }
+
+// RetryAfterHint implements qirana.RetryAfterHinter.
+func (e *breakerOpenError) RetryAfterHint() time.Duration { return e.wait }

@@ -1,0 +1,169 @@
+package shard
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"qirana"
+)
+
+func TestBreakerStateMachine(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	b := newBreaker(3, 100*time.Millisecond)
+
+	// Closed: everyone is admitted; sub-threshold faults stay closed.
+	for i := 0; i < 2; i++ {
+		if ok, probe, _ := b.allow(t0); !ok || probe {
+			t.Fatalf("closed breaker: allow = (%v, %v)", ok, probe)
+		}
+		if b.failure(t0) {
+			t.Fatalf("fault %d tripped a threshold-3 breaker", i+1)
+		}
+	}
+	// A success resets the consecutive count.
+	if b.success() {
+		t.Fatal("success on a closed breaker reported a transition")
+	}
+	for i := 0; i < 2; i++ {
+		b.failure(t0)
+	}
+	if b.current() != breakerClosed {
+		t.Fatal("streak should have reset: 2+2 non-consecutive faults tripped the breaker")
+	}
+	// The third consecutive fault trips it.
+	if !b.failure(t0) {
+		t.Fatal("threshold fault did not report the open transition")
+	}
+	if b.current() != breakerOpen {
+		t.Fatalf("state = %v, want open", b.current())
+	}
+
+	// Open: rejected with the remaining cooldown.
+	ok, _, wait := b.allow(t0.Add(30 * time.Millisecond))
+	if ok || wait != 70*time.Millisecond {
+		t.Fatalf("open allow = (%v, wait %v), want (false, 70ms)", ok, wait)
+	}
+	// Late faults from requests admitted before the trip do not restart
+	// the cooldown clock.
+	b.failure(t0.Add(90 * time.Millisecond))
+	if ok, _, _ := b.allow(t0.Add(110 * time.Millisecond)); !ok {
+		t.Fatal("late fault restarted the cooldown")
+	}
+	// That admit was the half-open trial; a second caller is rejected
+	// while it is in flight.
+	if ok, _, _ := b.allow(t0.Add(111 * time.Millisecond)); ok {
+		t.Fatal("two concurrent half-open trials admitted")
+	}
+	// Failed trial: back to open, cooldown restarts from the failure.
+	t1 := t0.Add(120 * time.Millisecond)
+	if !b.failure(t1) {
+		t.Fatal("failed half-open trial did not report re-opening")
+	}
+	if ok, _, _ := b.allow(t1.Add(99 * time.Millisecond)); ok {
+		t.Fatal("re-opened breaker admitted inside the fresh cooldown")
+	}
+
+	// Successful trial after the next cooldown: closed.
+	t2 := t1.Add(150 * time.Millisecond)
+	ok, probe, _ := b.allow(t2)
+	if !ok || !probe {
+		t.Fatalf("post-cooldown allow = (%v, %v), want the half-open probe", ok, probe)
+	}
+	if !b.success() {
+		t.Fatal("recovery did not report the close transition")
+	}
+	if b.current() != breakerClosed {
+		t.Fatalf("state = %v, want closed", b.current())
+	}
+}
+
+func TestBreakerReleaseProbe(t *testing.T) {
+	t0 := time.Unix(2000, 0)
+	b := newBreaker(1, 50*time.Millisecond)
+	b.failure(t0)
+	t1 := t0.Add(60 * time.Millisecond)
+	if ok, probe, _ := b.allow(t1); !ok || !probe {
+		t.Fatal("cooldown elapsed but no probe admitted")
+	}
+	// The trial was abandoned without a verdict (caller cancelled):
+	// without releaseProbe the breaker would reject everyone forever.
+	if ok, _, _ := b.allow(t1); ok {
+		t.Fatal("second trial admitted while the first is in flight")
+	}
+	b.releaseProbe()
+	if ok, probe, _ := b.allow(t1); !ok || !probe {
+		t.Fatal("released probe slot was not re-admitted")
+	}
+}
+
+func TestBreakerOpenErrorShape(t *testing.T) {
+	err := error(&breakerOpenError{shard: 2, url: "http://x", wait: 1500 * time.Millisecond})
+	if !errors.Is(err, qirana.ErrShardUnavailable) {
+		t.Fatal("breakerOpenError must unwrap to ErrShardUnavailable (503)")
+	}
+	hint, ok := qirana.RetryAfterHint(err)
+	if !ok || hint != 1500*time.Millisecond {
+		t.Fatalf("RetryAfterHint = (%v, %v), want (1.5s, true)", hint, ok)
+	}
+}
+
+func TestBackoffBounds(t *testing.T) {
+	f := &Fanout{rng: newJitterRNG(1)}
+	f.policy = FaultPolicy{RetryBase: 10 * time.Millisecond, RetryMax: 40 * time.Millisecond}
+	for retry, base := range map[int]time.Duration{
+		0: 10 * time.Millisecond,
+		1: 20 * time.Millisecond,
+		2: 40 * time.Millisecond,
+		5: 40 * time.Millisecond, // capped
+	} {
+		for i := 0; i < 50; i++ {
+			d := f.backoff(retry)
+			if d < base/2 || d >= base+base/2 {
+				t.Fatalf("backoff(%d) = %v outside [%v, %v)", retry, d, base/2, base+base/2)
+			}
+		}
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	var e ewma
+	if e.value() != 0 {
+		t.Fatal("fresh ewma has a signal")
+	}
+	e.observe(100 * time.Millisecond)
+	if e.value() != 100*time.Millisecond {
+		t.Fatalf("first observation: %v, want 100ms", e.value())
+	}
+	e.observe(200 * time.Millisecond)
+	if e.value() != 125*time.Millisecond {
+		t.Fatalf("ewma after 100,200: %v, want 125ms (α=1/4)", e.value())
+	}
+	// Observing zero keeps "has signal" distinct from "no signal".
+	var z ewma
+	z.observe(0)
+	if z.value() == 0 {
+		t.Fatal("observed zero collapsed back to no-signal")
+	}
+}
+
+func TestHedgeDelaySignal(t *testing.T) {
+	f := &Fanout{}
+	f.policy = FaultPolicy{HedgeMin: 2 * time.Millisecond}
+	if d := f.hedgeDelay(); d != 0 {
+		t.Fatalf("cold fan-out hedges after %v, want never", d)
+	}
+	f.lat.observe(10 * time.Millisecond)
+	f.gap.observe(4 * time.Millisecond)
+	if d := f.hedgeDelay(); d != 14*time.Millisecond {
+		t.Fatalf("adaptive delay = %v, want lat+gap = 14ms", d)
+	}
+	f.policy.HedgeAfter = 5 * time.Millisecond
+	if d := f.hedgeDelay(); d != 5*time.Millisecond {
+		t.Fatalf("fixed override ignored: %v", d)
+	}
+	f.policy.DisableHedging = true
+	if d := f.hedgeDelay(); d != 0 {
+		t.Fatalf("disabled hedging still yields %v", d)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"sync"
 	"time"
@@ -28,16 +29,28 @@ type Info struct {
 // Fanout is the router's RemoteSweeper: it splits every cold sweep
 // across the connected shards (one contiguous slice each, per Assign),
 // runs the slice requests concurrently, and reassembles the per-element
-// vectors in shard order. A single shard failure aborts the whole
-// fan-out — a partially merged price is never returned — and surfaces
-// as qirana.ErrShardUnavailable, which the HTTP layer maps to 503 +
-// Retry-After.
+// vectors in shard order. Each slice request runs under the installed
+// FaultPolicy — jittered-backoff retries, hedging, and a per-shard
+// circuit breaker (breaker.go) — but the exact sweep itself stays
+// all-or-nothing: one slice exhausting its budget aborts the whole
+// fan-out as qirana.ErrShardUnavailable (503 + Retry-After), so a
+// partially merged exact price is never returned. Partial results are
+// only ever surfaced through the explicitly-degraded sweeps in
+// degraded.go, which report missing slices via a live mask for the
+// broker to price as unsampled weight.
 type Fanout struct {
 	urls   []string
 	ranges []Range
 	info   Info
 	client *http.Client
 	obs    *obs.Registry // nil-safe; installed via AttachObs
+
+	policy   FaultPolicy
+	breakers []*breaker
+	lat      ewma // successful slice-request latency (adaptive hedging)
+	gap      ewma // straggler gap per fan-out (adaptive hedging)
+	rngMu    sync.Mutex
+	rng      *rand.Rand // backoff jitter; guarded by rngMu
 }
 
 // Connect performs the cluster handshake: it fetches /shard/info from
@@ -51,7 +64,8 @@ func Connect(ctx context.Context, urls []string, client *http.Client) (*Fanout, 
 	if client == nil {
 		client = http.DefaultClient
 	}
-	f := &Fanout{urls: urls, client: client}
+	f := &Fanout{urls: urls, client: client, rng: newJitterRNG(time.Now().UnixNano())}
+	f.SetPolicy(DefaultFaultPolicy())
 	for i, u := range urls {
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u+"/v1/shard/info", nil)
 		if err != nil {
@@ -85,14 +99,36 @@ func (f *Fanout) Info() Info { return f.info }
 // Shards returns the number of connected shards.
 func (f *Fanout) Shards() int { return len(f.urls) }
 
+// SetPolicy installs a fault policy and resets every shard's circuit
+// breaker. Call it after Connect and before serving traffic; it is not
+// synchronized against in-flight sweeps.
+func (f *Fanout) SetPolicy(p FaultPolicy) {
+	f.policy = p.sane()
+	f.breakers = make([]*breaker, len(f.urls))
+	for i := range f.breakers {
+		f.breakers[i] = newBreaker(f.policy.BreakerThreshold, f.policy.BreakerCooldown)
+	}
+}
+
+// Policy returns the installed fault policy.
+func (f *Fanout) Policy() FaultPolicy { return f.policy }
+
 // AttachObs wires the fan-out's counters and latencies into the
 // router's metrics registry (qirana.SetRemoteSweeper calls it):
 //
-//	router_fanout_rpcs     shard RPCs issued
-//	router_shard_errors    failed shard RPCs
-//	router_fanout          whole fan-out latency (slowest shard)
-//	router_merge           slice reassembly latency
-//	router_straggler_gap   slowest minus fastest shard per fan-out
+//	router_fanout_rpcs       shard RPCs issued
+//	router_shard_errors      failed shard RPCs
+//	router_retries           retry attempts launched after a shard fault
+//	router_hedges            duplicate (hedged) RPCs fired
+//	router_hedge_wins        hedged duplicates that answered first
+//	router_degraded_sweeps   fan-outs that completed with missing slices
+//	breaker_open             breaker trips (closed/half-open → open)
+//	breaker_close            breaker recoveries (→ closed)
+//	breaker_probes           half-open health probes issued
+//	breaker_rejects          requests failed fast by an open breaker
+//	router_fanout            whole fan-out latency (slowest shard)
+//	router_merge             slice reassembly latency
+//	router_straggler_gap     slowest minus fastest shard per fan-out
 func (f *Fanout) AttachObs(r *obs.Registry) { f.obs = r }
 
 // SweepBits implements qirana.RemoteSweeper.
@@ -157,17 +193,18 @@ func outputs(sqls []string, bundle bool) int {
 	return len(sqls)
 }
 
-// sweep fans one slice request out to every shard concurrently. The
-// first failure cancels the outstanding requests: a sweep either
-// returns every slice or nothing.
-func (f *Fanout) sweep(ctx context.Context, sqls []string, spec qirana.SweepSpec, hashes bool) ([]*qirana.SweepSliceResponse, error) {
+// sweep fans one slice request out to every shard concurrently, each
+// under the fault policy's retry/hedge/breaker budget (call, in
+// call.go). The first exhausted budget cancels the outstanding
+// requests: an exact sweep either returns every slice or nothing.
+func (f *Fanout) sweep(parent context.Context, sqls []string, spec qirana.SweepSpec, hashes bool) ([]*qirana.SweepSliceResponse, error) {
 	if spec.SupportGen != f.info.SupportGen {
 		return nil, fmt.Errorf("%w: router prices support gen %d but the cluster was connected at gen %d (a resample requires rebuilding the cluster)",
 			qirana.ErrSupportMismatch, spec.SupportGen, f.info.SupportGen)
 	}
 	f.obs.Add("router_fanout_rpcs", uint64(len(f.urls)))
 	defer f.obs.Timer("router_fanout")()
-	ctx, cancel := context.WithCancel(ctx)
+	ctx, cancel := context.WithCancel(parent)
 	defer cancel()
 	resps := make([]*qirana.SweepSliceResponse, len(f.urls))
 	errs := make([]error, len(f.urls))
@@ -178,7 +215,7 @@ func (f *Fanout) sweep(ctx context.Context, sqls []string, spec qirana.SweepSpec
 		go func(i int) {
 			defer wg.Done()
 			start := time.Now()
-			resps[i], errs[i] = f.post(ctx, i, sqls, spec, hashes)
+			resps[i], errs[i] = f.call(ctx, parent, i, sqls, spec, hashes)
 			durs[i] = time.Since(start)
 			if errs[i] != nil {
 				cancel()
@@ -211,15 +248,22 @@ func (f *Fanout) sweep(ctx context.Context, sqls []string, spec qirana.SweepSpec
 		}
 	}
 	f.obs.Observe("router_straggler_gap", max-min)
+	f.gap.observe(max - min)
 	return resps, nil
 }
 
 // post sends one shard its slice request and classifies the outcome:
 // 400 is the shard judging the INPUT bad (forwarded as a plain error →
 // the router answers 400 too), 409 is a support-set mismatch, and
-// everything else — transport errors, timeouts, 5xx — is the SHARD
-// being unavailable (→ 503, retryable).
-func (f *Fanout) post(ctx context.Context, i int, sqls []string, spec qirana.SweepSpec, hashes bool) (*qirana.SweepSliceResponse, error) {
+// everything else — transport errors, timeouts, 5xx, torn bodies — is
+// the SHARD being unavailable (→ 503, retryable). The one exception:
+// when the PARENT context is done, the caller gave up, and post
+// propagates parent.Err() verbatim — a client hanging up must never be
+// billed to the shard's breaker or spent from the retry budget. (ctx
+// here may be a derived group/hedge context; its cancellation means a
+// sibling aborted the fan-out, which likewise is not this shard's
+// fault.)
+func (f *Fanout) post(ctx, parent context.Context, i int, sqls []string, spec qirana.SweepSpec, hashes bool) (*qirana.SweepSliceResponse, error) {
 	r := f.ranges[i]
 	sreq := qirana.SweepSliceRequest{
 		SQLs: sqls, Bundle: spec.Bundle, Hashes: hashes,
@@ -240,6 +284,9 @@ func (f *Fanout) post(ctx context.Context, i int, sqls []string, spec qirana.Swe
 	req.Header.Set("Content-Type", "application/json")
 	httpResp, err := f.client.Do(req)
 	if err != nil {
+		if parent.Err() != nil {
+			return nil, parent.Err()
+		}
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
@@ -259,6 +306,9 @@ func (f *Fanout) post(ctx context.Context, i int, sqls []string, spec qirana.Swe
 	}
 	var resp qirana.SweepSliceResponse
 	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		if parent.Err() != nil {
+			return nil, parent.Err()
+		}
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}

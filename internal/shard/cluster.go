@@ -18,6 +18,10 @@ import (
 type Cluster struct {
 	Brokers []*qirana.Broker
 	URLs    []string
+	// Fanout is the connected fan-out when the cluster was built via
+	// AttachLocal (nil from StartLocal); exposed so callers can tune its
+	// FaultPolicy.
+	Fanout  *Fanout
 	servers []*http.Server
 }
 
@@ -97,5 +101,6 @@ func AttachLocal(router *qirana.Broker, db *qirana.Database, n int, opt qirana.O
 			router.SupportGen(), router.SupportChecksum(), router.SupportSetSize())
 	}
 	router.SetRemoteSweeper(f)
+	cl.Fanout = f
 	return cl, nil
 }

@@ -1,0 +1,137 @@
+package shard
+
+import (
+	"context"
+	"math/rand"
+	"sync/atomic"
+	"time"
+)
+
+// FaultPolicy tunes the fan-out's fault-tolerance stack: retry budget,
+// backoff shape, circuit-breaker trip/recovery, and hedging. The zero
+// value is NOT usable — start from DefaultFaultPolicy() and override,
+// then install with Fanout.SetPolicy before serving traffic.
+type FaultPolicy struct {
+	// MaxAttempts is the per-shard request budget per sweep, including
+	// the first try (minimum 1). Retries fire only on shard faults —
+	// transport errors, 5xx, torn responses — never on 400/409 answers
+	// and never on the caller's own cancellation.
+	MaxAttempts int
+
+	// RetryBase and RetryMax bound the jittered exponential backoff
+	// between attempts: retry k sleeps base·2^k scaled by a uniform
+	// factor in [0.5, 1.5), capped at RetryMax. The sleep never
+	// outlives the caller's context.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+
+	// BreakerThreshold consecutive faults trip a shard's breaker open;
+	// BreakerCooldown is how long it then fails fast before the next
+	// request is admitted as a half-open health probe (GET /shard/info
+	// plus the sweep itself).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+
+	// HedgeAfter, when positive, fixes the hedge delay: a duplicate
+	// RPC fires if a shard has not answered within it. When zero the
+	// delay adapts to the fleet's recent behaviour: the EWMA of
+	// per-shard sweep latency plus the EWMA of the straggler gap (the
+	// same max−min spread published as router_straggler_gap), floored
+	// at HedgeMin. A cold fan-out with no latency signal never hedges.
+	HedgeAfter time.Duration
+	HedgeMin   time.Duration
+
+	// DisableHedging turns duplicate requests off entirely.
+	DisableHedging bool
+}
+
+// DefaultFaultPolicy is what Connect installs: three attempts under a
+// 25ms–250ms backoff, an 8-fault breaker with a 5s cooldown, and
+// adaptive hedging floored at 2ms.
+func DefaultFaultPolicy() FaultPolicy {
+	return FaultPolicy{
+		MaxAttempts:      3,
+		RetryBase:        25 * time.Millisecond,
+		RetryMax:         250 * time.Millisecond,
+		BreakerThreshold: 8,
+		BreakerCooldown:  5 * time.Second,
+		HedgeMin:         2 * time.Millisecond,
+	}
+}
+
+func (p FaultPolicy) sane() FaultPolicy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	if p.BreakerThreshold < 1 {
+		p.BreakerThreshold = 1
+	}
+	return p
+}
+
+// backoff computes the sleep before retry number `retry` (0-based),
+// jittered ±50% so a fleet of routers retrying the same dead shard
+// decorrelates instead of stampeding in phase.
+func (f *Fanout) backoff(retry int) time.Duration {
+	d := f.policy.RetryBase
+	for i := 0; i < retry && d < f.policy.RetryMax; i++ {
+		d *= 2
+	}
+	if f.policy.RetryMax > 0 && d > f.policy.RetryMax {
+		d = f.policy.RetryMax
+	}
+	if d <= 0 {
+		return 0
+	}
+	f.rngMu.Lock()
+	factor := 0.5 + f.rng.Float64()
+	f.rngMu.Unlock()
+	return time.Duration(float64(d) * factor)
+}
+
+// sleepCtx sleeps for d or until ctx is done, reporting whether the
+// full sleep elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// ewma is a lock-free exponentially weighted moving average over
+// durations (α = 1/4), used for the adaptive hedge delay. Zero means
+// "no signal yet".
+type ewma struct {
+	nanos atomic.Int64
+}
+
+func (e *ewma) observe(d time.Duration) {
+	for {
+		old := e.nanos.Load()
+		var next int64
+		if old == 0 {
+			next = int64(d)
+		} else {
+			next = old + (int64(d)-old)/4
+		}
+		if next == 0 {
+			next = 1 // keep "has signal" distinct from "no signal"
+		}
+		if e.nanos.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (e *ewma) value() time.Duration { return time.Duration(e.nanos.Load()) }
+
+// newJitterRNG keeps backoff jitter deterministic per Fanout under test
+// seeds; guard all use with rngMu, math/rand.Rand is not goroutine-safe.
+func newJitterRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

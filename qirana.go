@@ -167,6 +167,14 @@ type Options struct {
 	// callers are unaffected: Purchase always settles at the exact
 	// price, and shed state is reported in ShedState()/stats.
 	ShedTargetP99 time.Duration
+	// DisableDegradedQuotes turns off degraded-mode serving. By default
+	// a routed broker whose shard cluster is partially unreachable past
+	// the fan-out's retry budget answers Price with a sound over-quote —
+	// the dead slices priced at their upper bound, with degraded
+	// provenance (see degraded.go / DESIGN.md §14) — instead of failing
+	// 503. Set true to restore all-or-nothing quoting. Purchases are
+	// unaffected either way: charging always requires the exact sweep.
+	DisableDegradedQuotes bool
 }
 
 // defaultQuoteCacheSize is the quote-cache capacity when Options leaves
